@@ -1,0 +1,68 @@
+//! Ablation: FIFO depth sensitivity (DESIGN.md §4).
+//!
+//! The paper sizes each inter-filter FIFO to "the spatial distance
+//! between the two accesses that the filters at each end … represent",
+//! and sizes PE-to-PE channels generously. This bench drives the
+//! element-level layer simulation with progressively slower downstream
+//! consumers and smaller output FIFOs to show where back-pressure starts
+//! costing cycles — and that results stay correct regardless.
+
+use condor_dataflow::layersim::{simulate_conv_layer, LayerSimConfig};
+use condor_tensor::{Shape, TensorRng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn run(out_fifo_depth: usize, drain_every: u64) -> (u64, u64) {
+    let mut rng = TensorRng::seeded(11);
+    let input = rng.uniform(Shape::chw(2, 16, 16), -1.0, 1.0);
+    let weights = rng.uniform(Shape::new(8, 2, 3, 3), -0.5, 0.5);
+    let report = simulate_conv_layer(
+        &input,
+        &weights,
+        None,
+        1,
+        0,
+        false,
+        &LayerSimConfig {
+            out_fifo_depth,
+            drain_every,
+            input_stall_period: None,
+        },
+    );
+    (report.cycles, report.pe_stall_cycles)
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    println!("== ablation: output FIFO depth vs consumer rate (conv 8x2@16, 3x3) ==");
+    println!(
+        "{:<12} {:<12} {:>10} {:>12}",
+        "fifo depth", "drain every", "cycles", "PE stalls"
+    );
+    for (depth, drain) in [
+        (64, 1),
+        (8, 1),
+        (1, 1),
+        (64, 2),
+        (8, 2),
+        (1, 2),
+        (64, 8),
+        (1, 8),
+    ] {
+        let (cycles, stalls) = run(depth, drain);
+        println!("{depth:<12} {drain:<12} {cycles:>10} {stalls:>12}");
+    }
+
+    let mut group = c.benchmark_group("ablation_fifo");
+    group.sample_size(20);
+    for depth in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("conv_layersim", depth),
+            &depth,
+            |b, &depth| b.iter(|| black_box(run(depth, 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fifo);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: layer fusion vs full spatial unfold (DESIGN.md §4).
+//!
+//! Sweeps the number of computational layers fused per PE on LeNet and
+//! reports the resources-vs-throughput trade the paper's methodology
+//! makes: fusing shrinks the design ("for large CNNs, [1:1 mapping]
+//! might not be possible given the available resources") at the cost of
+//! serialising the fused layers.
+
+use condor::Condor;
+use condor_dataflow::PipelineModel;
+use condor_nn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build(fusion: usize) -> (f64, u64, u64) {
+    let built = Condor::from_network(zoo::lenet_weighted(1))
+        .board("aws-f1")
+        .freq_mhz(180.0)
+        .fusion(fusion)
+        .build()
+        .unwrap();
+    let mut plan = built.plan.clone();
+    plan.freq_mhz = built.synthesis.achieved_fmax_mhz;
+    let gflops =
+        PipelineModel::from_plan(&plan).gflops(built.network.total_flops().unwrap(), 64);
+    (gflops, built.synthesis.total.lut, built.synthesis.total.bram_36k)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    println!("== ablation: fusion factor on LeNet (aws-f1, 180 MHz) ==");
+    println!("{:<8} {:>10} {:>10} {:>10}", "fusion", "GFLOPS", "LUT", "BRAM36");
+    for fusion in [1, 2, 3, 4, 10] {
+        let (gflops, lut, bram) = build(fusion);
+        println!("{fusion:<8} {gflops:>10.3} {lut:>10} {bram:>10}");
+    }
+
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(10);
+    for fusion in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("lenet_build", fusion), &fusion, |b, &f| {
+            b.iter(|| black_box(build(f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

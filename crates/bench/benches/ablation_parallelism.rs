@@ -1,0 +1,55 @@
+//! Ablation: inter-layer parallelism sweep (DESIGN.md §4).
+//!
+//! "We can exploit inter-layer parallelism reading multiple input
+//! feature maps concurrently and computing multiple output feature maps
+//! in parallel." This sweep shows the DSP-vs-GFLOPS trade on the LeNet
+//! feature-extraction stage and where resource growth stops paying.
+
+use condor_dataflow::{PeParallelism, PipelineModel, PlanBuilder};
+use condor_hls::synthesize_plan;
+use condor_nn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn evaluate(pi: usize, po: usize) -> (f64, u64) {
+    let net = zoo::lenet().feature_extraction_prefix().unwrap();
+    let plan = PlanBuilder::new(&net)
+        .freq_mhz(200.0)
+        .parallelism(PeParallelism {
+            parallel_in: pi,
+            parallel_out: po,
+            fc_simd: 1,
+        })
+        .build()
+        .unwrap();
+    let device = condor_fpga::device("xcvu9p").unwrap();
+    let synth = synthesize_plan(&plan, device);
+    let mut timed = plan.clone();
+    timed.freq_mhz = synth.achieved_fmax_mhz;
+    let gflops = PipelineModel::from_plan(&timed)
+        .gflops(net.total_flops().unwrap(), 64);
+    (gflops, synth.total.dsp)
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    println!("== ablation: inter-layer parallelism on LeNet features (200 MHz) ==");
+    println!("{:<12} {:>10} {:>8}", "Pin x Pout", "GFLOPS", "DSP");
+    for (pi, po) in [(1, 1), (1, 2), (2, 2), (2, 5), (4, 5), (4, 10), (8, 10)] {
+        let (gflops, dsp) = evaluate(pi, po);
+        println!("{:<12} {gflops:>10.3} {dsp:>8}", format!("{pi} x {po}"));
+    }
+
+    let mut group = c.benchmark_group("ablation_parallelism");
+    group.sample_size(20);
+    for (pi, po) in [(1usize, 1usize), (2, 2), (4, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("lenet_features_eval", format!("{pi}x{po}")),
+            &(pi, po),
+            |b, &(pi, po)| b.iter(|| black_box(evaluate(pi, po))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

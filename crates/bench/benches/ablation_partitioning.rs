@@ -1,0 +1,71 @@
+//! Ablation: non-uniform memory partitioning vs a monolithic line
+//! buffer (DESIGN.md §4).
+//!
+//! The paper adopts Cong et al.'s non-uniform partitioning: `K²` filters
+//! chained by FIFOs sized to the access distances, buffering only
+//! `(K−1)·W + K` elements with zero port contention. The classical
+//! alternative — one on-chip buffer holding the whole input feature map,
+//! read K² times per window through at most two BRAM ports — needs both
+//! more storage and serialised reads. This bench quantifies the gap
+//! with the synthesis model (storage) and a port-contention cycle model
+//! (throughput), and times the behavioural filter chain.
+
+use condor_dataflow::FilterChain;
+use condor_fpga::Resources;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Storage and per-window read cycles of the two buffering schemes for a
+/// K×K window over an H×W map.
+fn compare(k: usize, h: usize, w: usize) -> ((u64, u64), (u64, u64)) {
+    // Non-uniform partitioning: (K−1)·W+K elements, all taps concurrent.
+    let nup_elems = ((k - 1) * w + k) as u64;
+    let nup_bram = Resources::bram_tiles_for_bytes(nup_elems * 4).max(1);
+    let nup_cycles_per_window = 1u64;
+    // Monolithic buffer: H·W elements; dual-port BRAM serves 2 of the
+    // K² reads per cycle.
+    let mono_elems = (h * w) as u64;
+    let mono_bram = Resources::bram_tiles_for_bytes(mono_elems * 4).max(1);
+    let mono_cycles_per_window = ((k * k) as u64).div_ceil(2);
+    (
+        (nup_bram, nup_cycles_per_window),
+        (mono_bram, mono_cycles_per_window),
+    )
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    println!("== ablation: non-uniform partitioning vs monolithic line buffer ==");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>12}",
+        "layer", "NUP BRAM", "NUP cyc/win", "mono BRAM", "mono cyc/win"
+    );
+    for (name, k, h, w) in [
+        ("LeNet conv1 (5x5@28)", 5, 28, 28),
+        ("LeNet conv2 (5x5@12)", 5, 12, 12),
+        ("VGG conv1_1 (3x3@224)", 3, 224, 224),
+        ("VGG conv5_3 (3x3@14)", 3, 14, 14),
+    ] {
+        let ((nb, nc), (mb, mc)) = compare(k, h, w);
+        println!("{name:<22} {nb:>10} {nc:>12} {mb:>10} {mc:>12}");
+    }
+
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(20);
+    for (k, h, w) in [(5usize, 28usize, 28usize), (3, 64, 64)] {
+        let img: Vec<f32> = (0..h * w).map(|v| v as f32).collect();
+        group.bench_with_input(
+            BenchmarkId::new("filter_chain_stream", format!("{k}x{k}@{w}")),
+            &(k, h, w),
+            |b, &(k, h, w)| {
+                b.iter(|| {
+                    let mut chain = FilterChain::new(k, h, w, 1, 0);
+                    black_box(chain.run(&img).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 bench: times the pipeline batch sweep and prints the
+//! regenerated mean-time-per-image series.
+
+use condor_bench::{deploy_table1_network, figure5, figure5_batches};
+use condor_nn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_figure5(c: &mut Criterion) {
+    for series in figure5() {
+        let pts: Vec<String> = series
+            .points
+            .iter()
+            .map(|(b, ms)| format!("{b}:{ms:.4}ms"))
+            .collect();
+        println!("figure5/{} ({} layers): {}", series.name, series.layers, pts.join(" "));
+    }
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    let deployed = deploy_table1_network(zoo::lenet_weighted(1), 180.0);
+    for batch in figure5_batches() {
+        group.bench_with_input(
+            BenchmarkId::new("lenet_batch_timing", batch),
+            &batch,
+            |b, &batch| b.iter(|| black_box(deployed.timing(batch))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

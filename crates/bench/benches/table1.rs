@@ -1,0 +1,39 @@
+//! Table 1 bench: times the full Condor flow (build → cloud deploy →
+//! metrics) for the two published design points and prints the
+//! regenerated row so `cargo bench` output doubles as the experiment
+//! record.
+
+use condor_bench::{deploy_table1_network, table1};
+use condor_nn::zoo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, alongside the timing run.
+    for row in table1() {
+        println!(
+            "table1/{}: LUT {:.2}% FF {:.2}% DSP {:.2}% BRAM {:.2}% | {:.2} GFLOPS, {:.2} GFLOPS/W",
+            row.name, row.lut_pct, row.ff_pct, row.dsp_pct, row.bram_pct, row.gflops,
+            row.gflops_per_w
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("tc1_flow_build_deploy", |b| {
+        b.iter(|| {
+            let deployed = deploy_table1_network(zoo::tc1_weighted(1), 100.0);
+            black_box(deployed.metrics(64).unwrap());
+        })
+    });
+    group.bench_function("lenet_flow_build_deploy", |b| {
+        b.iter(|| {
+            let deployed = deploy_table1_network(zoo::lenet_weighted(1), 180.0);
+            black_box(deployed.metrics(64).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

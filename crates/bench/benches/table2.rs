@@ -1,0 +1,39 @@
+//! Table 2 bench: times the automated design-space exploration over the
+//! feature-extraction subnetworks and prints the regenerated GFLOPS
+//! column.
+
+use condor_bench::{table2, table2_dse_space};
+use condor_nn::zoo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    for cell in table2() {
+        println!(
+            "table2/{}: {:.2} GFLOPS (Pin={}, Pout={}, {:.0} MHz)",
+            cell.name,
+            cell.gflops,
+            cell.parallelism.parallel_in,
+            cell.parallelism.parallel_out,
+            cell.freq_mhz
+        );
+    }
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let board = condor_fpga::board("aws-f1").unwrap();
+    for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16()] {
+        let fe = net.feature_extraction_prefix().unwrap();
+        let name = net.name.replace('-', "_").to_lowercase();
+        group.bench_function(format!("dse_{name}_features"), |b| {
+            b.iter(|| {
+                let outcome = condor::dse::explore(&fe, board, &table2_dse_space()).unwrap();
+                black_box(outcome.require_best().unwrap().gflops)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

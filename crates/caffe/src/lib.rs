@@ -1,0 +1,33 @@
+//! # condor-caffe
+//!
+//! From-scratch implementation of the two Caffe artifact formats the Condor
+//! frontend consumes (paper Section 3.1.1):
+//!
+//! * **`prototxt`** — the protobuf *text format* description of the network
+//!   topology ([`text`], [`model::NetParameter::from_prototxt`]);
+//! * **`caffemodel`** — the protobuf *binary wire format* serialisation of a
+//!   trained `NetParameter`, carrying the layer weights as `BlobProto`
+//!   messages ([`wire`], [`model::NetParameter::decode`]).
+//!
+//! Both formats are implemented against the subset of `caffe.proto` that
+//! CNN inference needs (`NetParameter`, `LayerParameter`, `BlobProto`,
+//! convolution/pooling/inner-product/activation/input parameters). Field
+//! numbers follow upstream `caffe.proto` so that real artifacts for the
+//! supported layer types parse correctly; unknown fields are skipped per
+//! protobuf semantics instead of rejected.
+//!
+//! An encoder is provided as well: the test-suite and examples fabricate
+//! `caffemodel` files (we cannot ship trained weights) and feed them
+//! through the same decode path a real model would take.
+
+pub mod model;
+pub mod text;
+pub mod wire;
+
+pub use model::{
+    BlobProto, BlobShape, ConvolutionParameter, InnerProductParameter, InputParameter,
+    LayerParameter, NetParameter, PoolMethod, PoolingParameter,
+};
+pub use text::{TextError, TextMessage, TextScalar, TextValue};
+
+pub use wire::{WireError, WireReader, WireType, WireWriter};

@@ -1,0 +1,28 @@
+//! # condor-cjson
+//!
+//! A small, dependency-free JSON implementation used for the Condor
+//! network-representation files.
+//!
+//! The paper's core-logic tier consumes "an internal JSON" that "resembles
+//! the caffe prototxt file but contains more information about the
+//! underlying hardware of the accelerator, such as the desired board, the
+//! operating frequency and desired level of parallelism of each layer"
+//! (Section 3.1.1). This crate provides the document substrate for that
+//! format: a [`Value`] tree, a strict RFC 8259 parser, a writer with
+//! optional pretty-printing, and typed accessors used by the frontend when
+//! validating user input.
+//!
+//! It is written from scratch (rather than pulling in `serde_json`) because
+//! the JSON layer is one of the substrates this reproduction is required to
+//! own end-to-end, and because error positions (line/column) matter for the
+//! frontend's user-facing diagnostics.
+
+pub mod access;
+pub mod parse;
+pub mod value;
+pub mod write;
+
+pub use access::AccessError;
+pub use parse::{parse, ParseError};
+pub use value::{Number, Value};
+pub use write::{to_string, to_string_pretty};

@@ -1,0 +1,228 @@
+//! JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number.
+///
+/// JSON itself does not distinguish integers from floats; the Condor
+/// network representation however mixes exact integer fields (kernel sizes,
+/// parallelism degrees) with real-valued ones (target frequency in MHz), so
+/// the distinction is preserved losslessly when parsing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A number written without fraction or exponent, in `i64` range.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` regardless of representation.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `i64` when it is an integer (or an integral float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::Float(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON document node.
+///
+/// Objects use a `BTreeMap` so serialisation order is deterministic — the
+/// framework writes network-representation files as build artifacts and
+/// byte-stable output makes them diffable and testable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(Number),
+    /// A JSON string (unescaped).
+    Str(String),
+    /// `[ ... ]`
+    Array(Vec<Value>),
+    /// `{ ... }`
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an integer number node.
+    pub fn int(v: i64) -> Value {
+        Value::Num(Number::Int(v))
+    }
+
+    /// Builds a float number node.
+    pub fn float(v: f64) -> Value {
+        Value::Num(Number::Float(v))
+    }
+
+    /// Builds a string node.
+    pub fn str(v: impl Into<String>) -> Value {
+        Value::Str(v.into())
+    }
+
+    /// Builds an object node from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    /// The node's type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow as object map.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::int(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Number::Int(5).as_f64(), 5.0);
+        assert_eq!(Number::Int(5).as_i64(), Some(5));
+        assert_eq!(Number::Float(5.0).as_i64(), Some(5));
+        assert_eq!(Number::Float(5.5).as_i64(), None);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = Value::object([
+            ("name".to_string(), Value::str("conv1")),
+            ("kernel".to_string(), Value::int(5)),
+            ("freq".to_string(), Value::float(100.5)),
+            ("relu".to_string(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("conv1"));
+        assert_eq!(v.get("kernel").and_then(Value::as_i64), Some(5));
+        assert_eq!(v.get("freq").and_then(Value::as_f64), Some(100.5));
+        assert_eq!(v.get("relu").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3usize), Value::int(3));
+        assert_eq!(Value::from(vec![1i64, 2]), Value::Array(vec![Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Array(vec![]).type_name(), "array");
+    }
+}

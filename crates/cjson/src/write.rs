@@ -1,0 +1,154 @@
+//! JSON serialisation (compact and pretty).
+//!
+//! Output is deterministic: object keys serialise in `BTreeMap` order and
+//! float formatting uses Rust's shortest-roundtrip `f64` display, so the
+//! generated network-representation artifacts are byte-stable across runs.
+
+use crate::value::{Number, Value};
+
+/// Serialises a value compactly (no insignificant whitespace).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, None, 0, &mut out);
+    out
+}
+
+/// Serialises a value with two-space indentation, the style the framework
+/// uses for on-disk network-representation files.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, Some(2), 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                write_value(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..level * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            let s = format!("{v}");
+            out.push_str(&s);
+            // Keep floats recognisable as floats on re-parse.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let doc = r#"{"a":[1,2.5,null,true,"x\ny"],"b":{"c":-3}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(to_string(&v), doc);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn float_keeps_float_identity() {
+        let v = Value::float(2.0);
+        let s = to_string(&v);
+        assert_eq!(s, "2.0");
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let v = Value::str("a\u{1}b");
+        assert_eq!(to_string(&v), "\"a\\u0001b\"");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn deterministic_key_order() {
+        let v = parse(r#"{"zeta":1,"alpha":2}"#).unwrap();
+        assert_eq!(to_string(&v), r#"{"alpha":2,"zeta":1}"#);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests: arbitrary JSON documents survive write→parse round trips.
+
+use condor_cjson::{parse, to_string, to_string_pretty, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values of bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        // Finite floats only: JSON has no NaN/Inf.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::float),
+        // Arbitrary unicode strings, including escapes-in-waiting.
+        ".*".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::btree_map(".*", inner, 0..8).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(v in value_strategy()) {
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in value_strategy()) {
+        let text = to_string_pretty(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in ".*") {
+        let _ = parse(&s); // must return Err, not panic
+    }
+
+    #[test]
+    fn integers_keep_integer_identity(n in any::<i64>()) {
+        let back = parse(&to_string(&Value::int(n))).unwrap();
+        prop_assert_eq!(back, Value::Num(Number::Int(n)));
+    }
+}

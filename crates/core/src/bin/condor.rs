@@ -1,0 +1,234 @@
+//! `condor` — the framework's command-line front door.
+//!
+//! ```text
+//! condor info   <model.prototxt | network.json>
+//! condor build  <model.prototxt | network.json> [--weights FILE]
+//!               [--board NAME] [--freq MHZ] [--dse]
+//! condor dse    <model.prototxt | network.json> [--board NAME]
+//! condor export <network.json> --prototxt OUT [--weights FILE]
+//! ```
+//!
+//! Input kind is detected by extension: `.json` is the Condor network
+//! representation, anything else is treated as a Caffe prototxt.
+//! `--weights` accepts a Condor weights file (for `.json` inputs) or a
+//! `caffemodel` (for prototxt inputs).
+
+use condor::dse::{explore, DseConfig};
+use condor::{frontend, Condor, CondorError, FrontendInput};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::BTreeMap<String, String>,
+    switches: std::collections::BTreeSet<String>,
+}
+
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        flags: std::collections::BTreeMap::new(),
+        switches: std::collections::BTreeSet::new(),
+    };
+    let mut it = raw.peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // Value-taking flags vs boolean switches.
+            match name {
+                "weights" | "board" | "freq" | "prototxt" | "fusion" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    args.flags.insert(name.to_string(), v);
+                }
+                "dse" => {
+                    args.switches.insert(name.to_string());
+                }
+                other => return Err(format!("unknown flag --{other}")),
+            }
+        } else {
+            args.positional.push(a);
+        }
+    }
+    Ok(args)
+}
+
+fn load_model(path: &str, weights: Option<&str>) -> Result<frontend::LoadedModel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let weight_bytes = match weights {
+        Some(w) => Some(std::fs::read(w).map_err(|e| format!("cannot read {w}: {e}"))?),
+        None => None,
+    };
+    let input = if path.ends_with(".json") {
+        FrontendInput::Condor {
+            representation: text,
+            weights: weight_bytes,
+        }
+    } else {
+        FrontendInput::Caffe {
+            prototxt: text,
+            caffemodel: weight_bytes,
+        }
+    };
+    frontend::analyze(input).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("info needs a model path")?;
+    let model = load_model(path, args.flags.get("weights").map(String::as_str))?;
+    let net = &model.network;
+    println!("{net}");
+    let costs = net.costs().map_err(|e| e.to_string())?;
+    println!("{:<12} {:>14} {:>12} {:>12}", "layer", "MACs/img", "FLOPs/img", "params");
+    for c in &costs {
+        println!(
+            "{:<12} {:>14} {:>12} {:>12}",
+            c.name, c.macs, c.flops, c.params
+        );
+    }
+    println!(
+        "total: {} FLOPs/image, {} parameters, weights {}",
+        net.total_flops().map_err(|e| e.to_string())?,
+        net.total_params().map_err(|e| e.to_string())?,
+        if net.fully_weighted() { "loaded" } else { "absent" }
+    );
+    Ok(())
+}
+
+fn builder_from(args: &Args) -> Result<Condor, String> {
+    let path = args.positional.first().ok_or("need a model path")?;
+    let model = load_model(path, args.flags.get("weights").map(String::as_str))?;
+    let mut b = Condor::from_network(model.network)
+        .board(model.representation.hardware.board.clone())
+        .freq_mhz(model.representation.hardware.freq_mhz)
+        .fusion(model.representation.hardware.fusion)
+        .parallelism(model.representation.hardware.parallelism);
+    if let Some(board) = args.flags.get("board") {
+        b = b.board(board.clone());
+    }
+    if let Some(freq) = args.flags.get("freq") {
+        b = b.freq_mhz(freq.parse::<f64>().map_err(|e| format!("bad --freq: {e}"))?);
+    }
+    if let Some(fusion) = args.flags.get("fusion") {
+        b = b.fusion(fusion.parse::<usize>().map_err(|e| format!("bad --fusion: {e}"))?);
+    }
+    if args.switches.contains("dse") {
+        b = b.auto_dse(DseConfig::default());
+    }
+    Ok(b)
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let built = builder_from(args)?.build().map_err(|e: CondorError| e.to_string())?;
+    println!("accelerator : {}", built.accelerator.name);
+    println!("board       : {}", built.representation.hardware.board);
+    println!(
+        "clock       : {:.0} MHz requested, {:.0} MHz achieved",
+        built.synthesis.requested_fmax_mhz, built.synthesis.achieved_fmax_mhz
+    );
+    println!("PEs         : {}", built.plan.pes.len());
+    let (stage, cycles) = built.plan.bottleneck();
+    println!("bottleneck  : {stage} at {cycles} cycles/image");
+    println!("resources   : {}", built.synthesis.total);
+    println!("utilisation : {}", built.utilization());
+    println!(
+        "sources     : {} generated HLS files packaged into {}.xo ({} bytes)",
+        built
+            .accelerator
+            .layers
+            .iter()
+            .map(|ip| ip.sources.len())
+            .sum::<usize>(),
+        built.accelerator.name,
+        built.xo.payload.len()
+    );
+    Ok(())
+}
+
+fn cmd_dse(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("dse needs a model path")?;
+    let model = load_model(path, None)?;
+    let board_name = args
+        .flags
+        .get("board")
+        .map(String::as_str)
+        .unwrap_or(&model.representation.hardware.board)
+        .to_string();
+    let board = condor_fpga::board(&board_name).ok_or(format!("unknown board {board_name}"))?;
+    let outcome =
+        explore(&model.network, board, &DseConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "explored {} configurations on {board_name}; best feasible points:",
+        outcome.points.len()
+    );
+    println!(
+        "{:<8} {:<12} {:>8} {:>9} {:>8} {:>8}",
+        "fusion", "Pin x Pout", "MHz", "GFLOPS", "LUT%", "BRAM%"
+    );
+    for p in outcome.feasible_ranked().iter().take(8) {
+        println!(
+            "{:<8} {:<12} {:>8.0} {:>9.2} {:>8.2} {:>8.2}",
+            p.fusion,
+            format!("{} x {}", p.parallelism.parallel_in, p.parallelism.parallel_out),
+            p.synthesis.achieved_fmax_mhz,
+            p.gflops,
+            p.utilization.lut_pct,
+            p.utilization.bram_pct
+        );
+    }
+    outcome.require_best().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("export needs a model path")?;
+    let out = args
+        .flags
+        .get("prototxt")
+        .ok_or("export needs --prototxt OUT")?;
+    let model = load_model(path, args.flags.get("weights").map(String::as_str))?;
+    let proto = frontend::network_to_caffe(&model.network);
+    std::fs::write(out, proto.to_prototxt()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    if model.network.fully_weighted() {
+        let model_out = format!("{out}.caffemodel");
+        std::fs::write(&model_out, proto.encode())
+            .map_err(|e| format!("cannot write {model_out}: {e}"))?;
+        println!("wrote {model_out}");
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: condor <info|build|dse|export> <model> [--weights FILE] [--board NAME] \
+     [--freq MHZ] [--fusion N] [--dse] [--prototxt OUT]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(cmd) = raw.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "build" => cmd_build(&args),
+        "dse" => cmd_dse(&args),
+        "export" => cmd_export(&args),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Backend tier: deployment (paper steps 7–8) and the host runtime.
+//!
+//! On-premise: "the framework uses the Xilinx OpenCL Compiler (XOCC) to
+//! produce the Xilinx OpenCL Compute Unit Binary (xclbin) file needed to
+//! configure the target board directly."
+//!
+//! Cloud: "it is not possible to load a bitstream directly onto the FPGAs
+//! of an F1 instance; it is instead necessary to create an Amazon FPGA
+//! Image (AFI) first … The framework automatically generates the AFI
+//! inside a user-specified Amazon S3 Bucket and returns the AFI global
+//! ID … Once the AFI generation completes, it can be loaded on an FPGA
+//! slot of an F1 instance and executed."
+//!
+//! A [`DeployedAccelerator`] is the handle the generated host code would
+//! wrap: it executes batches on the threaded hardware runtime (real
+//! values), reports batch timing from the pipeline model, and produces
+//! the Table 1 metric row (utilisation, GFLOPS, GFLOPS/W).
+
+use crate::error::CondorError;
+use crate::flow::BuiltAccelerator;
+use condor_cloud::{xocc_link, AfiRegistry, Environment, F1InstanceType, F1Manager, S3Client, Xclbin};
+use condor_dataflow::{BatchTiming, PipelineModel};
+use condor_dataflow::runtime::ThreadedRuntime;
+use condor_fpga::{PowerModel, Utilization};
+use condor_tensor::Tensor;
+
+/// Where and how the accelerator ended up deployed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Deployment {
+    /// Programmed directly with an xclbin.
+    OnPremise {
+        /// Target board name.
+        board: String,
+    },
+    /// Running on an F1 FPGA slot through an AFI.
+    Cloud {
+        /// The AFI id returned by `create-fpga-image`.
+        afi_id: String,
+        /// The global id used from within the instance.
+        agfi_id: String,
+        /// The S3 location of the staged design.
+        s3_key: String,
+        /// The F1 instance hosting the slot.
+        instance_id: String,
+        /// The FPGA slot index.
+        slot: usize,
+    },
+}
+
+/// The simulated AWS account the cloud deployment runs against.
+pub struct CloudContext {
+    /// S3 endpoint.
+    pub s3: S3Client,
+    /// AFI registry.
+    pub afi: AfiRegistry,
+    /// F1 fleet manager.
+    pub f1: F1Manager,
+    /// Execution environment of the framework itself.
+    pub environment: Environment,
+    /// Bucket the framework stages designs into ("a user-specified
+    /// Amazon S3 Bucket").
+    pub bucket: String,
+    /// Instance size to launch.
+    pub instance_type: F1InstanceType,
+    /// Polling budget for AFI generation.
+    pub max_wait_ticks: u32,
+}
+
+impl CloudContext {
+    /// A fresh account, running inside the FPGA Developer AMI.
+    pub fn new(bucket: impl Into<String>) -> Self {
+        CloudContext {
+            s3: S3Client::new(),
+            afi: AfiRegistry::new(),
+            f1: F1Manager::new(),
+            environment: Environment::developer_ami(),
+            bucket: bucket.into(),
+            instance_type: F1InstanceType::F1_2xlarge,
+            max_wait_ticks: 16,
+        }
+    }
+
+    /// Same account, different execution environment.
+    pub fn with_environment(mut self, env: Environment) -> Self {
+        self.environment = env;
+        self
+    }
+}
+
+/// A deployed, runnable accelerator.
+#[derive(Debug)]
+pub struct DeployedAccelerator {
+    built: BuiltAccelerator,
+    /// The linked kernel binary.
+    pub xclbin: Xclbin,
+    /// Deployment record.
+    pub deployment: Deployment,
+}
+
+/// Step 7 — on-premise deployment.
+pub(crate) fn deploy_onpremise(built: BuiltAccelerator) -> Result<DeployedAccelerator, CondorError> {
+    let board = built.board();
+    let xclbin = xocc_link(&built.xo, board.name)?;
+    Ok(DeployedAccelerator {
+        deployment: Deployment::OnPremise {
+            board: board.name.to_string(),
+        },
+        xclbin,
+        built,
+    })
+}
+
+/// Step 8 — cloud deployment on the F1 instances.
+pub(crate) fn deploy_cloud(
+    built: BuiltAccelerator,
+    ctx: &CloudContext,
+) -> Result<DeployedAccelerator, CondorError> {
+    // The framework must run inside the FPGA Developer AMI.
+    ctx.environment.check_cloud_deploy()?;
+    let board = built.board();
+    if !board.cloud {
+        return Err(CondorError::new(
+            "backend",
+            format!(
+                "board '{}' is not a cloud target; use deploy_onpremise or select aws-f1",
+                board.name
+            ),
+        ));
+    }
+    // Link for the F1 platform and stage into S3.
+    let xclbin = xocc_link(&built.xo, board.name)?;
+    if !ctx.s3.bucket_exists(&ctx.bucket) {
+        ctx.s3.create_bucket(&ctx.bucket)?;
+    }
+    let key = format!("designs/{}.xclbin", built.accelerator.name);
+    ctx.s3.put_object(&ctx.bucket, &key, xclbin.bytes.clone())?;
+
+    // Start AFI generation and wait for availability.
+    let (afi_id, agfi_id) =
+        ctx.afi
+            .create_fpga_image(&ctx.s3, &ctx.bucket, &key, &built.accelerator.name)?;
+    let state = ctx.afi.wait_available(&afi_id, ctx.max_wait_ticks)?;
+    if state != condor_cloud::AfiState::Available {
+        return Err(CondorError::new(
+            "backend",
+            format!("AFI {afi_id} ended in state {state:?}"),
+        ));
+    }
+
+    // Launch an instance and load the AFI on slot 0.
+    let instance_id = ctx.f1.launch(ctx.instance_type);
+    ctx.f1.load_afi(&ctx.afi, &instance_id, 0, &agfi_id)?;
+
+    Ok(DeployedAccelerator {
+        deployment: Deployment::Cloud {
+            afi_id,
+            agfi_id,
+            s3_key: key,
+            instance_id,
+            slot: 0,
+        },
+        xclbin,
+        built,
+    })
+}
+
+/// The Table 1 metric row for one deployed design.
+#[derive(Clone, Debug)]
+pub struct AcceleratorMetrics {
+    /// Utilisation against the full device.
+    pub utilization: Utilization,
+    /// Clock the design runs at (MHz).
+    pub freq_mhz: f64,
+    /// Sustained GFLOPS at the measurement batch size.
+    pub gflops: f64,
+    /// Modelled power draw in watts.
+    pub power_w: f64,
+    /// Energy efficiency.
+    pub gflops_per_w: f64,
+    /// Mean time per image at the measurement batch size (µs).
+    pub mean_us_per_image: f64,
+}
+
+impl DeployedAccelerator {
+    /// The build this deployment came from.
+    pub fn built(&self) -> &BuiltAccelerator {
+        &self.built
+    }
+
+    /// The plan timed at the achieved clock.
+    fn timed_plan(&self) -> condor_dataflow::AcceleratorPlan {
+        let mut plan = self.built.plan.clone();
+        plan.freq_mhz = self.built.synthesis.achieved_fmax_mhz;
+        plan
+    }
+
+    /// The pipeline timing model of the deployed design.
+    pub fn pipeline(&self) -> PipelineModel {
+        PipelineModel::from_plan(&self.timed_plan())
+    }
+
+    /// Runs a batch on the accelerator (threaded hardware runtime) and
+    /// returns the outputs in order.
+    pub fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+        if !self.built.network.fully_weighted() {
+            return Err(CondorError::new(
+                "backend",
+                "network has no weights loaded; provide a caffemodel or weights file",
+            ));
+        }
+        let rt = ThreadedRuntime::new(&self.built.network, &self.built.plan)?;
+        Ok(rt.run_batch(images)?)
+    }
+
+    /// Classifies one image (argmax over the final layer).
+    pub fn classify(&self, image: &Tensor) -> Result<usize, CondorError> {
+        let out = self.infer_batch(std::slice::from_ref(image))?;
+        Ok(out[0].argmax())
+    }
+
+    /// Batch timing at a given batch size (Figure 5's y-axis).
+    pub fn timing(&self, batch: usize) -> BatchTiming {
+        self.pipeline().batch(batch)
+    }
+
+    /// The Figure 5 sweep.
+    pub fn batch_sweep(&self, batches: &[usize]) -> Vec<BatchTiming> {
+        self.pipeline().batch_sweep(batches)
+    }
+
+    /// The Table 1 metric row, measured at `batch`.
+    pub fn metrics(&self, batch: usize) -> Result<AcceleratorMetrics, CondorError> {
+        let flops = self.built.network.total_flops()?;
+        let model = self.pipeline();
+        let timing = model.batch(batch);
+        let gflops = model.gflops(flops, batch);
+        let power = PowerModel::default();
+        let freq = self.built.synthesis.achieved_fmax_mhz;
+        let power_w = power.power_w(&self.built.synthesis.total, freq);
+        Ok(AcceleratorMetrics {
+            utilization: self.built.utilization(),
+            freq_mhz: freq,
+            gflops,
+            power_w,
+            gflops_per_w: gflops / power_w,
+            mean_us_per_image: timing.mean_us_per_image,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Condor;
+    use condor_nn::{dataset, zoo, GoldenEngine};
+    use condor_tensor::AllClose;
+
+    fn built_lenet() -> BuiltAccelerator {
+        Condor::from_network(zoo::lenet_weighted(4))
+            .board("aws-f1")
+            .freq_mhz(180.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn onpremise_deployment_runs_inference() {
+        let deployed = built_lenet().deploy_onpremise().unwrap();
+        assert!(matches!(deployed.deployment, Deployment::OnPremise { .. }));
+        let imgs: Vec<Tensor> = dataset::mnist_like(3, 3).into_iter().map(|s| s.image).collect();
+        let out = deployed.infer_batch(&imgs).unwrap();
+        let net = zoo::lenet_weighted(4);
+        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&imgs).unwrap();
+        for (h, g) in out.iter().zip(&golden) {
+            assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn cloud_deployment_walks_the_full_afi_workflow() {
+        let ctx = CloudContext::new("condor-bucket");
+        let deployed = built_lenet().deploy_cloud(&ctx).unwrap();
+        match &deployed.deployment {
+            Deployment::Cloud {
+                afi_id,
+                agfi_id,
+                s3_key,
+                instance_id,
+                slot,
+            } => {
+                assert!(afi_id.starts_with("afi-"));
+                assert!(agfi_id.starts_with("agfi-"));
+                assert_eq!(s3_key, "designs/condor_lenet.xclbin");
+                // The design really is staged in S3.
+                assert!(ctx.s3.get_object("condor-bucket", s3_key).is_ok());
+                // The slot really holds the AFI.
+                assert_eq!(
+                    ctx.f1.loaded_afi(instance_id, *slot).unwrap().as_deref(),
+                    Some(agfi_id.as_str())
+                );
+            }
+            other => panic!("expected cloud deployment, got {other:?}"),
+        }
+        // And it still executes.
+        let img = dataset::mnist_like(1, 9).remove(0).image;
+        let class = deployed.classify(&img).unwrap();
+        assert!(class < 10);
+    }
+
+    #[test]
+    fn cloud_deployment_requires_developer_ami() {
+        let ctx =
+            CloudContext::new("condor-bucket").with_environment(Environment::workstation());
+        let err = built_lenet().deploy_cloud(&ctx).unwrap_err();
+        assert!(err.message.contains("FPGA Developer AMI"));
+    }
+
+    #[test]
+    fn cloud_deployment_rejects_local_boards() {
+        let built = Condor::from_network(zoo::tc1_weighted(1))
+            .board("vc709")
+            .build()
+            .unwrap();
+        let ctx = CloudContext::new("condor-bucket");
+        let err = built.deploy_cloud(&ctx).unwrap_err();
+        assert!(err.message.contains("not a cloud target"));
+    }
+
+    #[test]
+    fn metrics_land_in_table1_regime() {
+        let deployed = built_lenet().deploy_onpremise().unwrap();
+        let m = deployed.metrics(64).unwrap();
+        assert!(m.utilization.feasible());
+        assert!(m.gflops > 0.5 && m.gflops < 50.0, "gflops {}", m.gflops);
+        assert!(m.power_w > 3.0 && m.power_w < 10.0, "power {}", m.power_w);
+        assert!(m.gflops_per_w > 0.1, "eff {}", m.gflops_per_w);
+        assert_eq!(m.freq_mhz, 180.0);
+    }
+
+    #[test]
+    fn batch_sweep_mirrors_figure5_shape() {
+        let deployed = built_lenet().deploy_onpremise().unwrap();
+        let sweep = deployed.batch_sweep(&[1, 2, 4, 8, 16, 32, 64]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].mean_us_per_image <= pair[0].mean_us_per_image);
+        }
+    }
+
+    #[test]
+    fn unweighted_network_cannot_run() {
+        let built = Condor::from_network(zoo::lenet())
+            .board("aws-f1")
+            .build()
+            .unwrap();
+        let deployed = built.deploy_onpremise().unwrap();
+        let img = dataset::mnist_like(1, 1).remove(0).image;
+        let err = deployed.infer_batch(&[img]).unwrap_err();
+        assert!(err.message.contains("no weights"));
+    }
+}

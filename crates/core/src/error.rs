@@ -1,0 +1,93 @@
+//! Unified framework error.
+
+use std::fmt;
+
+/// Any failure surfaced by the Condor framework, tagged with the tier
+/// that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CondorError {
+    /// Tier or subsystem (`"frontend"`, `"dse"`, `"core-logic"`,
+    /// `"backend"`).
+    pub tier: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CondorError {
+    /// Creates a tagged error.
+    pub fn new(tier: &'static str, message: impl Into<String>) -> Self {
+        CondorError {
+            tier,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CondorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "condor [{}]: {}", self.tier, self.message)
+    }
+}
+
+impl std::error::Error for CondorError {}
+
+impl From<condor_nn::NnError> for CondorError {
+    fn from(e: condor_nn::NnError) -> Self {
+        CondorError::new("frontend", e.to_string())
+    }
+}
+
+impl From<condor_caffe::WireError> for CondorError {
+    fn from(e: condor_caffe::WireError) -> Self {
+        CondorError::new("frontend", e.to_string())
+    }
+}
+
+impl From<condor_caffe::TextError> for CondorError {
+    fn from(e: condor_caffe::TextError) -> Self {
+        CondorError::new("frontend", e.to_string())
+    }
+}
+
+impl From<condor_cjson::ParseError> for CondorError {
+    fn from(e: condor_cjson::ParseError) -> Self {
+        CondorError::new("frontend", e.to_string())
+    }
+}
+
+impl From<condor_cjson::AccessError> for CondorError {
+    fn from(e: condor_cjson::AccessError) -> Self {
+        CondorError::new("frontend", e.to_string())
+    }
+}
+
+impl From<condor_dataflow::DataflowError> for CondorError {
+    fn from(e: condor_dataflow::DataflowError) -> Self {
+        CondorError::new("core-logic", e.to_string())
+    }
+}
+
+impl From<condor_cloud::CloudError> for CondorError {
+    fn from(e: condor_cloud::CloudError) -> Self {
+        CondorError::new("backend", e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_tier() {
+        let e = CondorError::new("dse", "no feasible configuration");
+        assert_eq!(e.to_string(), "condor [dse]: no feasible configuration");
+    }
+
+    #[test]
+    fn conversions_tag_the_right_tier() {
+        let e: CondorError = condor_nn::NnError::net("bad").into();
+        assert_eq!(e.tier, "frontend");
+        let e: CondorError = condor_dataflow::DataflowError::from(condor_nn::NnError::net("x")).into();
+        assert_eq!(e.tier, "core-logic");
+    }
+}

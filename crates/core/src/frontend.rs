@@ -1,0 +1,718 @@
+//! Frontend tier: input analysis (paper Section 3.1.1 and flow step 1).
+//!
+//! "The user can either specify all the input files manually, according
+//! to the Condor internal specification or use a pre-trained Caffe model,
+//! providing the caffemodel and prototxt files. … The files from an
+//! external deep learning library, only Caffe as of now, are translated
+//! in the Condor format."
+//!
+//! Weights stay external: "Weights and biases are kept as external files
+//! and are loaded dynamically at runtime. This enables the update of the
+//! network … without the need for re-synthesizing the accelerator."
+
+use crate::error::CondorError;
+use crate::repr::{HardwareConfig, NetworkRepresentation};
+use condor_caffe::{LayerParameter, NetParameter};
+use condor_nn::{Layer, LayerKind, Network, PoolKind};
+use condor_tensor::{Shape, Tensor};
+
+/// The supported frontend input methods.
+pub enum FrontendInput {
+    /// A pre-trained Caffe model: prototxt topology text and, optionally,
+    /// the binary `caffemodel` bytes carrying the weights.
+    Caffe {
+        /// `*.prototxt` contents.
+        prototxt: String,
+        /// `*.caffemodel` contents, when available.
+        caffemodel: Option<Vec<u8>>,
+    },
+    /// The Condor internal specification: the JSON network
+    /// representation and, optionally, the external weights file.
+    Condor {
+        /// Condor JSON document text.
+        representation: String,
+        /// Condor weights file bytes (see [`write_weights`]).
+        weights: Option<Vec<u8>>,
+    },
+}
+
+/// The result of input analysis: a network representation (topology +
+/// hardware directives) with weights installed when they were provided.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// Topology and hardware directives.
+    pub representation: NetworkRepresentation,
+    /// The network, weighted if weights were supplied.
+    pub network: Network,
+}
+
+/// Runs input analysis over either input method.
+pub fn analyze(input: FrontendInput) -> Result<LoadedModel, CondorError> {
+    match input {
+        FrontendInput::Caffe {
+            prototxt,
+            caffemodel,
+        } => {
+            let proto = NetParameter::from_prototxt(&prototxt)?;
+            let mut network = caffe_to_network(&proto)?;
+            if let Some(bytes) = caffemodel {
+                let trained = NetParameter::decode(&bytes)?;
+                install_caffe_weights(&mut network, &trained)?;
+            }
+            let representation =
+                NetworkRepresentation::new(network.clone(), HardwareConfig::default());
+            Ok(LoadedModel {
+                representation,
+                network,
+            })
+        }
+        FrontendInput::Condor {
+            representation,
+            weights,
+        } => {
+            let repr = NetworkRepresentation::parse(&representation)?;
+            let mut network = repr.network.clone();
+            if let Some(bytes) = weights {
+                read_weights(&mut network, &bytes)?;
+            }
+            Ok(LoadedModel {
+                representation: repr,
+                network,
+            })
+        }
+    }
+}
+
+/// Translates a Caffe `NetParameter` into the Condor network IR.
+pub fn caffe_to_network(proto: &NetParameter) -> Result<Network, CondorError> {
+    let mut input_shape: Option<Shape> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+
+    // Legacy top-level inputs.
+    if !proto.input.is_empty() {
+        if let Some(shape) = proto.input_shape.first() {
+            input_shape = Some(shape.to_shape()?.with_n(1));
+        } else if proto.input_dim.len() >= 4 {
+            input_shape = Some(Shape::chw(
+                proto.input_dim[1] as usize,
+                proto.input_dim[2] as usize,
+                proto.input_dim[3] as usize,
+            ));
+        }
+        layers.push(Layer::new(
+            proto.input.first().map(String::as_str).unwrap_or("data"),
+            LayerKind::Input,
+        ));
+    }
+
+    for lp in &proto.layer {
+        match lp.type_.as_str() {
+            "Input" => {
+                let ip = lp.input_param.as_ref().ok_or_else(|| {
+                    CondorError::new("frontend", format!("layer '{}': missing input_param", lp.name))
+                })?;
+                let shape = ip
+                    .shape
+                    .first()
+                    .ok_or_else(|| {
+                        CondorError::new(
+                            "frontend",
+                            format!("layer '{}': input_param has no shape", lp.name),
+                        )
+                    })?
+                    .to_shape()?;
+                input_shape = Some(shape.with_n(1));
+                layers.push(Layer::new(&lp.name, LayerKind::Input));
+            }
+            "Convolution" => {
+                let p = lp.convolution_param.as_ref().ok_or_else(|| {
+                    CondorError::new(
+                        "frontend",
+                        format!("layer '{}': missing convolution_param", lp.name),
+                    )
+                })?;
+                layers.push(Layer::new(
+                    &lp.name,
+                    LayerKind::Convolution {
+                        num_output: p.num_output as usize,
+                        kernel: p.kernel_size as usize,
+                        stride: p.stride as usize,
+                        pad: p.pad as usize,
+                        bias: p.bias_term,
+                    },
+                ));
+            }
+            "Pooling" => {
+                let p = lp.pooling_param.as_ref().ok_or_else(|| {
+                    CondorError::new(
+                        "frontend",
+                        format!("layer '{}': missing pooling_param", lp.name),
+                    )
+                })?;
+                layers.push(Layer::new(
+                    &lp.name,
+                    LayerKind::Pooling {
+                        method: match p.pool {
+                            condor_caffe::PoolMethod::Max => PoolKind::Max,
+                            condor_caffe::PoolMethod::Ave => PoolKind::Average,
+                        },
+                        kernel: p.kernel_size as usize,
+                        stride: p.stride as usize,
+                        pad: p.pad as usize,
+                    },
+                ));
+            }
+            "ReLU" => layers.push(Layer::new(
+                &lp.name,
+                LayerKind::ReLU {
+                    negative_slope: lp.relu_negative_slope,
+                },
+            )),
+            "Sigmoid" => layers.push(Layer::new(&lp.name, LayerKind::Sigmoid)),
+            "TanH" => layers.push(Layer::new(&lp.name, LayerKind::TanH)),
+            "InnerProduct" => {
+                let p = lp.inner_product_param.as_ref().ok_or_else(|| {
+                    CondorError::new(
+                        "frontend",
+                        format!("layer '{}': missing inner_product_param", lp.name),
+                    )
+                })?;
+                layers.push(Layer::new(
+                    &lp.name,
+                    LayerKind::InnerProduct {
+                        num_output: p.num_output as usize,
+                        bias: p.bias_term,
+                    },
+                ));
+            }
+            "Softmax" | "SoftmaxWithLoss" => {
+                layers.push(Layer::new(&lp.name, LayerKind::Softmax { log: false }))
+            }
+            "LogSoftmax" => layers.push(Layer::new(&lp.name, LayerKind::Softmax { log: true })),
+            // Inference no-ops in common Caffe models.
+            "Dropout" | "Flatten" => {}
+            // Training-only layers a user might forget to strip.
+            "Accuracy" | "Data" => {
+                return Err(CondorError::new(
+                    "frontend",
+                    format!(
+                        "layer '{}' has training-time type '{}'; provide an inference \
+                         (deploy) prototxt",
+                        lp.name, lp.type_
+                    ),
+                ))
+            }
+            other => {
+                return Err(CondorError::new(
+                    "frontend",
+                    format!("layer '{}': unsupported Caffe layer type '{other}'", lp.name),
+                ))
+            }
+        }
+    }
+
+    let input_shape = input_shape.ok_or_else(|| {
+        CondorError::new(
+            "frontend",
+            "network declares no input (need an Input layer or top-level input fields)",
+        )
+    })?;
+    let name = if proto.name.is_empty() {
+        "unnamed".to_string()
+    } else {
+        proto.name.clone()
+    };
+    Ok(Network::new(name, input_shape, layers)?)
+}
+
+/// Installs the blobs of a trained `caffemodel` into the network.
+pub fn install_caffe_weights(
+    net: &mut Network,
+    trained: &NetParameter,
+) -> Result<(), CondorError> {
+    let weighted: Vec<String> = net
+        .layers
+        .iter()
+        .filter(|l| l.kind.has_weights())
+        .map(|l| l.name.clone())
+        .collect();
+    for name in weighted {
+        let lp: &LayerParameter = trained.layer_by_name(&name).ok_or_else(|| {
+            CondorError::new(
+                "frontend",
+                format!("caffemodel has no weights for layer '{name}'"),
+            )
+        })?;
+        if lp.blobs.is_empty() {
+            return Err(CondorError::new(
+                "frontend",
+                format!("caffemodel layer '{name}' carries no blobs"),
+            ));
+        }
+        let weights = reshape_weight_blob(lp.blobs[0].to_tensor()?, net, &name)?;
+        let bias = match lp.blobs.get(1) {
+            Some(b) => Some(reshape_bias_blob(b.to_tensor()?)),
+            None => None,
+        };
+        net.set_weights(&name, weights, bias)?;
+    }
+    Ok(())
+}
+
+/// Caffe IP weight blobs come as `[out, in]` 2-D, which `BlobShape`
+/// right-aligns into `out×in×1×1` — already our convention. Conv blobs
+/// are 4-D `F×C×K×K`. This hook exists for dimension reconciliation.
+fn reshape_weight_blob(t: Tensor, _net: &Network, _name: &str) -> Result<Tensor, CondorError> {
+    Ok(t)
+}
+
+/// Bias blobs are 1-D `[out]` → `1×out×1×1`, our vector convention.
+fn reshape_bias_blob(t: Tensor) -> Tensor {
+    let len = t.len();
+    t.reshape(Shape::vector(len))
+}
+
+/// Exports a network back to Caffe artifacts: the topology as a
+/// `NetParameter` (serialisable to prototxt or, with the installed
+/// weights attached as blobs, to `caffemodel` bytes). This is the
+/// inverse of [`caffe_to_network`] and closes the interoperability loop:
+/// models authored in the Condor format can be handed back to Caffe
+/// users.
+pub fn network_to_caffe(net: &Network) -> NetParameter {
+    use condor_caffe::{BlobProto, BlobShape, InputParameter};
+    let mut proto = NetParameter {
+        name: net.name.clone(),
+        ..NetParameter::default()
+    };
+    let mut prev_top = String::new();
+    let mut saw_input_layer = false;
+    for layer in &net.layers {
+        let mut lp = LayerParameter {
+            name: layer.name.clone(),
+            type_: layer.kind.caffe_type().to_string(),
+            top: vec![layer.name.clone()],
+            ..LayerParameter::default()
+        };
+        if !prev_top.is_empty() {
+            lp.bottom = vec![prev_top.clone()];
+        }
+        match layer.kind {
+            LayerKind::Input => {
+                saw_input_layer = true;
+                let s = net.input_shape;
+                lp.input_param = Some(InputParameter {
+                    shape: vec![BlobShape::nchw(1, s.c, s.h, s.w)],
+                });
+            }
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                stride,
+                pad,
+                bias,
+            } => {
+                lp.convolution_param = Some(condor_caffe::ConvolutionParameter {
+                    num_output: num_output as u32,
+                    bias_term: bias,
+                    pad: pad as u32,
+                    kernel_size: kernel as u32,
+                    stride: stride as u32,
+                });
+            }
+            LayerKind::Pooling {
+                method,
+                kernel,
+                stride,
+                pad,
+            } => {
+                lp.pooling_param = Some(condor_caffe::PoolingParameter {
+                    pool: match method {
+                        PoolKind::Max => condor_caffe::PoolMethod::Max,
+                        PoolKind::Average => condor_caffe::PoolMethod::Ave,
+                    },
+                    kernel_size: kernel as u32,
+                    stride: stride as u32,
+                    pad: pad as u32,
+                });
+            }
+            LayerKind::ReLU { negative_slope } => {
+                lp.relu_negative_slope = negative_slope;
+            }
+            LayerKind::Sigmoid | LayerKind::TanH => {}
+            LayerKind::InnerProduct { num_output, bias } => {
+                lp.inner_product_param = Some(condor_caffe::InnerProductParameter {
+                    num_output: num_output as u32,
+                    bias_term: bias,
+                });
+            }
+            LayerKind::Softmax { .. } => {}
+        }
+        if let Some(lw) = net.weights_of(&layer.name) {
+            lp.blobs.push(BlobProto::from_tensor(&lw.weights));
+            if let Some(b) = &lw.bias {
+                lp.blobs.push(BlobProto::from_tensor(b));
+            }
+        }
+        prev_top = layer.name.clone();
+        proto.layer.push(lp);
+    }
+    if !saw_input_layer {
+        // Fall back to the legacy top-level input declaration.
+        let s = net.input_shape;
+        proto.input = vec!["data".to_string()];
+        proto.input_dim = vec![1, s.c as i64, s.h as i64, s.w as i64];
+    }
+    proto
+}
+
+/// Magic prefix of the Condor external weights file.
+pub const WEIGHTS_MAGIC: &[u8; 4] = b"CNDW";
+
+/// Serialises a network's weights to the Condor external weights format:
+/// `magic, u32 count, then per layer: name, weight tensor, optional bias`
+/// (little-endian throughout).
+pub fn write_weights(net: &Network) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(WEIGHTS_MAGIC);
+    let entries: Vec<(&String, &condor_nn::network::LayerWeights)> = net.weights.iter().collect();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, lw) in entries {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        write_tensor(&mut out, &lw.weights);
+        match &lw.bias {
+            Some(b) => {
+                out.push(1);
+                write_tensor(&mut out, b);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    let s = t.shape();
+    for d in [s.n, s.c, s.h, s.w] {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Loads a Condor external weights file into the network, validating
+/// layer names and tensor shapes.
+pub fn read_weights(net: &mut Network, bytes: &[u8]) -> Result<(), CondorError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let magic = cur.take(4)?;
+    if magic != WEIGHTS_MAGIC {
+        return Err(CondorError::new(
+            "frontend",
+            "not a Condor weights file (bad magic)",
+        ));
+    }
+    let count = cur.u32()? as usize;
+    for _ in 0..count {
+        let name_len = cur.u32()? as usize;
+        let name_bytes = cur.take(name_len)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| CondorError::new("frontend", "invalid layer name encoding"))?
+            .to_string();
+        let weights = cur.tensor()?;
+        let has_bias = cur.take(1)?[0] != 0;
+        let bias = if has_bias { Some(cur.tensor()?) } else { None };
+        net.set_weights(&name, weights, bias)?;
+    }
+    if cur.pos != bytes.len() {
+        return Err(CondorError::new(
+            "frontend",
+            "trailing bytes after weights payload",
+        ));
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CondorError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CondorError::new("frontend", "truncated weights file"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CondorError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, CondorError> {
+        let n = self.u32()? as usize;
+        let c = self.u32()? as usize;
+        let h = self.u32()? as usize;
+        let w = self.u32()? as usize;
+        let shape = Shape::new(n, c, h, w);
+        let len = shape.len();
+        if len > 512 * 1024 * 1024 {
+            return Err(CondorError::new("frontend", "weights tensor implausibly large"));
+        }
+        let raw = self.take(len * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|ch| f32::from_le_bytes(ch.try_into().expect("4 bytes")))
+            .collect();
+        Ok(Tensor::from_vec(shape, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_caffe::BlobProto;
+    use condor_nn::zoo;
+    use condor_tensor::AllClose;
+
+    #[test]
+    fn lenet_prototxt_imports_to_expected_topology() {
+        let model = analyze(FrontendInput::Caffe {
+            prototxt: zoo::lenet_prototxt().to_string(),
+            caffemodel: None,
+        })
+        .unwrap();
+        let net = model.network;
+        assert_eq!(net.name, "LeNet");
+        assert_eq!(net.input_shape, Shape::chw(1, 28, 28));
+        // Same topology as the hand-built zoo LeNet.
+        let zoo_net = zoo::lenet();
+        assert_eq!(net.layers, zoo_net.layers);
+    }
+
+    #[test]
+    fn caffemodel_weights_install_and_match() {
+        // Fabricate a caffemodel from the weighted zoo LeNet, then import
+        // through the full frontend path.
+        let trained = zoo::lenet_weighted(77);
+        let mut proto = NetParameter::from_prototxt(zoo::lenet_prototxt()).unwrap();
+        for lp in &mut proto.layer {
+            if let Some(lw) = trained.weights_of(&lp.name) {
+                lp.blobs.push(BlobProto::from_tensor(&lw.weights));
+                if let Some(b) = &lw.bias {
+                    lp.blobs.push(BlobProto::from_tensor(b));
+                }
+            }
+        }
+        let bytes = proto.encode().to_vec();
+        let model = analyze(FrontendInput::Caffe {
+            prototxt: zoo::lenet_prototxt().to_string(),
+            caffemodel: Some(bytes),
+        })
+        .unwrap();
+        assert!(model.network.fully_weighted());
+        assert!(model
+            .network
+            .weights_of("conv1")
+            .unwrap()
+            .weights
+            .all_close(&trained.weights_of("conv1").unwrap().weights));
+    }
+
+    #[test]
+    fn missing_caffemodel_layer_is_reported() {
+        let proto = NetParameter::from_prototxt(zoo::lenet_prototxt()).unwrap();
+        let empty_model = proto.encode().to_vec(); // no blobs inside
+        let err = analyze(FrontendInput::Caffe {
+            prototxt: zoo::lenet_prototxt().to_string(),
+            caffemodel: Some(empty_model),
+        })
+        .unwrap_err();
+        assert!(err.message.contains("no blobs") || err.message.contains("no weights"));
+    }
+
+    #[test]
+    fn training_prototxt_is_rejected_with_guidance() {
+        let prototxt = r#"
+name: "train"
+layer { name: "data" type: "Data" top: "data" }
+"#;
+        let err = analyze(FrontendInput::Caffe {
+            prototxt: prototxt.to_string(),
+            caffemodel: None,
+        })
+        .unwrap_err();
+        assert!(err.message.contains("inference"));
+    }
+
+    #[test]
+    fn unsupported_caffe_type_is_named() {
+        let prototxt = r#"
+name: "x"
+layer { name: "data" type: "Input" input_param { shape: { dim: 1 dim: 1 dim: 8 dim: 8 } } }
+layer { name: "bn" type: "BatchNorm" }
+"#;
+        let err = analyze(FrontendInput::Caffe {
+            prototxt: prototxt.to_string(),
+            caffemodel: None,
+        })
+        .unwrap_err();
+        assert!(err.message.contains("BatchNorm"));
+    }
+
+    #[test]
+    fn legacy_input_dim_prototxt_supported() {
+        let prototxt = r#"
+name: "legacy"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer { name: "conv1" type: "Convolution" convolution_param { num_output: 2 kernel_size: 3 } }
+"#;
+        let model = analyze(FrontendInput::Caffe {
+            prototxt: prototxt.to_string(),
+            caffemodel: None,
+        })
+        .unwrap();
+        assert_eq!(model.network.input_shape, Shape::chw(3, 8, 8));
+    }
+
+    #[test]
+    fn dropout_and_flatten_are_skipped() {
+        let prototxt = r#"
+name: "d"
+layer { name: "data" type: "Input" input_param { shape: { dim: 1 dim: 1 dim: 8 dim: 8 } } }
+layer { name: "flat" type: "Flatten" }
+layer { name: "ip" type: "InnerProduct" inner_product_param { num_output: 4 } }
+layer { name: "drop" type: "Dropout" }
+layer { name: "prob" type: "Softmax" }
+"#;
+        let model = analyze(FrontendInput::Caffe {
+            prototxt: prototxt.to_string(),
+            caffemodel: None,
+        })
+        .unwrap();
+        assert_eq!(model.network.layers.len(), 3); // data ip prob
+    }
+
+    #[test]
+    fn condor_weights_roundtrip() {
+        let trained = zoo::tc1_weighted(5);
+        let bytes = write_weights(&trained);
+        let mut fresh = zoo::tc1();
+        read_weights(&mut fresh, &bytes).unwrap();
+        assert!(fresh.fully_weighted());
+        for name in ["conv1", "conv2", "ip1", "ip2"] {
+            assert_eq!(
+                fresh.weights_of(name).unwrap().weights,
+                trained.weights_of(name).unwrap().weights,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn condor_weights_reject_corruption() {
+        let trained = zoo::tc1_weighted(5);
+        let mut bytes = write_weights(&trained);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read_weights(&mut zoo::tc1(), &bad).is_err());
+        // Truncation.
+        bytes.truncate(bytes.len() - 7);
+        assert!(read_weights(&mut zoo::tc1(), &bytes).is_err());
+        // Trailing garbage.
+        let mut padded = write_weights(&trained);
+        padded.push(0);
+        assert!(read_weights(&mut zoo::tc1(), &padded).is_err());
+    }
+
+    #[test]
+    fn condor_weights_reject_wrong_network() {
+        let trained = zoo::tc1_weighted(5);
+        let bytes = write_weights(&trained);
+        let mut lenet = zoo::lenet();
+        // TC1 layer names exist in LeNet (conv1 …) but shapes differ.
+        assert!(read_weights(&mut lenet, &bytes).is_err());
+    }
+
+    #[test]
+    fn condor_input_path_loads_weights() {
+        let trained = zoo::tc1_weighted(9);
+        let repr = NetworkRepresentation::new(zoo::tc1(), HardwareConfig::default());
+        let model = analyze(FrontendInput::Condor {
+            representation: repr.to_text(),
+            weights: Some(write_weights(&trained)),
+        })
+        .unwrap();
+        assert!(model.network.fully_weighted());
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+    use condor_nn::zoo;
+    use condor_tensor::AllClose;
+
+    #[test]
+    fn caffe_export_import_roundtrip() {
+        let trained = zoo::lenet_weighted(91);
+        let proto = network_to_caffe(&trained);
+        // Topology survives via prototxt…
+        let text = proto.to_prototxt();
+        let reparsed = caffe_to_network(&NetParameter::from_prototxt(&text).unwrap()).unwrap();
+        assert_eq!(reparsed.layers, trained.layers);
+        assert_eq!(reparsed.input_shape, trained.input_shape);
+        // …and weights survive via caffemodel.
+        let bytes = proto.encode();
+        let model = analyze(FrontendInput::Caffe {
+            prototxt: text,
+            caffemodel: Some(bytes.to_vec()),
+        })
+        .unwrap();
+        assert!(model.network.fully_weighted());
+        assert!(model
+            .network
+            .weights_of("ip1")
+            .unwrap()
+            .weights
+            .all_close(&trained.weights_of("ip1").unwrap().weights));
+    }
+
+    #[test]
+    fn export_of_random_networks_reimports() {
+        for seed in 0..30u64 {
+            let net = condor_nn::arbitrary::random_weighted_chain(seed);
+            let proto = network_to_caffe(&net);
+            let text = proto.to_prototxt();
+            let back =
+                caffe_to_network(&NetParameter::from_prototxt(&text).unwrap()).unwrap();
+            assert_eq!(back.layers, net.layers, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn export_without_input_layer_uses_legacy_fields() {
+        let net = condor_nn::Network::new(
+            "noinput",
+            condor_tensor::Shape::chw(2, 6, 6),
+            vec![condor_nn::Layer::new(
+                "relu",
+                condor_nn::LayerKind::ReLU { negative_slope: 0.0 },
+            )],
+        )
+        .unwrap();
+        let proto = network_to_caffe(&net);
+        assert_eq!(proto.input_dim, vec![1, 2, 6, 6]);
+        let back = caffe_to_network(&proto).unwrap();
+        assert_eq!(back.input_shape, net.input_shape);
+    }
+}

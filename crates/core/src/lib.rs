@@ -1,0 +1,54 @@
+//! # condor
+//!
+//! **Condor** — CONvolutional neural networks Dataflow Optimization using
+//! Reconfigurable hardware — the end-to-end framework of the paper *"A
+//! Framework with Cloud Integration for CNN Acceleration on FPGA
+//! Devices"*, reproduced in Rust with simulated hardware/cloud substrates
+//! (see the workspace DESIGN.md for the substitution table).
+//!
+//! The crate mirrors the paper's three-tier architecture (Figure 3):
+//!
+//! * **frontend** ([`frontend`], [`repr`]) — input analysis: Caffe
+//!   `prototxt`/`caffemodel` import, the Condor-specific JSON network
+//!   representation, and the external weights file format;
+//! * **core logic** ([`dse`], [`flow`]) — design-space exploration,
+//!   layer creation (PE + filter code generation and synthesis), network
+//!   creation (IP connection), producing the packaged accelerator;
+//! * **backend** ([`deploy`]) — SDAccel integration: on-premise `xclbin`
+//!   deployment, or cloud deployment through S3 → AFI → F1 slot, plus
+//!   the host runtime that executes inference on the deployed
+//!   accelerator and measures the paper's metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use condor::Condor;
+//! use condor_nn::{dataset, zoo};
+//!
+//! // Build LeNet from its Caffe prototxt with stand-in weights, target
+//! // the AWS F1 board at 180 MHz, and deploy on-premise.
+//! let net = zoo::lenet_weighted(7);
+//! let built = Condor::from_network(net)
+//!     .board("aws-f1")
+//!     .freq_mhz(180.0)
+//!     .build()
+//!     .unwrap();
+//! let deployed = built.deploy_onpremise().unwrap();
+//! let image = dataset::mnist_like(1, 1).remove(0).image;
+//! let probs = deployed.infer_batch(&[image]).unwrap();
+//! assert_eq!(probs[0].shape().c, 10);
+//! ```
+
+pub mod deploy;
+pub mod dse;
+pub mod error;
+pub mod flow;
+pub mod frontend;
+pub mod repr;
+
+pub use deploy::{CloudContext, DeployedAccelerator, Deployment};
+pub use dse::{explore, DseConfig, DseOutcome, DsePoint};
+pub use error::CondorError;
+pub use flow::{BuiltAccelerator, Condor};
+pub use frontend::{FrontendInput, LoadedModel};
+pub use repr::{HardwareConfig, NetworkRepresentation};

@@ -1,0 +1,502 @@
+//! The Condor-specific JSON network representation.
+//!
+//! Paper Section 3.1.1: "the core-logic tier uses an internal JSON to
+//! describe the topology of the network. It resembles the caffe prototxt
+//! file but contains more information about the underlying hardware of
+//! the accelerator, such as the desired board, the operating frequency
+//! and desired level of parallelism of each layer."
+
+use crate::error::CondorError;
+use condor_cjson::{access, to_string_pretty, Value};
+use condor_dataflow::PeParallelism;
+use condor_nn::{Layer, LayerKind, Network, PoolKind};
+use condor_tensor::Shape;
+use std::collections::BTreeMap;
+
+/// Where the accelerator will be deployed (paper "Deployment Option").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeploymentTarget {
+    /// A locally accessible board, programmed with an `xclbin`.
+    OnPremise,
+    /// The Amazon F1 instances, through an AFI.
+    Cloud,
+}
+
+impl DeploymentTarget {
+    fn as_str(&self) -> &'static str {
+        match self {
+            DeploymentTarget::OnPremise => "on-premise",
+            DeploymentTarget::Cloud => "cloud",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, CondorError> {
+        match s {
+            "on-premise" => Ok(DeploymentTarget::OnPremise),
+            "cloud" => Ok(DeploymentTarget::Cloud),
+            other => Err(CondorError::new(
+                "frontend",
+                format!("unknown deployment option '{other}' (expected on-premise or cloud)"),
+            )),
+        }
+    }
+}
+
+/// The hardware directives carried alongside the topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HardwareConfig {
+    /// Target board name from the `condor-fpga` catalog.
+    pub board: String,
+    /// Requested operating frequency in MHz.
+    pub freq_mhz: f64,
+    /// Deployment option.
+    pub deployment: DeploymentTarget,
+    /// Layer-fusion factor (1 = one PE per anchor layer).
+    pub fusion: usize,
+    /// Feature-map parallelism applied to every PE.
+    pub parallelism: PeParallelism,
+    /// Per-layer parallelism overrides — the paper's "desired level of
+    /// parallelism of each layer". Keyed by layer name.
+    pub layer_overrides: BTreeMap<String, PeParallelism>,
+}
+
+impl Default for HardwareConfig {
+    fn default() -> Self {
+        HardwareConfig {
+            board: "aws-f1".to_string(),
+            freq_mhz: 100.0,
+            deployment: DeploymentTarget::OnPremise,
+            fusion: 1,
+            parallelism: PeParallelism::default(),
+            layer_overrides: BTreeMap::new(),
+        }
+    }
+}
+
+/// A parsed Condor network-representation document: topology + hardware
+/// directives (weights stay in their own external file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkRepresentation {
+    /// The (unweighted) network topology.
+    pub network: Network,
+    /// Hardware directives.
+    pub hardware: HardwareConfig,
+}
+
+impl NetworkRepresentation {
+    /// Wraps a network with hardware directives.
+    pub fn new(network: Network, hardware: HardwareConfig) -> Self {
+        NetworkRepresentation { network, hardware }
+    }
+
+    /// Serialises to the Condor JSON document.
+    pub fn to_json(&self) -> Value {
+        let mut layers = Vec::new();
+        for layer in &self.network.layers {
+            let mut doc = layer_to_json(layer);
+            if let Some(p) = self.hardware.layer_overrides.get(&layer.name) {
+                if let Value::Object(map) = &mut doc {
+                    map.insert("parallelism".to_string(), parallelism_to_json(p));
+                }
+            }
+            layers.push(doc);
+        }
+        let input = self.network.input_shape;
+        Value::object([
+            ("condor_version".to_string(), Value::int(1)),
+            ("name".to_string(), Value::str(&self.network.name)),
+            ("board".to_string(), Value::str(&self.hardware.board)),
+            (
+                "frequency_mhz".to_string(),
+                Value::float(self.hardware.freq_mhz),
+            ),
+            (
+                "deployment".to_string(),
+                Value::str(self.hardware.deployment.as_str()),
+            ),
+            ("fusion".to_string(), Value::from(self.hardware.fusion)),
+            (
+                "parallelism".to_string(),
+                parallelism_to_json(&self.hardware.parallelism),
+            ),
+            (
+                "input_shape".to_string(),
+                Value::object([
+                    ("channels".to_string(), Value::from(input.c)),
+                    ("height".to_string(), Value::from(input.h)),
+                    ("width".to_string(), Value::from(input.w)),
+                ]),
+            ),
+            ("layers".to_string(), Value::Array(layers)),
+        ])
+    }
+
+    /// Pretty-printed document text (the on-disk artifact).
+    pub fn to_text(&self) -> String {
+        to_string_pretty(&self.to_json())
+    }
+
+    /// Parses a Condor JSON document.
+    pub fn parse(text: &str) -> Result<Self, CondorError> {
+        let doc = condor_cjson::parse(text)?;
+        Self::from_json(&doc)
+    }
+
+    /// Builds from a parsed JSON value.
+    pub fn from_json(doc: &Value) -> Result<Self, CondorError> {
+        let version = access::usize_or(doc, "", "condor_version", 1)?;
+        if version != 1 {
+            return Err(CondorError::new(
+                "frontend",
+                format!("unsupported condor_version {version}"),
+            ));
+        }
+        let name = access::req_str(doc, "", "name")?.to_string();
+        let board = access::opt_str(doc, "", "board")?
+            .unwrap_or("aws-f1")
+            .to_string();
+        let freq_mhz = access::f64_or(doc, "", "frequency_mhz", 100.0)?;
+        if !(freq_mhz.is_finite() && freq_mhz > 0.0) {
+            return Err(CondorError::new(
+                "frontend",
+                format!("frequency_mhz must be positive, got {freq_mhz}"),
+            ));
+        }
+        let deployment = DeploymentTarget::parse(
+            access::opt_str(doc, "", "deployment")?.unwrap_or("on-premise"),
+        )?;
+        let fusion = access::usize_or(doc, "", "fusion", 1)?.max(1);
+        let parallelism = match doc.get("parallelism") {
+            None => PeParallelism::default(),
+            Some(p) => parallelism_from_json(p, "parallelism")?,
+        };
+        let ishape = access::req(doc, "", "input_shape")?;
+        let input_shape = Shape::chw(
+            access::req_usize(ishape, "input_shape", "channels")?,
+            access::req_usize(ishape, "input_shape", "height")?,
+            access::req_usize(ishape, "input_shape", "width")?,
+        );
+        let layer_docs = access::req_array(doc, "", "layers")?;
+        let mut layers = Vec::with_capacity(layer_docs.len());
+        let mut layer_overrides = BTreeMap::new();
+        for (i, ld) in layer_docs.iter().enumerate() {
+            let path = access::elem_path("", "layers", i);
+            let layer = layer_from_json(ld, &path)?;
+            if let Some(p) = ld.get("parallelism") {
+                layer_overrides.insert(
+                    layer.name.clone(),
+                    parallelism_from_json(p, &format!("{path}.parallelism"))?,
+                );
+            }
+            layers.push(layer);
+        }
+        let network = Network::new(name, input_shape, layers)?;
+        Ok(NetworkRepresentation {
+            network,
+            hardware: HardwareConfig {
+                board,
+                freq_mhz,
+                deployment,
+                fusion,
+                parallelism,
+                layer_overrides,
+            },
+        })
+    }
+}
+
+fn parallelism_to_json(p: &PeParallelism) -> Value {
+    Value::object([
+        ("input_maps".to_string(), Value::from(p.parallel_in)),
+        ("output_maps".to_string(), Value::from(p.parallel_out)),
+        ("fc_simd".to_string(), Value::from(p.fc_simd)),
+    ])
+}
+
+fn parallelism_from_json(p: &Value, path: &str) -> Result<PeParallelism, CondorError> {
+    Ok(PeParallelism {
+        parallel_in: access::usize_or(p, path, "input_maps", 1)?.max(1),
+        parallel_out: access::usize_or(p, path, "output_maps", 1)?.max(1),
+        fc_simd: access::usize_or(p, path, "fc_simd", 1)?.max(1),
+    })
+}
+
+fn layer_to_json(layer: &Layer) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".to_string(), Value::str(&layer.name)),
+        ("type".to_string(), Value::str(layer.kind.caffe_type())),
+    ];
+    match layer.kind {
+        LayerKind::Input => {}
+        LayerKind::Convolution {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            bias,
+        } => {
+            fields.push(("num_output".to_string(), Value::from(num_output)));
+            fields.push(("kernel_size".to_string(), Value::from(kernel)));
+            fields.push(("stride".to_string(), Value::from(stride)));
+            fields.push(("pad".to_string(), Value::from(pad)));
+            fields.push(("bias".to_string(), Value::Bool(bias)));
+        }
+        LayerKind::Pooling {
+            method,
+            kernel,
+            stride,
+            pad,
+        } => {
+            fields.push((
+                "pool".to_string(),
+                Value::str(match method {
+                    PoolKind::Max => "MAX",
+                    PoolKind::Average => "AVE",
+                }),
+            ));
+            fields.push(("kernel_size".to_string(), Value::from(kernel)));
+            fields.push(("stride".to_string(), Value::from(stride)));
+            fields.push(("pad".to_string(), Value::from(pad)));
+        }
+        LayerKind::ReLU { negative_slope } => {
+            fields.push((
+                "negative_slope".to_string(),
+                Value::float(negative_slope as f64),
+            ));
+        }
+        LayerKind::Sigmoid | LayerKind::TanH => {}
+        LayerKind::InnerProduct { num_output, bias } => {
+            fields.push(("num_output".to_string(), Value::from(num_output)));
+            fields.push(("bias".to_string(), Value::Bool(bias)));
+        }
+        LayerKind::Softmax { log } => {
+            fields.push(("log".to_string(), Value::Bool(log)));
+        }
+    }
+    Value::object(fields)
+}
+
+fn layer_from_json(doc: &Value, path: &str) -> Result<Layer, CondorError> {
+    let name = access::req_str(doc, path, "name")?.to_string();
+    let type_ = access::req_str(doc, path, "type")?;
+    let kind = match type_ {
+        "Input" => LayerKind::Input,
+        "Convolution" => LayerKind::Convolution {
+            num_output: access::req_usize(doc, path, "num_output")?,
+            kernel: access::req_usize(doc, path, "kernel_size")?,
+            stride: access::usize_or(doc, path, "stride", 1)?,
+            pad: access::usize_or(doc, path, "pad", 0)?,
+            bias: access::bool_or(doc, path, "bias", true)?,
+        },
+        "Pooling" => LayerKind::Pooling {
+            method: match access::opt_str(doc, path, "pool")?.unwrap_or("MAX") {
+                "MAX" => PoolKind::Max,
+                "AVE" => PoolKind::Average,
+                other => {
+                    return Err(CondorError::new(
+                        "frontend",
+                        format!("{path}: unsupported pool method '{other}'"),
+                    ))
+                }
+            },
+            kernel: access::req_usize(doc, path, "kernel_size")?,
+            stride: access::usize_or(doc, path, "stride", 1)?,
+            pad: access::usize_or(doc, path, "pad", 0)?,
+        },
+        "ReLU" => LayerKind::ReLU {
+            negative_slope: access::f64_or(doc, path, "negative_slope", 0.0)? as f32,
+        },
+        "Sigmoid" => LayerKind::Sigmoid,
+        "TanH" => LayerKind::TanH,
+        "InnerProduct" => LayerKind::InnerProduct {
+            num_output: access::req_usize(doc, path, "num_output")?,
+            bias: access::bool_or(doc, path, "bias", true)?,
+        },
+        "Softmax" => LayerKind::Softmax {
+            log: access::bool_or(doc, path, "log", false)?,
+        },
+        "LogSoftmax" => LayerKind::Softmax { log: true },
+        other => {
+            return Err(CondorError::new(
+                "frontend",
+                format!("{path}: unsupported layer type '{other}'"),
+            ))
+        }
+    };
+    Ok(Layer::new(name, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_nn::zoo;
+
+    fn lenet_repr() -> NetworkRepresentation {
+        NetworkRepresentation::new(
+            zoo::lenet(),
+            HardwareConfig {
+                board: "aws-f1".to_string(),
+                freq_mhz: 180.0,
+                deployment: DeploymentTarget::Cloud,
+                fusion: 1,
+                parallelism: PeParallelism {
+                    parallel_in: 1,
+                    parallel_out: 1,
+                    fc_simd: 2,
+                },
+                layer_overrides: BTreeMap::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let repr = lenet_repr();
+        let text = repr.to_text();
+        let back = NetworkRepresentation::parse(&text).unwrap();
+        assert_eq!(back, repr);
+    }
+
+    #[test]
+    fn document_carries_hardware_fields() {
+        let text = lenet_repr().to_text();
+        assert!(text.contains("\"board\": \"aws-f1\""));
+        assert!(text.contains("\"frequency_mhz\": 180.0"));
+        assert!(text.contains("\"deployment\": \"cloud\""));
+        assert!(text.contains("\"fc_simd\": 2"));
+        assert!(text.contains("\"type\": \"Convolution\""));
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_hardware_fields() {
+        let doc = r#"{
+            "name": "mini",
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [
+                {"name": "conv1", "type": "Convolution", "num_output": 2, "kernel_size": 3}
+            ]
+        }"#;
+        let repr = NetworkRepresentation::parse(doc).unwrap();
+        assert_eq!(repr.hardware.board, "aws-f1");
+        assert_eq!(repr.hardware.freq_mhz, 100.0);
+        assert_eq!(repr.hardware.deployment, DeploymentTarget::OnPremise);
+        assert_eq!(repr.hardware.parallelism, PeParallelism::default());
+        // Caffe-style defaults on the layer too.
+        match repr.network.layers[0].kind {
+            LayerKind::Convolution { stride, pad, bias, .. } => {
+                assert_eq!((stride, pad, bias), (1, 0, true));
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn unsupported_layer_type_is_reported_with_path() {
+        let doc = r#"{
+            "name": "bad",
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [{"name": "l", "type": "LSTM"}]
+        }"#;
+        let err = NetworkRepresentation::parse(doc).unwrap_err();
+        assert!(err.message.contains("layers[0]"));
+        assert!(err.message.contains("LSTM"));
+    }
+
+    #[test]
+    fn invalid_frequency_rejected() {
+        let doc = r#"{
+            "name": "bad",
+            "frequency_mhz": -5,
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [{"name": "r", "type": "ReLU"}]
+        }"#;
+        let err = NetworkRepresentation::parse(doc).unwrap_err();
+        assert!(err.message.contains("frequency_mhz"));
+    }
+
+    #[test]
+    fn unknown_deployment_rejected() {
+        let doc = r#"{
+            "name": "bad",
+            "deployment": "orbit",
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [{"name": "r", "type": "ReLU"}]
+        }"#;
+        let err = NetworkRepresentation::parse(doc).unwrap_err();
+        assert!(err.message.contains("orbit"));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let doc = r#"{
+            "condor_version": 9,
+            "name": "x",
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [{"name": "r", "type": "ReLU"}]
+        }"#;
+        let err = NetworkRepresentation::parse(doc).unwrap_err();
+        assert!(err.message.contains("condor_version"));
+    }
+
+    #[test]
+    fn topology_errors_bubble_up() {
+        // Kernel larger than input fails network validation.
+        let doc = r#"{
+            "name": "bad",
+            "input_shape": {"channels": 1, "height": 4, "width": 4},
+            "layers": [
+                {"name": "conv1", "type": "Convolution", "num_output": 2, "kernel_size": 9}
+            ]
+        }"#;
+        assert!(NetworkRepresentation::parse(doc).is_err());
+    }
+}
+
+#[cfg(test)]
+mod layer_override_tests {
+    use super::*;
+    use condor_nn::zoo;
+
+    #[test]
+    fn per_layer_parallelism_roundtrips() {
+        let mut hw = HardwareConfig::default();
+        hw.layer_overrides.insert(
+            "conv2".to_string(),
+            PeParallelism {
+                parallel_in: 4,
+                parallel_out: 10,
+                fc_simd: 1,
+            },
+        );
+        let repr = NetworkRepresentation::new(zoo::lenet(), hw);
+        let text = repr.to_text();
+        assert!(text.contains("\"output_maps\": 10"));
+        let back = NetworkRepresentation::parse(&text).unwrap();
+        assert_eq!(back, repr);
+        assert_eq!(
+            back.hardware.layer_overrides.get("conv2").unwrap().parallel_in,
+            4
+        );
+    }
+
+    #[test]
+    fn per_layer_parallelism_reaches_the_plan() {
+        let doc = r#"{
+            "name": "mini",
+            "input_shape": {"channels": 1, "height": 12, "width": 12},
+            "layers": [
+                {"name": "conv1", "type": "Convolution", "num_output": 8,
+                 "kernel_size": 3,
+                 "parallelism": {"output_maps": 4}},
+                {"name": "conv2", "type": "Convolution", "num_output": 8,
+                 "kernel_size": 3}
+            ]
+        }"#;
+        let built = crate::Condor::from_condor_files(doc, None)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(built.plan.pes[0].parallelism.parallel_out, 4);
+        assert_eq!(built.plan.pes[1].parallelism.parallel_out, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests of the `condor` command-line binary.
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_condor");
+
+fn write_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("condor-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+fn mini_json() -> std::path::PathBuf {
+    write_fixture(
+        "mini.json",
+        r#"{
+  "name": "mini",
+  "board": "aws-f1",
+  "frequency_mhz": 150.0,
+  "input_shape": {"channels": 1, "height": 12, "width": 12},
+  "layers": [
+    {"name": "data", "type": "Input"},
+    {"name": "conv1", "type": "Convolution", "num_output": 4, "kernel_size": 3},
+    {"name": "ip1", "type": "InnerProduct", "num_output": 10}
+  ]
+}"#,
+    )
+}
+
+#[test]
+fn info_prints_cost_table() {
+    let out = Command::new(BIN)
+        .args(["info", mini_json().to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conv1"));
+    assert!(stdout.contains("FLOPs/image"));
+    assert!(stdout.contains("weights absent"));
+}
+
+#[test]
+fn build_reports_bottleneck_and_utilisation() {
+    let out = Command::new(BIN)
+        .args(["build", mini_json().to_str().unwrap(), "--freq", "200"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("accelerator : condor_mini"));
+    assert!(stdout.contains("200 MHz achieved"));
+    assert!(stdout.contains("bottleneck"));
+    assert!(stdout.contains("utilisation"));
+}
+
+#[test]
+fn build_from_prototxt_input() {
+    let path = write_fixture(
+        "mini.prototxt",
+        r#"name: "protomini"
+layer { name: "data" type: "Input" input_param { shape: { dim: 1 dim: 1 dim: 8 dim: 8 } } }
+layer { name: "conv1" type: "Convolution" convolution_param { num_output: 2 kernel_size: 3 } }
+"#,
+    );
+    let out = Command::new(BIN)
+        .args(["build", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("condor_protomini"));
+}
+
+#[test]
+fn export_writes_prototxt() {
+    let out_path = std::env::temp_dir().join("condor-cli-tests/exported.prototxt");
+    let out = Command::new(BIN)
+        .args([
+            "export",
+            mini_json().to_str().unwrap(),
+            "--prototxt",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).expect("export exists");
+    assert!(text.contains("type: \"Convolution\""));
+    assert!(text.contains("num_output: 4"));
+}
+
+#[test]
+fn bad_inputs_exit_nonzero_with_message() {
+    // Missing file.
+    let out = Command::new(BIN)
+        .args(["info", "/nonexistent/net.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    // Unknown command.
+    let out = Command::new(BIN).args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+    // Unknown flag.
+    let out = Command::new(BIN)
+        .args(["build", "x.json", "--bogus"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn dse_lists_feasible_points() {
+    let out = Command::new(BIN)
+        .args(["dse", mini_json().to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("best feasible points"));
+    assert!(stdout.contains("GFLOPS"));
+}

@@ -1,0 +1,111 @@
+//! Property tests over the framework tier: representation round trips,
+//! weights-file round trips and flow invariants on random networks.
+
+use condor::frontend::{read_weights, write_weights};
+use condor::{Condor, HardwareConfig, NetworkRepresentation};
+use condor_dataflow::PeParallelism;
+use condor_nn::arbitrary::{random_chain, random_weighted_chain};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any random network survives the JSON representation round trip,
+    /// including arbitrary hardware directives.
+    #[test]
+    fn representation_roundtrip_random_networks(
+        seed in any::<u64>(),
+        freq in 50.0f64..400.0,
+        fusion in 1usize..5,
+        pi in 1usize..8,
+        po in 1usize..8,
+        simd in 1usize..8,
+        cloud in any::<bool>(),
+    ) {
+        let net = random_chain(seed);
+        let hw = HardwareConfig {
+            board: "aws-f1".to_string(),
+            freq_mhz: freq,
+            deployment: if cloud {
+                condor::repr::DeploymentTarget::Cloud
+            } else {
+                condor::repr::DeploymentTarget::OnPremise
+            },
+            fusion,
+            parallelism: PeParallelism {
+                parallel_in: pi,
+                parallel_out: po,
+                fc_simd: simd,
+            },
+            layer_overrides: std::collections::BTreeMap::new(),
+        };
+        let repr = NetworkRepresentation::new(net, hw);
+        let text = repr.to_text();
+        let back = NetworkRepresentation::parse(&text).unwrap();
+        prop_assert_eq!(back, repr);
+    }
+
+    /// The Condor weights file round-trips the exact weights of any
+    /// random network.
+    #[test]
+    fn weights_file_roundtrip_random_networks(seed in any::<u64>()) {
+        let trained = random_weighted_chain(seed);
+        let bytes = write_weights(&trained);
+        let mut fresh = random_chain(seed);
+        read_weights(&mut fresh, &bytes).unwrap();
+        prop_assert_eq!(&fresh.weights, &trained.weights);
+    }
+
+    /// Weights files reject random corruption (bit flips in the header
+    /// or shape words) rather than loading garbage. Flips inside the
+    /// f32 payload legitimately decode to different weights, so the
+    /// property checks header/name/shape regions only.
+    #[test]
+    fn weights_file_rejects_header_corruption(seed in 0u64..64, victim in 0usize..12) {
+        let trained = random_weighted_chain(seed);
+        let mut bytes = write_weights(&trained);
+        prop_assume!(victim < bytes.len());
+        bytes[victim] ^= 0x40;
+        let mut fresh = random_chain(seed);
+        // Either a clean error, or — only when the flip hit a name char
+        // that still resolves — a successful load. Never a panic.
+        let _ = read_weights(&mut fresh, &bytes);
+    }
+
+    /// The flow builds every random network that fits the board, and its
+    /// artifacts are internally consistent.
+    #[test]
+    fn flow_builds_random_networks(seed in 0u64..128) {
+        let net = random_weighted_chain(seed);
+        let built = Condor::from_network(net)
+            .board("aws-f1")
+            .freq_mhz(150.0)
+            .build();
+        // Random nets are small; all must fit the VU9P.
+        let built = built.unwrap();
+        prop_assert_eq!(built.accelerator.layers.len(), built.plan.pes.len());
+        prop_assert!(built.utilization().feasible());
+        prop_assert!(built.synthesis.achieved_fmax_mhz <= 150.0);
+        prop_assert!(!built.xo.payload.is_empty());
+        // The representation embedded in the build re-parses.
+        let text = built.representation.to_text();
+        prop_assert!(NetworkRepresentation::parse(&text).is_ok());
+    }
+
+    /// Deployed random accelerators agree with the golden engine.
+    #[test]
+    fn deployed_random_networks_match_golden(seed in 0u64..24) {
+        let net = random_weighted_chain(seed);
+        let golden = condor_nn::GoldenEngine::new(&net).unwrap();
+        let mut rng = condor_tensor::TensorRng::seeded(seed ^ 0xf00d);
+        let img = rng.uniform(net.input_shape, -1.0, 1.0);
+        let expect = golden.infer(&img).unwrap();
+
+        let deployed = Condor::from_network(net)
+            .board("aws-f1")
+            .build()
+            .unwrap()
+            .deploy_onpremise()
+            .unwrap();
+        let got = deployed.infer_batch(std::slice::from_ref(&img)).unwrap();
+        prop_assert!(condor_tensor::AllClose::all_close(&got[0], &expect));
+    }
+}

@@ -1,0 +1,40 @@
+//! # condor-dataflow
+//!
+//! Simulator substrate for the Condor hardware accelerator (paper
+//! Section 3.2, Figure 4): "a composition of a set of building blocks ...
+//! *PEs*, that implement the actual computation performed by the various
+//! CNN layers, *filters*, that feed the PEs and implement on-chip
+//! buffering ... and *FIFOs*, that are used to implement the communication
+//! channels", fed by a custom *datamover*.
+//!
+//! Because no physical FPGA exists in this environment, the accelerator
+//! is reproduced at three complementary levels of abstraction:
+//!
+//! * [`plan`] — the architecture description: how network layers map onto
+//!   PEs (including layer fusion), the parallelism of each PE, FIFO
+//!   sizing by the paper's spatial-distance rule, and the closed-form
+//!   cycle model each higher level shares;
+//! * [`window`] + [`layersim`] — an element-granularity, cycle-level
+//!   simulation of one feature-extraction layer's memory subsystem (the
+//!   filter pipeline implementing non-uniform memory partitioning
+//!   [Cong et al., DAC'14]) and PE, used to validate streaming order,
+//!   FIFO sizing and the analytic initiation interval, and to measure
+//!   stalls under mis-sized FIFOs;
+//! * [`runtime`] — a functional threaded runtime: one OS thread per
+//!   hardware process, communicating over bounded blocking channels
+//!   exactly as the hardware blocks communicate over FIFOs, computing
+//!   real values that are cross-checked against the golden engine;
+//! * [`pipeline`] — the image-granularity pipeline timing model that
+//!   yields batch latency/throughput (the paper's Figure 5).
+
+pub mod fifo;
+pub mod layersim;
+pub mod pipeline;
+pub mod plan;
+pub mod runtime;
+pub mod window;
+
+pub use fifo::Fifo;
+pub use pipeline::{BatchTiming, PipelineModel};
+pub use plan::{AcceleratorPlan, DataflowError, PeParallelism, PePlan, PlanBuilder, PlannedLayer};
+pub use window::{FilterChain, FilterSpec};

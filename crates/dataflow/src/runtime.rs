@@ -1,0 +1,341 @@
+//! Threaded functional runtime: the accelerator as concurrent processes.
+//!
+//! "The accelerator is a composition of … simple and independent elements
+//! communicating over FIFOs" using "blocking reads and writes" (paper
+//! Sections Abstract / 3.2). This runtime realises that structure in
+//! software: the datamover and every PE run as their own OS thread and
+//! exchange raw `f32` streams over *bounded* blocking channels, so
+//! back-pressure propagates exactly as in the hardware pipeline. All PEs
+//! are "concurrently active", which is what makes batched execution
+//! pipeline across layers (Figure 5).
+//!
+//! Numerical behaviour per PE reuses the golden reference arithmetic,
+//! applied layer-by-layer over the PE's fused layers, so a full-network
+//! run cross-checks the plan's topology, fusion grouping, stream wiring
+//! and ordering against [`condor_nn::GoldenEngine`].
+
+use crate::plan::{AcceleratorPlan, DataflowError, PePlan};
+use condor_nn::golden;
+use condor_nn::{LayerKind, Network};
+use condor_tensor::{Shape, Tensor};
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+/// The threaded accelerator runtime.
+pub struct ThreadedRuntime<'a> {
+    net: &'a Network,
+    plan: &'a AcceleratorPlan,
+    channel_depth: usize,
+}
+
+impl<'a> ThreadedRuntime<'a> {
+    /// Wires a runtime for a fully-weighted network and its plan.
+    pub fn new(net: &'a Network, plan: &'a AcceleratorPlan) -> Result<Self, DataflowError> {
+        if !net.fully_weighted() {
+            return Err(DataflowError::new(
+                "network must be fully weighted before hardware execution",
+            ));
+        }
+        if plan.pes.is_empty() {
+            return Err(DataflowError::new("plan has no PEs"));
+        }
+        Ok(ThreadedRuntime {
+            net,
+            plan,
+            channel_depth: 1024,
+        })
+    }
+
+    /// Overrides the inter-PE channel depth (default 1024 elements).
+    /// Depth 1 still completes — the channels are blocking, not lossy —
+    /// just with maximal back-pressure.
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = depth.max(1);
+        self
+    }
+
+    /// Streams a batch of images through the PE pipeline and collects
+    /// the outputs in order.
+    pub fn run_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, DataflowError> {
+        for img in images {
+            if img.shape() != self.net.input_shape {
+                return Err(DataflowError::new(format!(
+                    "input shape {} does not match network input {}",
+                    img.shape(),
+                    self.net.input_shape
+                )));
+            }
+        }
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let n_pes = self.plan.pes.len();
+        let out_shape = self
+            .plan
+            .pes
+            .last()
+            .expect("non-empty")
+            .layers
+            .last()
+            .expect("PE has layers")
+            .output;
+
+        // One channel between consecutive stages: datamover → pe0 → … →
+        // collector.
+        let mut senders: Vec<Sender<f32>> = Vec::with_capacity(n_pes + 1);
+        let mut receivers: Vec<Receiver<f32>> = Vec::with_capacity(n_pes + 1);
+        for _ in 0..=n_pes {
+            let (tx, rx) = bounded::<f32>(self.channel_depth);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let batch = images.len();
+        let mut result: Result<Vec<Tensor>, DataflowError> = Ok(Vec::new());
+
+        std::thread::scope(|scope| {
+            // Datamover: streams each image's elements in NCHW order.
+            let dm_tx = senders.remove(0);
+            let images_ref = images;
+            scope.spawn(move || {
+                for img in images_ref {
+                    for &v in img.as_slice() {
+                        if dm_tx.send(v).is_err() {
+                            return; // downstream failed; unwind quietly
+                        }
+                    }
+                }
+                // Dropping dm_tx closes the stream.
+            });
+
+            // PEs: read one image worth of elements, apply fused layers,
+            // stream the output.
+            for pe in &self.plan.pes {
+                let rx = receivers.remove(0);
+                let tx = senders.remove(0);
+                let net = self.net;
+                let in_shape = pe.layers.first().expect("PE has layers").input;
+                scope.spawn(move || {
+                    for _ in 0..batch {
+                        let Some(input) = recv_tensor(&rx, in_shape) else {
+                            return; // upstream closed early
+                        };
+                        let out = pe_forward(pe, net, &input);
+                        for &v in out.as_slice() {
+                            if tx.send(v).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Collector (this thread): assemble the batch outputs.
+            let rx = receivers.remove(0);
+            let mut outs = Vec::with_capacity(batch);
+            for i in 0..batch {
+                match recv_tensor(&rx, out_shape) {
+                    Some(t) => outs.push(t),
+                    None => {
+                        result = Err(DataflowError::new(format!(
+                            "pipeline terminated early at image {i}"
+                        )));
+                        return;
+                    }
+                }
+            }
+            result = Ok(outs);
+        });
+
+        result
+    }
+}
+
+/// Receives exactly one tensor's worth of elements, or `None` if the
+/// channel closes first.
+fn recv_tensor(rx: &Receiver<f32>, shape: Shape) -> Option<Tensor> {
+    let mut data = Vec::with_capacity(shape.len());
+    for _ in 0..shape.len() {
+        data.push(rx.recv().ok()?);
+    }
+    Some(Tensor::from_vec(shape, data))
+}
+
+/// Applies a PE's fused layers to one input tensor, reusing the golden
+/// arithmetic per operator (the PE hardware would compute the same values
+/// through its filter chains; `crate::layersim` validates that
+/// equivalence at the element level).
+fn pe_forward(pe: &PePlan, net: &Network, input: &Tensor) -> Tensor {
+    let mut current = input.clone();
+    for layer in &pe.layers {
+        // FC layers flatten their input implicitly.
+        current = match layer.kind {
+            LayerKind::Input => current,
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                stride,
+                pad,
+                bias,
+            } => {
+                let lw = net.weights_of(&layer.name).expect("fully weighted");
+                golden::convolve(
+                    &current,
+                    &lw.weights,
+                    lw.bias.as_ref(),
+                    layer.output,
+                    num_output,
+                    kernel,
+                    stride,
+                    pad,
+                    bias,
+                )
+            }
+            LayerKind::Pooling {
+                method,
+                kernel,
+                stride,
+                pad,
+            } => golden::pool(&current, layer.output, method, kernel, stride, pad),
+            LayerKind::ReLU { negative_slope } => {
+                let mut out = current.clone();
+                out.map_inplace(|v| if v > 0.0 { v } else { negative_slope * v });
+                out
+            }
+            LayerKind::Sigmoid => {
+                let mut out = current.clone();
+                out.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+                out
+            }
+            LayerKind::TanH => {
+                let mut out = current.clone();
+                out.map_inplace(f32::tanh);
+                out
+            }
+            LayerKind::InnerProduct { bias, .. } => {
+                let lw = net.weights_of(&layer.name).expect("fully weighted");
+                golden::inner_product(&current, &lw.weights, lw.bias.as_ref(), layer.output, bias)
+            }
+            LayerKind::Softmax { log } => golden::softmax(&current, log),
+        };
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PeParallelism, PlanBuilder};
+    use condor_nn::{dataset, zoo, GoldenEngine};
+    use condor_tensor::AllClose;
+
+    fn lenet_setup() -> (Network, AcceleratorPlan) {
+        let net = zoo::lenet_weighted(21);
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        (net, plan)
+    }
+
+    #[test]
+    fn lenet_runtime_matches_golden_engine() {
+        let (net, plan) = lenet_setup();
+        let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+        let images: Vec<Tensor> = dataset::mnist_like(4, 5)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let hw = rt.run_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        assert_eq!(hw.len(), 4);
+        for (h, g) in hw.iter().zip(&golden) {
+            assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn tc1_runtime_matches_golden_engine() {
+        let net = zoo::tc1_weighted(33);
+        let plan = PlanBuilder::new(&net)
+            .parallelism(PeParallelism {
+                parallel_in: 1,
+                parallel_out: 1,
+                fc_simd: 2,
+            })
+            .build()
+            .unwrap();
+        let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+        let images: Vec<Tensor> = dataset::usps_like(6, 9)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let hw = rt.run_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        for (h, g) in hw.iter().zip(&golden) {
+            assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn fused_plan_gives_same_answers_as_unfused() {
+        let net = zoo::lenet_weighted(8);
+        let unfused = PlanBuilder::new(&net).build().unwrap();
+        let fused = PlanBuilder::new(&net).fusion(10).build().unwrap();
+        assert!(fused.pes.len() < unfused.pes.len());
+        let images: Vec<Tensor> = dataset::mnist_like(3, 2)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let a = ThreadedRuntime::new(&net, &unfused)
+            .unwrap()
+            .run_batch(&images)
+            .unwrap();
+        let b = ThreadedRuntime::new(&net, &fused)
+            .unwrap()
+            .run_batch(&images)
+            .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.all_close(y));
+        }
+    }
+
+    #[test]
+    fn tiny_channels_still_complete() {
+        // Depth-1 channels maximise back-pressure but must not deadlock:
+        // the pipeline is acyclic and every consumer drains its input.
+        let net = zoo::tc1_weighted(3);
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        let rt = ThreadedRuntime::new(&net, &plan)
+            .unwrap()
+            .with_channel_depth(1);
+        let images: Vec<Tensor> = dataset::usps_like(2, 4)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let out = rt.run_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        for (h, g) in out.iter().zip(&golden) {
+            assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (net, plan) = lenet_setup();
+        let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+        assert!(rt.run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let (net, plan) = lenet_setup();
+        let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+        let bad = Tensor::zeros(Shape::chw(1, 16, 16));
+        assert!(rt.run_batch(&[bad]).is_err());
+    }
+
+    #[test]
+    fn unweighted_network_rejected() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        assert!(ThreadedRuntime::new(&net, &plan).is_err());
+    }
+}

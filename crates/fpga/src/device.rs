@@ -1,0 +1,230 @@
+//! Device and board catalog.
+//!
+//! Inventories are the public Xilinx figures for each part. The AWS F1
+//! entry models the `f1.2xlarge` FPGA slot the paper deploys to: one
+//! `xcvu9p` with four DDR4 channels. A slice of the device is reserved for
+//! the AWS shell / SDAccel platform region, as on the real instance, and
+//! is subtracted from what the design-space exploration may allocate.
+
+use crate::resources::Resources;
+
+/// An FPGA part.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Device {
+    /// Part name, e.g. `xcvu9p`.
+    pub part: &'static str,
+    /// Device family for reporting.
+    pub family: &'static str,
+    /// Total resources on the part.
+    pub capacity: Resources,
+    /// Highest clock the toolchain will attempt for this family (MHz).
+    pub fmax_mhz: f64,
+}
+
+/// A deployment target: a board (or cloud slot) hosting a device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Board {
+    /// Board identifier used in the Condor network representation
+    /// (`"aws-f1"`, `"vc709"`, ...).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// Hosted device part name (see [`DEVICES`]).
+    pub device: &'static str,
+    /// On-board DRAM in GiB (the memory the datamover talks to).
+    pub dram_gib: u64,
+    /// Peak DRAM bandwidth in GiB/s across all channels.
+    pub dram_bandwidth_gibs: f64,
+    /// True for cloud targets that require AFI creation instead of
+    /// direct bitstream load (paper Section 3.1.3).
+    pub cloud: bool,
+    /// Fraction of the device reserved for the shell/platform region.
+    pub shell_fraction: f64,
+}
+
+/// Known devices.
+pub const DEVICES: &[Device] = &[
+    Device {
+        part: "xcvu9p",
+        family: "Virtex UltraScale+",
+        capacity: Resources {
+            lut: 1_182_240,
+            ff: 2_364_480,
+            dsp: 6_840,
+            bram_36k: 2_160,
+            uram: 960,
+        },
+        fmax_mhz: 300.0,
+    },
+    Device {
+        part: "xcku115",
+        family: "Kintex UltraScale",
+        capacity: Resources {
+            lut: 663_360,
+            ff: 1_326_720,
+            dsp: 5_520,
+            bram_36k: 2_160,
+            uram: 0,
+        },
+        fmax_mhz: 250.0,
+    },
+    Device {
+        part: "xc7vx690t",
+        family: "Virtex-7",
+        capacity: Resources {
+            lut: 433_200,
+            ff: 866_400,
+            dsp: 3_600,
+            bram_36k: 1_470,
+            uram: 0,
+        },
+        fmax_mhz: 200.0,
+    },
+    Device {
+        part: "xc7z020",
+        family: "Zynq-7000",
+        capacity: Resources {
+            lut: 53_200,
+            ff: 106_400,
+            dsp: 220,
+            bram_36k: 140,
+            uram: 0,
+        },
+        fmax_mhz: 150.0,
+    },
+];
+
+/// Known boards / deployment targets.
+pub const BOARDS: &[Board] = &[
+    Board {
+        name: "aws-f1",
+        description: "Amazon EC2 F1 FPGA slot (f1.2xlarge)",
+        device: "xcvu9p",
+        dram_gib: 64,
+        dram_bandwidth_gibs: 60.0,
+        cloud: true,
+        shell_fraction: 0.20,
+    },
+    Board {
+        name: "kcu1500",
+        description: "Xilinx KCU1500 acceleration board",
+        device: "xcku115",
+        dram_gib: 16,
+        dram_bandwidth_gibs: 38.0,
+        cloud: false,
+        shell_fraction: 0.10,
+    },
+    Board {
+        name: "vc709",
+        description: "Xilinx VC709 evaluation board",
+        device: "xc7vx690t",
+        dram_gib: 8,
+        dram_bandwidth_gibs: 25.0,
+        cloud: false,
+        shell_fraction: 0.05,
+    },
+    Board {
+        name: "pynq-z1",
+        description: "Digilent PYNQ-Z1 (Zynq-7020)",
+        device: "xc7z020",
+        dram_gib: 1,
+        dram_bandwidth_gibs: 4.0,
+        cloud: false,
+        shell_fraction: 0.05,
+    },
+];
+
+/// Looks up a device by part name.
+pub fn device(part: &str) -> Option<&'static Device> {
+    DEVICES.iter().find(|d| d.part == part)
+}
+
+/// Looks up a board by name.
+pub fn board(name: &str) -> Option<&'static Board> {
+    BOARDS.iter().find(|b| b.name == name)
+}
+
+impl Board {
+    /// The device this board hosts.
+    pub fn device(&self) -> &'static Device {
+        device(self.device).expect("catalog consistency: board references known device")
+    }
+
+    /// Resources available to user logic after the shell reservation.
+    pub fn usable_resources(&self) -> Resources {
+        let cap = self.device().capacity;
+        let keep = 1.0 - self.shell_fraction;
+        Resources {
+            lut: (cap.lut as f64 * keep) as u64,
+            ff: (cap.ff as f64 * keep) as u64,
+            dsp: (cap.dsp as f64 * keep) as u64,
+            bram_36k: (cap.bram_36k as f64 * keep) as u64,
+            uram: (cap.uram as f64 * keep) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_self_consistent() {
+        for b in BOARDS {
+            assert!(
+                device(b.device).is_some(),
+                "board {} references unknown device {}",
+                b.name,
+                b.device
+            );
+            assert!((0.0..1.0).contains(&b.shell_fraction));
+            let _ = b.usable_resources(); // must not panic
+        }
+    }
+
+    #[test]
+    fn f1_hosts_vu9p_with_published_inventory() {
+        let f1 = board("aws-f1").unwrap();
+        assert!(f1.cloud);
+        let dev = f1.device();
+        assert_eq!(dev.part, "xcvu9p");
+        assert_eq!(dev.capacity.lut, 1_182_240);
+        assert_eq!(dev.capacity.dsp, 6_840);
+        assert_eq!(dev.capacity.bram_36k, 2_160);
+        assert_eq!(dev.capacity.uram, 960);
+    }
+
+    #[test]
+    fn shell_reservation_shrinks_budget() {
+        let f1 = board("aws-f1").unwrap();
+        let usable = f1.usable_resources();
+        let cap = f1.device().capacity;
+        assert!(usable.lut < cap.lut);
+        assert!(usable.fits_in(&cap));
+        // 20 % shell: usable LUTs = 80 % of 1,182,240.
+        assert_eq!(usable.lut, 945_792);
+    }
+
+    #[test]
+    fn lookups_fail_cleanly() {
+        assert!(device("xc-unknown").is_none());
+        assert!(board("no-such-board").is_none());
+    }
+
+    #[test]
+    fn only_f1_is_cloud() {
+        assert_eq!(BOARDS.iter().filter(|b| b.cloud).count(), 1);
+    }
+
+    #[test]
+    fn part_names_unique() {
+        let mut names: Vec<_> = DEVICES.iter().map(|d| d.part).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DEVICES.len());
+        let mut bnames: Vec<_> = BOARDS.iter().map(|b| b.name).collect();
+        bnames.sort_unstable();
+        bnames.dedup();
+        assert_eq!(bnames.len(), BOARDS.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! FPGA resource vectors and utilisation accounting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A vector of FPGA resources: the four quantities Table 1 reports
+/// percentages for, plus UltraScale+ URAM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// 36 Kb block-RAM tiles.
+    pub bram_36k: u64,
+    /// 288 Kb UltraRAM tiles (0 on 7-series devices).
+    pub uram: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        lut: 0,
+        ff: 0,
+        dsp: 0,
+        bram_36k: 0,
+        uram: 0,
+    };
+
+    /// Builds a vector without URAM (the common case for logic estimates).
+    pub const fn new(lut: u64, ff: u64, dsp: u64, bram_36k: u64) -> Self {
+        Resources {
+            lut,
+            ff,
+            dsp,
+            bram_36k,
+            uram: 0,
+        }
+    }
+
+    /// True when every component of `self` fits within `budget`.
+    pub fn fits_in(&self, budget: &Resources) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.dsp <= budget.dsp
+            && self.bram_36k <= budget.bram_36k
+            && self.uram <= budget.uram
+    }
+
+    /// Component-wise saturating subtraction (remaining budget).
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            lut: self.lut.saturating_sub(other.lut),
+            ff: self.ff.saturating_sub(other.ff),
+            dsp: self.dsp.saturating_sub(other.dsp),
+            bram_36k: self.bram_36k.saturating_sub(other.bram_36k),
+            uram: self.uram.saturating_sub(other.uram),
+        }
+    }
+
+    /// Utilisation of `self` against a device `capacity`, in percent.
+    pub fn utilization(&self, capacity: &Resources) -> Utilization {
+        let pct = |used: u64, cap: u64| {
+            if cap == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                100.0 * used as f64 / cap as f64
+            }
+        };
+        Utilization {
+            lut_pct: pct(self.lut, capacity.lut),
+            ff_pct: pct(self.ff, capacity.ff),
+            dsp_pct: pct(self.dsp, capacity.dsp),
+            bram_pct: pct(self.bram_36k, capacity.bram_36k),
+            uram_pct: pct(self.uram, capacity.uram),
+        }
+    }
+
+    /// Number of 36 Kb BRAM tiles needed to hold `bytes` of buffering.
+    /// Each tile holds 4 KiB of usable data width-matched storage
+    /// (36 Kb with parity ≈ 4 KiB data); partial tiles round up, and a
+    /// non-empty buffer always takes at least one tile.
+    pub fn bram_tiles_for_bytes(bytes: u64) -> u64 {
+        bytes.div_ceil(4096)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            dsp: self.dsp + rhs.dsp,
+            bram_36k: self.bram_36k + rhs.bram_36k,
+            uram: self.uram + rhs.uram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: u64) -> Resources {
+        Resources {
+            lut: self.lut * k,
+            ff: self.ff * k,
+            dsp: self.dsp * k,
+            bram_36k: self.bram_36k * k,
+            uram: self.uram * k,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {} / FF {} / DSP {} / BRAM36 {} / URAM {}",
+            self.lut, self.ff, self.dsp, self.bram_36k, self.uram
+        )
+    }
+}
+
+/// Utilisation percentages — Table 1's resource columns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Utilization {
+    /// LUT %.
+    pub lut_pct: f64,
+    /// FF %.
+    pub ff_pct: f64,
+    /// DSP %.
+    pub dsp_pct: f64,
+    /// BRAM %.
+    pub bram_pct: f64,
+    /// URAM %.
+    pub uram_pct: f64,
+}
+
+impl Utilization {
+    /// The largest single utilisation component (the binding constraint).
+    pub fn max_pct(&self) -> f64 {
+        self.lut_pct
+            .max(self.ff_pct)
+            .max(self.dsp_pct)
+            .max(self.bram_pct)
+            .max(self.uram_pct)
+    }
+
+    /// True when everything is at or under 100 %.
+    pub fn feasible(&self) -> bool {
+        self.max_pct() <= 100.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.2}% / FF {:.2}% / DSP {:.2}% / BRAM {:.2}%",
+            self.lut_pct, self.ff_pct, self.dsp_pct, self.bram_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = Resources::new(10, 20, 3, 1);
+        let b = Resources::new(5, 5, 1, 0);
+        assert_eq!(a + b, Resources::new(15, 25, 4, 1));
+        assert_eq!(a * 3, Resources::new(30, 60, 9, 3));
+        let sum: Resources = [a, b, b].into_iter().sum();
+        assert_eq!(sum, Resources::new(20, 30, 5, 1));
+    }
+
+    #[test]
+    fn fits_in_is_componentwise() {
+        let budget = Resources::new(100, 100, 10, 10);
+        assert!(Resources::new(100, 50, 10, 0).fits_in(&budget));
+        assert!(!Resources::new(101, 0, 0, 0).fits_in(&budget));
+        assert!(!Resources::new(0, 0, 11, 0).fits_in(&budget));
+        let with_uram = Resources {
+            uram: 1,
+            ..Resources::ZERO
+        };
+        assert!(!with_uram.fits_in(&budget));
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Resources::new(10, 10, 1, 1);
+        let b = Resources::new(20, 5, 2, 0);
+        assert_eq!(a.saturating_sub(&b), Resources::new(0, 5, 0, 1));
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let cap = Resources::new(1000, 2000, 100, 50);
+        let used = Resources::new(100, 100, 25, 10);
+        let u = used.utilization(&cap);
+        assert!((u.lut_pct - 10.0).abs() < 1e-9);
+        assert!((u.ff_pct - 5.0).abs() < 1e-9);
+        assert!((u.dsp_pct - 25.0).abs() < 1e-9);
+        assert!((u.bram_pct - 20.0).abs() < 1e-9);
+        assert!((u.max_pct() - 25.0).abs() < 1e-9);
+        assert!(u.feasible());
+    }
+
+    #[test]
+    fn over_capacity_is_infeasible() {
+        let cap = Resources::new(100, 100, 10, 10);
+        let u = Resources::new(150, 0, 0, 0).utilization(&cap);
+        assert!(!u.feasible());
+    }
+
+    #[test]
+    fn zero_capacity_component() {
+        let cap = Resources::new(100, 100, 10, 0);
+        assert!(Resources::new(1, 1, 1, 0).utilization(&cap).feasible());
+        assert!(!Resources::new(1, 1, 1, 1).utilization(&cap).feasible());
+    }
+
+    #[test]
+    fn bram_tiles_round_up() {
+        assert_eq!(Resources::bram_tiles_for_bytes(0), 0);
+        assert_eq!(Resources::bram_tiles_for_bytes(1), 1);
+        assert_eq!(Resources::bram_tiles_for_bytes(4096), 1);
+        assert_eq!(Resources::bram_tiles_for_bytes(4097), 2);
+        assert_eq!(Resources::bram_tiles_for_bytes(1_600_000), 391);
+    }
+}

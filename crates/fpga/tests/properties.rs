@@ -1,0 +1,96 @@
+//! Property tests for resource algebra and the power model.
+
+use condor_fpga::{PowerModel, Resources};
+use proptest::prelude::*;
+
+fn res_strategy() -> impl Strategy<Value = Resources> {
+    (0u64..1_000_000, 0u64..2_000_000, 0u64..7_000, 0u64..3_000, 0u64..1_000).prop_map(
+        |(lut, ff, dsp, bram_36k, uram)| Resources {
+            lut,
+            ff,
+            dsp,
+            bram_36k,
+            uram,
+        },
+    )
+}
+
+proptest! {
+    /// Addition is commutative and associative; ZERO is the identity.
+    #[test]
+    fn resource_addition_is_a_monoid(a in res_strategy(), b in res_strategy(), c in res_strategy()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Resources::ZERO, a);
+    }
+
+    /// Scaling distributes over addition.
+    #[test]
+    fn scaling_distributes(a in res_strategy(), b in res_strategy(), k in 0u64..16) {
+        prop_assert_eq!((a + b) * k, a * k + b * k);
+    }
+
+    /// `fits_in` is a partial order compatible with addition.
+    #[test]
+    fn fits_in_partial_order(a in res_strategy(), b in res_strategy()) {
+        prop_assert!(a.fits_in(&(a + b)));
+        if a.fits_in(&b) && b.fits_in(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Saturating subtraction never underflows and inverts addition when
+    /// safe.
+    #[test]
+    fn saturating_sub_properties(a in res_strategy(), b in res_strategy()) {
+        let diff = (a + b).saturating_sub(&b);
+        prop_assert_eq!(diff, a);
+        let floor = a.saturating_sub(&(a + b));
+        prop_assert_eq!(floor, Resources::ZERO);
+    }
+
+    /// Utilisation is monotone: more resources → higher or equal
+    /// percentages; usage equal to capacity is exactly 100 %.
+    #[test]
+    fn utilization_monotone(a in res_strategy(), extra in res_strategy()) {
+        let cap = Resources {
+            lut: 1_182_240,
+            ff: 2_364_480,
+            dsp: 6_840,
+            bram_36k: 2_160,
+            uram: 960,
+        };
+        let u1 = a.utilization(&cap);
+        let u2 = (a + extra).utilization(&cap);
+        prop_assert!(u2.lut_pct >= u1.lut_pct);
+        prop_assert!(u2.dsp_pct >= u1.dsp_pct);
+        prop_assert!(u2.max_pct() >= u1.max_pct());
+        let full = cap.utilization(&cap);
+        prop_assert!((full.max_pct() - 100.0).abs() < 1e-9);
+        prop_assert!(full.feasible());
+    }
+
+    /// BRAM tile accounting rounds up and is monotone.
+    #[test]
+    fn bram_tiles_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let ta = Resources::bram_tiles_for_bytes(a);
+        let tb = Resources::bram_tiles_for_bytes(b);
+        if a <= b {
+            prop_assert!(ta <= tb);
+        }
+        prop_assert!(ta * 4096 >= a);
+        if a > 0 {
+            prop_assert!((ta - 1) * 4096 < a);
+        }
+    }
+
+    /// Power is monotone in frequency and in every resource component,
+    /// and never below static power.
+    #[test]
+    fn power_monotone(a in res_strategy(), extra in res_strategy(), f in 0.0f64..500.0) {
+        let m = PowerModel::default();
+        prop_assert!(m.power_w(&a, f) >= m.static_w - 1e-12);
+        prop_assert!(m.power_w(&(a + extra), f) >= m.power_w(&a, f));
+        prop_assert!(m.power_w(&a, f + 50.0) >= m.power_w(&a, f));
+    }
+}

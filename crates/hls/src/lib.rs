@@ -1,0 +1,29 @@
+//! # condor-hls
+//!
+//! Simulated Vivado HLS toolchain.
+//!
+//! The paper's flow (Section 3.3, steps 3–5) generates C code for every
+//! PE and filter, synthesises it with Vivado HLS, and packages each layer
+//! as a Vivado IP connected with IP Integrator. No Xilinx tools exist in
+//! this environment, so the substrate splits that flow into:
+//!
+//! * [`codegen`] — the *same artifact* the paper produces: HLS C sources
+//!   for PEs (with the outer layer-iteration loop used by fused PEs and
+//!   the paper's conditional port reads) and for the filters (with their
+//!   polyhedral selection inequalities). A user with real tools can feed
+//!   these to Vivado HLS;
+//! * [`synth`] — an analytic synthesis model mapping each module to
+//!   LUT/FF/DSP/BRAM estimates and an achievable clock, calibrated so
+//!   the two Table 1 design points land near the paper's utilisation
+//!   (the calibration is documented in EXPERIMENTS.md);
+//! * [`ip`] — the packaging layer: per-layer Vivado-IP records, the IP
+//!   Integrator step connecting them into the final accelerator IP, and
+//!   the interface checks real packaging would perform.
+
+pub mod codegen;
+pub mod ip;
+pub mod synth;
+
+pub use codegen::{fc_pe_source, filter_source, pe_source};
+pub use ip::{connect_network, package_layer_ip, AcceleratorIp, IpError, IpInterface, StreamDir, VivadoIp};
+pub use synth::{synthesize_plan, ModuleKind, ModuleSynthesis, PlanSynthesis, SynthModel};

@@ -1,0 +1,107 @@
+//! Property tests for the synthesis model: monotonicity and structural
+//! consistency on random networks.
+
+use condor_dataflow::{PeParallelism, PlanBuilder};
+use condor_fpga::device;
+use condor_hls::{synthesize_plan, ModuleKind};
+use condor_nn::arbitrary::random_chain;
+use proptest::prelude::*;
+
+proptest! {
+    /// Synthesis totals equal the module sum, every module is non-empty,
+    /// and the achieved clock never exceeds the request or the device.
+    #[test]
+    fn synthesis_is_internally_consistent(seed in any::<u64>(), freq in 50.0f64..400.0) {
+        let net = random_chain(seed);
+        let plan = PlanBuilder::new(&net).freq_mhz(freq).build().unwrap();
+        let dev = device("xcvu9p").unwrap();
+        let synth = synthesize_plan(&plan, dev);
+        let sum: condor_fpga::Resources = synth.modules.iter().map(|m| m.resources).sum();
+        prop_assert_eq!(sum, synth.total);
+        prop_assert!(synth.achieved_fmax_mhz <= freq + 1e-9);
+        prop_assert!(synth.achieved_fmax_mhz <= dev.fmax_mhz);
+        prop_assert!(synth.achieved_fmax_mhz > 0.0);
+        for m in &synth.modules {
+            let pe_nonempty = m.resources.lut > 0 || m.kind != ModuleKind::Pe;
+            prop_assert!(pe_nonempty);
+        }
+        // Exactly one datamover and one infrastructure module.
+        prop_assert_eq!(
+            synth.modules.iter().filter(|m| m.kind == ModuleKind::Datamover).count(),
+            1
+        );
+        prop_assert_eq!(
+            synth
+                .modules
+                .iter()
+                .filter(|m| m.kind == ModuleKind::Infrastructure)
+                .count(),
+            1
+        );
+    }
+
+    /// More parallelism never shrinks the design.
+    #[test]
+    fn resources_monotone_in_parallelism(seed in any::<u64>(), pi in 1usize..4, po in 1usize..4) {
+        let net = random_chain(seed);
+        let dev = device("xcvu9p").unwrap();
+        let base = synthesize_plan(&PlanBuilder::new(&net).build().unwrap(), dev);
+        let par = synthesize_plan(
+            &PlanBuilder::new(&net)
+                .parallelism(PeParallelism {
+                    parallel_in: pi,
+                    parallel_out: po,
+                    fc_simd: 1,
+                })
+                .build()
+                .unwrap(),
+            dev,
+        );
+        prop_assert!(par.total.lut >= base.total.lut);
+        prop_assert!(par.total.dsp >= base.total.dsp);
+    }
+
+    /// Fusing layers never increases LUT or DSP usage.
+    #[test]
+    fn fusion_monotone_shrinks(seed in any::<u64>(), fusion in 2usize..6) {
+        let net = random_chain(seed);
+        let dev = device("xcvu9p").unwrap();
+        let unfused = synthesize_plan(&PlanBuilder::new(&net).build().unwrap(), dev);
+        let fused = synthesize_plan(
+            &PlanBuilder::new(&net).fusion(fusion).build().unwrap(),
+            dev,
+        );
+        prop_assert!(fused.total.lut <= unfused.total.lut);
+        prop_assert!(fused.total.dsp <= unfused.total.dsp);
+    }
+
+    /// Generated PE sources always carry the pipeline pragma and one
+    /// body per fused layer; filter sources carry their inequalities.
+    #[test]
+    fn codegen_structure_on_random_networks(seed in any::<u64>()) {
+        let net = random_chain(seed);
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        for pe in &plan.pes {
+            match pe.stage {
+                condor_nn::Stage::FeatureExtraction => {
+                    let src = condor_hls::pe_source(pe);
+                    let signature = format!("void {}(", pe.name);
+                    prop_assert!(src.contains(&signature));
+                    for l in &pe.layers {
+                        if l.kind.is_compute() {
+                            prop_assert!(
+                                src.contains(l.name.as_str()),
+                                "{} missing from source",
+                                l.name
+                            );
+                        }
+                    }
+                }
+                condor_nn::Stage::Classification => {
+                    let src = condor_hls::fc_pe_source(pe);
+                    prop_assert!(src.contains("hls::stream<float> &in"));
+                }
+            }
+        }
+    }
+}

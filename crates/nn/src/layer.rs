@@ -1,0 +1,400 @@
+//! The CNN layer vocabulary (paper Section 2).
+
+use condor_tensor::Shape;
+use std::fmt;
+
+/// Pooling operator of a sub-sampling layer (paper Section 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max-pooling — "substituting the input sub-matrix with ... its
+    /// maximum".
+    Max,
+    /// Average pooling — "... with its average".
+    Average,
+}
+
+/// The two phases the paper identifies within a CNN (Section 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// "Alternating convolutional and sub-sampling layers".
+    FeatureExtraction,
+    /// "A classical Multi-Layer Perceptron" of fully-connected layers.
+    Classification,
+}
+
+/// One layer's operator and hyper-parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerKind {
+    /// The network input (Caffe `Input` layer); carries no computation.
+    Input,
+    /// Convolutional layer (paper Eq. (1)).
+    Convolution {
+        /// Output feature maps `F`.
+        num_output: usize,
+        /// Square kernel extent (`M_f = N_f`).
+        kernel: usize,
+        /// Sliding-window stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Whether the optional bias `b_φ` is added.
+        bias: bool,
+    },
+    /// Sub-sampling layer (paper Eq. (3)).
+    Pooling {
+        /// Pooling operator.
+        method: PoolKind,
+        /// Window extent.
+        kernel: usize,
+        /// Window stride (ρ in Eq. (3)).
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+    },
+    /// Rectified Linear Unit, `f(x) = max(0, x)`; a non-zero
+    /// `negative_slope` gives the leaky variant Caffe supports.
+    ReLU {
+        /// Slope applied to negative inputs (0 for plain ReLU).
+        negative_slope: f32,
+    },
+    /// Logistic sigmoid `f(x) = 1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent `f(x) = tanh(x)`.
+    TanH,
+    /// Fully-connected layer (paper Eq. (4)); input is flattened.
+    InnerProduct {
+        /// Output neurons.
+        num_output: usize,
+        /// Whether the optional bias `b_l` is added.
+        bias: bool,
+    },
+    /// Softmax normalisation (paper Eq. (5)); `log = true` gives the
+    /// LogSoftMax operator the paper mentions.
+    Softmax {
+        /// Apply `ln` after normalising.
+        log: bool,
+    },
+}
+
+impl LayerKind {
+    /// Caffe layer type string for this kind.
+    pub fn caffe_type(&self) -> &'static str {
+        match self {
+            LayerKind::Input => "Input",
+            LayerKind::Convolution { .. } => "Convolution",
+            LayerKind::Pooling { .. } => "Pooling",
+            LayerKind::ReLU { .. } => "ReLU",
+            LayerKind::Sigmoid => "Sigmoid",
+            LayerKind::TanH => "TanH",
+            LayerKind::InnerProduct { .. } => "InnerProduct",
+            LayerKind::Softmax { log } => {
+                if *log {
+                    "LogSoftmax"
+                } else {
+                    "Softmax"
+                }
+            }
+        }
+    }
+
+    /// True when the layer carries learned weights.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
+        )
+    }
+
+    /// True for layers mapped to hardware PEs (everything but `Input`).
+    /// Activation and normalisation operators fuse into the producing PE
+    /// in the hardware flow, but still count as computation here.
+    pub fn is_compute(&self) -> bool {
+        !matches!(self, LayerKind::Input)
+    }
+
+    /// Which of the paper's two phases this layer belongs to, given
+    /// whether a fully-connected layer has already been seen upstream
+    /// (activations after the first `InnerProduct` belong to the MLP).
+    pub fn stage(&self, after_fc: bool) -> Stage {
+        match self {
+            LayerKind::InnerProduct { .. } | LayerKind::Softmax { .. } => Stage::Classification,
+            _ if after_fc => Stage::Classification,
+            _ => Stage::FeatureExtraction,
+        }
+    }
+
+    /// Output shape for a single-item input shape — the paper's Eq. (2)
+    /// (convolution) and Eq. (3) (sub-sampling).
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, String> {
+        match *self {
+            LayerKind::Input => Ok(input),
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                if kernel == 0 || num_output == 0 {
+                    return Err("convolution needs kernel_size > 0 and num_output > 0".into());
+                }
+                if input.h + 2 * pad < kernel || input.w + 2 * pad < kernel {
+                    return Err(format!(
+                        "kernel {kernel} exceeds padded input {}x{}",
+                        input.h + 2 * pad,
+                        input.w + 2 * pad
+                    ));
+                }
+                Ok(Shape::new(
+                    input.n,
+                    num_output,
+                    Shape::conv_out_dim(input.h, kernel, stride, pad),
+                    Shape::conv_out_dim(input.w, kernel, stride, pad),
+                ))
+            }
+            LayerKind::Pooling {
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                if kernel == 0 {
+                    return Err("pooling needs kernel_size > 0".into());
+                }
+                if input.h + 2 * pad < kernel || input.w + 2 * pad < kernel {
+                    return Err(format!(
+                        "pool window {kernel} exceeds padded input {}x{}",
+                        input.h + 2 * pad,
+                        input.w + 2 * pad
+                    ));
+                }
+                Ok(Shape::new(
+                    input.n,
+                    input.c,
+                    Shape::pool_out_dim(input.h, kernel, stride, pad),
+                    Shape::pool_out_dim(input.w, kernel, stride, pad),
+                ))
+            }
+            LayerKind::ReLU { .. } | LayerKind::Sigmoid | LayerKind::TanH => Ok(input),
+            LayerKind::InnerProduct { num_output, .. } => {
+                if num_output == 0 {
+                    return Err("inner product needs num_output > 0".into());
+                }
+                Ok(Shape::new(input.n, num_output, 1, 1))
+            }
+            LayerKind::Softmax { .. } => {
+                if input.h != 1 || input.w != 1 {
+                    return Err(format!(
+                        "softmax expects a flat vector, got {}x{} spatial extent",
+                        input.h, input.w
+                    ));
+                }
+                Ok(input)
+            }
+        }
+    }
+
+    /// Multiply-accumulate count per batch item, given the input shape.
+    /// Activations, pooling and softmax perform no MACs; the evaluation's
+    /// GFLOPS figures (like the paper's) count convolution and
+    /// fully-connected arithmetic.
+    pub fn macs(&self, input: Shape) -> u64 {
+        match *self {
+            LayerKind::Convolution {
+                num_output, kernel, ..
+            } => {
+                let out = self.output_shape(input).expect("validated");
+                (num_output * input.c * out.h * out.w * kernel * kernel) as u64
+            }
+            LayerKind::InnerProduct { num_output, .. } => {
+                (num_output * input.item_len()) as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Floating-point operations per batch item (2 per MAC, plus bias
+    /// adds where enabled).
+    pub fn flops(&self, input: Shape) -> u64 {
+        let macs = self.macs(input);
+        let bias_adds = match *self {
+            LayerKind::Convolution {
+                bias: true,
+                num_output,
+                ..
+            } => {
+                let out = self.output_shape(input).expect("validated");
+                (num_output * out.h * out.w) as u64
+            }
+            LayerKind::InnerProduct {
+                bias: true,
+                num_output,
+                ..
+            } => num_output as u64,
+            _ => 0,
+        };
+        2 * macs + bias_adds
+    }
+}
+
+/// A named layer of the network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    /// Unique layer name (Caffe convention, e.g. `conv1`).
+    pub name: String,
+    /// Operator and hyper-parameters.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind.caffe_type())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(num_output: usize, kernel: usize) -> LayerKind {
+        LayerKind::Convolution {
+            num_output,
+            kernel,
+            stride: 1,
+            pad: 0,
+            bias: true,
+        }
+    }
+
+    #[test]
+    fn conv_shape_matches_eq2() {
+        let out = conv(20, 5).output_shape(Shape::new(1, 1, 28, 28)).unwrap();
+        assert_eq!(out, Shape::new(1, 20, 24, 24));
+    }
+
+    #[test]
+    fn conv_same_padding() {
+        let k = LayerKind::Convolution {
+            num_output: 64,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            bias: true,
+        };
+        let out = k.output_shape(Shape::new(1, 3, 224, 224)).unwrap();
+        assert_eq!(out, Shape::new(1, 64, 224, 224));
+    }
+
+    #[test]
+    fn pool_shape_matches_eq3() {
+        let k = LayerKind::Pooling {
+            method: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(
+            k.output_shape(Shape::new(1, 20, 24, 24)).unwrap(),
+            Shape::new(1, 20, 12, 12)
+        );
+    }
+
+    #[test]
+    fn inner_product_flattens() {
+        let k = LayerKind::InnerProduct {
+            num_output: 500,
+            bias: true,
+        };
+        assert_eq!(
+            k.output_shape(Shape::new(2, 50, 4, 4)).unwrap(),
+            Shape::new(2, 500, 1, 1)
+        );
+    }
+
+    #[test]
+    fn activations_preserve_shape() {
+        let s = Shape::new(1, 20, 24, 24);
+        assert_eq!(LayerKind::ReLU { negative_slope: 0.0 }.output_shape(s).unwrap(), s);
+        assert_eq!(LayerKind::Sigmoid.output_shape(s).unwrap(), s);
+        assert_eq!(LayerKind::TanH.output_shape(s).unwrap(), s);
+    }
+
+    #[test]
+    fn softmax_requires_flat_input() {
+        let k = LayerKind::Softmax { log: false };
+        assert!(k.output_shape(Shape::new(1, 10, 1, 1)).is_ok());
+        assert!(k.output_shape(Shape::new(1, 10, 2, 2)).is_err());
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        assert!(conv(8, 5).output_shape(Shape::new(1, 1, 4, 4)).is_err());
+        assert!(conv(0, 5).output_shape(Shape::new(1, 1, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn macs_lenet_conv2() {
+        // LeNet conv2: 50 outputs, 20 inputs, 5x5 kernel, 12x12 -> 8x8.
+        let macs = conv(50, 5).macs(Shape::new(1, 20, 12, 12));
+        assert_eq!(macs, 50 * 20 * 8 * 8 * 25);
+    }
+
+    #[test]
+    fn flops_count_bias() {
+        let k = LayerKind::InnerProduct {
+            num_output: 10,
+            bias: true,
+        };
+        assert_eq!(k.flops(Shape::vector(500)), 2 * 5000 + 10);
+        let nb = LayerKind::InnerProduct {
+            num_output: 10,
+            bias: false,
+        };
+        assert_eq!(nb.flops(Shape::vector(500)), 2 * 5000);
+    }
+
+    #[test]
+    fn pooling_has_no_macs() {
+        let k = LayerKind::Pooling {
+            method: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(k.macs(Shape::new(1, 20, 24, 24)), 0);
+    }
+
+    #[test]
+    fn stage_classification_rules() {
+        assert_eq!(conv(8, 3).stage(false), Stage::FeatureExtraction);
+        assert_eq!(
+            LayerKind::InnerProduct { num_output: 10, bias: true }.stage(false),
+            Stage::Classification
+        );
+        // ReLU after the first FC belongs to the MLP.
+        let relu = LayerKind::ReLU { negative_slope: 0.0 };
+        assert_eq!(relu.stage(false), Stage::FeatureExtraction);
+        assert_eq!(relu.stage(true), Stage::Classification);
+        assert_eq!(
+            LayerKind::Softmax { log: true }.stage(false),
+            Stage::Classification
+        );
+    }
+
+    #[test]
+    fn caffe_type_strings() {
+        assert_eq!(conv(1, 1).caffe_type(), "Convolution");
+        assert_eq!(LayerKind::Softmax { log: true }.caffe_type(), "LogSoftmax");
+        assert_eq!(LayerKind::Softmax { log: false }.caffe_type(), "Softmax");
+    }
+}

@@ -1,0 +1,34 @@
+//! # condor-nn
+//!
+//! CNN intermediate representation and golden reference engine.
+//!
+//! This crate is the semantic substrate underneath the Condor framework:
+//!
+//! * [`layer`] — the layer vocabulary from Section 2 of the paper
+//!   (convolutional, sub-sampling, fully-connected, activation and
+//!   normalisation layers);
+//! * [`network`] — a validated feed-forward chain of layers with shape
+//!   inference implementing the paper's Eq. (2) and Eq. (3), weight
+//!   storage and FLOP accounting;
+//! * [`golden`] — a straightforward, obviously-correct software inference
+//!   engine (paper Eq. (1), (4), (5)) used as the functional oracle the
+//!   hardware simulator is validated against, with rayon-parallel batch
+//!   execution;
+//! * [`zoo`] — the three networks the evaluation uses: TC1 (the USPS CNN
+//!   of the authors' earlier work), LeNet (the Caffe MNIST reference
+//!   model) and VGG-16;
+//! * [`dataset`] — synthetic USPS-like and MNIST-like digit generators
+//!   standing in for the datasets we cannot ship;
+//! * [`arbitrary`] — seed-driven random valid networks for the
+//!   workspace's property-test suites.
+
+pub mod arbitrary;
+pub mod dataset;
+pub mod golden;
+pub mod layer;
+pub mod network;
+pub mod zoo;
+
+pub use golden::GoldenEngine;
+pub use layer::{Layer, LayerKind, PoolKind, Stage};
+pub use network::{LayerCost, Network, NnError};

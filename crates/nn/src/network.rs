@@ -1,0 +1,539 @@
+//! Feed-forward network container: validation, shape inference, weights
+//! and per-layer cost accounting.
+
+use crate::layer::{Layer, LayerKind, Stage};
+use condor_tensor::{Shape, Tensor, TensorRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised while building or validating a network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NnError {
+    /// Name of the offending layer, when known.
+    pub layer: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl NnError {
+    /// Error tied to a layer.
+    pub fn at(layer: &str, message: impl Into<String>) -> Self {
+        NnError {
+            layer: Some(layer.to_string()),
+            message: message.into(),
+        }
+    }
+
+    /// Network-level error.
+    pub fn net(message: impl Into<String>) -> Self {
+        NnError {
+            layer: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.layer {
+            Some(l) => write!(f, "layer '{l}': {}", self.message),
+            None => write!(f, "network: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Learned parameters of one layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerWeights {
+    /// Convolution: `F × C_in × K × K`; inner product:
+    /// `num_output × in_features × 1 × 1`.
+    pub weights: Tensor,
+    /// `1 × num_output × 1 × 1`, present when the layer has a bias term.
+    pub bias: Option<Tensor>,
+}
+
+/// Per-layer cost summary used by the performance model and the paper's
+/// GFLOPS accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Input shape (single item).
+    pub input: Shape,
+    /// Output shape (single item).
+    pub output: Shape,
+    /// Multiply-accumulates per image.
+    pub macs: u64,
+    /// Floating-point ops per image.
+    pub flops: u64,
+    /// Stage the layer belongs to.
+    pub stage: Stage,
+    /// Learned parameter count (weights + biases).
+    pub params: u64,
+}
+
+/// A validated feed-forward CNN: a linear chain of layers, the topology
+/// Condor's accelerator template supports (each PE's output feeds the next
+/// PE).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    /// Network name.
+    pub name: String,
+    /// Shape of one input item (`n` is forced to 1).
+    pub input_shape: Shape,
+    /// Layers in execution order; the first layer may be `Input`.
+    pub layers: Vec<Layer>,
+    /// Weights per layer name for layers that carry them.
+    pub weights: BTreeMap<String, LayerWeights>,
+}
+
+impl Network {
+    /// Creates a network and validates its structure.
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: Shape,
+        layers: Vec<Layer>,
+    ) -> Result<Self, NnError> {
+        let net = Network {
+            name: name.into(),
+            input_shape: input_shape.with_n(1),
+            layers,
+            weights: BTreeMap::new(),
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Structural validation: non-empty, unique names, inferable shapes.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.layers.iter().filter(|l| l.kind.is_compute()).count() == 0 {
+            return Err(NnError::net("network has no computational layers"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for layer in &self.layers {
+            if layer.name.is_empty() {
+                return Err(NnError::net("layer with empty name"));
+            }
+            if !seen.insert(&layer.name) {
+                return Err(NnError::net(format!("duplicate layer name '{}'", layer.name)));
+            }
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            if matches!(layer.kind, LayerKind::Input) && i != 0 {
+                return Err(NnError::at(&layer.name, "Input layer must come first"));
+            }
+        }
+        self.output_shapes()?; // shape inference as validation
+        Ok(())
+    }
+
+    /// Output shape of every layer (single-item), in layer order.
+    pub fn output_shapes(&self) -> Result<Vec<Shape>, NnError> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut current = self.input_shape;
+        for layer in &self.layers {
+            current = layer
+                .kind
+                .output_shape(current)
+                .map_err(|e| NnError::at(&layer.name, e))?;
+            shapes.push(current);
+        }
+        Ok(shapes)
+    }
+
+    /// Input shape of every layer (single-item), in layer order.
+    pub fn input_shapes(&self) -> Result<Vec<Shape>, NnError> {
+        let outs = self.output_shapes()?;
+        let mut ins = Vec::with_capacity(self.layers.len());
+        let mut prev = self.input_shape;
+        for (i, _) in self.layers.iter().enumerate() {
+            ins.push(prev);
+            prev = outs[i];
+        }
+        Ok(ins)
+    }
+
+    /// Shape of the final output (single item).
+    pub fn output_shape(&self) -> Result<Shape, NnError> {
+        Ok(*self.output_shapes()?.last().expect("validated non-empty"))
+    }
+
+    /// Stage of every layer (feature extraction vs classification).
+    pub fn stages(&self) -> Vec<Stage> {
+        let mut after_fc = false;
+        self.layers
+            .iter()
+            .map(|l| {
+                let s = l.kind.stage(after_fc);
+                if matches!(l.kind, LayerKind::InnerProduct { .. }) {
+                    after_fc = true;
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Expected weight/bias shapes for a layer, `None` for weight-less
+    /// layers.
+    pub fn weight_shapes(&self, index: usize) -> Result<Option<(Shape, Option<Shape>)>, NnError> {
+        let ins = self.input_shapes()?;
+        let layer = &self.layers[index];
+        Ok(match layer.kind {
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                bias,
+                ..
+            } => Some((
+                Shape::new(num_output, ins[index].c, kernel, kernel),
+                bias.then(|| Shape::vector(num_output)),
+            )),
+            LayerKind::InnerProduct { num_output, bias } => Some((
+                Shape::new(num_output, ins[index].item_len(), 1, 1),
+                bias.then(|| Shape::vector(num_output)),
+            )),
+            _ => None,
+        })
+    }
+
+    /// Installs weights for a layer after shape-checking them.
+    pub fn set_weights(
+        &mut self,
+        layer_name: &str,
+        weights: Tensor,
+        bias: Option<Tensor>,
+    ) -> Result<(), NnError> {
+        let index = self
+            .layers
+            .iter()
+            .position(|l| l.name == layer_name)
+            .ok_or_else(|| NnError::net(format!("no layer named '{layer_name}'")))?;
+        let expected = self.weight_shapes(index)?.ok_or_else(|| {
+            NnError::at(layer_name, "layer does not take weights")
+        })?;
+        if weights.shape() != expected.0 {
+            return Err(NnError::at(
+                layer_name,
+                format!(
+                    "weight shape {} does not match expected {}",
+                    weights.shape(),
+                    expected.0
+                ),
+            ));
+        }
+        match (&bias, expected.1) {
+            (Some(b), Some(eb)) if b.shape() != eb => {
+                return Err(NnError::at(
+                    layer_name,
+                    format!("bias shape {} does not match expected {eb}", b.shape()),
+                ));
+            }
+            (Some(_), None) => {
+                return Err(NnError::at(layer_name, "layer has bias_term: false"));
+            }
+            (None, Some(_)) => {
+                return Err(NnError::at(layer_name, "missing bias tensor"));
+            }
+            _ => {}
+        }
+        self.weights
+            .insert(layer_name.to_string(), LayerWeights { weights, bias });
+        Ok(())
+    }
+
+    /// Installed weights for a layer, if any.
+    pub fn weights_of(&self, layer_name: &str) -> Option<&LayerWeights> {
+        self.weights.get(layer_name)
+    }
+
+    /// True when every weight-bearing layer has weights installed.
+    pub fn fully_weighted(&self) -> bool {
+        self.layers
+            .iter()
+            .filter(|l| l.kind.has_weights())
+            .all(|l| self.weights.contains_key(&l.name))
+    }
+
+    /// Installs deterministic Xavier weights for every weight-bearing
+    /// layer — the stand-in for a trained `caffemodel` (see DESIGN.md).
+    pub fn attach_random_weights(&mut self, seed: u64) -> Result<(), NnError> {
+        let mut rng = TensorRng::seeded(seed);
+        let mut plans: Vec<(String, Shape, Option<Shape>)> = Vec::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            if let Some((w, b)) = self.weight_shapes(i)? {
+                plans.push((l.name.clone(), w, b));
+            }
+        }
+        for (name, wshape, bshape) in plans {
+            let fan_in = wshape.item_len();
+            let weights = rng.xavier(wshape, fan_in.max(1));
+            let bias = bshape.map(|bs| rng.uniform(bs, -0.05, 0.05));
+            self.set_weights(&name, weights, bias)?;
+        }
+        Ok(())
+    }
+
+    /// Per-layer cost table.
+    pub fn costs(&self) -> Result<Vec<LayerCost>, NnError> {
+        let ins = self.input_shapes()?;
+        let outs = self.output_shapes()?;
+        let stages = self.stages();
+        Ok(self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let params = match self.weight_shapes(i).expect("validated") {
+                    Some((w, b)) => w.len() as u64 + b.map_or(0, |s| s.len() as u64),
+                    None => 0,
+                };
+                LayerCost {
+                    name: l.name.clone(),
+                    input: ins[i],
+                    output: outs[i],
+                    macs: l.kind.macs(ins[i]),
+                    flops: l.kind.flops(ins[i]),
+                    stage: stages[i],
+                    params,
+                }
+            })
+            .collect())
+    }
+
+    /// Total FLOPs per image.
+    pub fn total_flops(&self) -> Result<u64, NnError> {
+        Ok(self.costs()?.iter().map(|c| c.flops).sum())
+    }
+
+    /// Total FLOPs per image of the feature-extraction stage only — the
+    /// quantity Table 2 of the paper reports GFLOPS for.
+    pub fn feature_extraction_flops(&self) -> Result<u64, NnError> {
+        Ok(self
+            .costs()?
+            .iter()
+            .filter(|c| c.stage == Stage::FeatureExtraction)
+            .map(|c| c.flops)
+            .sum())
+    }
+
+    /// Total learned parameter count.
+    pub fn total_params(&self) -> Result<u64, NnError> {
+        Ok(self.costs()?.iter().map(|c| c.params).sum())
+    }
+
+    /// Number of compute layers (what the paper calls "the total number
+    /// of layers of the network" for the Figure 5 convergence knee).
+    pub fn compute_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.kind.is_compute()).count()
+    }
+
+    /// The sub-network containing only the feature-extraction stage —
+    /// used by the Table 2 experiments on "the sole features extraction
+    /// part".
+    pub fn feature_extraction_prefix(&self) -> Result<Network, NnError> {
+        let stages = self.stages();
+        let layers: Vec<Layer> = self
+            .layers
+            .iter()
+            .zip(&stages)
+            .take_while(|(_, s)| **s == Stage::FeatureExtraction)
+            .map(|(l, _)| l.clone())
+            .collect();
+        let mut net = Network::new(
+            format!("{}-features", self.name),
+            self.input_shape,
+            layers,
+        )?;
+        for l in &net.layers.clone() {
+            if let Some(w) = self.weights.get(&l.name) {
+                net.weights.insert(l.name.clone(), w.clone());
+            }
+        }
+        Ok(net)
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (input {})", self.name, self.input_shape)?;
+        if let Ok(outs) = self.output_shapes() {
+            for (l, s) in self.layers.iter().zip(outs) {
+                writeln!(f, "  {l} -> {s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::PoolKind;
+
+    fn tiny_net() -> Network {
+        Network::new(
+            "tiny",
+            Shape::chw(1, 8, 8),
+            vec![
+                Layer::new("data", LayerKind::Input),
+                Layer::new(
+                    "conv1",
+                    LayerKind::Convolution {
+                        num_output: 4,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 0,
+                        bias: true,
+                    },
+                ),
+                Layer::new("relu1", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new(
+                    "pool1",
+                    LayerKind::Pooling {
+                        method: PoolKind::Max,
+                        kernel: 2,
+                        stride: 2,
+                        pad: 0,
+                    },
+                ),
+                Layer::new("ip1", LayerKind::InnerProduct { num_output: 10, bias: true }),
+                Layer::new("prob", LayerKind::Softmax { log: false }),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_inference_chains() {
+        let net = tiny_net();
+        let shapes = net.output_shapes().unwrap();
+        assert_eq!(shapes[1], Shape::new(1, 4, 6, 6)); // conv
+        assert_eq!(shapes[3], Shape::new(1, 4, 3, 3)); // pool
+        assert_eq!(shapes[4], Shape::vector(10)); // ip
+        assert_eq!(net.output_shape().unwrap(), Shape::vector(10));
+    }
+
+    #[test]
+    fn duplicate_layer_names_rejected() {
+        let e = Network::new(
+            "dup",
+            Shape::chw(1, 8, 8),
+            vec![
+                Layer::new("a", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new("a", LayerKind::Sigmoid),
+            ],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn input_must_be_first() {
+        let e = Network::new(
+            "bad",
+            Shape::chw(1, 8, 8),
+            vec![
+                Layer::new("relu", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new("data", LayerKind::Input),
+            ],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("first"));
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(Network::new("empty", Shape::chw(1, 8, 8), vec![]).is_err());
+        assert!(Network::new(
+            "only-input",
+            Shape::chw(1, 8, 8),
+            vec![Layer::new("data", LayerKind::Input)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weight_shapes_for_conv_and_fc() {
+        let net = tiny_net();
+        let (w, b) = net.weight_shapes(1).unwrap().unwrap();
+        assert_eq!(w, Shape::new(4, 1, 3, 3));
+        assert_eq!(b, Some(Shape::vector(4)));
+        let (w, b) = net.weight_shapes(4).unwrap().unwrap();
+        assert_eq!(w, Shape::new(10, 4 * 3 * 3, 1, 1));
+        assert_eq!(b, Some(Shape::vector(10)));
+        assert!(net.weight_shapes(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn set_weights_validates_shapes() {
+        let mut net = tiny_net();
+        let bad = Tensor::zeros(Shape::new(4, 1, 5, 5));
+        assert!(net.set_weights("conv1", bad, None).is_err());
+        let good_w = Tensor::zeros(Shape::new(4, 1, 3, 3));
+        // Missing bias.
+        assert!(net.set_weights("conv1", good_w.clone(), None).is_err());
+        let good_b = Tensor::zeros(Shape::vector(4));
+        net.set_weights("conv1", good_w, Some(good_b)).unwrap();
+        assert!(net.weights_of("conv1").is_some());
+        assert!(!net.fully_weighted()); // ip1 still missing
+    }
+
+    #[test]
+    fn attach_random_weights_covers_all_layers() {
+        let mut net = tiny_net();
+        net.attach_random_weights(42).unwrap();
+        assert!(net.fully_weighted());
+        // Deterministic across runs.
+        let mut net2 = tiny_net();
+        net2.attach_random_weights(42).unwrap();
+        assert_eq!(
+            net.weights_of("conv1").unwrap().weights,
+            net2.weights_of("conv1").unwrap().weights
+        );
+    }
+
+    #[test]
+    fn costs_and_totals() {
+        let net = tiny_net();
+        let costs = net.costs().unwrap();
+        // conv1: 4*1*6*6*9 MACs.
+        assert_eq!(costs[1].macs, 4 * 36 * 9);
+        assert_eq!(costs[1].flops, 2 * 4 * 36 * 9 + 4 * 36);
+        // ip1: 10 * 36 MACs.
+        assert_eq!(costs[4].macs, 360);
+        assert_eq!(costs[4].params, 10 * 36 + 10);
+        assert_eq!(
+            net.total_flops().unwrap(),
+            costs.iter().map(|c| c.flops).sum::<u64>()
+        );
+        assert!(net.feature_extraction_flops().unwrap() < net.total_flops().unwrap());
+    }
+
+    #[test]
+    fn stages_split_at_first_fc() {
+        let net = tiny_net();
+        let stages = net.stages();
+        assert_eq!(stages[1], Stage::FeatureExtraction); // conv1
+        assert_eq!(stages[3], Stage::FeatureExtraction); // pool1
+        assert_eq!(stages[4], Stage::Classification); // ip1
+        assert_eq!(stages[5], Stage::Classification); // prob
+    }
+
+    #[test]
+    fn feature_extraction_prefix_drops_mlp() {
+        let mut net = tiny_net();
+        net.attach_random_weights(1).unwrap();
+        let fe = net.feature_extraction_prefix().unwrap();
+        assert_eq!(fe.layers.len(), 4); // data conv relu pool
+        assert!(fe.weights_of("conv1").is_some());
+        assert!(fe.weights_of("ip1").is_none());
+        assert_eq!(fe.output_shape().unwrap(), Shape::new(1, 4, 3, 3));
+    }
+
+    #[test]
+    fn compute_layer_count_excludes_input() {
+        assert_eq!(tiny_net().compute_layer_count(), 5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Approximate floating-point comparison.
+//!
+//! The threaded hardware runtime accumulates partial sums in a different
+//! association order than the golden engine when inter-layer parallelism is
+//! enabled, so exact `f32` equality is too strict for cross-checking. The
+//! helpers here implement the usual mixed absolute/relative tolerance test.
+
+use crate::Tensor;
+
+/// Default absolute tolerance for cross-engine comparisons.
+pub const DEFAULT_ABS_TOL: f32 = 1e-4;
+/// Default relative tolerance for cross-engine comparisons.
+pub const DEFAULT_REL_TOL: f32 = 1e-4;
+
+/// Mixed absolute/relative closeness for scalars:
+/// `|a-b| <= abs_tol + rel_tol * max(|a|, |b|)`.
+pub fn close(a: f32, b: f32, abs_tol: f32, rel_tol: f32) -> bool {
+    if a == b {
+        return true; // covers infinities of equal sign and exact zeros
+    }
+    if a.is_nan() || b.is_nan() || a.is_infinite() || b.is_infinite() {
+        // Unequal infinities (and inf vs finite) are never close; equal
+        // infinities were handled by the `a == b` fast path above.
+        return false;
+    }
+    (a - b).abs() <= abs_tol + rel_tol * a.abs().max(b.abs())
+}
+
+/// Largest absolute elementwise difference between two tensors.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in comparison");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Trait for "all elements close" checks with default tolerances.
+pub trait AllClose {
+    /// True when every element pair satisfies [`close`] with the given
+    /// tolerances.
+    fn all_close_tol(&self, other: &Self, abs_tol: f32, rel_tol: f32) -> bool;
+
+    /// [`AllClose::all_close_tol`] with the workspace default tolerances.
+    fn all_close(&self, other: &Self) -> bool {
+        self.all_close_tol(other, DEFAULT_ABS_TOL, DEFAULT_REL_TOL)
+    }
+}
+
+impl AllClose for Tensor {
+    fn all_close_tol(&self, other: &Self, abs_tol: f32, rel_tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .all(|(&a, &b)| close(a, b, abs_tol, rel_tol))
+    }
+}
+
+/// Asserts two tensors are elementwise close, printing the first offending
+/// coordinate on failure.
+///
+/// # Panics
+/// Panics with a diagnostic message when the tensors differ.
+pub fn assert_close(a: &Tensor, b: &Tensor, context: &str) {
+    assert_eq!(a.shape(), b.shape(), "{context}: shape mismatch");
+    for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if !close(x, y, DEFAULT_ABS_TOL, DEFAULT_REL_TOL) {
+            let (n, c, h, w) = a.shape().coords(i);
+            panic!("{context}: mismatch at ({n},{c},{h},{w}): {x} vs {y}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn close_handles_equal_and_nan() {
+        assert!(close(1.0, 1.0, 0.0, 0.0));
+        assert!(close(0.0, -0.0, 0.0, 0.0));
+        assert!(!close(f32::NAN, f32::NAN, 1.0, 1.0));
+        assert!(close(f32::INFINITY, f32::INFINITY, 0.0, 0.0));
+        assert!(!close(f32::INFINITY, f32::NEG_INFINITY, 1.0, 1.0));
+    }
+
+    #[test]
+    fn close_uses_relative_tolerance_for_large_values() {
+        assert!(close(1_000_000.0, 1_000_050.0, 0.0, 1e-4));
+        assert!(!close(1.0, 1.5, 0.0, 1e-4));
+    }
+
+    #[test]
+    fn tensors_all_close_within_tolerance() {
+        let a = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.as_mut_slice()[1] += 5e-5;
+        assert!(a.all_close(&b));
+        b.as_mut_slice()[1] += 1.0;
+        assert!(!a.all_close(&b));
+    }
+
+    #[test]
+    fn different_shapes_are_not_close() {
+        let a = Tensor::zeros(Shape::vector(3));
+        let b = Tensor::zeros(Shape::vector(4));
+        assert!(!a.all_close(&b));
+    }
+
+    #[test]
+    fn max_abs_diff_reports_largest_gap() {
+        let a = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.5, 2.9]);
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at (0,1,0,0)")]
+    fn assert_close_reports_coordinate() {
+        let a = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(Shape::vector(3), vec![1.0, 9.0, 3.0]);
+        assert_close(&a, &b, "unit");
+    }
+}

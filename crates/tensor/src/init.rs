@@ -1,0 +1,116 @@
+//! Deterministic tensor initialisers.
+//!
+//! The paper ships trained `caffemodel` weights; we cannot, so every
+//! experiment initialises weights with a seeded RNG (Xavier/Glorot uniform,
+//! the Caffe default for LeNet) or closed-form fills. Determinism matters:
+//! the golden engine and the hardware simulator must see bit-identical
+//! weights for the equivalence tests to be meaningful.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG wrapper used across the workspace for reproducible tensors.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a reproducible generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform tensor in `[lo, hi)`.
+    pub fn uniform(&mut self, shape: Shape, lo: f32, hi: f32) -> Tensor {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        let data = (0..shape.len())
+            .map(|_| self.rng.gen_range(lo..hi))
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Xavier/Glorot uniform initialisation (`scale = sqrt(3 / fan_in)`),
+    /// the Caffe `xavier` filler used by the reference LeNet prototxt.
+    pub fn xavier(&mut self, shape: Shape, fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let scale = (3.0 / fan_in as f32).sqrt();
+        self.uniform(shape, -scale, scale)
+    }
+
+    /// A single uniform value in `[lo, hi)`.
+    pub fn scalar(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+}
+
+/// Tensor filled with one value.
+pub fn constant(shape: Shape, value: f32) -> Tensor {
+    Tensor::from_vec(shape, vec![value; shape.len()])
+}
+
+/// Tensor whose elements ramp linearly from `start` with step `step` in
+/// NCHW order — handy for address-pattern tests where each element must be
+/// distinguishable.
+pub fn linspace(shape: Shape, start: f32, step: f32) -> Tensor {
+    let data = (0..shape.len()).map(|i| start + step * i as f32).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Convenience free function: Xavier weights with a fresh seeded RNG.
+pub fn xavier(shape: Shape, fan_in: usize, seed: u64) -> Tensor {
+    TensorRng::seeded(seed).xavier(shape, fan_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = TensorRng::seeded(42).uniform(Shape::vector(32), -1.0, 1.0);
+        let b = TensorRng::seeded(42).uniform(Shape::vector(32), -1.0, 1.0);
+        assert_eq!(a, b);
+        let c = TensorRng::seeded(43).uniform(Shape::vector(32), -1.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_scale_bound() {
+        let fan_in = 25;
+        let bound = (3.0f32 / fan_in as f32).sqrt();
+        let t = xavier(Shape::new(8, 1, 5, 5), fan_in, 7);
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= bound));
+        // Not degenerate: values should spread over the range.
+        let spread = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(spread > bound * 0.5, "xavier fill suspiciously narrow");
+    }
+
+    #[test]
+    fn linspace_ramps() {
+        let t = linspace(Shape::vector(4), 1.0, 0.5);
+        assert_eq!(t.as_slice(), &[1.0, 1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn constant_fills() {
+        let t = constant(Shape::new(1, 2, 2, 1), 3.25);
+        assert!(t.as_slice().iter().all(|&v| v == 3.25));
+    }
+
+    #[test]
+    fn index_within_bound() {
+        let mut rng = TensorRng::seeded(1);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # condor-tensor
+//!
+//! Dense 4-D tensor substrate for the Condor CNN-to-FPGA framework
+//! reproduction.
+//!
+//! All feature maps, weight banks and activations in the workspace are
+//! represented as [`Tensor`] values in **NCHW** layout (batch, channel,
+//! height, width), matching the layout Caffe uses for its blobs. The crate
+//! deliberately implements only what the rest of the workspace needs —
+//! contiguous storage, shape bookkeeping, element access, slicing along the
+//! batch/channel axes, deterministic initialisers and approximate
+//! comparison — rather than pulling in a general-purpose array library.
+//!
+//! The types here are the common currency between the golden inference
+//! engine (`condor-nn`), the dataflow hardware simulator
+//! (`condor-dataflow`) and the Caffe frontend (`condor-caffe`).
+
+pub mod approx;
+pub mod init;
+pub mod shape;
+pub mod tensor;
+
+pub use approx::{assert_close, max_abs_diff, AllClose};
+pub use init::{constant, linspace, xavier, TensorRng};
+pub use shape::Shape;
+pub use tensor::Tensor;

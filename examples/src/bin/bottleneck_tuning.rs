@@ -1,0 +1,85 @@
+//! Iterative bottleneck tuning with per-layer parallelism.
+//!
+//! ```text
+//! cargo run --release -p condor-examples --bin bottleneck_tuning
+//! ```
+//!
+//! The Condor network representation carries the "desired level of
+//! parallelism of each layer". This example shows why that granularity
+//! matters: starting from the sequential LeNet deployment, it repeatedly
+//! finds the bottleneck stage and doubles only that stage's parallelism,
+//! stopping when the resource budget or the stream bound is reached —
+//! a manual version of what the automated DSE does globally.
+
+use condor::{Condor, BuiltAccelerator};
+use condor_dataflow::{PeParallelism, PipelineModel};
+use condor_nn::zoo;
+use std::collections::BTreeMap;
+
+fn build(overrides: &BTreeMap<String, PeParallelism>) -> BuiltAccelerator {
+    let mut b = Condor::from_network(zoo::lenet_weighted(1))
+        .board("aws-f1")
+        .freq_mhz(180.0);
+    for (layer, p) in overrides {
+        b = b.layer_parallelism(layer.clone(), *p);
+    }
+    b.build().expect("LeNet builds at every step here")
+}
+
+fn gflops(built: &BuiltAccelerator) -> f64 {
+    let mut plan = built.plan.clone();
+    plan.freq_mhz = built.synthesis.achieved_fmax_mhz;
+    PipelineModel::from_plan(&plan).gflops(built.network.total_flops().unwrap(), 64)
+}
+
+fn main() {
+    let mut overrides: BTreeMap<String, PeParallelism> = BTreeMap::new();
+    println!(
+        "{:<5} {:<28} {:>12} {:>9} {:>7} {:>7}",
+        "step", "bottleneck", "cycles/img", "GFLOPS", "DSP", "BRAM"
+    );
+    let mut last_cycles = u64::MAX;
+    for step in 0..8 {
+        let built = build(&overrides);
+        let (stage, cycles) = built.plan.bottleneck();
+        println!(
+            "{:<5} {:<28} {:>12} {:>9.2} {:>7} {:>7}",
+            step,
+            stage,
+            cycles,
+            gflops(&built),
+            built.synthesis.total.dsp,
+            built.synthesis.total.bram_36k
+        );
+        if cycles >= last_cycles {
+            println!("\nconverged: doubling the bottleneck no longer helps (stream bound).");
+            break;
+        }
+        last_cycles = cycles;
+
+        // Double the parallelism of the PE that owns the bottleneck.
+        // The stage label is "peN (layer+layer…)"; take the first layer.
+        let layer = stage
+            .split('(')
+            .nth(1)
+            .and_then(|s| s.split([')', '+']).next())
+            .unwrap_or_default()
+            .to_string();
+        if layer.is_empty() || layer == "datamover" {
+            println!("\nbottleneck is the datamover; widen its stream instead.");
+            break;
+        }
+        let entry = overrides.entry(layer).or_default();
+        entry.parallel_in = (entry.parallel_in * 2).min(64);
+        entry.parallel_out = (entry.parallel_out * 2).min(64);
+        entry.fc_simd = (entry.fc_simd * 2).min(64);
+    }
+
+    println!("\nfinal per-layer overrides (as they would appear in the network representation):");
+    for (layer, p) in &overrides {
+        println!(
+            "  {layer}: input_maps={} output_maps={} fc_simd={}",
+            p.parallel_in, p.parallel_out, p.fc_simd
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: Condor-format network → build → on-premise deploy → run.
+//!
+//! ```text
+//! cargo run --release -p condor-examples --bin quickstart
+//! ```
+//!
+//! This is the paper's "input method 1": the user authors the Condor
+//! JSON network representation (topology + hardware directives) and an
+//! external weights file, and the framework does the rest.
+
+use condor::{frontend, Condor};
+use condor_nn::{dataset, zoo};
+
+fn main() {
+    // 1. Author the two input files the Condor frontend takes. Here we
+    //    derive them from the zoo's TC1 so the example is self-contained;
+    //    a real user would write the JSON by hand and export weights from
+    //    their training pipeline.
+    let trained = zoo::tc1_weighted(42);
+    let representation = condor::NetworkRepresentation::new(
+        zoo::tc1(),
+        condor::HardwareConfig {
+            board: "aws-f1".to_string(),
+            freq_mhz: 100.0,
+            ..condor::HardwareConfig::default()
+        },
+    )
+    .to_text();
+    let weights_file = frontend::write_weights(&trained);
+    println!("Condor network representation ({} bytes of JSON):", representation.len());
+    for line in representation.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ... plus the layer list; weights file: {} bytes\n", weights_file.len());
+
+    // 2. Run the automation flow.
+    let built = Condor::from_condor_files(&representation, Some(&weights_file))
+        .expect("frontend accepts its own artifacts")
+        .build()
+        .expect("TC1 is synthesizable on aws-f1");
+    println!(
+        "built accelerator '{}' with {} PEs, {} generated HLS sources",
+        built.accelerator.name,
+        built.plan.pes.len(),
+        built
+            .accelerator
+            .layers
+            .iter()
+            .map(|ip| ip.sources.len())
+            .sum::<usize>()
+    );
+
+    // 3. Deploy on a locally accessible board and run a batch.
+    let deployed = built.deploy_onpremise().expect("on-premise deployment");
+    println!("deployed: {:?}", deployed.deployment);
+    condor_examples::print_metrics(&deployed, 32);
+
+    let samples = dataset::usps_like(16, 7);
+    let images: Vec<_> = samples.iter().map(|s| s.image.clone()).collect();
+    let outputs = deployed.infer_batch(&images).expect("inference runs");
+    let classified = outputs.iter().filter(|o| o.argmax() < 10).count();
+    println!("\nran {} USPS-like digits through the accelerator; {classified} classified", images.len());
+}

@@ -1,0 +1,67 @@
+//! TC1 on USPS-like digits: validates the hardware generation against
+//! the golden software engine — the purpose of the paper's first test
+//! case ("our purpose was to validate the hardware generation process of
+//! Condor with respect to what we have previously done by hand").
+//!
+//! ```text
+//! cargo run --release -p condor-examples --bin tc1_usps
+//! ```
+
+use condor::{CloudContext, Condor};
+use condor_dataflow::PeParallelism;
+use condor_nn::{dataset, zoo, GoldenEngine};
+use condor_tensor::{max_abs_diff, AllClose};
+
+fn main() {
+    let net = zoo::tc1_weighted(2026);
+    println!("{net}");
+
+    let built = Condor::from_network(net.clone())
+        .board("aws-f1")
+        .freq_mhz(100.0)
+        .parallelism(PeParallelism {
+            parallel_in: 1,
+            parallel_out: 1,
+            fc_simd: 2,
+        })
+        .build()
+        .expect("TC1 builds");
+    let ctx = CloudContext::new("condor-tc1-bucket");
+    let deployed = built.deploy_cloud(&ctx).expect("F1 deployment");
+    condor_examples::print_metrics(&deployed, 64);
+
+    // Validation sweep: 50 digits, element-by-element comparison.
+    let samples = dataset::usps_like(50, 31);
+    let images: Vec<_> = samples.iter().map(|s| s.image.clone()).collect();
+    let hw = deployed.infer_batch(&images).expect("hardware inference");
+    let golden_engine = GoldenEngine::new(&net).expect("weighted");
+    let golden = golden_engine.infer_batch(&images).expect("golden inference");
+
+    let mut worst = 0.0f32;
+    let mut matching = 0usize;
+    let mut agreeing_classes = 0usize;
+    for (h, g) in hw.iter().zip(&golden) {
+        worst = worst.max(max_abs_diff(h, g));
+        if h.all_close(g) {
+            matching += 1;
+        }
+        if h.argmax() == g.argmax() {
+            agreeing_classes += 1;
+        }
+    }
+    println!();
+    condor_examples::print_accuracy("elementwise agreement", matching, images.len());
+    condor_examples::print_accuracy("argmax agreement", agreeing_classes, images.len());
+    println!("  worst |Δ| across all outputs: {worst:.2e}");
+    assert_eq!(matching, images.len(), "hardware must reproduce the golden engine");
+
+    // The Figure 5 knee for TC1: convergence after batch > #layers.
+    let layers = net.compute_layer_count();
+    println!("\nTC1 has {layers} compute layers; mean time per image:");
+    for t in deployed.batch_sweep(&[1, 2, 4, layers, 2 * layers, 8 * layers]) {
+        println!(
+            "  batch {:>3}: {:>8.1} µs/image",
+            t.batch, t.mean_us_per_image
+        );
+    }
+}

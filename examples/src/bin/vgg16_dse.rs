@@ -1,0 +1,74 @@
+//! VGG-16 design-space exploration (the Table 2 regime).
+//!
+//! ```text
+//! cargo run --release -p condor-examples --bin vgg16_dse
+//! ```
+//!
+//! Reproduces two findings of the paper's Section 4: the full VGG-16
+//! "would not be synthesizable with the current methodology" because of
+//! its fully-connected layers, while the feature-extraction part reaches
+//! 100+ GFLOPS under the improved (inter-layer parallel) methodology.
+
+use condor::dse::{explore, DseConfig};
+use condor_nn::zoo;
+
+fn main() {
+    let board = condor_fpga::board("aws-f1").expect("catalog");
+    let space = DseConfig {
+        freqs_mhz: vec![150.0, 200.0, 250.0, 300.0],
+        fusions: vec![1, 2],
+        parallel_in: vec![1, 2, 4, 8],
+        parallel_out: vec![1, 2, 4, 8, 16],
+        fc_simd: vec![1, 2, 4],
+        eval_batch: 64,
+    };
+
+    // 1. The full network: expected to fail on the FC layers.
+    let full = zoo::vgg16();
+    println!(
+        "VGG-16 full network: {} layers, {:.1} M parameters, {:.1} GFLOP/image",
+        full.layers.len(),
+        full.total_params().unwrap() as f64 / 1e6,
+        full.total_flops().unwrap() as f64 / 1e9
+    );
+    match explore(&full, board, &space).unwrap().require_best() {
+        Ok(_) => panic!("the paper says VGG-16's FC layers must not be synthesizable"),
+        Err(e) => println!("  DSE verdict (as the paper reports): {e}\n"),
+    }
+
+    // 2. The feature-extraction prefix: the Table 2 study.
+    let fe = full.feature_extraction_prefix().unwrap();
+    println!(
+        "VGG-16 features extraction: {} layers, {:.1} GFLOP/image",
+        fe.layers.len(),
+        fe.total_flops().unwrap() as f64 / 1e9
+    );
+    let outcome = explore(&fe, board, &space).unwrap();
+    let feasible = outcome.feasible_ranked();
+    println!(
+        "  explored {} configurations, {} feasible; top 5:",
+        outcome.points.len(),
+        feasible.len()
+    );
+    println!(
+        "  {:<8} {:<12} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "fusion", "Pin x Pout", "MHz", "GFLOPS", "LUT%", "DSP%", "BRAM%"
+    );
+    for p in feasible.iter().take(5) {
+        println!(
+            "  {:<8} {:<12} {:>8.0} {:>9.2} {:>8.2} {:>8.2} {:>8.2}",
+            p.fusion,
+            format!("{} x {}", p.parallelism.parallel_in, p.parallelism.parallel_out),
+            p.synthesis.achieved_fmax_mhz,
+            p.gflops,
+            p.utilization.lut_pct,
+            p.utilization.dsp_pct,
+            p.utilization.bram_pct
+        );
+    }
+    let best = outcome.require_best().unwrap();
+    println!(
+        "\n  best: {:.2} GFLOPS (paper's Table 2 reports 113.30 for VGG-16 features)",
+        best.gflops
+    );
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the Condor example binaries.
+
+use condor::DeployedAccelerator;
+
+/// Prints a deployed accelerator's Table-1-style metric row.
+pub fn print_metrics(deployed: &DeployedAccelerator, batch: usize) {
+    let m = deployed.metrics(batch).expect("metrics available");
+    println!(
+        "  utilisation : LUT {:.2}%  FF {:.2}%  DSP {:.2}%  BRAM {:.2}%",
+        m.utilization.lut_pct, m.utilization.ff_pct, m.utilization.dsp_pct, m.utilization.bram_pct
+    );
+    println!("  clock       : {:.0} MHz", m.freq_mhz);
+    println!(
+        "  throughput  : {:.2} GFLOPS @ batch {batch} ({:.1} µs/image)",
+        m.gflops, m.mean_us_per_image
+    );
+    println!(
+        "  efficiency  : {:.2} GFLOPS/W ({:.2} W modelled)",
+        m.gflops_per_w, m.power_w
+    );
+}
+
+/// Prints a classification accuracy line for labelled samples.
+pub fn print_accuracy(name: &str, correct: usize, total: usize) {
+    println!(
+        "  {name}: {correct}/{total} predictions match the golden engine"
+    );
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration: the full paper workflow, Caffe artifacts in,
+//! classified images out of a cloud-deployed accelerator.
+
+use condor::{CloudContext, Condor, Deployment};
+use condor_integration_tests::fabricate_lenet_caffemodel;
+use condor_nn::{dataset, zoo, GoldenEngine};
+use condor_tensor::AllClose;
+
+#[test]
+fn caffe_to_cloud_to_inference() {
+    let (reference, caffemodel) = fabricate_lenet_caffemodel(55);
+
+    // Frontend: prototxt + caffemodel.
+    let built = Condor::from_caffe(zoo::lenet_prototxt(), Some(&caffemodel))
+        .unwrap()
+        .board("aws-f1")
+        .freq_mhz(180.0)
+        .build()
+        .unwrap();
+
+    // Backend: full AFI workflow against the simulated account.
+    let ctx = CloudContext::new("it-bucket");
+    let deployed = built.deploy_cloud(&ctx).unwrap();
+    let Deployment::Cloud { afi_id, agfi_id, instance_id, slot, s3_key } = &deployed.deployment
+    else {
+        panic!("expected cloud deployment");
+    };
+    // Every side-effect of the workflow is observable in the services.
+    assert!(ctx.s3.get_object("it-bucket", s3_key).is_ok());
+    assert_eq!(
+        ctx.afi.describe(afi_id).unwrap(),
+        condor_cloud::AfiState::Available
+    );
+    assert_eq!(ctx.afi.part_of(afi_id).unwrap(), "xcvu9p");
+    assert_eq!(
+        ctx.f1.loaded_afi(instance_id, *slot).unwrap().as_deref(),
+        Some(agfi_id.as_str())
+    );
+
+    // Host runtime: hardware results equal the golden engine on real
+    // images.
+    let images: Vec<_> = dataset::mnist_like(8, 4)
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    let hw = deployed.infer_batch(&images).unwrap();
+    let golden = GoldenEngine::new(&reference)
+        .unwrap()
+        .infer_batch(&images)
+        .unwrap();
+    for (h, g) in hw.iter().zip(&golden) {
+        assert!(h.all_close(g));
+    }
+}
+
+#[test]
+fn condor_format_roundtrip_through_flow() {
+    // Export the representation + weights, re-import, build, and check
+    // the rebuilt accelerator computes identically.
+    let trained = zoo::tc1_weighted(7);
+    let repr = condor::NetworkRepresentation::new(
+        trained.clone(),
+        condor::HardwareConfig::default(),
+    );
+    let weights = condor::frontend::write_weights(&trained);
+    let built = Condor::from_condor_files(&repr.to_text(), Some(&weights))
+        .unwrap()
+        .build()
+        .unwrap();
+    let deployed = built.deploy_onpremise().unwrap();
+
+    let images: Vec<_> = dataset::usps_like(4, 4)
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    let hw = deployed.infer_batch(&images).unwrap();
+    let golden = GoldenEngine::new(&trained)
+        .unwrap()
+        .infer_batch(&images)
+        .unwrap();
+    for (h, g) in hw.iter().zip(&golden) {
+        assert!(h.all_close(g));
+    }
+}
+
+#[test]
+fn weight_update_without_resynthesis() {
+    // The paper: weights "are loaded dynamically at runtime. This
+    // enables the update of the network (for instance if better accuracy
+    // is achieved) without the need for re-synthesizing the accelerator."
+    let repr = condor::NetworkRepresentation::new(
+        zoo::tc1(),
+        condor::HardwareConfig::default(),
+    )
+    .to_text();
+    let images: Vec<_> = dataset::usps_like(2, 8)
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+
+    let mut outputs = Vec::new();
+    for seed in [1u64, 2] {
+        let trained = zoo::tc1_weighted(seed);
+        let weights = condor::frontend::write_weights(&trained);
+        // Same representation → same accelerator structure; only the
+        // weights file differs between the two "deployments".
+        let built = Condor::from_condor_files(&repr, Some(&weights))
+            .unwrap()
+            .build()
+            .unwrap();
+        let deployed = built.deploy_onpremise().unwrap();
+        outputs.push(deployed.infer_batch(&images).unwrap());
+
+        let golden = GoldenEngine::new(&trained)
+            .unwrap()
+            .infer_batch(&images)
+            .unwrap();
+        for (h, g) in outputs.last().unwrap().iter().zip(&golden) {
+            assert!(h.all_close(g));
+        }
+    }
+    // Different weights really produce different results.
+    assert!(!outputs[0][0].all_close(&outputs[1][0]));
+}
+
+#[test]
+fn deployment_option_gates_the_backend() {
+    // On-premise boards cannot take the cloud path; the cloud path needs
+    // the developer AMI.
+    let built = Condor::from_network(zoo::tc1_weighted(3))
+        .board("vc709")
+        .build()
+        .unwrap();
+    let ctx = CloudContext::new("it-bucket-2");
+    assert!(built.deploy_cloud(&ctx).is_err());
+
+    let built = Condor::from_network(zoo::tc1_weighted(3))
+        .board("aws-f1")
+        .build()
+        .unwrap();
+    let ctx = CloudContext::new("it-bucket-3")
+        .with_environment(condor_cloud::Environment::workstation());
+    assert!(built.deploy_cloud(&ctx).is_err());
+}

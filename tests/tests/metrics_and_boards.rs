@@ -1,0 +1,103 @@
+//! Integration tests: metric invariants of deployed accelerators and
+//! the board-portability matrix.
+
+use condor::{Condor, DseConfig};
+use condor_dataflow::PeParallelism;
+use condor_nn::zoo;
+
+fn deploy_tc1(board: &str, freq: f64) -> Option<condor::DeployedAccelerator> {
+    Condor::from_network(zoo::tc1_weighted(6))
+        .board(board)
+        .freq_mhz(freq)
+        .build()
+        .ok()?
+        .deploy_onpremise()
+        .ok()
+}
+
+#[test]
+fn metric_identities_hold() {
+    let deployed = deploy_tc1("aws-f1", 100.0).expect("TC1 deploys on F1");
+    let m = deployed.metrics(64).unwrap();
+    // GFLOPS/W · W = GFLOPS.
+    assert!((m.gflops_per_w * m.power_w - m.gflops).abs() < 1e-9);
+    // GFLOPS equals FLOPs/image divided by mean time per image.
+    let flops = zoo::tc1().total_flops().unwrap() as f64;
+    let derived = flops / (m.mean_us_per_image * 1e3); // µs → ns gives GFLOPS
+    assert!(
+        (derived - m.gflops).abs() / m.gflops < 1e-6,
+        "derived {derived} vs reported {}",
+        m.gflops
+    );
+    // Larger batches never reduce GFLOPS (pipeline fills).
+    let m1 = deployed.metrics(1).unwrap();
+    assert!(m.gflops >= m1.gflops);
+}
+
+#[test]
+fn board_portability_matrix() {
+    // TC1 fits every datacenter board; frequency is clamped to what the
+    // device family can do.
+    for (board, freq) in [("aws-f1", 250.0), ("kcu1500", 250.0), ("vc709", 250.0)] {
+        let deployed = deploy_tc1(board, freq).unwrap_or_else(|| panic!("TC1 on {board}"));
+        let m = deployed.metrics(32).unwrap();
+        assert!(m.utilization.feasible(), "{board}");
+        assert!(m.freq_mhz <= freq + 1e-9, "{board}");
+        assert!(m.gflops > 0.0, "{board}");
+    }
+    // The embedded Zynq board is below this methodology's floor.
+    assert!(deploy_tc1("pynq-z1", 100.0).is_none());
+}
+
+#[test]
+fn faster_clock_means_faster_images() {
+    let slow = deploy_tc1("aws-f1", 100.0).unwrap();
+    let fast = deploy_tc1("aws-f1", 200.0).unwrap();
+    let ts = slow.timing(32);
+    let tf = fast.timing(32);
+    assert!(tf.mean_us_per_image < ts.mean_us_per_image);
+    // Cycle counts are clock-independent.
+    assert_eq!(ts.total_cycles, tf.total_cycles);
+}
+
+#[test]
+fn per_layer_override_moves_the_bottleneck() {
+    // LeNet's default bottleneck is ip1; giving only ip1 a wide MAC
+    // vector moves the bottleneck to conv2 and raises throughput.
+    let base = Condor::from_network(zoo::lenet_weighted(6))
+        .board("aws-f1")
+        .freq_mhz(180.0)
+        .build()
+        .unwrap();
+    assert!(base.plan.bottleneck().0.contains("ip1"));
+
+    let tuned = Condor::from_network(zoo::lenet_weighted(6))
+        .board("aws-f1")
+        .freq_mhz(180.0)
+        .parallelism(PeParallelism::default())
+        .layer_parallelism(
+            "ip1",
+            PeParallelism {
+                parallel_in: 1,
+                parallel_out: 1,
+                fc_simd: 8,
+            },
+        )
+        .build()
+        .unwrap();
+    assert!(tuned.plan.bottleneck().0.contains("conv2"), "{:?}", tuned.plan.bottleneck());
+    assert!(tuned.plan.initiation_interval() < base.plan.initiation_interval());
+    // The tuned design costs a few more DSPs, nothing else.
+    assert!(tuned.synthesis.total.dsp > base.synthesis.total.dsp);
+}
+
+#[test]
+fn dse_never_returns_an_infeasible_best() {
+    let board = condor_fpga::board("aws-f1").unwrap();
+    for net in [zoo::tc1(), zoo::lenet()] {
+        let outcome = condor::dse::explore(&net, board, &DseConfig::default()).unwrap();
+        let best = outcome.require_best().unwrap();
+        assert!(best.feasible());
+        assert!(best.utilization.feasible());
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration tests of the accelerator template structure (paper
+//! Figure 4): PEs, filters, FIFOs and datamover, across crates.
+
+use condor::Condor;
+use condor_dataflow::{PeParallelism, PlanBuilder};
+use condor_hls::{ModuleKind, StreamDir};
+use condor_nn::{zoo, Stage};
+
+#[test]
+fn accelerator_matches_figure4_structure() {
+    let built = Condor::from_network(zoo::lenet_weighted(1))
+        .board("aws-f1")
+        .build()
+        .unwrap();
+
+    // A chain of PEs connected head-to-tail…
+    let n = built.plan.pes.len();
+    assert_eq!(built.accelerator.connections.len(), n - 1);
+    for (i, (from, to)) in built.accelerator.connections.iter().enumerate() {
+        assert_eq!(from, &format!("pe{i}"));
+        assert_eq!(to, &format!("pe{}", i + 1));
+    }
+    // …each with data in, weights in, data out.
+    for ip in &built.accelerator.layers {
+        assert!(ip.interfaces.iter().any(|p| p.name == "s_axis_data" && p.dir == StreamDir::In));
+        assert!(ip.interfaces.iter().any(|p| p.name == "s_axis_weights"));
+        assert!(ip.interfaces.iter().any(|p| p.dir == StreamDir::Out));
+    }
+    // Plus exactly one datamover and the platform infrastructure.
+    let dm = built
+        .accelerator
+        .module_reports
+        .iter()
+        .filter(|m| m.kind == ModuleKind::Datamover)
+        .count();
+    assert_eq!(dm, 1);
+    assert!(built
+        .accelerator
+        .module_reports
+        .iter()
+        .any(|m| m.kind == ModuleKind::Infrastructure));
+}
+
+#[test]
+fn feature_extraction_pes_have_filter_chains_fc_pes_do_not() {
+    let built = Condor::from_network(zoo::lenet_weighted(2)).build().unwrap();
+    for (pe, ip) in built.plan.pes.iter().zip(&built.accelerator.layers) {
+        match pe.stage {
+            Stage::FeatureExtraction => {
+                // PE source + one source per filter of the chain.
+                assert_eq!(ip.sources.len(), 1 + pe.filters_per_pipeline());
+            }
+            Stage::Classification => {
+                assert_eq!(ip.sources.len(), 1, "FC PEs have no memory subsystem");
+            }
+        }
+    }
+}
+
+#[test]
+fn fifo_sizing_follows_the_paper_rule_across_networks() {
+    for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16().feature_extraction_prefix().unwrap()] {
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        for pe in &plan.pes {
+            if !pe.layers.iter().any(|l| l.needs_filter_chain()) {
+                continue;
+            }
+            let k = pe.max_window();
+            let w = pe.max_input_width();
+            let depths = pe.fifo_depths();
+            assert_eq!(depths.len(), k * k - 1);
+            // K−1 row-crossing FIFOs of depth W−K+1, the rest depth 1.
+            assert_eq!(depths.iter().filter(|&&d| d == w - k + 1).count(), k - 1);
+            // Total buffering = spatial span between first and last access.
+            let total: usize = depths.iter().sum();
+            assert_eq!(total, (k - 1) * w + k - 1);
+        }
+    }
+}
+
+#[test]
+fn fused_pe_memory_subsystem_uses_worst_case_layers() {
+    // "the memory pipeline is created considering the layer with the
+    // biggest window size … The FIFOs size is instead determined
+    // considering the layer with the greatest input feature maps size."
+    let net = zoo::lenet();
+    let plan = PlanBuilder::new(&net).fusion(10).build().unwrap();
+    let fe_pe = &plan.pes[0];
+    assert_eq!(fe_pe.max_window(), 5); // conv kernels dominate pools
+    assert_eq!(fe_pe.max_input_width(), 28); // conv1's input is widest
+    assert_eq!(fe_pe.fifo_depths().iter().max(), Some(&24));
+}
+
+#[test]
+fn parallel_input_maps_multiply_pipelines() {
+    let net = zoo::lenet();
+    let seq = PlanBuilder::new(&net).build().unwrap();
+    let par = PlanBuilder::new(&net)
+        .parallelism(PeParallelism {
+            parallel_in: 4,
+            parallel_out: 1,
+            fc_simd: 1,
+        })
+        .build()
+        .unwrap();
+    // conv2 reads 4 maps concurrently → 4 filter pipelines worth of
+    // resources in the synthesis model.
+    let model = condor_hls::SynthModel::default();
+    let seq_chain = model.synthesize_filter_chain(&seq.pes[2]).unwrap();
+    let par_chain = model.synthesize_filter_chain(&par.pes[2]).unwrap();
+    assert_eq!(par_chain.resources.lut, 4 * seq_chain.resources.lut);
+}
