@@ -21,14 +21,20 @@ fn build(fusion: usize) -> (f64, u64, u64) {
         .unwrap();
     let mut plan = built.plan.clone();
     plan.freq_mhz = built.synthesis.achieved_fmax_mhz;
-    let gflops =
-        PipelineModel::from_plan(&plan).gflops(built.network.total_flops().unwrap(), 64);
-    (gflops, built.synthesis.total.lut, built.synthesis.total.bram_36k)
+    let gflops = PipelineModel::from_plan(&plan).gflops(built.network.total_flops().unwrap(), 64);
+    (
+        gflops,
+        built.synthesis.total.lut,
+        built.synthesis.total.bram_36k,
+    )
 }
 
 fn bench_fusion(c: &mut Criterion) {
     println!("== ablation: fusion factor on LeNet (aws-f1, 180 MHz) ==");
-    println!("{:<8} {:>10} {:>10} {:>10}", "fusion", "GFLOPS", "LUT", "BRAM36");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "fusion", "GFLOPS", "LUT", "BRAM36"
+    );
     for fusion in [1, 2, 3, 4, 10] {
         let (gflops, lut, bram) = build(fusion);
         println!("{fusion:<8} {gflops:>10.3} {lut:>10} {bram:>10}");

@@ -26,8 +26,7 @@ fn evaluate(pi: usize, po: usize) -> (f64, u64) {
     let synth = synthesize_plan(&plan, device);
     let mut timed = plan.clone();
     timed.freq_mhz = synth.achieved_fmax_mhz;
-    let gflops = PipelineModel::from_plan(&timed)
-        .gflops(net.total_flops().unwrap(), 64);
+    let gflops = PipelineModel::from_plan(&timed).gflops(net.total_flops().unwrap(), 64);
     (gflops, synth.total.dsp)
 }
 

@@ -13,7 +13,12 @@ fn bench_figure5(c: &mut Criterion) {
             .iter()
             .map(|(b, ms)| format!("{b}:{ms:.4}ms"))
             .collect();
-        println!("figure5/{} ({} layers): {}", series.name, series.layers, pts.join(" "));
+        println!(
+            "figure5/{} ({} layers): {}",
+            series.name,
+            series.layers,
+            pts.join(" ")
+        );
     }
 
     let mut group = c.benchmark_group("figure5");

@@ -1,0 +1,31 @@
+//! Serving bench: throughput, batch coalescing and latency percentiles
+//! of the `condor-serve` dynamic batcher over a 2-slot F1 deployment,
+//! printed from the shared metrics snapshot.
+
+use condor_bench::serving_sweep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_serving(c: &mut Criterion) {
+    // Print the experiment record once, alongside the timing run.
+    for row in serving_sweep(&[1, 2, 4, 8], 16) {
+        println!(
+            "serving/{} clients: {:.0} img/s | mean batch {:.2} | p50 {:.0} µs | p99 {:.0} µs",
+            row.clients, row.throughput_rps, row.mean_batch, row.p50_us, row.p99_us
+        );
+    }
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    for clients in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("lenet_f1_4xlarge", clients),
+            &clients,
+            |b, &clients| b.iter(|| black_box(serving_sweep(&[clients], 8))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -13,7 +13,12 @@ fn bench_table1(c: &mut Criterion) {
     for row in table1() {
         println!(
             "table1/{}: LUT {:.2}% FF {:.2}% DSP {:.2}% BRAM {:.2}% | {:.2} GFLOPS, {:.2} GFLOPS/W",
-            row.name, row.lut_pct, row.ff_pct, row.dsp_pct, row.bram_pct, row.gflops,
+            row.name,
+            row.lut_pct,
+            row.ff_pct,
+            row.dsp_pct,
+            row.bram_pct,
+            row.gflops,
             row.gflops_per_w
         );
     }

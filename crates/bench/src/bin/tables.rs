@@ -5,9 +5,7 @@
 //! cargo run --release -p condor-bench --bin tables [table1|table2|figure5|all]
 //! ```
 
-use condor_bench::{
-    figure5, paper_table1, paper_table2, table1, table2, Figure5Series, Table1Row,
-};
+use condor_bench::{figure5, paper_table1, paper_table2, table1, table2, Figure5Series, Table1Row};
 
 fn print_table1() {
     println!("== Table 1: AWS F1 deployment results (paper vs reproduced) ==");

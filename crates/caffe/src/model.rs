@@ -33,12 +33,7 @@ impl BlobShape {
         match self.dim.len() {
             0 => Err(WireError::new("empty blob shape")),
             1 => Ok(Shape::new(1, self.dim[0] as usize, 1, 1)),
-            2 => Ok(Shape::new(
-                self.dim[0] as usize,
-                self.dim[1] as usize,
-                1,
-                1,
-            )),
+            2 => Ok(Shape::new(self.dim[0] as usize, self.dim[1] as usize, 1, 1)),
             3 => Ok(Shape::new(
                 1,
                 self.dim[0] as usize,
@@ -243,7 +238,9 @@ impl ConvolutionParameter {
 fn last_repeated_u32(r: &mut WireReader<'_>, wt: WireType) -> Result<u32, WireError> {
     let mut vals = Vec::new();
     r.read_varints(wt, &mut vals)?;
-    let last = *vals.last().ok_or_else(|| WireError::new("empty repeated field"))?;
+    let last = *vals
+        .last()
+        .ok_or_else(|| WireError::new("empty repeated field"))?;
     if vals.iter().any(|&v| v != last) {
         return Err(WireError::new(
             "non-square kernels/strides/pads are not supported",
@@ -489,8 +486,7 @@ impl LayerParameter {
                 4 => layer.top.push(r.read_string()?),
                 7 => layer.blobs.push(BlobProto::decode(r.read_bytes()?)?),
                 106 => {
-                    layer.convolution_param =
-                        Some(ConvolutionParameter::decode(r.read_bytes()?)?)
+                    layer.convolution_param = Some(ConvolutionParameter::decode(r.read_bytes()?)?)
                 }
                 117 => {
                     layer.inner_product_param =
@@ -836,7 +832,9 @@ mod tests {
     #[test]
     fn blob_2d_shape_right_aligns() {
         // FC weight blobs are 2-D [out, in] in Caffe.
-        let shape = BlobShape { dim: vec![500, 800] };
+        let shape = BlobShape {
+            dim: vec![500, 800],
+        };
         assert_eq!(shape.to_shape().unwrap(), Shape::new(500, 800, 1, 1));
     }
 

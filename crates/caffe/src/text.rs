@@ -420,7 +420,9 @@ impl<'a> Lexer<'a> {
                         b'\\' => b'\\',
                         b'"' => b'"',
                         b'\'' => b'\'',
-                        other => return Err(self.err(format!("unknown escape '\\{}'", other as char))),
+                        other => {
+                            return Err(self.err(format!("unknown escape '\\{}'", other as char)))
+                        }
                     });
                 }
                 Some(b) => {
@@ -624,10 +626,10 @@ layer {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "layer {",          // unbalanced brace
-            "}",                // stray brace
-            "a b",              // no separator
-            "a:",               // missing value
+            "layer {",           // unbalanced brace
+            "}",                 // stray brace
+            "a b",               // no separator
+            "a:",                // missing value
             "a: \"unterminated", // bad string
             "a: 1 }",
         ] {

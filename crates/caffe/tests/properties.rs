@@ -32,7 +32,11 @@ fn conv_param_strategy() -> impl Strategy<Value = ConvolutionParameter> {
 fn pool_param_strategy() -> impl Strategy<Value = PoolingParameter> {
     (any::<bool>(), 1u32..5, 1u32..4, 0u32..2).prop_map(|(max, kernel_size, stride, pad)| {
         PoolingParameter {
-            pool: if max { PoolMethod::Max } else { PoolMethod::Ave },
+            pool: if max {
+                PoolMethod::Max
+            } else {
+                PoolMethod::Ave
+            },
             kernel_size,
             stride,
             pad,
@@ -61,18 +65,20 @@ fn layer_strategy() -> impl Strategy<Value = LayerParameter> {
         prop::collection::vec(blob_strategy(), 0..3),
         -1.0f32..1.0,
     )
-        .prop_map(|(name, (type_, conv, pool, ip), blobs, slope)| LayerParameter {
-            name: name.clone(),
-            type_: type_.clone(),
-            bottom: vec![format!("{name}_in")],
-            top: vec![name.clone()],
-            blobs,
-            convolution_param: conv,
-            pooling_param: pool,
-            inner_product_param: ip,
-            input_param: None,
-            relu_negative_slope: if type_ == "ReLU" { slope } else { 0.0 },
-        })
+        .prop_map(
+            |(name, (type_, conv, pool, ip), blobs, slope)| LayerParameter {
+                name: name.clone(),
+                type_: type_.clone(),
+                bottom: vec![format!("{name}_in")],
+                top: vec![name.clone()],
+                blobs,
+                convolution_param: conv,
+                pooling_param: pool,
+                inner_product_param: ip,
+                input_param: None,
+                relu_negative_slope: if type_ == "ReLU" { slope } else { 0.0 },
+            },
+        )
 }
 
 fn net_strategy() -> impl Strategy<Value = NetParameter> {

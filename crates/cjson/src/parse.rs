@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "JSON error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -266,7 +270,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -383,8 +389,22 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "[1 2]", "01", "1.", ".5", "+1", "tru",
-            "\"abc", "{\"a\":1,}", "[1,]", "nan", "\"\u{1}\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "tru",
+            "\"abc",
+            "{\"a\":1,}",
+            "[1,]",
+            "nan",
+            "\"\u{1}\"",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn from_impls() {
         assert_eq!(Value::from(3usize), Value::int(3));
-        assert_eq!(Value::from(vec![1i64, 2]), Value::Array(vec![Value::int(1), Value::int(2)]));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::int(1), Value::int(2)])
+        );
     }
 
     #[test]

@@ -266,8 +266,12 @@ mod tests {
     fn garbage_payload_rejected() {
         let s3 = S3Client::new();
         s3.create_bucket("condor-bucket").unwrap();
-        s3.put_object("condor-bucket", "bad.bin", Bytes::from_static(b"not-an-xclbin"))
-            .unwrap();
+        s3.put_object(
+            "condor-bucket",
+            "bad.bin",
+            Bytes::from_static(b"not-an-xclbin"),
+        )
+        .unwrap();
         let reg = AfiRegistry::new();
         let err = reg
             .create_fpga_image(&s3, "condor-bucket", "bad.bin", "x")

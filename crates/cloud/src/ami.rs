@@ -94,6 +94,8 @@ mod tests {
     #[test]
     fn onpremise_always_allowed() {
         assert!(Environment::workstation().check_onpremise_deploy().is_ok());
-        assert!(Environment::developer_ami().check_onpremise_deploy().is_ok());
+        assert!(Environment::developer_ami()
+            .check_onpremise_deploy()
+            .is_ok());
     }
 }

@@ -124,6 +124,22 @@ impl F1Manager {
         Ok(())
     }
 
+    /// Loads an AFI onto every slot of an instance and returns the slot
+    /// indices, so multi-slot instances serve the same accelerator from
+    /// all their FPGAs.
+    pub fn load_afi_all_slots(
+        &self,
+        registry: &AfiRegistry,
+        instance_id: &str,
+        agfi_id: &str,
+    ) -> Result<Vec<usize>, CloudError> {
+        let n_slots = self.describe(instance_id)?.slots.len();
+        for slot in 0..n_slots {
+            self.load_afi(registry, instance_id, slot, agfi_id)?;
+        }
+        Ok((0..n_slots).collect())
+    }
+
     /// The AGFI currently loaded on a slot, if any.
     pub fn loaded_afi(&self, instance_id: &str, slot: usize) -> Result<Option<String>, CloudError> {
         let instances = self.instances.lock();
@@ -181,7 +197,8 @@ mod tests {
         s3.create_bucket("condor-bucket").unwrap();
         let xo = XoFile::package("k", "v", Bytes::from_static(b"IP")).unwrap();
         let xclbin = xocc_link(&xo, "aws-f1").unwrap();
-        s3.put_object("condor-bucket", "d.xclbin", xclbin.bytes).unwrap();
+        s3.put_object("condor-bucket", "d.xclbin", xclbin.bytes)
+            .unwrap();
         let (afi, agfi) = reg
             .create_fpga_image(&s3, "condor-bucket", "d.xclbin", "n")
             .unwrap();
@@ -214,7 +231,8 @@ mod tests {
         s3.create_bucket("condor-bucket").unwrap();
         let xo = XoFile::package("k", "v", Bytes::from_static(b"IP")).unwrap();
         let xclbin = xocc_link(&xo, "aws-f1").unwrap();
-        s3.put_object("condor-bucket", "d.xclbin", xclbin.bytes).unwrap();
+        s3.put_object("condor-bucket", "d.xclbin", xclbin.bytes)
+            .unwrap();
         let (_, agfi) = reg
             .create_fpga_image(&s3, "condor-bucket", "d.xclbin", "n")
             .unwrap();
@@ -246,6 +264,22 @@ mod tests {
         mgr.terminate(&id).unwrap();
         assert!(mgr.describe(&id).is_err());
         assert!(mgr.terminate(&id).is_err());
+    }
+
+    #[test]
+    fn load_on_all_slots() {
+        let reg = AfiRegistry::new();
+        let agfi = available_agfi(&reg);
+        let mgr = F1Manager::new();
+        let id = mgr.launch(F1InstanceType::F1_16xlarge);
+        let slots = mgr.load_afi_all_slots(&reg, &id, &agfi).unwrap();
+        assert_eq!(slots, (0..8).collect::<Vec<_>>());
+        for slot in slots {
+            assert_eq!(
+                mgr.loaded_afi(&id, slot).unwrap().as_deref(),
+                Some(agfi.as_str())
+            );
+        }
     }
 
     #[test]

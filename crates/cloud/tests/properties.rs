@@ -1,7 +1,7 @@
 //! Property tests for the simulated cloud services.
 
 use bytes::Bytes;
-use condor_cloud::{xocc_link, AfiRegistry, AfiState, S3Client, XoFile, Xclbin};
+use condor_cloud::{xocc_link, AfiRegistry, AfiState, S3Client, Xclbin, XoFile};
 use proptest::prelude::*;
 
 proptest! {

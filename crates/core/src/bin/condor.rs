@@ -35,9 +35,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             // Value-taking flags vs boolean switches.
             match name {
                 "weights" | "board" | "freq" | "prototxt" | "fusion" => {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     args.flags.insert(name.to_string(), v);
                 }
                 "dse" => {
@@ -78,7 +76,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let net = &model.network;
     println!("{net}");
     let costs = net.costs().map_err(|e| e.to_string())?;
-    println!("{:<12} {:>14} {:>12} {:>12}", "layer", "MACs/img", "FLOPs/img", "params");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "layer", "MACs/img", "FLOPs/img", "params"
+    );
     for c in &costs {
         println!(
             "{:<12} {:>14} {:>12} {:>12}",
@@ -89,7 +90,11 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         "total: {} FLOPs/image, {} parameters, weights {}",
         net.total_flops().map_err(|e| e.to_string())?,
         net.total_params().map_err(|e| e.to_string())?,
-        if net.fully_weighted() { "loaded" } else { "absent" }
+        if net.fully_weighted() {
+            "loaded"
+        } else {
+            "absent"
+        }
     );
     Ok(())
 }
@@ -106,10 +111,17 @@ fn builder_from(args: &Args) -> Result<Condor, String> {
         b = b.board(board.clone());
     }
     if let Some(freq) = args.flags.get("freq") {
-        b = b.freq_mhz(freq.parse::<f64>().map_err(|e| format!("bad --freq: {e}"))?);
+        b = b.freq_mhz(
+            freq.parse::<f64>()
+                .map_err(|e| format!("bad --freq: {e}"))?,
+        );
     }
     if let Some(fusion) = args.flags.get("fusion") {
-        b = b.fusion(fusion.parse::<usize>().map_err(|e| format!("bad --fusion: {e}"))?);
+        b = b.fusion(
+            fusion
+                .parse::<usize>()
+                .map_err(|e| format!("bad --fusion: {e}"))?,
+        );
     }
     if args.switches.contains("dse") {
         b = b.auto_dse(DseConfig::default());
@@ -118,7 +130,9 @@ fn builder_from(args: &Args) -> Result<Condor, String> {
 }
 
 fn cmd_build(args: &Args) -> Result<(), String> {
-    let built = builder_from(args)?.build().map_err(|e: CondorError| e.to_string())?;
+    let built = builder_from(args)?
+        .build()
+        .map_err(|e: CondorError| e.to_string())?;
     println!("accelerator : {}", built.accelerator.name);
     println!("board       : {}", built.representation.hardware.board);
     println!(
@@ -168,7 +182,10 @@ fn cmd_dse(args: &Args) -> Result<(), String> {
         println!(
             "{:<8} {:<12} {:>8.0} {:>9.2} {:>8.2} {:>8.2}",
             p.fusion,
-            format!("{} x {}", p.parallelism.parallel_in, p.parallelism.parallel_out),
+            format!(
+                "{} x {}",
+                p.parallelism.parallel_in, p.parallelism.parallel_out
+            ),
             p.synthesis.achieved_fmax_mhz,
             p.gflops,
             p.utilization.lut_pct,

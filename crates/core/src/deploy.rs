@@ -11,18 +11,57 @@
 //! ID … Once the AFI generation completes, it can be loaded on an FPGA
 //! slot of an F1 instance and executed."
 //!
-//! A [`DeployedAccelerator`] is the handle the generated host code would
-//! wrap: it executes batches on the threaded hardware runtime (real
-//! values), reports batch timing from the pipeline model, and produces
-//! the Table 1 metric row (utilisation, GFLOPS, GFLOPS/W).
+//! Both paths go through one entry point —
+//! [`crate::flow::BuiltAccelerator::deploy`] with a [`DeployTarget`] —
+//! and both produce a [`DeployedAccelerator`], the handle the generated
+//! host code would wrap: it executes batches on the threaded hardware
+//! runtime (real values), reports batch timing from the pipeline model,
+//! and produces the Table 1 metric row (utilisation, GFLOPS, GFLOPS/W).
+//! Anything that can run a batch implements [`ExecutionBackend`]; a
+//! multi-slot cloud deployment splits into per-slot
+//! [`AcceleratorReplica`]s so a serving layer can dispatch across every
+//! FPGA of an F1 instance.
 
 use crate::error::CondorError;
 use crate::flow::BuiltAccelerator;
-use condor_cloud::{xocc_link, AfiRegistry, Environment, F1InstanceType, F1Manager, S3Client, Xclbin};
-use condor_dataflow::{BatchTiming, PipelineModel};
+use crate::metrics::MetricsSnapshot;
+pub use condor_cloud::F1InstanceType;
+use condor_cloud::{xocc_link, AfiRegistry, Environment, F1Manager, S3Client, Xclbin};
 use condor_dataflow::runtime::ThreadedRuntime;
+use condor_dataflow::{BatchTiming, PipelineModel};
 use condor_fpga::{PowerModel, Utilization};
 use condor_tensor::Tensor;
+use std::sync::{Arc, OnceLock};
+
+/// Where to deploy a built accelerator (paper step 7 or 8).
+#[derive(Clone, Copy)]
+pub enum DeployTarget<'a> {
+    /// A locally accessible board, programmed directly with the xclbin.
+    OnPremise,
+    /// The Amazon F1 instances, through S3 → AFI → FPGA slots.
+    Cloud(&'a CloudContext),
+}
+
+impl std::fmt::Debug for DeployTarget<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployTarget::OnPremise => write!(f, "OnPremise"),
+            DeployTarget::Cloud(ctx) => write!(f, "Cloud(bucket={:?})", ctx.bucket),
+        }
+    }
+}
+
+/// Anything that can execute inference batches: a whole deployment or a
+/// single FPGA slot of one. The serving layer dispatches over a set of
+/// these without caring where each one runs.
+pub trait ExecutionBackend: Send + Sync {
+    /// Runs a batch and returns the outputs in input order.
+    fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError>;
+    /// The pipeline timing model of the underlying design.
+    fn pipeline(&self) -> PipelineModel;
+    /// Human-readable placement (board name, or instance/slot).
+    fn location(&self) -> String;
+}
 
 /// Where and how the accelerator ended up deployed.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,7 +71,7 @@ pub enum Deployment {
         /// Target board name.
         board: String,
     },
-    /// Running on an F1 FPGA slot through an AFI.
+    /// Running on the FPGA slots of an F1 instance through an AFI.
     Cloud {
         /// The AFI id returned by `create-fpga-image`.
         afi_id: String,
@@ -40,10 +79,11 @@ pub enum Deployment {
         agfi_id: String,
         /// The S3 location of the staged design.
         s3_key: String,
-        /// The F1 instance hosting the slot.
+        /// The F1 instance hosting the slots.
         instance_id: String,
-        /// The FPGA slot index.
-        slot: usize,
+        /// Every FPGA slot the AFI was loaded on (all slots of the
+        /// instance, so an f1.16xlarge serves from 8 FPGAs at once).
+        slots: Vec<usize>,
     },
 }
 
@@ -85,6 +125,12 @@ impl CloudContext {
         self.environment = env;
         self
     }
+
+    /// Same account, different instance size.
+    pub fn with_instance_type(mut self, t: F1InstanceType) -> Self {
+        self.instance_type = t;
+        self
+    }
 }
 
 /// A deployed, runnable accelerator.
@@ -95,10 +141,27 @@ pub struct DeployedAccelerator {
     pub xclbin: Xclbin,
     /// Deployment record.
     pub deployment: Deployment,
+    /// Wired hardware runtime, built on first inference and reused for
+    /// every batch after (and shared by all replicas of this
+    /// deployment).
+    runtime: OnceLock<ThreadedRuntime>,
+}
+
+/// Dispatches a deployment to the matching backend path.
+pub(crate) fn deploy(
+    built: BuiltAccelerator,
+    target: &DeployTarget<'_>,
+) -> Result<DeployedAccelerator, CondorError> {
+    match target {
+        DeployTarget::OnPremise => deploy_onpremise(built),
+        DeployTarget::Cloud(ctx) => deploy_cloud(built, ctx),
+    }
 }
 
 /// Step 7 — on-premise deployment.
-pub(crate) fn deploy_onpremise(built: BuiltAccelerator) -> Result<DeployedAccelerator, CondorError> {
+pub(crate) fn deploy_onpremise(
+    built: BuiltAccelerator,
+) -> Result<DeployedAccelerator, CondorError> {
     let board = built.board();
     let xclbin = xocc_link(&built.xo, board.name)?;
     Ok(DeployedAccelerator {
@@ -107,6 +170,7 @@ pub(crate) fn deploy_onpremise(built: BuiltAccelerator) -> Result<DeployedAccele
         },
         xclbin,
         built,
+        runtime: OnceLock::new(),
     })
 }
 
@@ -122,7 +186,7 @@ pub(crate) fn deploy_cloud(
         return Err(CondorError::new(
             "backend",
             format!(
-                "board '{}' is not a cloud target; use deploy_onpremise or select aws-f1",
+                "board '{}' is not a cloud target; use DeployTarget::OnPremise or select aws-f1",
                 board.name
             ),
         ));
@@ -147,9 +211,11 @@ pub(crate) fn deploy_cloud(
         ));
     }
 
-    // Launch an instance and load the AFI on slot 0.
+    // Launch an instance and load the AFI on every slot it has.
     let instance_id = ctx.f1.launch(ctx.instance_type);
-    ctx.f1.load_afi(&ctx.afi, &instance_id, 0, &agfi_id)?;
+    let slots = ctx
+        .f1
+        .load_afi_all_slots(&ctx.afi, &instance_id, &agfi_id)?;
 
     Ok(DeployedAccelerator {
         deployment: Deployment::Cloud {
@@ -157,10 +223,11 @@ pub(crate) fn deploy_cloud(
             agfi_id,
             s3_key: key,
             instance_id,
-            slot: 0,
+            slots,
         },
         xclbin,
         built,
+        runtime: OnceLock::new(),
     })
 }
 
@@ -181,6 +248,28 @@ pub struct AcceleratorMetrics {
     pub mean_us_per_image: f64,
 }
 
+impl AcceleratorMetrics {
+    /// The Table 1 row as the shared snapshot format, so accelerator
+    /// metrics and serving metrics print and merge uniformly.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges
+            .insert("bram_pct".into(), self.utilization.bram_pct);
+        snap.gauges
+            .insert("dsp_pct".into(), self.utilization.dsp_pct);
+        snap.gauges.insert("ff_pct".into(), self.utilization.ff_pct);
+        snap.gauges
+            .insert("lut_pct".into(), self.utilization.lut_pct);
+        snap.gauges.insert("freq_mhz".into(), self.freq_mhz);
+        snap.gauges.insert("gflops".into(), self.gflops);
+        snap.gauges.insert("power_w".into(), self.power_w);
+        snap.gauges.insert("gflops_per_w".into(), self.gflops_per_w);
+        snap.gauges
+            .insert("mean_us_per_image".into(), self.mean_us_per_image);
+        snap
+    }
+}
+
 impl DeployedAccelerator {
     /// The build this deployment came from.
     pub fn built(&self) -> &BuiltAccelerator {
@@ -199,17 +288,30 @@ impl DeployedAccelerator {
         PipelineModel::from_plan(&self.timed_plan())
     }
 
-    /// Runs a batch on the accelerator (threaded hardware runtime) and
-    /// returns the outputs in order.
-    pub fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+    /// The wired runtime, built once and reused for every batch.
+    fn runtime(&self) -> Result<&ThreadedRuntime, CondorError> {
         if !self.built.network.fully_weighted() {
             return Err(CondorError::new(
                 "backend",
                 "network has no weights loaded; provide a caffemodel or weights file",
             ));
         }
-        let rt = ThreadedRuntime::new(&self.built.network, &self.built.plan)?;
-        Ok(rt.run_batch(images)?)
+        if let Some(rt) = self.runtime.get() {
+            return Ok(rt);
+        }
+        let rt = ThreadedRuntime::from_shared(
+            Arc::new(self.built.network.clone()),
+            Arc::new(self.built.plan.clone()),
+        )?;
+        // A concurrent caller may have won the race; either runtime is
+        // equivalent, so keep whichever landed first.
+        Ok(self.runtime.get_or_init(|| rt))
+    }
+
+    /// Runs a batch on the accelerator (threaded hardware runtime) and
+    /// returns the outputs in order.
+    pub fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+        Ok(self.runtime()?.run_batch(images)?)
     }
 
     /// Classifies one image (argmax over the final layer).
@@ -246,6 +348,101 @@ impl DeployedAccelerator {
             mean_us_per_image: timing.mean_us_per_image,
         })
     }
+
+    /// The FPGA slots this deployment serves from (on-premise boards
+    /// count as one).
+    pub fn replica_count(&self) -> usize {
+        match &self.deployment {
+            Deployment::OnPremise { .. } => 1,
+            Deployment::Cloud { slots, .. } => slots.len().max(1),
+        }
+    }
+
+    /// Splits the deployment into one [`AcceleratorReplica`] per FPGA
+    /// slot, each an independent [`ExecutionBackend`] sharing this
+    /// deployment (and its cached runtime). An on-premise deployment
+    /// yields a single replica.
+    pub fn into_replicas(self) -> Vec<AcceleratorReplica> {
+        let slots: Vec<usize> = match &self.deployment {
+            Deployment::OnPremise { .. } => vec![0],
+            Deployment::Cloud { slots, .. } => {
+                if slots.is_empty() {
+                    vec![0]
+                } else {
+                    slots.clone()
+                }
+            }
+        };
+        let shared = Arc::new(self);
+        slots
+            .into_iter()
+            .map(|slot| AcceleratorReplica {
+                acc: Arc::clone(&shared),
+                slot,
+            })
+            .collect()
+    }
+}
+
+impl ExecutionBackend for DeployedAccelerator {
+    fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+        DeployedAccelerator::infer_batch(self, images)
+    }
+
+    fn pipeline(&self) -> PipelineModel {
+        DeployedAccelerator::pipeline(self)
+    }
+
+    fn location(&self) -> String {
+        match &self.deployment {
+            Deployment::OnPremise { board } => format!("onpremise:{board}"),
+            Deployment::Cloud {
+                instance_id, slots, ..
+            } => {
+                format!("cloud:{instance_id}[{} slots]", slots.len())
+            }
+        }
+    }
+}
+
+/// One FPGA slot of a deployment, usable as an independent execution
+/// backend. Replicas of the same deployment share the accelerator (and
+/// its wired runtime) through an [`Arc`].
+#[derive(Clone, Debug)]
+pub struct AcceleratorReplica {
+    acc: Arc<DeployedAccelerator>,
+    slot: usize,
+}
+
+impl AcceleratorReplica {
+    /// The deployment this replica belongs to.
+    pub fn accelerator(&self) -> &DeployedAccelerator {
+        &self.acc
+    }
+
+    /// The FPGA slot index this replica represents.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl ExecutionBackend for AcceleratorReplica {
+    fn infer_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+        self.acc.infer_batch(images)
+    }
+
+    fn pipeline(&self) -> PipelineModel {
+        self.acc.pipeline()
+    }
+
+    fn location(&self) -> String {
+        match &self.acc.deployment {
+            Deployment::OnPremise { board } => format!("onpremise:{board}/slot{}", self.slot),
+            Deployment::Cloud { instance_id, .. } => {
+                format!("cloud:{instance_id}/slot{}", self.slot)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,9 +462,12 @@ mod tests {
 
     #[test]
     fn onpremise_deployment_runs_inference() {
-        let deployed = built_lenet().deploy_onpremise().unwrap();
+        let deployed = built_lenet().deploy(&DeployTarget::OnPremise).unwrap();
         assert!(matches!(deployed.deployment, Deployment::OnPremise { .. }));
-        let imgs: Vec<Tensor> = dataset::mnist_like(3, 3).into_iter().map(|s| s.image).collect();
+        let imgs: Vec<Tensor> = dataset::mnist_like(3, 3)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
         let out = deployed.infer_batch(&imgs).unwrap();
         let net = zoo::lenet_weighted(4);
         let golden = GoldenEngine::new(&net).unwrap().infer_batch(&imgs).unwrap();
@@ -279,23 +479,25 @@ mod tests {
     #[test]
     fn cloud_deployment_walks_the_full_afi_workflow() {
         let ctx = CloudContext::new("condor-bucket");
-        let deployed = built_lenet().deploy_cloud(&ctx).unwrap();
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
         match &deployed.deployment {
             Deployment::Cloud {
                 afi_id,
                 agfi_id,
                 s3_key,
                 instance_id,
-                slot,
+                slots,
             } => {
                 assert!(afi_id.starts_with("afi-"));
                 assert!(agfi_id.starts_with("agfi-"));
                 assert_eq!(s3_key, "designs/condor_lenet.xclbin");
+                // f1.2xlarge exposes exactly one FPGA slot.
+                assert_eq!(slots, &vec![0]);
                 // The design really is staged in S3.
                 assert!(ctx.s3.get_object("condor-bucket", s3_key).is_ok());
                 // The slot really holds the AFI.
                 assert_eq!(
-                    ctx.f1.loaded_afi(instance_id, *slot).unwrap().as_deref(),
+                    ctx.f1.loaded_afi(instance_id, 0).unwrap().as_deref(),
                     Some(agfi_id.as_str())
                 );
             }
@@ -308,10 +510,82 @@ mod tests {
     }
 
     #[test]
-    fn cloud_deployment_requires_developer_ami() {
+    fn multi_slot_instance_loads_afi_everywhere() {
         let ctx =
-            CloudContext::new("condor-bucket").with_environment(Environment::workstation());
-        let err = built_lenet().deploy_cloud(&ctx).unwrap_err();
+            CloudContext::new("condor-bucket").with_instance_type(F1InstanceType::F1_16xlarge);
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+        let Deployment::Cloud {
+            instance_id,
+            agfi_id,
+            slots,
+            ..
+        } = &deployed.deployment
+        else {
+            panic!("expected cloud deployment");
+        };
+        assert_eq!(slots.len(), 8);
+        for &slot in slots {
+            assert_eq!(
+                ctx.f1.loaded_afi(instance_id, slot).unwrap().as_deref(),
+                Some(agfi_id.as_str())
+            );
+        }
+        assert_eq!(deployed.replica_count(), 8);
+    }
+
+    #[test]
+    fn replicas_share_one_deployment_and_agree_with_it() {
+        let ctx = CloudContext::new("condor-bucket").with_instance_type(F1InstanceType::F1_4xlarge);
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+        let imgs: Vec<Tensor> = dataset::mnist_like(2, 7)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let reference = deployed.infer_batch(&imgs).unwrap();
+        let replicas = deployed.into_replicas();
+        assert_eq!(replicas.len(), 2);
+        assert_eq!(replicas[0].slot(), 0);
+        assert_eq!(replicas[1].slot(), 1);
+        for replica in &replicas {
+            let out = ExecutionBackend::infer_batch(replica, &imgs).unwrap();
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "replica output must be bit-identical"
+                );
+            }
+            assert!(replica.location().contains("/slot"));
+        }
+    }
+
+    #[test]
+    fn onpremise_deployment_yields_one_replica() {
+        let replicas = built_lenet()
+            .deploy(&DeployTarget::OnPremise)
+            .unwrap()
+            .into_replicas();
+        assert_eq!(replicas.len(), 1);
+        assert!(replicas[0].location().starts_with("onpremise:aws-f1"));
+    }
+
+    #[test]
+    fn deprecated_deploy_shims_still_work() {
+        #[allow(deprecated)]
+        let on_prem = built_lenet().deploy_onpremise().unwrap();
+        assert!(matches!(on_prem.deployment, Deployment::OnPremise { .. }));
+        let ctx = CloudContext::new("condor-bucket");
+        #[allow(deprecated)]
+        let cloud = built_lenet().deploy_cloud(&ctx).unwrap();
+        assert!(matches!(cloud.deployment, Deployment::Cloud { .. }));
+    }
+
+    #[test]
+    fn cloud_deployment_requires_developer_ami() {
+        let ctx = CloudContext::new("condor-bucket").with_environment(Environment::workstation());
+        let err = built_lenet()
+            .deploy(&DeployTarget::Cloud(&ctx))
+            .unwrap_err();
         assert!(err.message.contains("FPGA Developer AMI"));
     }
 
@@ -322,13 +596,13 @@ mod tests {
             .build()
             .unwrap();
         let ctx = CloudContext::new("condor-bucket");
-        let err = built.deploy_cloud(&ctx).unwrap_err();
+        let err = built.deploy(&DeployTarget::Cloud(&ctx)).unwrap_err();
         assert!(err.message.contains("not a cloud target"));
     }
 
     #[test]
     fn metrics_land_in_table1_regime() {
-        let deployed = built_lenet().deploy_onpremise().unwrap();
+        let deployed = built_lenet().deploy(&DeployTarget::OnPremise).unwrap();
         let m = deployed.metrics(64).unwrap();
         assert!(m.utilization.feasible());
         assert!(m.gflops > 0.5 && m.gflops < 50.0, "gflops {}", m.gflops);
@@ -338,8 +612,18 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_carries_table1_gauges() {
+        let deployed = built_lenet().deploy(&DeployTarget::OnPremise).unwrap();
+        let snap = deployed.metrics(64).unwrap().snapshot();
+        assert_eq!(snap.gauge("freq_mhz"), Some(180.0));
+        assert!(snap.gauge("gflops").unwrap() > 0.0);
+        assert!(snap.gauge("gflops_per_w").unwrap() > 0.0);
+        assert!(snap.to_string().contains("gflops"));
+    }
+
+    #[test]
     fn batch_sweep_mirrors_figure5_shape() {
-        let deployed = built_lenet().deploy_onpremise().unwrap();
+        let deployed = built_lenet().deploy(&DeployTarget::OnPremise).unwrap();
         let sweep = deployed.batch_sweep(&[1, 2, 4, 8, 16, 32, 64]);
         for pair in sweep.windows(2) {
             assert!(pair[1].mean_us_per_image <= pair[0].mean_us_per_image);
@@ -352,7 +636,7 @@ mod tests {
             .board("aws-f1")
             .build()
             .unwrap();
-        let deployed = built.deploy_onpremise().unwrap();
+        let deployed = built.deploy(&DeployTarget::OnPremise).unwrap();
         let img = dataset::mnist_like(1, 1).remove(0).image;
         let err = deployed.infer_batch(&[img]).unwrap_err();
         assert!(err.message.contains("no weights"));

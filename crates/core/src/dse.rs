@@ -251,7 +251,12 @@ mod tests {
             .iter()
             .find(|p| {
                 p.fusion == 1
-                    && p.parallelism == PeParallelism { parallel_in: 1, parallel_out: 1, fc_simd: 1 }
+                    && p.parallelism
+                        == PeParallelism {
+                            parallel_in: 1,
+                            parallel_out: 1,
+                            fc_simd: 1,
+                        }
                     && p.freq_mhz == 200.0
             })
             .unwrap();
@@ -260,7 +265,12 @@ mod tests {
             .iter()
             .find(|p| {
                 p.fusion == 1
-                    && p.parallelism == PeParallelism { parallel_in: 2, parallel_out: 2, fc_simd: 2 }
+                    && p.parallelism
+                        == PeParallelism {
+                            parallel_in: 2,
+                            parallel_out: 2,
+                            fc_simd: 2,
+                        }
                     && p.freq_mhz == 200.0
             })
             .unwrap();

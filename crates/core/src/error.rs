@@ -87,7 +87,8 @@ mod tests {
     fn conversions_tag_the_right_tier() {
         let e: CondorError = condor_nn::NnError::net("bad").into();
         assert_eq!(e.tier, "frontend");
-        let e: CondorError = condor_dataflow::DataflowError::from(condor_nn::NnError::net("x")).into();
+        let e: CondorError =
+            condor_dataflow::DataflowError::from(condor_nn::NnError::net("x")).into();
         assert_eq!(e.tier, "core-logic");
     }
 }

@@ -9,7 +9,7 @@
 //! `.xo`), returning a [`BuiltAccelerator`] ready for the backend
 //! deployment step.
 
-use crate::deploy::{CloudContext, DeployedAccelerator};
+use crate::deploy::{CloudContext, DeployTarget, DeployedAccelerator};
 use crate::dse::{explore, DseConfig};
 use crate::error::CondorError;
 use crate::frontend::{analyze, FrontendInput};
@@ -17,7 +17,9 @@ use crate::repr::{DeploymentTarget, HardwareConfig, NetworkRepresentation};
 use condor_cloud::{host_code, XoFile};
 use condor_dataflow::{AcceleratorPlan, PeParallelism, PlanBuilder};
 use condor_fpga::{board, Board, Utilization};
-use condor_hls::{connect_network, package_layer_ip, synthesize_plan, AcceleratorIp, PlanSynthesis};
+use condor_hls::{
+    connect_network, package_layer_ip, synthesize_plan, AcceleratorIp, PlanSynthesis,
+};
 use condor_nn::Network;
 
 /// The framework entry point: collects inputs and directives, then runs
@@ -237,12 +239,21 @@ impl BuiltAccelerator {
             .utilization(&self.board().device().capacity)
     }
 
+    /// Deploys the accelerator (paper step 7 or 8). The target decides
+    /// the path: [`DeployTarget::OnPremise`] programs a local board
+    /// directly; [`DeployTarget::Cloud`] walks S3 → AFI → F1 slots.
+    pub fn deploy(self, target: &DeployTarget<'_>) -> Result<DeployedAccelerator, CondorError> {
+        crate::deploy::deploy(self, target)
+    }
+
     /// Deploys on a locally accessible board (paper step 7).
+    #[deprecated(note = "use `deploy(&DeployTarget::OnPremise)`")]
     pub fn deploy_onpremise(self) -> Result<DeployedAccelerator, CondorError> {
         crate::deploy::deploy_onpremise(self)
     }
 
     /// Deploys on the Amazon F1 instances (paper step 8).
+    #[deprecated(note = "use `deploy(&DeployTarget::Cloud(ctx))`")]
     pub fn deploy_cloud(self, ctx: &CloudContext) -> Result<DeployedAccelerator, CondorError> {
         crate::deploy::deploy_cloud(self, ctx)
     }

@@ -109,7 +109,10 @@ pub fn caffe_to_network(proto: &NetParameter) -> Result<Network, CondorError> {
         match lp.type_.as_str() {
             "Input" => {
                 let ip = lp.input_param.as_ref().ok_or_else(|| {
-                    CondorError::new("frontend", format!("layer '{}': missing input_param", lp.name))
+                    CondorError::new(
+                        "frontend",
+                        format!("layer '{}': missing input_param", lp.name),
+                    )
                 })?;
                 let shape = ip
                     .shape
@@ -205,7 +208,10 @@ pub fn caffe_to_network(proto: &NetParameter) -> Result<Network, CondorError> {
             other => {
                 return Err(CondorError::new(
                     "frontend",
-                    format!("layer '{}': unsupported Caffe layer type '{other}'", lp.name),
+                    format!(
+                        "layer '{}': unsupported Caffe layer type '{other}'",
+                        lp.name
+                    ),
                 ))
             }
         }
@@ -226,10 +232,7 @@ pub fn caffe_to_network(proto: &NetParameter) -> Result<Network, CondorError> {
 }
 
 /// Installs the blobs of a trained `caffemodel` into the network.
-pub fn install_caffe_weights(
-    net: &mut Network,
-    trained: &NetParameter,
-) -> Result<(), CondorError> {
+pub fn install_caffe_weights(net: &mut Network, trained: &NetParameter) -> Result<(), CondorError> {
     let weighted: Vec<String> = net
         .layers
         .iter()
@@ -461,7 +464,10 @@ impl<'a> Cursor<'a> {
         let shape = Shape::new(n, c, h, w);
         let len = shape.len();
         if len > 512 * 1024 * 1024 {
-            return Err(CondorError::new("frontend", "weights tensor implausibly large"));
+            return Err(CondorError::new(
+                "frontend",
+                "weights tensor implausibly large",
+            ));
         }
         let raw = self.take(len * 4)?;
         let data = raw
@@ -693,8 +699,7 @@ mod export_tests {
             let net = condor_nn::arbitrary::random_weighted_chain(seed);
             let proto = network_to_caffe(&net);
             let text = proto.to_prototxt();
-            let back =
-                caffe_to_network(&NetParameter::from_prototxt(&text).unwrap()).unwrap();
+            let back = caffe_to_network(&NetParameter::from_prototxt(&text).unwrap()).unwrap();
             assert_eq!(back.layers, net.layers, "seed {seed}");
         }
     }
@@ -706,7 +711,9 @@ mod export_tests {
             condor_tensor::Shape::chw(2, 6, 6),
             vec![condor_nn::Layer::new(
                 "relu",
-                condor_nn::LayerKind::ReLU { negative_slope: 0.0 },
+                condor_nn::LayerKind::ReLU {
+                    negative_slope: 0.0,
+                },
             )],
         )
         .unwrap();

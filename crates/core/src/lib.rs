@@ -14,15 +14,18 @@
 //! * **core logic** ([`dse`], [`flow`]) — design-space exploration,
 //!   layer creation (PE + filter code generation and synthesis), network
 //!   creation (IP connection), producing the packaged accelerator;
-//! * **backend** ([`deploy`]) — SDAccel integration: on-premise `xclbin`
-//!   deployment, or cloud deployment through S3 → AFI → F1 slot, plus
-//!   the host runtime that executes inference on the deployed
-//!   accelerator and measures the paper's metrics.
+//! * **backend** ([`deploy`], [`metrics`]) — SDAccel integration: one
+//!   [`flow::BuiltAccelerator::deploy`] call takes a
+//!   [`deploy::DeployTarget`] and either programs a local board with the
+//!   `xclbin` or walks S3 → AFI → every F1 slot; the deployed handle
+//!   (and its per-slot [`deploy::AcceleratorReplica`]s) implements
+//!   [`deploy::ExecutionBackend`], executes inference, and measures the
+//!   paper's metrics in the shared [`metrics::MetricsSnapshot`] format.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use condor::Condor;
+//! use condor::{Condor, DeployTarget};
 //! use condor_nn::{dataset, zoo};
 //!
 //! // Build LeNet from its Caffe prototxt with stand-in weights, target
@@ -33,7 +36,7 @@
 //!     .freq_mhz(180.0)
 //!     .build()
 //!     .unwrap();
-//! let deployed = built.deploy_onpremise().unwrap();
+//! let deployed = built.deploy(&DeployTarget::OnPremise).unwrap();
 //! let image = dataset::mnist_like(1, 1).remove(0).image;
 //! let probs = deployed.infer_batch(&[image]).unwrap();
 //! assert_eq!(probs[0].shape().c, 10);
@@ -44,11 +47,16 @@ pub mod dse;
 pub mod error;
 pub mod flow;
 pub mod frontend;
+pub mod metrics;
 pub mod repr;
 
-pub use deploy::{CloudContext, DeployedAccelerator, Deployment};
+pub use deploy::{
+    AcceleratorMetrics, AcceleratorReplica, CloudContext, DeployTarget, DeployedAccelerator,
+    Deployment, ExecutionBackend,
+};
 pub use dse::{explore, DseConfig, DseOutcome, DsePoint};
 pub use error::CondorError;
 pub use flow::{BuiltAccelerator, Condor};
 pub use frontend::{FrontendInput, LoadedModel};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use repr::{HardwareConfig, NetworkRepresentation};

@@ -1,0 +1,309 @@
+//! Lightweight metrics: counters, gauges and latency histograms behind
+//! one snapshot type.
+//!
+//! Every layer of the stack reports through the same structure: the
+//! Table 1 accelerator row ([`crate::deploy::AcceleratorMetrics`])
+//! converts into a [`MetricsSnapshot`], and the `condor-serve`
+//! inference server maintains a live [`MetricsRegistry`] whose
+//! `snapshot()` produces the same type — so benches, examples and
+//! operational tooling print and compare one format.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Cap on retained histogram samples; recording keeps a uniform random
+/// reservoir past this point so long-running servers stay bounded.
+const RESERVOIR_CAP: usize = 8192;
+
+#[derive(Debug, Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    reservoir: Vec<f64>,
+    /// xorshift state for reservoir replacement (seeded on first use).
+    rng: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+            self.rng = 0x9e3779b97f4a7c15;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(value);
+        } else {
+            // Vitter's algorithm R: keep each sample with equal probability.
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            let slot = (self.rng % self.count) as usize;
+            if slot < RESERVOIR_CAP {
+                self.reservoir[slot] = value;
+            }
+        }
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram values are finite"));
+        let q = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        HistogramSummary {
+            count: self.count,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            },
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Distribution summary of one histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Thread-safe registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter (creating it at zero).
+    pub fn incr(&self, name: &str, delta: u64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_secs_f64() * 1e6);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Consistent point-in-time snapshot of everything recorded.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().clone(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time metrics view: the one reporting structure shared by
+/// the deployment layer, the benches and the inference server.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous values (utilisation %, GFLOPS, …).
+    pub gauges: BTreeMap<String, f64>,
+    /// Distribution summaries (latencies in µs, batch sizes, …).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience: a gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Convenience: a counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience: a histogram summary, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another snapshot into this one (counters add, gauges and
+    /// histograms overwrite), for combining layers into one report.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.counters {
+            writeln!(f, "counter   {name:<28} {value}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "gauge     {name:<28} {value:.3}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "histogram {name:<28} n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+                h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("requests", 1);
+        m.incr("requests", 2);
+        assert_eq!(m.counter("requests"), 3);
+        assert_eq!(m.snapshot().counter("requests"), 3);
+        assert_eq!(m.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_data() {
+        let m = MetricsRegistry::new();
+        for i in 1..=1000 {
+            m.observe("latency_us", i as f64);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("latency_us").unwrap();
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean - 500.5).abs() < 1e-9);
+        assert!((h.p50 - 500.0).abs() <= 2.0, "p50 {}", h.p50);
+        assert!((h.p95 - 950.0).abs() <= 2.0, "p95 {}", h.p95);
+        assert!((h.p99 - 990.0).abs() <= 2.0, "p99 {}", h.p99);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_and_representative() {
+        let m = MetricsRegistry::new();
+        for i in 0..100_000 {
+            m.observe("x", (i % 100) as f64);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("x").unwrap();
+        assert_eq!(h.count, 100_000);
+        assert!(h.p50 > 25.0 && h.p50 < 75.0, "p50 {}", h.p50);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let a = MetricsRegistry::new();
+        a.incr("n", 2);
+        a.set_gauge("g", 1.0);
+        let b = MetricsRegistry::new();
+        b.incr("n", 3);
+        b.set_gauge("g", 9.0);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("n"), 5);
+        assert_eq!(snap.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        m.incr("ops", 1);
+                        m.observe("v", i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("ops"), 8000);
+        assert_eq!(m.snapshot().histogram("v").unwrap().count, 8000);
+    }
+
+    #[test]
+    fn display_is_line_per_metric() {
+        let m = MetricsRegistry::new();
+        m.incr("done", 7);
+        m.set_gauge("gflops", 3.35);
+        m.observe("lat", 10.0);
+        let text = m.snapshot().to_string();
+        assert!(text.contains("counter"));
+        assert!(text.contains("done"));
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+    }
+}

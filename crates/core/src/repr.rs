@@ -383,7 +383,9 @@ mod tests {
         assert_eq!(repr.hardware.parallelism, PeParallelism::default());
         // Caffe-style defaults on the layer too.
         match repr.network.layers[0].kind {
-            LayerKind::Convolution { stride, pad, bias, .. } => {
+            LayerKind::Convolution {
+                stride, pad, bias, ..
+            } => {
                 assert_eq!((stride, pad, bias), (1, 0, true));
             }
             _ => panic!("wrong kind"),
@@ -474,7 +476,11 @@ mod layer_override_tests {
         let back = NetworkRepresentation::parse(&text).unwrap();
         assert_eq!(back, repr);
         assert_eq!(
-            back.hardware.layer_overrides.get("conv2").unwrap().parallel_in,
+            back.hardware
+                .layer_overrides
+                .get("conv2")
+                .unwrap()
+                .parallel_in,
             4
         );
     }

@@ -35,7 +35,11 @@ fn info_prints_cost_table() {
         .args(["info", mini_json().to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("conv1"));
     assert!(stdout.contains("FLOPs/image"));
@@ -48,7 +52,11 @@ fn build_reports_bottleneck_and_utilisation() {
         .args(["build", mini_json().to_str().unwrap(), "--freq", "200"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("accelerator : condor_mini"));
     assert!(stdout.contains("200 MHz achieved"));
@@ -69,7 +77,11 @@ layer { name: "conv1" type: "Convolution" convolution_param { num_output: 2 kern
         .args(["build", path.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("condor_protomini"));
 }
 
@@ -85,7 +97,11 @@ fn export_writes_prototxt() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&out_path).expect("export exists");
     assert!(text.contains("type: \"Convolution\""));
     assert!(text.contains("num_output: 4"));
@@ -101,7 +117,10 @@ fn bad_inputs_exit_nonzero_with_message() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
     // Unknown command.
-    let out = Command::new(BIN).args(["frobnicate"]).output().expect("runs");
+    let out = Command::new(BIN)
+        .args(["frobnicate"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     // Unknown flag.
     let out = Command::new(BIN)
@@ -118,7 +137,11 @@ fn dse_lists_feasible_points() {
         .args(["dse", mini_json().to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("best feasible points"));
     assert!(stdout.contains("GFLOPS"));

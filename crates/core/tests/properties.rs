@@ -103,7 +103,7 @@ proptest! {
             .board("aws-f1")
             .build()
             .unwrap()
-            .deploy_onpremise()
+            .deploy(&condor::DeployTarget::OnPremise)
             .unwrap();
         let got = deployed.infer_batch(std::slice::from_ref(&img)).unwrap();
         prop_assert!(condor_tensor::AllClose::all_close(&got[0], &expect));

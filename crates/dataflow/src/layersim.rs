@@ -125,7 +125,7 @@ pub fn simulate_conv_layer(
         while next_elem < stream.len() || pending_window.is_some() {
             cycle += 1;
             // Drain the output FIFO at the configured rate.
-            if cycle % cfg.drain_every == 0 {
+            if cycle.is_multiple_of(cfg.drain_every) {
                 if let Some(v) = out_fifo.try_pop() {
                     let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
                     *output.at_mut(0, oc, oh, ow) = v;
@@ -195,7 +195,7 @@ pub fn simulate_conv_layer(
     // Epilogue: drain remaining outputs.
     while drained < total_out {
         cycle += 1;
-        if cycle % cfg.drain_every == 0 {
+        if cycle.is_multiple_of(cfg.drain_every) {
             if let Some(v) = out_fifo.try_pop() {
                 let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
                 *output.at_mut(0, oc, oh, ow) = v;
@@ -252,7 +252,7 @@ pub fn simulate_pool_layer(
 
         while next_elem < stream.len() || retry.is_some() {
             cycle += 1;
-            if cycle % cfg.drain_every == 0 {
+            if cycle.is_multiple_of(cfg.drain_every) {
                 if let Some(v) = out_fifo.try_pop() {
                     let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
                     *output.at_mut(0, oc, oh, ow) = v;
@@ -286,9 +286,7 @@ pub fn simulate_pool_layer(
                         PoolKind::Max => {
                             win.elems.iter().copied().fold(f32::NEG_INFINITY, f32::max)
                         }
-                        PoolKind::Average => {
-                            win.elems.iter().sum::<f32>() / win.elems.len() as f32
-                        }
+                        PoolKind::Average => win.elems.iter().sum::<f32>() / win.elems.len() as f32,
                     };
                     if out_fifo.try_push(v) {
                         out_coords.push_back((c, win.out_row, win.out_col));
@@ -348,7 +346,7 @@ pub fn simulate_pool_layer(
 
     while drained < total_out {
         cycle += 1;
-        if cycle % cfg.drain_every == 0 {
+        if cycle.is_multiple_of(cfg.drain_every) {
             if let Some(v) = out_fifo.try_pop() {
                 let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
                 *output.at_mut(0, oc, oh, ow) = v;
@@ -393,7 +391,12 @@ mod tests {
             },
         )];
         if relu {
-            layers.push(Layer::new("relu", LayerKind::ReLU { negative_slope: 0.0 }));
+            layers.push(Layer::new(
+                "relu",
+                LayerKind::ReLU {
+                    negative_slope: 0.0,
+                },
+            ));
         }
         let mut net = Network::new("g", input.shape(), layers).unwrap();
         net.set_weights("conv", weights.clone(), Some(bias.clone()))
@@ -457,8 +460,8 @@ mod tests {
             &LayerSimConfig::default(),
         );
         let analytic = 2 * 4 * 16; // C · F · H_out · W_out
-        // The simulated count adds stream/fill slack but must stay within
-        // the fill overhead of the analytic bound.
+                                   // The simulated count adds stream/fill slack but must stay within
+                                   // the fill overhead of the analytic bound.
         assert!(report.cycles as i64 >= analytic as i64);
         let fill = (2 * 6 + 3) * 2; // per-map chain fill, twice
         let slack = report.cycles as i64 - analytic as i64;
@@ -557,8 +560,7 @@ mod tests {
     fn pool_sim_matches_golden_engine() {
         let input = linspace(Shape::chw(3, 6, 6), -2.0, 0.13);
         for method in [PoolKind::Max, PoolKind::Average] {
-            let report =
-                simulate_pool_layer(&input, method, 2, 2, 0, &LayerSimConfig::default());
+            let report = simulate_pool_layer(&input, method, 2, 2, 0, &LayerSimConfig::default());
             let net = Network::new(
                 "p",
                 input.shape(),
@@ -675,8 +677,14 @@ mod pool_throttle_tests {
                 ..LayerSimConfig::default()
             },
         );
-        let fast =
-            simulate_pool_layer(&input, PoolKind::Average, 2, 2, 0, &LayerSimConfig::default());
+        let fast = simulate_pool_layer(
+            &input,
+            PoolKind::Average,
+            2,
+            2,
+            0,
+            &LayerSimConfig::default(),
+        );
         assert!(slow.input_stall_cycles > 0);
         assert!(slow.cycles > fast.cycles);
         assert_eq!(slow.output, fast.output);

@@ -189,8 +189,7 @@ mod tests {
         let fast = PipelineModel::from_stage_cycles(vec![100], 200.0);
         let slow = PipelineModel::from_stage_cycles(vec![100], 100.0);
         assert!(
-            (fast.batch(1).mean_us_per_image * 2.0 - slow.batch(1).mean_us_per_image).abs()
-                < 1e-9
+            (fast.batch(1).mean_us_per_image * 2.0 - slow.batch(1).mean_us_per_image).abs() < 1e-9
         );
         // 100 cycles at 100 MHz = 1 µs.
         assert!((slow.batch(1).mean_us_per_image - 1.0).abs() < 1e-9);

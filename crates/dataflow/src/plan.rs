@@ -124,7 +124,11 @@ impl PePlan {
     /// "When multiple layers are fused together, the memory pipeline is
     /// created considering the layer with the biggest window size".
     pub fn max_window(&self) -> usize {
-        self.layers.iter().map(PlannedLayer::window).max().unwrap_or(1)
+        self.layers
+            .iter()
+            .map(PlannedLayer::window)
+            .max()
+            .unwrap_or(1)
     }
 
     /// The widest input row among fused layers — "The FIFOs size is
@@ -193,12 +197,13 @@ impl PePlan {
         self.layers
             .iter()
             .map(|l| match l.kind {
-                LayerKind::Convolution { num_output, pad, .. } => {
+                LayerKind::Convolution {
+                    num_output, pad, ..
+                } => {
                     let f_groups = num_output.div_ceil(p.parallel_out) as u64;
                     let c_groups = l.input.c.div_ceil(p.parallel_in) as u64;
                     let compute = f_groups * c_groups * (l.output.h * l.output.w) as u64;
-                    let stream =
-                        c_groups * ((l.input.h + 2 * pad) * (l.input.w + 2 * pad)) as u64;
+                    let stream = c_groups * ((l.input.h + 2 * pad) * (l.input.w + 2 * pad)) as u64;
                     compute.max(stream)
                 }
                 LayerKind::Pooling { pad, .. } => {
@@ -568,7 +573,7 @@ mod tests {
         assert_eq!(cycles[3], 50 * 8 * 8); // pool2: stream-bound
         assert_eq!(cycles[4], 800 * 500); // ip1 (relu fused free)
         assert_eq!(cycles[5], 500 * 10 + 10); // ip2 + softmax drain
-        // ip1 dominates the initiation interval.
+                                              // ip1 dominates the initiation interval.
         assert_eq!(plan.initiation_interval(), 400_000);
     }
 

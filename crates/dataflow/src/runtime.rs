@@ -19,17 +19,43 @@ use condor_nn::golden;
 use condor_nn::{LayerKind, Network};
 use condor_tensor::{Shape, Tensor};
 use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
 
 /// The threaded accelerator runtime.
-pub struct ThreadedRuntime<'a> {
-    net: &'a Network,
-    plan: &'a AcceleratorPlan,
+///
+/// Owns shared handles to the network and plan so one wired runtime can
+/// be cached and reused across batches (and shared between concurrent
+/// callers — `run_batch` takes `&self` and each call spawns its own
+/// channel pipeline, so overlapping batches do not interfere).
+pub struct ThreadedRuntime {
+    net: Arc<Network>,
+    plan: Arc<AcceleratorPlan>,
     channel_depth: usize,
 }
 
-impl<'a> ThreadedRuntime<'a> {
+impl std::fmt::Debug for ThreadedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedRuntime")
+            .field("network", &self.net.name)
+            .field("pes", &self.plan.pes.len())
+            .field("channel_depth", &self.channel_depth)
+            .finish()
+    }
+}
+
+impl ThreadedRuntime {
     /// Wires a runtime for a fully-weighted network and its plan.
-    pub fn new(net: &'a Network, plan: &'a AcceleratorPlan) -> Result<Self, DataflowError> {
+    pub fn new(net: &Network, plan: &AcceleratorPlan) -> Result<Self, DataflowError> {
+        ThreadedRuntime::from_shared(Arc::new(net.clone()), Arc::new(plan.clone()))
+    }
+
+    /// Wires a runtime from shared handles without copying weights —
+    /// the constructor for callers that keep the runtime alive across
+    /// many batches (deployment handles, the inference server).
+    pub fn from_shared(
+        net: Arc<Network>,
+        plan: Arc<AcceleratorPlan>,
+    ) -> Result<Self, DataflowError> {
         if !net.fully_weighted() {
             return Err(DataflowError::new(
                 "network must be fully weighted before hardware execution",
@@ -43,6 +69,16 @@ impl<'a> ThreadedRuntime<'a> {
             plan,
             channel_depth: 1024,
         })
+    }
+
+    /// The network this runtime executes.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The plan this runtime executes.
+    pub fn plan(&self) -> &AcceleratorPlan {
+        &self.plan
     }
 
     /// Overrides the inter-PE channel depth (default 1024 elements).
@@ -113,7 +149,7 @@ impl<'a> ThreadedRuntime<'a> {
             for pe in &self.plan.pes {
                 let rx = receivers.remove(0);
                 let tx = senders.remove(0);
-                let net = self.net;
+                let net = self.net.as_ref();
                 let in_shape = pe.layers.first().expect("PE has layers").input;
                 scope.spawn(move || {
                     for _ in 0..batch {
@@ -244,7 +280,10 @@ mod tests {
             .map(|s| s.image)
             .collect();
         let hw = rt.run_batch(&images).unwrap();
-        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net)
+            .unwrap()
+            .infer_batch(&images)
+            .unwrap();
         assert_eq!(hw.len(), 4);
         for (h, g) in hw.iter().zip(&golden) {
             assert!(h.all_close(g));
@@ -268,7 +307,10 @@ mod tests {
             .map(|s| s.image)
             .collect();
         let hw = rt.run_batch(&images).unwrap();
-        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net)
+            .unwrap()
+            .infer_batch(&images)
+            .unwrap();
         for (h, g) in hw.iter().zip(&golden) {
             assert!(h.all_close(g));
         }
@@ -311,7 +353,10 @@ mod tests {
             .map(|s| s.image)
             .collect();
         let out = rt.run_batch(&images).unwrap();
-        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net)
+            .unwrap()
+            .infer_batch(&images)
+            .unwrap();
         for (h, g) in out.iter().zip(&golden) {
             assert!(h.all_close(g));
         }

@@ -156,7 +156,7 @@ impl FilterChain {
         }
         let top = r + 1 - self.k;
         let left = c + 1 - self.k;
-        if top % self.stride != 0 || left % self.stride != 0 {
+        if !top.is_multiple_of(self.stride) || !left.is_multiple_of(self.stride) {
             return None;
         }
         let out_row = top / self.stride;
@@ -236,13 +236,7 @@ mod tests {
     use super::*;
 
     /// Brute-force window enumeration for cross-checking.
-    fn naive_windows(
-        img: &[f32],
-        h: usize,
-        w: usize,
-        k: usize,
-        stride: usize,
-    ) -> Vec<Window> {
+    fn naive_windows(img: &[f32], h: usize, w: usize, k: usize, stride: usize) -> Vec<Window> {
         let mut out = Vec::new();
         let out_h = (h - k) / stride + 1;
         let out_w = (w - k) / stride + 1;
@@ -357,8 +351,8 @@ mod tests {
             .filter(|s| s.downstream_fifo_depth == Some(4))
             .count();
         assert_eq!(row_crossings, 2); // taps (2,0) and (1,0)
-        // The FIFO depths sum to the spatial distance between the first
-        // and the last access: one less than the on-chip buffer bound.
+                                      // The FIFO depths sum to the spatial distance between the first
+                                      // and the last access: one less than the on-chip buffer bound.
         let total: usize = specs.iter().filter_map(|s| s.downstream_fifo_depth).sum();
         assert_eq!(total, chain.buffer_bound() - 1);
     }

@@ -4,15 +4,20 @@ use condor_fpga::{PowerModel, Resources};
 use proptest::prelude::*;
 
 fn res_strategy() -> impl Strategy<Value = Resources> {
-    (0u64..1_000_000, 0u64..2_000_000, 0u64..7_000, 0u64..3_000, 0u64..1_000).prop_map(
-        |(lut, ff, dsp, bram_36k, uram)| Resources {
+    (
+        0u64..1_000_000,
+        0u64..2_000_000,
+        0u64..7_000,
+        0u64..3_000,
+        0u64..1_000,
+    )
+        .prop_map(|(lut, ff, dsp, bram_36k, uram)| Resources {
             lut,
             ff,
             dsp,
             bram_36k,
             uram,
-        },
-    )
+        })
 }
 
 proptest! {

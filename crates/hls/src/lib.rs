@@ -25,5 +25,7 @@ pub mod ip;
 pub mod synth;
 
 pub use codegen::{fc_pe_source, filter_source, pe_source};
-pub use ip::{connect_network, package_layer_ip, AcceleratorIp, IpError, IpInterface, StreamDir, VivadoIp};
+pub use ip::{
+    connect_network, package_layer_ip, AcceleratorIp, IpError, IpInterface, StreamDir, VivadoIp,
+};
 pub use synth::{synthesize_plan, ModuleKind, ModuleSynthesis, PlanSynthesis, SynthModel};

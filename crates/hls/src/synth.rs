@@ -393,7 +393,11 @@ mod tests {
     fn module_inventory_is_complete() {
         let plan = table1_plan(&zoo::lenet(), 180.0);
         let synth = synthesize_plan(&plan, vu9p());
-        let pes = synth.modules.iter().filter(|m| m.kind == ModuleKind::Pe).count();
+        let pes = synth
+            .modules
+            .iter()
+            .filter(|m| m.kind == ModuleKind::Pe)
+            .count();
         assert_eq!(pes, plan.pes.len());
         assert_eq!(
             synth

@@ -95,7 +95,9 @@ pub fn random_chain(seed: u64) -> Network {
         if rng.index(2) == 0 {
             layers.push(Layer::new(
                 name("fcact", &mut idx),
-                LayerKind::ReLU { negative_slope: 0.0 },
+                LayerKind::ReLU {
+                    negative_slope: 0.0,
+                },
             ));
         }
     }
@@ -113,7 +115,9 @@ pub fn random_chain(seed: u64) -> Network {
     if layers.len() == 1 {
         layers.push(Layer::new(
             "relu_only",
-            LayerKind::ReLU { negative_slope: 0.0 },
+            LayerKind::ReLU {
+                negative_slope: 0.0,
+            },
         ));
     }
 

@@ -92,8 +92,15 @@ impl<'a> GoldenEngine<'a> {
             } => {
                 let lw = self.net.weights_of(name).expect("fully weighted");
                 convolve(
-                    input, &lw.weights, lw.bias.as_ref(), out_shape, num_output, kernel, stride,
-                    pad, bias,
+                    input,
+                    &lw.weights,
+                    lw.bias.as_ref(),
+                    out_shape,
+                    num_output,
+                    kernel,
+                    stride,
+                    pad,
+                    bias,
                 )
             }
             LayerKind::Pooling {
@@ -473,7 +480,12 @@ mod tests {
             Network::new(
                 "relu",
                 Shape::vector(4),
-                vec![Layer::new("r", LayerKind::ReLU { negative_slope: slope })],
+                vec![Layer::new(
+                    "r",
+                    LayerKind::ReLU {
+                        negative_slope: slope,
+                    },
+                )],
             )
             .unwrap()
         };
@@ -568,7 +580,10 @@ mod tests {
             .unwrap()
         };
         let input = Tensor::from_vec(Shape::vector(4), vec![0.5, -1.0, 2.0, 0.0]);
-        let p = GoldenEngine::new(&mk(false)).unwrap().infer(&input).unwrap();
+        let p = GoldenEngine::new(&mk(false))
+            .unwrap()
+            .infer(&input)
+            .unwrap();
         let lp = GoldenEngine::new(&mk(true)).unwrap().infer(&input).unwrap();
         for (a, b) in p.as_slice().iter().zip(lp.as_slice()) {
             assert!((a.ln() - b).abs() < 1e-5);

@@ -206,9 +206,7 @@ impl LayerKind {
                 let out = self.output_shape(input).expect("validated");
                 (num_output * input.c * out.h * out.w * kernel * kernel) as u64
             }
-            LayerKind::InnerProduct { num_output, .. } => {
-                (num_output * input.item_len()) as u64
-            }
+            LayerKind::InnerProduct { num_output, .. } => (num_output * input.item_len()) as u64,
             _ => 0,
         }
     }
@@ -324,7 +322,14 @@ mod tests {
     #[test]
     fn activations_preserve_shape() {
         let s = Shape::new(1, 20, 24, 24);
-        assert_eq!(LayerKind::ReLU { negative_slope: 0.0 }.output_shape(s).unwrap(), s);
+        assert_eq!(
+            LayerKind::ReLU {
+                negative_slope: 0.0
+            }
+            .output_shape(s)
+            .unwrap(),
+            s
+        );
         assert_eq!(LayerKind::Sigmoid.output_shape(s).unwrap(), s);
         assert_eq!(LayerKind::TanH.output_shape(s).unwrap(), s);
     }
@@ -378,11 +383,17 @@ mod tests {
     fn stage_classification_rules() {
         assert_eq!(conv(8, 3).stage(false), Stage::FeatureExtraction);
         assert_eq!(
-            LayerKind::InnerProduct { num_output: 10, bias: true }.stage(false),
+            LayerKind::InnerProduct {
+                num_output: 10,
+                bias: true
+            }
+            .stage(false),
             Stage::Classification
         );
         // ReLU after the first FC belongs to the MLP.
-        let relu = LayerKind::ReLU { negative_slope: 0.0 };
+        let relu = LayerKind::ReLU {
+            negative_slope: 0.0,
+        };
         assert_eq!(relu.stage(false), Stage::FeatureExtraction);
         assert_eq!(relu.stage(true), Stage::Classification);
         assert_eq!(

@@ -117,7 +117,10 @@ impl Network {
                 return Err(NnError::net("layer with empty name"));
             }
             if !seen.insert(&layer.name) {
-                return Err(NnError::net(format!("duplicate layer name '{}'", layer.name)));
+                return Err(NnError::net(format!(
+                    "duplicate layer name '{}'",
+                    layer.name
+                )));
             }
         }
         for (i, layer) in self.layers.iter().enumerate() {
@@ -210,9 +213,9 @@ impl Network {
             .iter()
             .position(|l| l.name == layer_name)
             .ok_or_else(|| NnError::net(format!("no layer named '{layer_name}'")))?;
-        let expected = self.weight_shapes(index)?.ok_or_else(|| {
-            NnError::at(layer_name, "layer does not take weights")
-        })?;
+        let expected = self
+            .weight_shapes(index)?
+            .ok_or_else(|| NnError::at(layer_name, "layer does not take weights"))?;
         if weights.shape() != expected.0 {
             return Err(NnError::at(
                 layer_name,
@@ -341,11 +344,7 @@ impl Network {
             .take_while(|(_, s)| **s == Stage::FeatureExtraction)
             .map(|(l, _)| l.clone())
             .collect();
-        let mut net = Network::new(
-            format!("{}-features", self.name),
-            self.input_shape,
-            layers,
-        )?;
+        let mut net = Network::new(format!("{}-features", self.name), self.input_shape, layers)?;
         for l in &net.layers.clone() {
             if let Some(w) = self.weights.get(&l.name) {
                 net.weights.insert(l.name.clone(), w.clone());
@@ -388,7 +387,12 @@ mod tests {
                         bias: true,
                     },
                 ),
-                Layer::new("relu1", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new(
+                    "relu1",
+                    LayerKind::ReLU {
+                        negative_slope: 0.0,
+                    },
+                ),
                 Layer::new(
                     "pool1",
                     LayerKind::Pooling {
@@ -398,7 +402,13 @@ mod tests {
                         pad: 0,
                     },
                 ),
-                Layer::new("ip1", LayerKind::InnerProduct { num_output: 10, bias: true }),
+                Layer::new(
+                    "ip1",
+                    LayerKind::InnerProduct {
+                        num_output: 10,
+                        bias: true,
+                    },
+                ),
                 Layer::new("prob", LayerKind::Softmax { log: false }),
             ],
         )
@@ -421,7 +431,12 @@ mod tests {
             "dup",
             Shape::chw(1, 8, 8),
             vec![
-                Layer::new("a", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new(
+                    "a",
+                    LayerKind::ReLU {
+                        negative_slope: 0.0,
+                    },
+                ),
                 Layer::new("a", LayerKind::Sigmoid),
             ],
         )
@@ -435,7 +450,12 @@ mod tests {
             "bad",
             Shape::chw(1, 8, 8),
             vec![
-                Layer::new("relu", LayerKind::ReLU { negative_slope: 0.0 }),
+                Layer::new(
+                    "relu",
+                    LayerKind::ReLU {
+                        negative_slope: 0.0,
+                    },
+                ),
                 Layer::new("data", LayerKind::Input),
             ],
         )

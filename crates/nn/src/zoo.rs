@@ -41,7 +41,12 @@ fn maxpool(name: &str, kernel: usize, stride: usize) -> Layer {
 }
 
 fn relu(name: &str) -> Layer {
-    Layer::new(name, LayerKind::ReLU { negative_slope: 0.0 })
+    Layer::new(
+        name,
+        LayerKind::ReLU {
+            negative_slope: 0.0,
+        },
+    )
 }
 
 fn ip(name: &str, num_output: usize) -> Layer {
@@ -64,7 +69,7 @@ pub fn tc1() -> Network {
             Layer::new("data", LayerKind::Input),
             conv("conv1", 8, 5, 1, 0), // 8×12×12
             relu("relu1"),
-            maxpool("pool1", 2, 2), // 8×6×6
+            maxpool("pool1", 2, 2),     // 8×6×6
             conv("conv2", 16, 5, 1, 0), // 16×2×2
             relu("relu2"),
             ip("ip1", 32),
@@ -105,8 +110,13 @@ pub fn lenet() -> Network {
 pub fn vgg16() -> Network {
     let mut layers = vec![Layer::new("data", LayerKind::Input)];
     // (block, convs, channels)
-    let blocks: [(usize, usize, usize); 5] =
-        [(1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512)];
+    let blocks: [(usize, usize, usize); 5] = [
+        (1, 2, 64),
+        (2, 2, 128),
+        (3, 3, 256),
+        (4, 3, 512),
+        (5, 3, 512),
+    ];
     for (block, convs, channels) in blocks {
         for i in 1..=convs {
             layers.push(conv(&format!("conv{block}_{i}"), channels, 3, 1, 1));
@@ -133,7 +143,8 @@ pub fn tc1_weighted(seed: u64) -> Network {
 /// LeNet with deterministic stand-in weights.
 pub fn lenet_weighted(seed: u64) -> Network {
     let mut net = lenet();
-    net.attach_random_weights(seed).expect("LeNet weights attach");
+    net.attach_random_weights(seed)
+        .expect("LeNet weights attach");
     net
 }
 
@@ -262,11 +273,7 @@ mod tests {
         let net = vgg16();
         let outs = net.output_shapes().unwrap();
         // After block 5 pooling: 512×7×7.
-        let pool5_idx = net
-            .layers
-            .iter()
-            .position(|l| l.name == "pool5")
-            .unwrap();
+        let pool5_idx = net.layers.iter().position(|l| l.name == "pool5").unwrap();
         assert_eq!(outs[pool5_idx], Shape::new(1, 512, 7, 7));
         assert_eq!(net.output_shape().unwrap(), Shape::vector(1000));
         // VGG-16 has ~138.36M parameters.
@@ -309,8 +316,14 @@ mod tests {
     fn stage_split_counts() {
         let net = lenet();
         let stages = net.stages();
-        let fe = stages.iter().filter(|s| **s == Stage::FeatureExtraction).count();
-        let cl = stages.iter().filter(|s| **s == Stage::Classification).count();
+        let fe = stages
+            .iter()
+            .filter(|s| **s == Stage::FeatureExtraction)
+            .count();
+        let cl = stages
+            .iter()
+            .filter(|s| **s == Stage::Classification)
+            .count();
         assert_eq!(fe, 5); // data conv1 pool1 conv2 pool2
         assert_eq!(cl, 4); // ip1 relu1 ip2 prob
     }

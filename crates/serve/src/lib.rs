@@ -1,0 +1,760 @@
+//! # condor-serve
+//!
+//! A multi-threaded inference server over deployed Condor accelerators.
+//!
+//! The paper deploys one accelerator and hands the caller a host handle;
+//! production use puts that handle behind a service. This crate provides
+//! the serving layer: concurrent clients submit single images, a batcher
+//! thread coalesces them into hardware batches (the Figure 5 effect —
+//! FPGA pipelines only reach their sustained rate when batches keep
+//! every PE busy), and worker threads dispatch each batch to the
+//! least-loaded [`ExecutionBackend`] — all FPGA slots of an F1 instance,
+//! or several on-premise deployments.
+//!
+//! Operational behaviour:
+//!
+//! * **Dynamic batching** — a batch closes when it reaches
+//!   [`ServeConfig::max_batch`] or when [`ServeConfig::batch_window`]
+//!   expires after its first request, whichever comes first.
+//! * **Backpressure** — the request queue is bounded; when it is full,
+//!   [`InferenceServer::submit`] fails fast with
+//!   [`ServeError::Overloaded`] instead of queueing unboundedly.
+//! * **Timeouts** — every request carries a deadline; requests that expire
+//!   while queued are answered with [`ServeError::Timeout`].
+//! * **Graceful drain** — [`InferenceServer::shutdown`] stops accepting
+//!   new work, drains everything already accepted, joins all threads and
+//!   returns the final [`MetricsSnapshot`].
+//!
+//! Every accepted request receives exactly one reply, and outputs are
+//! bit-identical to calling `infer_batch` directly on the deployment:
+//! the threaded runtime computes each image independently, so batch
+//! composition cannot change the numbers.
+//!
+//! ```
+//! use condor::{Condor, DeployTarget};
+//! use condor_nn::{dataset, zoo};
+//! use condor_serve::{InferenceServer, ServeConfig};
+//!
+//! let deployed = Condor::from_network(zoo::lenet_weighted(7))
+//!     .board("aws-f1")
+//!     .build()
+//!     .unwrap()
+//!     .deploy(&DeployTarget::OnPremise)
+//!     .unwrap();
+//! let server = InferenceServer::from_deployment(deployed, ServeConfig::default()).unwrap();
+//! let image = dataset::mnist_like(1, 1).remove(0).image;
+//! let probs = server.infer(image).unwrap();
+//! assert_eq!(probs.shape().c, 10);
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.counter("requests_completed"), 1);
+//! ```
+
+use condor::{
+    CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
+};
+use condor_tensor::Tensor;
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the serving layer.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest hardware batch the batcher will form.
+    pub max_batch: usize,
+    /// How long the batcher waits after a batch's first request for more
+    /// requests to coalesce before flushing a partial batch.
+    pub batch_window: Duration,
+    /// Bound on the request queue; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit
+    /// timeout.
+    pub default_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 256,
+            default_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the maximum hardware batch size.
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets the batch coalescing window.
+    pub fn with_batch_window(mut self, w: Duration) -> Self {
+        self.batch_window = w;
+        self
+    }
+
+    /// Sets the request queue bound.
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn with_default_timeout(mut self, t: Duration) -> Self {
+        self.default_timeout = t;
+        self
+    }
+}
+
+/// Why a request did not produce an output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue was full; retry later or add capacity.
+    Overloaded,
+    /// The request's deadline expired before it reached the hardware.
+    Timeout,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The server went away without answering (it was dropped).
+    Disconnected,
+    /// No execution backends were provided.
+    NoBackends,
+    /// The accelerator itself failed the batch.
+    Backend(CondorError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "server overloaded: request queue is full"),
+            ServeError::Timeout => write!(f, "request timed out before execution"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "server disconnected without replying"),
+            ServeError::NoBackends => write!(f, "no execution backends provided"),
+            ServeError::Backend(e) => write!(f, "backend failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued inference request.
+struct Request {
+    tensor: Tensor,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: Sender<Result<Tensor, ServeError>>,
+}
+
+/// A ticket for a request the server accepted.
+#[derive(Debug)]
+pub struct PendingInference {
+    rx: Receiver<Result<Tensor, ServeError>>,
+}
+
+impl PendingInference {
+    /// Blocks until the server answers. Every accepted request is
+    /// answered exactly once (output, timeout, or backend error), so
+    /// this returns as soon as the request's batch completes.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)?
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout` (the
+    /// request keeps running; its eventual reply is discarded).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Tensor, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+/// One dispatch lane: a backend plus its in-flight load.
+struct WorkerHandle {
+    tx: Sender<Vec<Request>>,
+    inflight: Arc<AtomicUsize>,
+}
+
+/// The dynamic-batching inference server.
+///
+/// See the crate docs for the threading model. Construct with
+/// [`InferenceServer::new`] over any set of [`ExecutionBackend`]s, or
+/// [`InferenceServer::from_deployment`] to serve from every FPGA slot of
+/// one deployment.
+pub struct InferenceServer {
+    config: ServeConfig,
+    accepting: Arc<AtomicBool>,
+    submit_tx: Option<Sender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<MetricsRegistry>,
+    locations: Vec<String>,
+    started: Instant,
+}
+
+impl fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InferenceServer")
+            .field("backends", &self.locations)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl InferenceServer {
+    /// Starts a server dispatching over the given backends (one worker
+    /// thread per backend, plus the batcher thread).
+    pub fn new(
+        backends: Vec<Box<dyn ExecutionBackend>>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if backends.is_empty() {
+            return Err(ServeError::NoBackends);
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let accepting = Arc::new(AtomicBool::new(true));
+        let (submit_tx, submit_rx) = bounded::<Request>(config.queue_capacity.max(1));
+
+        let mut handles = Vec::with_capacity(backends.len());
+        let mut workers = Vec::with_capacity(backends.len());
+        let mut locations = Vec::with_capacity(backends.len());
+        for backend in backends {
+            let location = backend.location();
+            // Capacity 1 keeps at most one batch queued per lane, so a
+            // stalled backend pushes back into the request queue instead
+            // of hoarding work a faster lane could take.
+            let (tx, rx) = bounded::<Vec<Request>>(1);
+            let inflight = Arc::new(AtomicUsize::new(0));
+            handles.push(WorkerHandle {
+                tx,
+                inflight: Arc::clone(&inflight),
+            });
+            locations.push(location);
+            let worker_metrics = Arc::clone(&metrics);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(backend, rx, inflight, worker_metrics);
+            }));
+        }
+
+        let batcher_cfg = config.clone();
+        let batcher_metrics = Arc::clone(&metrics);
+        let batcher = std::thread::spawn(move || {
+            batcher_loop(submit_rx, handles, batcher_cfg, batcher_metrics);
+        });
+
+        Ok(InferenceServer {
+            config,
+            accepting,
+            submit_tx: Some(submit_tx),
+            batcher: Some(batcher),
+            workers,
+            metrics,
+            locations,
+            started: Instant::now(),
+        })
+    }
+
+    /// Starts a server over every FPGA slot of one deployment (a
+    /// multi-slot F1 instance serves from all its FPGAs; an on-premise
+    /// board serves from one).
+    pub fn from_deployment(
+        deployed: DeployedAccelerator,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let backends = deployed
+            .into_replicas()
+            .into_iter()
+            .map(|r| Box::new(r) as Box<dyn ExecutionBackend>)
+            .collect();
+        InferenceServer::new(backends, config)
+    }
+
+    /// Where the server's backends run.
+    pub fn backend_locations(&self) -> &[String] {
+        &self.locations
+    }
+
+    /// Submits one image with the default timeout. Returns a ticket, or
+    /// fails fast when the queue is full ([`ServeError::Overloaded`]) or
+    /// the server is draining ([`ServeError::ShuttingDown`]).
+    pub fn submit(&self, tensor: Tensor) -> Result<PendingInference, ServeError> {
+        self.submit_with_timeout(tensor, self.config.default_timeout)
+    }
+
+    /// Submits one image with an explicit deadline.
+    pub fn submit_with_timeout(
+        &self,
+        tensor: Tensor,
+        timeout: Duration,
+    ) -> Result<PendingInference, ServeError> {
+        if !self.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .expect("sender lives until shutdown");
+        let (reply_tx, reply_rx) = bounded(1);
+        let now = Instant::now();
+        let request = Request {
+            tensor,
+            enqueued: now,
+            deadline: now + timeout,
+            reply: reply_tx,
+        };
+        match tx.try_send(request) {
+            Ok(()) => {
+                self.metrics.incr("requests_accepted", 1);
+                self.metrics.observe("queue_depth", tx.len() as f64);
+                Ok(PendingInference { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.incr("requests_rejected_overloaded", 1);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits one image and blocks for its result.
+    pub fn infer(&self, tensor: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(tensor)?.wait()
+    }
+
+    /// Live metrics: request counters, queue-depth and batch-size
+    /// distributions, latency percentiles, and the throughput gauge.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            snap.gauges.insert(
+                "throughput_rps".into(),
+                snap.counter("requests_completed") as f64 / elapsed,
+            );
+        }
+        snap
+    }
+
+    /// Stops accepting new requests, drains every request already
+    /// accepted (each still gets its reply), joins all threads, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.accepting.store(false, Ordering::SeqCst);
+        // Dropping the submit side lets the batcher drain the queue and
+        // then observe disconnection; the batcher in turn drops the
+        // worker lanes, which drain and exit.
+        drop(self.submit_tx.take());
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        // A dropped server still drains: threads only exit after the
+        // queue empties, and every in-flight request is answered.
+        self.accepting.store(false, Ordering::SeqCst);
+        drop(self.submit_tx.take());
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Adds a request to the forming batch, or answers it with `Timeout` if
+/// its deadline already passed while it sat in the queue.
+fn admit(request: Request, batch: &mut Vec<Request>, metrics: &MetricsRegistry) {
+    if Instant::now() >= request.deadline {
+        metrics.incr("requests_timed_out", 1);
+        let _ = request.reply.send(Err(ServeError::Timeout));
+    } else {
+        batch.push(request);
+    }
+}
+
+/// The batcher thread: coalesces queued requests into batches and hands
+/// each batch to the least-loaded worker lane.
+fn batcher_loop(
+    rx: Receiver<Request>,
+    workers: Vec<WorkerHandle>,
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+) {
+    loop {
+        // Block for the first request of the next batch; disconnection
+        // here means the queue is empty and the server is shutting down.
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        let window_closes = Instant::now() + config.batch_window;
+        let mut batch = Vec::with_capacity(config.max_batch);
+        admit(first, &mut batch, &metrics);
+
+        // Keep coalescing until the batch fills or the window closes.
+        while batch.len() < config.max_batch.max(1) {
+            let now = Instant::now();
+            if now >= window_closes {
+                break;
+            }
+            match rx.recv_timeout(window_closes - now) {
+                Ok(r) => admit(r, &mut batch, &metrics),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Least-loaded dispatch: the lane with the fewest in-flight
+        // images. The bounded lane makes this send block when every lane
+        // is busy, which is what backs pressure up into the request
+        // queue.
+        let lane = workers
+            .iter()
+            .min_by_key(|w| w.inflight.load(Ordering::SeqCst))
+            .expect("server has at least one backend");
+        lane.inflight.fetch_add(batch.len(), Ordering::SeqCst);
+        metrics.observe("batch_size", batch.len() as f64);
+        if lane.tx.send(batch).is_err() {
+            // Worker died; nothing to do — its requests were consumed by
+            // the failed send and their reply channels dropped, which
+            // surfaces as Disconnected to the callers.
+            metrics.incr("requests_dropped_worker_died", 1);
+        }
+    }
+    // Dropping `workers` here closes every lane; workers drain whatever
+    // is still queued on their channel and exit.
+}
+
+/// One worker thread: executes batches on its backend and answers every
+/// request in the batch.
+fn worker_loop(
+    backend: Box<dyn ExecutionBackend>,
+    rx: Receiver<Vec<Request>>,
+    inflight: Arc<AtomicUsize>,
+    metrics: Arc<MetricsRegistry>,
+) {
+    while let Ok(batch) = rx.recv() {
+        let n = batch.len();
+        let tensors: Vec<Tensor> = batch.iter().map(|r| r.tensor.clone()).collect();
+        match backend.infer_batch(&tensors) {
+            Ok(outputs) => {
+                for (request, output) in batch.into_iter().zip(outputs) {
+                    metrics.incr("requests_completed", 1);
+                    metrics.observe_duration("latency_us", request.enqueued.elapsed());
+                    let _ = request.reply.send(Ok(output));
+                }
+            }
+            Err(e) => {
+                for request in batch {
+                    metrics.incr("requests_failed", 1);
+                    let _ = request.reply.send(Err(ServeError::Backend(e.clone())));
+                }
+            }
+        }
+        inflight.fetch_sub(n, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor::deploy::DeployTarget;
+    use condor::Condor;
+    use condor_dataflow::PipelineModel;
+    use condor_nn::{dataset, zoo};
+    use std::sync::{Condvar, Mutex};
+
+    fn deployed_lenet() -> DeployedAccelerator {
+        Condor::from_network(zoo::lenet_weighted(11))
+            .board("aws-f1")
+            .freq_mhz(180.0)
+            .build()
+            .unwrap()
+            .deploy(&DeployTarget::OnPremise)
+            .unwrap()
+    }
+
+    fn images(n: usize, seed: u64) -> Vec<Tensor> {
+        dataset::mnist_like(n, seed)
+            .into_iter()
+            .map(|s| s.image)
+            .collect()
+    }
+
+    /// Wraps a backend behind a gate so tests can hold batches in
+    /// flight deterministically.
+    struct GatedBackend {
+        inner: Box<dyn ExecutionBackend>,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl GatedBackend {
+        fn open(gate: &Arc<(Mutex<bool>, Condvar)>) {
+            let (lock, cv) = gate.as_ref();
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+    }
+
+    impl ExecutionBackend for GatedBackend {
+        fn infer_batch(&self, imgs: &[Tensor]) -> Result<Vec<Tensor>, CondorError> {
+            let (lock, cv) = self.gate.as_ref();
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.infer_batch(imgs)
+        }
+        fn pipeline(&self) -> PipelineModel {
+            self.inner.pipeline()
+        }
+        fn location(&self) -> String {
+            format!("gated:{}", self.inner.location())
+        }
+    }
+
+    #[test]
+    fn single_request_roundtrip_matches_direct_inference() {
+        let deployed = deployed_lenet();
+        let img = images(1, 5).remove(0);
+        let expect = deployed.infer_batch(std::slice::from_ref(&img)).unwrap();
+        let server = InferenceServer::from_deployment(deployed, ServeConfig::default()).unwrap();
+        let got = server.infer(img).unwrap();
+        assert_eq!(got.as_slice(), expect[0].as_slice());
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_accepted"), 1);
+        assert_eq!(snap.counter("requests_completed"), 1);
+    }
+
+    #[test]
+    fn batch_window_flushes_partial_batches() {
+        // max_batch far above what we submit: only the window can close
+        // the batch, and all requests must still complete.
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_max_batch(1000)
+                .with_batch_window(Duration::from_millis(20))
+                .with_default_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+        let handles: Vec<_> = images(4, 6)
+            .into_iter()
+            .map(|img| server.submit(img).unwrap())
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 4);
+        let batches = snap.histogram("batch_size").unwrap();
+        assert!(batches.count >= 1);
+        // The window coalesced at least some of the 4 submissions.
+        assert!(batches.max >= 1.0 && batches.max <= 4.0);
+    }
+
+    #[test]
+    fn max_batch_caps_dispatch_size() {
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_max_batch(2)
+                .with_batch_window(Duration::from_millis(50))
+                .with_default_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+        let handles: Vec<_> = images(6, 7)
+            .into_iter()
+            .map(|img| server.submit(img).unwrap())
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 6);
+        assert!(snap.histogram("batch_size").unwrap().max <= 2.0);
+    }
+
+    #[test]
+    fn expired_requests_time_out_instead_of_executing() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let replicas = deployed_lenet().into_replicas();
+        let backend = Box::new(GatedBackend {
+            inner: Box::new(replicas.into_iter().next().unwrap()),
+            gate: Arc::clone(&gate),
+        });
+        let server = InferenceServer::new(
+            vec![backend],
+            ServeConfig::default()
+                .with_max_batch(1)
+                .with_batch_window(Duration::from_millis(1)),
+        )
+        .unwrap();
+
+        // First request occupies the (gated) worker.
+        let occupier = server
+            .submit_with_timeout(images(1, 8).remove(0), Duration::from_secs(30))
+            .unwrap();
+        // Second request gets a zero deadline: it can only expire.
+        let doomed = server
+            .submit_with_timeout(images(1, 9).remove(0), Duration::ZERO)
+            .unwrap();
+        assert_eq!(doomed.wait(), Err(ServeError::Timeout));
+
+        GatedBackend::open(&gate);
+        occupier.wait().unwrap();
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_timed_out"), 1);
+        assert_eq!(snap.counter("requests_completed"), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let replicas = deployed_lenet().into_replicas();
+        let backend = Box::new(GatedBackend {
+            inner: Box::new(replicas.into_iter().next().unwrap()),
+            gate: Arc::clone(&gate),
+        });
+        let server = InferenceServer::new(
+            vec![backend],
+            ServeConfig::default()
+                .with_max_batch(1)
+                .with_batch_window(Duration::ZERO)
+                .with_queue_capacity(2)
+                .with_default_timeout(Duration::from_secs(60)),
+        )
+        .unwrap();
+
+        // With the worker gated shut, the pipeline can hold only a
+        // bounded number of requests (worker lane + batcher + queue).
+        // Keep submitting: we must hit Overloaded well before 100.
+        let mut handles = Vec::new();
+        let mut overloaded = false;
+        for img in images(100, 10) {
+            match server.submit(img) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded) => {
+                    overloaded = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+            // Give the batcher a moment to drain before deciding the
+            // queue is truly full rather than momentarily busy.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(overloaded, "bounded queue never rejected");
+        assert!(handles.len() < 100);
+
+        // Release the gate: every accepted request still completes.
+        GatedBackend::open(&gate);
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = server.shutdown();
+        assert!(snap.counter("requests_rejected_overloaded") >= 1);
+        assert_eq!(snap.counter("requests_failed"), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_batch_window(Duration::from_millis(5))
+                .with_default_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+        let handles: Vec<_> = images(10, 12)
+            .into_iter()
+            .map(|img| server.submit(img).unwrap())
+            .collect();
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 10);
+        // Replies are still deliverable after shutdown returned.
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let deployed = deployed_lenet();
+        let img = images(1, 13).remove(0);
+        let server = InferenceServer::from_deployment(deployed, ServeConfig::default()).unwrap();
+        // `shutdown` consumes the server, so probe the accepting flag
+        // through a clone-free drop/rebuild: simplest observable is that
+        // a server mid-drop cannot be submitted to — covered by the
+        // ShuttingDown path in submit via the accepting flag.
+        server.accepting.store(false, Ordering::SeqCst);
+        assert_eq!(server.submit(img).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn empty_backend_set_is_rejected() {
+        assert_eq!(
+            InferenceServer::new(Vec::new(), ServeConfig::default()).unwrap_err(),
+            ServeError::NoBackends
+        );
+    }
+
+    #[test]
+    fn backend_errors_propagate_to_the_caller() {
+        // An unweighted network deploys but cannot execute; the server
+        // must surface that as a Backend error, not hang.
+        let deployed = Condor::from_network(zoo::lenet())
+            .board("aws-f1")
+            .build()
+            .unwrap()
+            .deploy(&DeployTarget::OnPremise)
+            .unwrap();
+        let server = InferenceServer::from_deployment(deployed, ServeConfig::default()).unwrap();
+        let err = server.infer(images(1, 14).remove(0)).unwrap_err();
+        match err {
+            ServeError::Backend(e) => assert!(e.message.contains("no weights")),
+            other => panic!("expected backend error, got {other:?}"),
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_failed"), 1);
+    }
+
+    #[test]
+    fn metrics_expose_latency_and_throughput() {
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default().with_default_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+        for img in images(5, 15) {
+            server.infer(img).unwrap();
+        }
+        let snap = server.metrics();
+        let latency = snap.histogram("latency_us").unwrap();
+        assert_eq!(latency.count, 5);
+        assert!(latency.p50 > 0.0 && latency.p99 >= latency.p50);
+        assert!(snap.gauge("throughput_rps").unwrap() > 0.0);
+        server.shutdown();
+    }
+}

@@ -4,8 +4,7 @@ use condor_tensor::{constant, linspace, max_abs_diff, AllClose, Shape, Tensor, T
 use proptest::prelude::*;
 
 fn shape_strategy() -> impl Strategy<Value = Shape> {
-    (1usize..4, 1usize..6, 1usize..8, 1usize..8)
-        .prop_map(|(n, c, h, w)| Shape::new(n, c, h, w))
+    (1usize..4, 1usize..6, 1usize..8, 1usize..8).prop_map(|(n, c, h, w)| Shape::new(n, c, h, w))
 }
 
 proptest! {

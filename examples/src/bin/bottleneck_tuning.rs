@@ -11,7 +11,7 @@
 //! stopping when the resource budget or the stream bound is reached —
 //! a manual version of what the automated DSE does globally.
 
-use condor::{Condor, BuiltAccelerator};
+use condor::{BuiltAccelerator, Condor};
 use condor_dataflow::{PeParallelism, PipelineModel};
 use condor_nn::zoo;
 use std::collections::BTreeMap;

@@ -9,7 +9,7 @@
 //! analysis → layer/network creation → SDAccel packaging → xclbin →
 //! S3 staging → AFI generation → F1 slot load → batched inference.
 
-use condor::{CloudContext, Condor, Deployment};
+use condor::{CloudContext, Condor, DeployTarget, Deployment};
 use condor_caffe::{BlobProto, NetParameter};
 use condor_nn::{dataset, zoo, GoldenEngine};
 use condor_tensor::AllClose;
@@ -18,8 +18,8 @@ use condor_tensor::AllClose;
 /// topology's NetParameter with per-layer weight blobs attached.
 fn fabricate_caffemodel() -> Vec<u8> {
     let trained = zoo::lenet_weighted(123);
-    let mut proto = NetParameter::from_prototxt(zoo::lenet_prototxt())
-        .expect("reference prototxt parses");
+    let mut proto =
+        NetParameter::from_prototxt(zoo::lenet_prototxt()).expect("reference prototxt parses");
     for lp in &mut proto.layer {
         if let Some(lw) = trained.weights_of(&lp.name) {
             lp.blobs.push(BlobProto::from_tensor(&lw.weights));
@@ -55,30 +55,26 @@ fn main() {
     println!(
         "built '{}' — kernel XML:\n{}",
         built.accelerator.name,
-        built
-            .xo
-            .xml
-            .lines()
-            .take(4)
-            .collect::<Vec<_>>()
-            .join("\n")
+        built.xo.xml.lines().take(4).collect::<Vec<_>>().join("\n")
     );
 
     // Cloud deployment against the simulated AWS account.
     let ctx = CloudContext::new("condor-demo-bucket");
-    let deployed = built.deploy_cloud(&ctx).expect("cloud deployment");
+    let deployed = built
+        .deploy(&DeployTarget::Cloud(&ctx))
+        .expect("cloud deployment");
     match &deployed.deployment {
         Deployment::Cloud {
             afi_id,
             agfi_id,
             s3_key,
             instance_id,
-            slot,
+            slots,
         } => {
             println!("\ncloud deployment complete:");
             println!("  S3        : s3://condor-demo-bucket/{s3_key}");
             println!("  AFI       : {afi_id} (global {agfi_id})");
-            println!("  instance  : {instance_id}, FPGA slot {slot}");
+            println!("  instance  : {instance_id}, FPGA slots {slots:?}");
         }
         other => panic!("expected cloud deployment, got {other:?}"),
     }
@@ -100,7 +96,11 @@ fn main() {
         .count();
     println!();
     condor_examples::print_accuracy("accelerator vs golden engine", matching, images.len());
-    assert_eq!(matching, images.len(), "hardware results must match software");
+    assert_eq!(
+        matching,
+        images.len(),
+        "hardware results must match software"
+    );
 
     // Figure 5 flavour: the batch effect on this deployment.
     println!("\nmean time per image (pipeline effect):");

@@ -8,7 +8,7 @@
 //! JSON network representation (topology + hardware directives) and an
 //! external weights file, and the framework does the rest.
 
-use condor::{frontend, Condor};
+use condor::{frontend, Condor, DeployTarget};
 use condor_nn::{dataset, zoo};
 
 fn main() {
@@ -27,11 +27,17 @@ fn main() {
     )
     .to_text();
     let weights_file = frontend::write_weights(&trained);
-    println!("Condor network representation ({} bytes of JSON):", representation.len());
+    println!(
+        "Condor network representation ({} bytes of JSON):",
+        representation.len()
+    );
     for line in representation.lines().take(12) {
         println!("  {line}");
     }
-    println!("  ... plus the layer list; weights file: {} bytes\n", weights_file.len());
+    println!(
+        "  ... plus the layer list; weights file: {} bytes\n",
+        weights_file.len()
+    );
 
     // 2. Run the automation flow.
     let built = Condor::from_condor_files(&representation, Some(&weights_file))
@@ -51,7 +57,9 @@ fn main() {
     );
 
     // 3. Deploy on a locally accessible board and run a batch.
-    let deployed = built.deploy_onpremise().expect("on-premise deployment");
+    let deployed = built
+        .deploy(&DeployTarget::OnPremise)
+        .expect("on-premise deployment");
     println!("deployed: {:?}", deployed.deployment);
     condor_examples::print_metrics(&deployed, 32);
 
@@ -59,5 +67,8 @@ fn main() {
     let images: Vec<_> = samples.iter().map(|s| s.image.clone()).collect();
     let outputs = deployed.infer_batch(&images).expect("inference runs");
     let classified = outputs.iter().filter(|o| o.argmax() < 10).count();
-    println!("\nran {} USPS-like digits through the accelerator; {classified} classified", images.len());
+    println!(
+        "\nran {} USPS-like digits through the accelerator; {classified} classified",
+        images.len()
+    );
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p condor-examples --bin tc1_usps
 //! ```
 
-use condor::{CloudContext, Condor};
+use condor::{CloudContext, Condor, DeployTarget};
 use condor_dataflow::PeParallelism;
 use condor_nn::{dataset, zoo, GoldenEngine};
 use condor_tensor::{max_abs_diff, AllClose};
@@ -27,7 +27,9 @@ fn main() {
         .build()
         .expect("TC1 builds");
     let ctx = CloudContext::new("condor-tc1-bucket");
-    let deployed = built.deploy_cloud(&ctx).expect("F1 deployment");
+    let deployed = built
+        .deploy(&DeployTarget::Cloud(&ctx))
+        .expect("F1 deployment");
     condor_examples::print_metrics(&deployed, 64);
 
     // Validation sweep: 50 digits, element-by-element comparison.
@@ -35,7 +37,9 @@ fn main() {
     let images: Vec<_> = samples.iter().map(|s| s.image.clone()).collect();
     let hw = deployed.infer_batch(&images).expect("hardware inference");
     let golden_engine = GoldenEngine::new(&net).expect("weighted");
-    let golden = golden_engine.infer_batch(&images).expect("golden inference");
+    let golden = golden_engine
+        .infer_batch(&images)
+        .expect("golden inference");
 
     let mut worst = 0.0f32;
     let mut matching = 0usize;
@@ -53,7 +57,11 @@ fn main() {
     condor_examples::print_accuracy("elementwise agreement", matching, images.len());
     condor_examples::print_accuracy("argmax agreement", agreeing_classes, images.len());
     println!("  worst |Δ| across all outputs: {worst:.2e}");
-    assert_eq!(matching, images.len(), "hardware must reproduce the golden engine");
+    assert_eq!(
+        matching,
+        images.len(),
+        "hardware must reproduce the golden engine"
+    );
 
     // The Figure 5 knee for TC1: convergence after batch > #layers.
     let layers = net.compute_layer_count();

@@ -58,7 +58,10 @@ fn main() {
         println!(
             "  {:<8} {:<12} {:>8.0} {:>9.2} {:>8.2} {:>8.2} {:>8.2}",
             p.fusion,
-            format!("{} x {}", p.parallelism.parallel_in, p.parallelism.parallel_out),
+            format!(
+                "{} x {}",
+                p.parallelism.parallel_in, p.parallelism.parallel_out
+            ),
             p.synthesis.achieved_fmax_mhz,
             p.gflops,
             p.utilization.lut_pct,

@@ -22,7 +22,5 @@ pub fn print_metrics(deployed: &DeployedAccelerator, batch: usize) {
 
 /// Prints a classification accuracy line for labelled samples.
 pub fn print_accuracy(name: &str, correct: usize, total: usize) {
-    println!(
-        "  {name}: {correct}/{total} predictions match the golden engine"
-    );
+    println!("  {name}: {correct}/{total} predictions match the golden engine");
 }

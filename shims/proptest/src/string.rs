@@ -1,0 +1,201 @@
+//! String strategies from a regex subset.
+//!
+//! A `&'static str` is itself a strategy (as in upstream proptest): the
+//! pattern is interpreted as a small regex subset — literal characters,
+//! `.`, character classes `[a-z0-9_]`, and the quantifiers `*`, `+`,
+//! `?`, `{n}`, `{m,n}`. `.` and unconstrained repetition draw from a
+//! deliberately nasty alphabet (quotes, backslashes, control characters,
+//! multi-byte unicode) to exercise escaping and encoding paths.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+/// Characters `.` may produce: printable ASCII plus escaping/encoding
+/// hazards.
+pub(crate) fn arbitrary_char(rng: &mut TestRng) -> char {
+    const HAZARDS: &[char] = &[
+        '"', '\\', '\n', '\t', '\r', '\u{0}', '\u{1}', '\u{7f}', '\u{b}', '\u{c}', '/', '\'', 'é',
+        'λ', '中', '\u{2028}', '\u{2029}', '😀', '\u{fffd}',
+    ];
+    match rng.next_u64() % 4 {
+        0 => HAZARDS[rng.index(HAZARDS.len())],
+        _ => {
+            // Printable ASCII.
+            (0x20 + rng.index(0x5f)) as u8 as char
+        }
+    }
+}
+
+struct Atom {
+    /// `None` = any char (`.`); `Some(set)` = a character class.
+    class: Option<Vec<char>>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+            }
+            '-' => {
+                // Range like `a-z` (a trailing `-` is a literal).
+                match (prev, chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        for code in (lo as u32 + 1)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            other => {
+                set.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    if set.is_empty() {
+        set.push('x');
+    }
+    set
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().unwrap_or(0);
+                    let hi = hi.trim().parse().unwrap_or(lo);
+                    (lo, hi.max(lo))
+                }
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '.' => None,
+            '[' => Some(parse_class(&mut chars)),
+            '\\' => Some(vec![chars.next().unwrap_or('\\')]),
+            other => Some(vec![other]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching the pattern subset.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let n = atom.min + rng.index(atom.max - atom.min + 1);
+        for _ in 0..n {
+            match &atom.class {
+                None => out.push(arbitrary_char(rng)),
+                Some(set) => out.push(set[rng.index(set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::seeded(20);
+        for _ in 0..200 {
+            let s = generate_matching("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_like_pattern() {
+        let mut rng = TestRng::seeded(21);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,12}", &mut rng);
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s.chars().count() <= 13);
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_hazards_eventually() {
+        let mut rng = TestRng::seeded(22);
+        let mut saw_non_ascii = false;
+        let mut saw_quote = false;
+        for _ in 0..500 {
+            let s = generate_matching(".*", &mut rng);
+            saw_non_ascii |= !s.is_ascii();
+            saw_quote |= s.contains('"');
+        }
+        assert!(saw_non_ascii && saw_quote);
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        let mut rng = TestRng::seeded(23);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching(r"a\.c", &mut rng), "a.c");
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! `par_iter`/`into_par_iter` degrade to sequential `std` iterators:
+//! every adaptor the workspace chains after them (`map`, `collect`,
+//! `filter`, …) is the standard `Iterator` machinery. Parallel code in
+//! the workspace (dataflow runtime, inference server) uses
+//! `std::thread` directly and does not rely on this shim for speed.
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    /// `.par_iter()` on shared slices/containers.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Sequential stand-in iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item: 'data;
+        /// Iterates "in parallel" (sequentially in the shim).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned containers.
+    pub trait IntoParallelIterator {
+        /// Sequential stand-in iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Consumes into a "parallel" (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: Copy> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collects_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_collects_results() {
+        let v = vec![1, 2, 3];
+        let r: Result<Vec<i32>, ()> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(r.unwrap(), v);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+}

@@ -1,7 +1,7 @@
 //! End-to-end integration: the full paper workflow, Caffe artifacts in,
 //! classified images out of a cloud-deployed accelerator.
 
-use condor::{CloudContext, Condor, Deployment};
+use condor::{CloudContext, Condor, DeployTarget, Deployment};
 use condor_integration_tests::fabricate_lenet_caffemodel;
 use condor_nn::{dataset, zoo, GoldenEngine};
 use condor_tensor::AllClose;
@@ -20,8 +20,14 @@ fn caffe_to_cloud_to_inference() {
 
     // Backend: full AFI workflow against the simulated account.
     let ctx = CloudContext::new("it-bucket");
-    let deployed = built.deploy_cloud(&ctx).unwrap();
-    let Deployment::Cloud { afi_id, agfi_id, instance_id, slot, s3_key } = &deployed.deployment
+    let deployed = built.deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+    let Deployment::Cloud {
+        afi_id,
+        agfi_id,
+        instance_id,
+        slots,
+        s3_key,
+    } = &deployed.deployment
     else {
         panic!("expected cloud deployment");
     };
@@ -32,10 +38,12 @@ fn caffe_to_cloud_to_inference() {
         condor_cloud::AfiState::Available
     );
     assert_eq!(ctx.afi.part_of(afi_id).unwrap(), "xcvu9p");
-    assert_eq!(
-        ctx.f1.loaded_afi(instance_id, *slot).unwrap().as_deref(),
-        Some(agfi_id.as_str())
-    );
+    for &slot in slots {
+        assert_eq!(
+            ctx.f1.loaded_afi(instance_id, slot).unwrap().as_deref(),
+            Some(agfi_id.as_str())
+        );
+    }
 
     // Host runtime: hardware results equal the golden engine on real
     // images.
@@ -58,16 +66,14 @@ fn condor_format_roundtrip_through_flow() {
     // Export the representation + weights, re-import, build, and check
     // the rebuilt accelerator computes identically.
     let trained = zoo::tc1_weighted(7);
-    let repr = condor::NetworkRepresentation::new(
-        trained.clone(),
-        condor::HardwareConfig::default(),
-    );
+    let repr =
+        condor::NetworkRepresentation::new(trained.clone(), condor::HardwareConfig::default());
     let weights = condor::frontend::write_weights(&trained);
     let built = Condor::from_condor_files(&repr.to_text(), Some(&weights))
         .unwrap()
         .build()
         .unwrap();
-    let deployed = built.deploy_onpremise().unwrap();
+    let deployed = built.deploy(&DeployTarget::OnPremise).unwrap();
 
     let images: Vec<_> = dataset::usps_like(4, 4)
         .into_iter()
@@ -88,11 +94,8 @@ fn weight_update_without_resynthesis() {
     // The paper: weights "are loaded dynamically at runtime. This
     // enables the update of the network (for instance if better accuracy
     // is achieved) without the need for re-synthesizing the accelerator."
-    let repr = condor::NetworkRepresentation::new(
-        zoo::tc1(),
-        condor::HardwareConfig::default(),
-    )
-    .to_text();
+    let repr =
+        condor::NetworkRepresentation::new(zoo::tc1(), condor::HardwareConfig::default()).to_text();
     let images: Vec<_> = dataset::usps_like(2, 8)
         .into_iter()
         .map(|s| s.image)
@@ -108,7 +111,7 @@ fn weight_update_without_resynthesis() {
             .unwrap()
             .build()
             .unwrap();
-        let deployed = built.deploy_onpremise().unwrap();
+        let deployed = built.deploy(&DeployTarget::OnPremise).unwrap();
         outputs.push(deployed.infer_batch(&images).unwrap());
 
         let golden = GoldenEngine::new(&trained)
@@ -132,13 +135,13 @@ fn deployment_option_gates_the_backend() {
         .build()
         .unwrap();
     let ctx = CloudContext::new("it-bucket-2");
-    assert!(built.deploy_cloud(&ctx).is_err());
+    assert!(built.deploy(&DeployTarget::Cloud(&ctx)).is_err());
 
     let built = Condor::from_network(zoo::tc1_weighted(3))
         .board("aws-f1")
         .build()
         .unwrap();
-    let ctx = CloudContext::new("it-bucket-3")
-        .with_environment(condor_cloud::Environment::workstation());
-    assert!(built.deploy_cloud(&ctx).is_err());
+    let ctx =
+        CloudContext::new("it-bucket-3").with_environment(condor_cloud::Environment::workstation());
+    assert!(built.deploy(&DeployTarget::Cloud(&ctx)).is_err());
 }

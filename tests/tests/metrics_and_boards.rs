@@ -11,7 +11,7 @@ fn deploy_tc1(board: &str, freq: f64) -> Option<condor::DeployedAccelerator> {
         .freq_mhz(freq)
         .build()
         .ok()?
-        .deploy_onpremise()
+        .deploy(&condor::DeployTarget::OnPremise)
         .ok()
 }
 
@@ -85,7 +85,11 @@ fn per_layer_override_moves_the_bottleneck() {
         )
         .build()
         .unwrap();
-    assert!(tuned.plan.bottleneck().0.contains("conv2"), "{:?}", tuned.plan.bottleneck());
+    assert!(
+        tuned.plan.bottleneck().0.contains("conv2"),
+        "{:?}",
+        tuned.plan.bottleneck()
+    );
     assert!(tuned.plan.initiation_interval() < base.plan.initiation_interval());
     // The tuned design costs a few more DSPs, nothing else.
     assert!(tuned.synthesis.total.dsp > base.synthesis.total.dsp);

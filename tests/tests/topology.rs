@@ -22,7 +22,10 @@ fn accelerator_matches_figure4_structure() {
     }
     // …each with data in, weights in, data out.
     for ip in &built.accelerator.layers {
-        assert!(ip.interfaces.iter().any(|p| p.name == "s_axis_data" && p.dir == StreamDir::In));
+        assert!(ip
+            .interfaces
+            .iter()
+            .any(|p| p.name == "s_axis_data" && p.dir == StreamDir::In));
         assert!(ip.interfaces.iter().any(|p| p.name == "s_axis_weights"));
         assert!(ip.interfaces.iter().any(|p| p.dir == StreamDir::Out));
     }
@@ -43,7 +46,9 @@ fn accelerator_matches_figure4_structure() {
 
 #[test]
 fn feature_extraction_pes_have_filter_chains_fc_pes_do_not() {
-    let built = Condor::from_network(zoo::lenet_weighted(2)).build().unwrap();
+    let built = Condor::from_network(zoo::lenet_weighted(2))
+        .build()
+        .unwrap();
     for (pe, ip) in built.plan.pes.iter().zip(&built.accelerator.layers) {
         match pe.stage {
             Stage::FeatureExtraction => {
@@ -59,7 +64,11 @@ fn feature_extraction_pes_have_filter_chains_fc_pes_do_not() {
 
 #[test]
 fn fifo_sizing_follows_the_paper_rule_across_networks() {
-    for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16().feature_extraction_prefix().unwrap()] {
+    for net in [
+        zoo::tc1(),
+        zoo::lenet(),
+        zoo::vgg16().feature_extraction_prefix().unwrap(),
+    ] {
         let plan = PlanBuilder::new(&net).build().unwrap();
         for pe in &plan.pes {
             if !pe.layers.iter().any(|l| l.needs_filter_chain()) {
