@@ -7,6 +7,8 @@
 //! consumers and smaller output FIFOs to show where back-pressure starts
 //! costing cycles — and that results stay correct regardless.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
 use condor_dataflow::layersim::{simulate_conv_layer, LayerSimConfig};
 use condor_tensor::{Shape, TensorRng};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -28,7 +30,8 @@ fn run(out_fifo_depth: usize, drain_every: u64) -> (u64, u64) {
             drain_every,
             input_stall_period: None,
         },
-    );
+    )
+    .unwrap();
     (report.cycles, report.pe_stall_cycles)
 }
 

@@ -6,6 +6,8 @@
 //! might not be possible given the available resources") at the cost of
 //! serialising the fused layers.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
 use condor::Condor;
 use condor_dataflow::PipelineModel;
 use condor_nn::zoo;

@@ -5,6 +5,8 @@
 //! in parallel." This sweep shows the DSP-vs-GFLOPS trade on the LeNet
 //! feature-extraction stage and where resource growth stops paying.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
 use condor_dataflow::{PeParallelism, PipelineModel, PlanBuilder};
 use condor_hls::synthesize_plan;
 use condor_nn::zoo;

@@ -1,0 +1,81 @@
+//! Ablation: the static DSE pre-filter (condor-check `PlanBounds`).
+//!
+//! Every DSE point normally costs a plan build, a synthesis pass and a
+//! pipeline evaluation. The pre-filter bounds the resources of each
+//! candidate parallelism from below with a single shape-inference walk
+//! and discards hopeless points without building anything. This bench
+//! sweeps the same candidate space with the filter on and off and
+//! reports how many points were pruned and the wall-clock ratio —
+//! largest for networks where *everything* is pruned (VGG-16's
+//! fully-connected layers never fit on chip).
+
+use condor::dse::{explore, DseConfig, DseOutcome};
+use condor_fpga::{board, Board};
+use condor_nn::{zoo, Network};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn cfg(prefilter: bool) -> DseConfig {
+    DseConfig {
+        prefilter,
+        ..DseConfig::default()
+    }
+}
+
+fn sweep(net: &Network, fpga: &Board, prefilter: bool) -> DseOutcome {
+    explore(net, fpga, &cfg(prefilter)).expect("candidate space is non-empty")
+}
+
+fn bench_precheck(c: &mut Criterion) {
+    let f1 = board("aws-f1").expect("aws-f1 is in the catalog");
+    let nets = [zoo::tc1(), zoo::lenet(), zoo::vgg16()];
+
+    println!("== ablation: static pre-filter vs full DSE sweep (aws-f1) ==");
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>9}",
+        "network", "points", "pruned", "off (ms)", "on (ms)", "speedup"
+    );
+    for net in &nets {
+        let t0 = Instant::now();
+        let off = sweep(net, f1, false);
+        let t_off = t0.elapsed();
+        let t1 = Instant::now();
+        let on = sweep(net, f1, true);
+        let t_on = t1.elapsed();
+        let pruned = on.points.iter().filter(|p| p.pruned).count();
+        // The filter must never change the verdict, only the cost.
+        assert_eq!(
+            on.points.iter().filter(|p| p.feasible()).count(),
+            off.points.iter().filter(|p| p.feasible()).count(),
+            "{}: pre-filter changed the feasible set",
+            net.name
+        );
+        println!(
+            "{:<10} {:>8} {:>8} {:>12.2} {:>12.2} {:>8.2}x",
+            net.name,
+            on.points.len(),
+            pruned,
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3,
+            t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-9)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_precheck");
+    group.sample_size(10);
+    for net in &nets {
+        for prefilter in [false, true] {
+            let label = if prefilter { "prefilter" } else { "full" };
+            group.bench_with_input(
+                BenchmarkId::new(label, &net.name),
+                &prefilter,
+                |b, &prefilter| b.iter(|| black_box(sweep(net, f1, prefilter))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precheck);
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! regenerated row so `cargo bench` output doubles as the experiment
 //! record.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
 use condor_bench::{deploy_table1_network, table1};
 use condor_nn::zoo;
 use criterion::{criterion_group, criterion_main, Criterion};

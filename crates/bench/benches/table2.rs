@@ -2,6 +2,8 @@
 //! feature-extraction subnetworks and prints the regenerated GFLOPS
 //! column.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
 use condor_bench::{table2, table2_dse_space};
 use condor_nn::zoo;
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -8,6 +8,8 @@
 //! F1 testbed) — EXPERIMENTS.md records paper-vs-measured per cell and
 //! the shape claims each experiment preserves.
 
+#![forbid(unsafe_code)]
+
 use condor::deploy::F1InstanceType;
 use condor::{CloudContext, Condor, DeployTarget, DeployedAccelerator, DseConfig};
 use condor_dataflow::PeParallelism;
@@ -154,6 +156,7 @@ pub fn table2_dse_space() -> DseConfig {
         parallel_out: vec![1, 2, 4, 8, 16],
         fc_simd: vec![1],
         eval_batch: 64,
+        prefilter: true,
     }
 }
 
@@ -328,6 +331,7 @@ pub fn serving_sweep(client_counts: &[usize], per_client: usize) -> Vec<ServingR
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -20,6 +20,8 @@
 //! `caffemodel` files (we cannot ship trained weights) and feed them
 //! through the same decode path a real model would take.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod text;
 pub mod wire;

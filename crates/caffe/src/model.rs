@@ -738,6 +738,7 @@ impl LayerParameter {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_tensor::linspace;
 
@@ -920,6 +921,7 @@ mod tests {
 
 #[cfg(test)]
 mod prototxt_export_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -527,6 +527,7 @@ fn expect_rbrace(lexer: &mut Lexer<'_>) -> Result<(), TextError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     const LENET_SNIPPET: &str = r#"

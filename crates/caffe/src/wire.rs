@@ -328,6 +328,7 @@ impl<'a> WireReader<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn roundtrip_varint(v: u64) -> u64 {

@@ -1,6 +1,8 @@
 //! Property tests over the Caffe formats: binary round trips with
 //! arbitrary message contents and prototxt robustness.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_caffe::{
     BlobProto, BlobShape, ConvolutionParameter, InnerProductParameter, InputParameter,
     LayerParameter, NetParameter, PoolMethod, PoolingParameter, TextMessage,

@@ -1,0 +1,208 @@
+//! Resource-budget verification against the board catalog (pass 3).
+//!
+//! Runs the analytic synthesis model over the plan and compares the
+//! estimate against the *usable* resources of the target board (device
+//! capacity minus the shell/platform reservation — on AWS F1 the shell
+//! keeps 20 % of the VU9P). Reports per-module utilisation so the
+//! offending stage is named, not just the total.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use condor_dataflow::AcceleratorPlan;
+use condor_fpga::Resources;
+use condor_hls::{synthesize_plan, PlanSynthesis};
+
+/// Utilisation of one synthesized module against the board budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageUtilization {
+    /// Module instance name (`pe0`, `pe0_filters`, `datamover`, ...).
+    pub module: String,
+    /// Estimated resources.
+    pub resources: Resources,
+    /// The module's binding constraint as a percentage of the budget.
+    pub max_pct: f64,
+}
+
+/// Outcome of the budget pass, carried on the check report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetOutcome {
+    /// Synthesis estimate, when the board was known.
+    pub synthesis: Option<PlanSynthesis>,
+    /// Per-module utilisation, largest first.
+    pub stages: Vec<StageUtilization>,
+    /// The board's usable resource budget, when known.
+    pub budget: Option<Resources>,
+}
+
+/// Runs the budget pass, appending findings to `diags`.
+pub fn check_budget(plan: &AcceleratorPlan, diags: &mut Diagnostics) -> BudgetOutcome {
+    let Some(board) = condor_fpga::board(&plan.board) else {
+        let known = condor_fpga::BOARDS
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", ");
+        diags.push(
+            Diagnostic::new(Code::C034, format!("unknown board '{}'", plan.board))
+                .hint(format!("known boards: {known}")),
+        );
+        return BudgetOutcome {
+            synthesis: None,
+            stages: Vec::new(),
+            budget: None,
+        };
+    };
+    let device = board.device();
+    let budget = board.usable_resources();
+    let synth = synthesize_plan(plan, device);
+
+    let mut stages: Vec<StageUtilization> = synth
+        .modules
+        .iter()
+        .map(|m| StageUtilization {
+            module: m.name.clone(),
+            resources: m.resources,
+            max_pct: m.resources.utilization(&budget).max_pct(),
+        })
+        .collect();
+    stages.sort_by(|a, b| b.max_pct.total_cmp(&a.max_pct));
+
+    for m in &synth.modules {
+        if !m.resources.fits_in(&budget) {
+            diags.push(
+                Diagnostic::new(
+                    Code::C031,
+                    format!(
+                        "module alone needs {} but the whole budget is {}",
+                        m.resources, budget
+                    ),
+                )
+                .at(m.name.clone())
+                .hint("no amount of rebalancing helps; shrink this stage"),
+            );
+        }
+    }
+
+    let total_u = synth.total.utilization(&budget);
+    if !synth.total.fits_in(&budget) {
+        diags.push(
+            Diagnostic::new(
+                Code::C030,
+                format!(
+                    "design needs {} but '{}' offers {} ({})",
+                    synth.total, board.name, budget, total_u
+                ),
+            )
+            .hint("reduce parallelism, increase fusion, or pick a larger board"),
+        );
+    } else if total_u.max_pct() > 90.0 {
+        diags.push(
+            Diagnostic::new(
+                Code::C032,
+                format!("utilisation {total_u} leaves little placement slack"),
+            )
+            .hint("expect timing pressure; consider one notch less parallelism"),
+        );
+    }
+
+    if synth.achieved_fmax_mhz + 1e-9 < synth.requested_fmax_mhz {
+        diags.push(
+            Diagnostic::new(
+                Code::C033,
+                format!(
+                    "requested {:.0} MHz, model closes timing at {:.1} MHz",
+                    synth.requested_fmax_mhz, synth.achieved_fmax_mhz
+                ),
+            )
+            .hint("lower the requested clock or shrink the design"),
+        );
+    }
+
+    BudgetOutcome {
+        synthesis: Some(synth),
+        stages,
+        budget: Some(budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+    use condor_dataflow::{PeParallelism, PlanBuilder};
+    use condor_nn::zoo;
+
+    fn run(plan: &AcceleratorPlan) -> (Diagnostics, BudgetOutcome) {
+        let mut d = Diagnostics::new();
+        let out = check_budget(plan, &mut d);
+        (d, out)
+    }
+
+    #[test]
+    fn lenet_on_f1_is_within_budget() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net).freq_mhz(180.0).build().unwrap();
+        let (d, out) = run(&plan);
+        assert!(!d.has_errors(), "{}", d.render());
+        assert!(out.synthesis.is_some());
+        assert!(!out.stages.is_empty());
+        // Stages come back sorted by pressure.
+        let pcts: Vec<f64> = out.stages.iter().map(|s| s.max_pct).collect();
+        assert!(pcts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn vgg16_fc_blows_the_f1_bram_budget() {
+        // The paper's own limitation: VGG-16's fully-connected layers
+        // buffer the whole weight matrix on chip and are not
+        // synthesizable with the current methodology.
+        let net = zoo::vgg16();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        let (d, _) = run(&plan);
+        assert!(d.has_code(Code::C030), "{}", d.render());
+        assert!(d.has_code(Code::C031), "{}", d.render());
+    }
+
+    #[test]
+    fn big_parallelism_on_pynq_reports_c030() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net)
+            .board("pynq-z1")
+            .parallelism(PeParallelism {
+                parallel_in: 16,
+                parallel_out: 16,
+                fc_simd: 1,
+            })
+            .build()
+            .unwrap();
+        let (d, _) = run(&plan);
+        assert!(d.has_code(Code::C030), "{}", d.render());
+    }
+
+    #[test]
+    fn unknown_board_reports_c034() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        plan.board = "no-such-board".to_string();
+        let (d, out) = run(&plan);
+        assert!(d.has_code(Code::C034), "{}", d.render());
+        assert!(out.synthesis.is_none());
+        assert!(out.budget.is_none());
+    }
+
+    #[test]
+    fn unachievable_clock_warns_c033() {
+        let net = zoo::vgg16();
+        let fe = net.feature_extraction_prefix().unwrap();
+        let plan = PlanBuilder::new(&fe)
+            .freq_mhz(300.0)
+            .parallelism(PeParallelism {
+                parallel_in: 16,
+                parallel_out: 16,
+                fc_simd: 1,
+            })
+            .build()
+            .unwrap();
+        let (d, _) = run(&plan);
+        assert!(d.has_code(Code::C033), "{}", d.render());
+    }
+}

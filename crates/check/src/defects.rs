@@ -1,0 +1,245 @@
+//! Seeded-defect corpus: known-bad networks and plans with the exact
+//! diagnostic each must trigger.
+//!
+//! This is the negative half of the checker's contract (the positive
+//! half being "every builder-produced plan is clean"): each entry
+//! mutates a valid zoo network or plan into one of the defect classes
+//! the issue tracker cares about, and records the stable code the
+//! checker must emit. CI runs `condor check --defects` over this
+//! corpus, and property tests assert the expected code appears.
+
+use crate::diag::Code;
+use condor_dataflow::{AcceleratorPlan, PeParallelism, PlanBuilder};
+use condor_nn::{zoo, Layer, LayerKind, Network};
+use condor_tensor::{Shape, Tensor};
+
+/// The defect classes the checker must catch statically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefectClass {
+    /// Shape or stream-type errors in the network itself.
+    ShapeMismatch,
+    /// Designs that cannot fit the target board.
+    OverBudget,
+    /// Mis-sized filter-chain FIFOs and broken plan structure.
+    FifoUndersized,
+}
+
+impl DefectClass {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DefectClass::ShapeMismatch => "shape-mismatch",
+            DefectClass::OverBudget => "over-budget",
+            DefectClass::FifoUndersized => "fifo-undersized",
+        }
+    }
+}
+
+/// One deliberately broken design point.
+pub struct SeededDefect {
+    /// Corpus entry name.
+    pub name: &'static str,
+    /// Which class of defect was seeded.
+    pub class: DefectClass,
+    /// The stable code the checker must report.
+    pub expected: Code,
+    /// The (possibly broken) network.
+    pub network: Network,
+    /// The (possibly broken) plan; `None` when the network is too
+    /// broken to plan — the checker then runs the network passes only.
+    pub plan: Option<AcceleratorPlan>,
+}
+
+/// Weight seed used for entries that need installed weights.
+const WEIGHT_SEED: u64 = 7;
+
+/// Builds the full corpus. Construction must not panic: defects are
+/// injected through public fields, behind the constructors' backs,
+/// exactly as a hand-edited representation file would arrive.
+pub fn corpus() -> Vec<SeededDefect> {
+    let mut out = Vec::new();
+
+    // --- shape / stream typing -------------------------------------
+    out.push(SeededDefect {
+        name: "conv-kernel-exceeds-input",
+        class: DefectClass::ShapeMismatch,
+        expected: Code::C011,
+        network: with_conv1_kernel(zoo::lenet(), 40),
+        plan: None,
+    });
+    out.push(SeededDefect {
+        name: "conv-zero-kernel",
+        class: DefectClass::ShapeMismatch,
+        expected: Code::C010,
+        network: with_conv1_kernel(zoo::lenet(), 0),
+        plan: None,
+    });
+    out.push(SeededDefect {
+        name: "softmax-on-feature-map",
+        class: DefectClass::ShapeMismatch,
+        expected: Code::C012,
+        network: {
+            let mut net = zoo::lenet();
+            net.layers.insert(
+                2,
+                Layer::new("early_prob", LayerKind::Softmax { log: false }),
+            );
+            net
+        },
+        plan: None,
+    });
+    out.push(SeededDefect {
+        name: "stale-weights-wrong-fanin",
+        class: DefectClass::ShapeMismatch,
+        expected: Code::C015,
+        network: {
+            let mut net = zoo::lenet_weighted(WEIGHT_SEED);
+            // conv2 expects 50×20×5×5; pretend pool1 used to emit 10
+            // maps and the weights were never re-exported.
+            if let Some(w) = net.weights.get_mut("conv2") {
+                w.weights = Tensor::zeros(Shape::new(50, 10, 5, 5));
+            }
+            net
+        },
+        plan: planned(&zoo::lenet(), |b| b),
+    });
+
+    // --- resource budgets ------------------------------------------
+    out.push(SeededDefect {
+        name: "lenet-16x16-on-pynq-z1",
+        class: DefectClass::OverBudget,
+        expected: Code::C030,
+        network: zoo::lenet(),
+        plan: planned(&zoo::lenet(), |b| {
+            b.board("pynq-z1").parallelism(PeParallelism {
+                parallel_in: 16,
+                parallel_out: 16,
+                fc_simd: 1,
+            })
+        }),
+    });
+    out.push(SeededDefect {
+        name: "vgg16-fc-on-aws-f1",
+        class: DefectClass::OverBudget,
+        expected: Code::C030,
+        network: zoo::vgg16(),
+        plan: planned(&zoo::vgg16(), |b| b),
+    });
+    out.push(SeededDefect {
+        name: "unknown-board",
+        class: DefectClass::OverBudget,
+        expected: Code::C034,
+        network: zoo::lenet(),
+        plan: planned(&zoo::lenet(), |b| b).map(|mut p| {
+            p.board = "pynq-z9".to_string();
+            p
+        }),
+    });
+
+    // --- FIFO sizing / plan structure ------------------------------
+    out.push(SeededDefect {
+        name: "row-fifo-undersized",
+        class: DefectClass::FifoUndersized,
+        expected: Code::C023,
+        network: zoo::lenet(),
+        plan: planned(&zoo::lenet(), |b| b).map(|mut p| {
+            if let Some(pe) = p.pes.first_mut() {
+                let depths = pe
+                    .required_fifo_depths()
+                    .into_iter()
+                    .map(|d| if d > 1 { 2 } else { d })
+                    .collect();
+                pe.fifo_depth_override = Some(depths);
+            }
+            p
+        }),
+    });
+    out.push(SeededDefect {
+        name: "all-fifos-shallow-deadlock",
+        class: DefectClass::FifoUndersized,
+        expected: Code::C024,
+        network: zoo::lenet(),
+        plan: planned(&zoo::lenet(), |b| b).map(|mut p| {
+            if let Some(pe) = p.pes.first_mut() {
+                pe.fifo_depth_override = Some(vec![1; pe.required_fifo_depths().len()]);
+            }
+            p
+        }),
+    });
+    out.push(SeededDefect {
+        name: "zero-parallelism-degree",
+        class: DefectClass::FifoUndersized,
+        expected: Code::C021,
+        network: zoo::lenet(),
+        plan: planned(&zoo::lenet(), |b| b).map(|mut p| {
+            if let Some(pe) = p.pes.first_mut() {
+                pe.parallelism.parallel_in = 0;
+            }
+            p
+        }),
+    });
+
+    out
+}
+
+/// Replaces conv1's kernel through the public field, as a corrupted
+/// representation file would.
+fn with_conv1_kernel(mut net: Network, k: usize) -> Network {
+    if let Some(l) = net.layers.iter_mut().find(|l| l.name == "conv1") {
+        if let LayerKind::Convolution { kernel, .. } = &mut l.kind {
+            *kernel = k;
+        }
+    }
+    net
+}
+
+/// Builds a plan for a *valid* network, applying `cfg` to the builder.
+/// Returns `None` (never panics) if the build is rejected.
+fn planned(
+    net: &Network,
+    cfg: impl for<'a> FnOnce(PlanBuilder<'a>) -> PlanBuilder<'a>,
+) -> Option<AcceleratorPlan> {
+    cfg(PlanBuilder::new(net)).build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_three_classes() {
+        let corpus = corpus();
+        assert!(corpus.len() >= 9);
+        for class in [
+            DefectClass::ShapeMismatch,
+            DefectClass::OverBudget,
+            DefectClass::FifoUndersized,
+        ] {
+            assert!(
+                corpus.iter().any(|d| d.class == class),
+                "missing {}",
+                class.label()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let mut names: Vec<_> = corpus().iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus().len());
+    }
+
+    #[test]
+    fn plan_carrying_entries_built_successfully() {
+        // Entries whose defect lives in the plan must actually carry one;
+        // only the unplannable shape defects may omit it.
+        for d in corpus() {
+            if d.class != DefectClass::ShapeMismatch {
+                assert!(d.plan.is_some(), "{} lost its plan", d.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! SDF-style static analysis of an accelerator plan (pass 2).
+//!
+//! The planned accelerator is a synchronous-dataflow pipeline: the
+//! datamover feeds a chain of PEs, each fronted by a filter chain whose
+//! inter-filter FIFOs realise the paper's non-uniform memory
+//! partitioning. All rates and delays are static, so deadlock-freedom
+//! and FIFO sizing reduce to balance equations checkable without
+//! simulating a single cycle:
+//!
+//! * every inter-filter FIFO must hold at least the *spatial distance*
+//!   between the two window taps it connects (`1` within a row,
+//!   `W−K+1` across a row boundary) — shallower FIFOs stall the
+//!   upstream filter before a window completes (C023);
+//! * the chain as a whole must buffer one full window span,
+//!   `(K−1)·W + K` elements, before the PE can fire. Total capacity is
+//!   the FIFO depths plus one register per filter (`K²`); if that sum
+//!   is below the span the chain wedges on the first window — a true
+//!   structural deadlock (C024);
+//! * the plan's layer topology must agree with the network it claims
+//!   to implement (C025), and every rate parameter must be positive
+//!   (C021).
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use condor_dataflow::{AcceleratorPlan, PePlan};
+use condor_nn::{LayerKind, Network};
+use condor_tensor::Shape;
+
+/// Runs the SDF pass, appending findings to `diags`. `ins` carries the
+/// per-layer input shapes established by the shape pass (`None` past
+/// the first shape failure).
+pub fn check_plan(
+    net: &Network,
+    plan: &AcceleratorPlan,
+    ins: &[Option<Shape>],
+    diags: &mut Diagnostics,
+) {
+    if plan.pes.is_empty() {
+        diags.push(
+            Diagnostic::new(Code::C020, "plan maps no processing elements")
+                .hint("the network must contain at least one computational layer"),
+        );
+        return;
+    }
+    if plan.datamover_words_per_cycle == 0 {
+        diags.push(
+            Diagnostic::new(Code::C021, "datamover stream width is zero")
+                .at("datamover")
+                .hint("set datamover_words_per_cycle >= 1"),
+        );
+    }
+    for pe in &plan.pes {
+        check_rates(pe, diags);
+        check_fifos(pe, diags);
+    }
+    check_topology(net, plan, ins, diags);
+    // The cycle model divides by the parallelism degrees; only reason
+    // about throughput once every rate is known positive.
+    let rates_ok = plan.datamover_words_per_cycle > 0
+        && plan.pes.iter().all(|pe| {
+            pe.parallelism.parallel_in > 0
+                && pe.parallelism.parallel_out > 0
+                && pe.parallelism.fc_simd > 0
+        });
+    if rates_ok {
+        check_datamover_balance(plan, diags);
+    }
+}
+
+/// Positive-rate and clamping checks for one PE (C021, C022).
+fn check_rates(pe: &PePlan, diags: &mut Diagnostics) {
+    let p = pe.parallelism;
+    if p.parallel_in == 0 || p.parallel_out == 0 || p.fc_simd == 0 {
+        diags.push(
+            Diagnostic::new(
+                Code::C021,
+                format!(
+                    "parallelism degrees must be positive (in={}, out={}, fc_simd={})",
+                    p.parallel_in, p.parallel_out, p.fc_simd
+                ),
+            )
+            .at(pe.name.clone())
+            .hint("every SDF rate must be >= 1 for the pipeline to move data"),
+        );
+        return;
+    }
+    let max_in = pe.layers.iter().map(|l| l.input.c).max().unwrap_or(1);
+    let max_out = pe
+        .layers
+        .iter()
+        .filter_map(|l| match l.kind {
+            LayerKind::Convolution { num_output, .. } => Some(num_output),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1);
+    if p.parallel_in > max_in {
+        diags.push(
+            Diagnostic::new(
+                Code::C022,
+                format!(
+                    "parallel_in {} exceeds the {} input feature map(s) available",
+                    p.parallel_in, max_in
+                ),
+            )
+            .at(pe.name.clone())
+            .hint(format!("the extra ports idle; use parallel_in <= {max_in}")),
+        );
+    }
+    if p.parallel_out > max_out {
+        diags.push(
+            Diagnostic::new(
+                Code::C022,
+                format!(
+                    "parallel_out {} exceeds the {} output feature map(s) computed",
+                    p.parallel_out, max_out
+                ),
+            )
+            .at(pe.name.clone())
+            .hint(format!("use parallel_out <= {max_out}")),
+        );
+    }
+}
+
+/// FIFO sizing and fill/deadlock balance for one PE's filter chain
+/// (C023, C024, C027).
+fn check_fifos(pe: &PePlan, diags: &mut Diagnostics) {
+    if pe.max_window() <= 1 {
+        return; // no filter chain, nothing to size
+    }
+    let declared = pe.fifo_depths();
+    let required = pe.required_fifo_depths();
+    if declared.len() != required.len() {
+        diags.push(
+            Diagnostic::new(
+                Code::C023,
+                format!(
+                    "filter chain declares {} FIFO(s), the {}x{} window needs {}",
+                    declared.len(),
+                    pe.max_window(),
+                    pe.max_window(),
+                    required.len()
+                ),
+            )
+            .at(pe.name.clone())
+            .hint("one FIFO per window tap transition (K*K - 1 total)"),
+        );
+    } else {
+        for (tap, (have, need)) in declared.iter().zip(&required).enumerate() {
+            if have < need {
+                diags.push(
+                    Diagnostic::new(
+                        Code::C023,
+                        format!(
+                            "FIFO after tap {} has depth {have}, spatial distance needs {need}",
+                            tap + 1
+                        ),
+                    )
+                    .at(pe.name.clone())
+                    .hint(format!(
+                        "row-crossing taps on a {}-wide input need depth W-K+1 = {need}",
+                        pe.max_input_width()
+                    )),
+                );
+            } else if have > need {
+                diags.push(
+                    Diagnostic::new(
+                        Code::C027,
+                        format!(
+                            "FIFO after tap {} has depth {have}, the rule needs only {need}",
+                            tap + 1
+                        ),
+                    )
+                    .at(pe.name.clone())
+                    .hint("excess depth wastes BRAM without improving throughput"),
+                );
+            }
+        }
+    }
+    // Fill equation: FIFO capacity plus one holding register per filter
+    // must cover the on-chip window span, or the chain can never
+    // present a complete window — it stalls forever on the first one.
+    let capacity: usize = declared.iter().sum::<usize>() + pe.filters_per_pipeline();
+    let span = pe.onchip_window_elems();
+    if capacity < span {
+        diags.push(
+            Diagnostic::new(
+                Code::C024,
+                format!(
+                    "filter chain holds {capacity} element(s) but a full window spans {span}: \
+                     static deadlock"
+                ),
+            )
+            .at(pe.name.clone())
+            .hint("size row-crossing FIFOs by the spatial-distance rule to cover (K-1)*W+K"),
+        );
+    }
+}
+
+/// Cross-checks the plan's layer list against the network (C025).
+fn check_topology(
+    net: &Network,
+    plan: &AcceleratorPlan,
+    ins: &[Option<Shape>],
+    diags: &mut Diagnostics,
+) {
+    let planned: Vec<_> = plan.pes.iter().flat_map(|pe| pe.layers.iter()).collect();
+    for pe in &plan.pes {
+        if pe.layers.is_empty() {
+            diags.push(Diagnostic::new(Code::C025, "PE implements no layers").at(pe.name.clone()));
+        }
+    }
+    // Every planned layer must point at the matching network layer.
+    for pl in &planned {
+        let Some(layer) = net.layers.get(pl.index) else {
+            diags.push(
+                Diagnostic::new(
+                    Code::C025,
+                    format!("planned layer index {} is outside the network", pl.index),
+                )
+                .at(pl.name.clone()),
+            );
+            continue;
+        };
+        if layer.name != pl.name || layer.kind != pl.kind {
+            diags.push(
+                Diagnostic::new(
+                    Code::C025,
+                    format!(
+                        "planned layer disagrees with network layer {} ('{}')",
+                        pl.index, layer.name
+                    ),
+                )
+                .at(pl.name.clone())
+                .hint("rebuild the plan after editing the network"),
+            );
+            continue;
+        }
+        // Shapes must match what inference established (when it did).
+        if let Some(Some(want_in)) = ins.get(pl.index) {
+            if pl.input != *want_in {
+                diags.push(
+                    Diagnostic::new(
+                        Code::C025,
+                        format!(
+                            "planned input shape {} disagrees with inferred {}",
+                            pl.input, want_in
+                        ),
+                    )
+                    .at(pl.name.clone()),
+                );
+            } else if let Ok(out) = layer.kind.output_shape(*want_in) {
+                if pl.output != out {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::C025,
+                            format!(
+                                "planned output shape {} disagrees with inferred {}",
+                                pl.output, out
+                            ),
+                        )
+                        .at(pl.name.clone()),
+                    );
+                }
+            }
+        }
+    }
+    // The plan must cover every compute layer exactly once, in order.
+    let want: Vec<usize> = net
+        .layers
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.kind.is_compute())
+        .map(|(i, _)| i)
+        .collect();
+    let got: Vec<usize> = planned.iter().map(|pl| pl.index).collect();
+    if got != want {
+        diags.push(
+            Diagnostic::new(
+                Code::C025,
+                format!(
+                    "plan maps {} layer(s), network has {} compute layer(s) (order must match)",
+                    got.len(),
+                    want.len()
+                ),
+            )
+            .hint("every compute layer maps to exactly one PE, in network order"),
+        );
+    }
+}
+
+/// Notes when the datamover, not a PE, bounds the initiation interval
+/// (C026) — not an error, but the first thing a DSE should fix.
+fn check_datamover_balance(plan: &AcceleratorPlan, diags: &mut Diagnostics) {
+    let dm = plan.datamover_cycles_per_image();
+    let pe_max = plan
+        .pes
+        .iter()
+        .map(PePlan::cycles_per_image)
+        .max()
+        .unwrap_or(0);
+    if dm > pe_max {
+        diags.push(
+            Diagnostic::new(
+                Code::C026,
+                format!(
+                    "datamover needs {dm} cycles/image, slowest PE only {pe_max}: \
+                     the memory stream bounds throughput"
+                ),
+            )
+            .at("datamover")
+            .hint("widen datamover_words_per_cycle or lower PE parallelism"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use condor_dataflow::PlanBuilder;
+    use condor_nn::zoo;
+
+    fn run(net: &Network, plan: &AcceleratorPlan) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        let ins = crate::shape::check_network(net, &mut d);
+        let mut d = Diagnostics::new(); // drop weight warnings; SDF only
+        check_plan(net, plan, &ins, &mut d);
+        d
+    }
+
+    #[test]
+    fn builder_plans_are_clean() {
+        for net in [zoo::tc1(), zoo::lenet()] {
+            for fusion in [1, 2, 10] {
+                let plan = PlanBuilder::new(&net).fusion(fusion).build().unwrap();
+                let d = run(&net, &plan);
+                assert!(
+                    !d.has_errors(),
+                    "{} fusion {fusion}: {}",
+                    net.name,
+                    d.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undersized_row_fifo_reports_c023() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        let pe = plan.pes.first_mut().unwrap();
+        let mut depths = pe.required_fifo_depths();
+        for d in depths.iter_mut().filter(|d| **d > 1) {
+            *d = 2; // row-crossing taps need 24 on a 28-wide image
+        }
+        pe.fifo_depth_override = Some(depths);
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C023), "{}", d.render());
+    }
+
+    #[test]
+    fn all_shallow_fifos_deadlock_c024() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        let pe = plan.pes.first_mut().unwrap();
+        pe.fifo_depth_override = Some(vec![1; pe.required_fifo_depths().len()]);
+        let d = run(&net, &plan);
+        // Capacity 24 + 25 registers = 49 < span 117.
+        assert!(d.has_code(Code::C024), "{}", d.render());
+    }
+
+    #[test]
+    fn oversized_fifo_warns_c027_without_error() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        let pe = plan.pes.first_mut().unwrap();
+        let mut depths = pe.required_fifo_depths();
+        if let Some(d0) = depths.first_mut() {
+            *d0 = 64;
+        }
+        pe.fifo_depth_override = Some(depths);
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C027), "{}", d.render());
+        assert!(!d.has_errors(), "{}", d.render());
+    }
+
+    #[test]
+    fn zero_parallelism_reports_c021() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        plan.pes.first_mut().unwrap().parallelism.parallel_in = 0;
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C021), "{}", d.render());
+    }
+
+    #[test]
+    fn excess_parallelism_warns_c022() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        // conv1 has a single input map; claim 4 ports behind the
+        // builder's clamp.
+        plan.pes.first_mut().unwrap().parallelism.parallel_in = 4;
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C022), "{}", d.render());
+        assert!(!d.has_errors(), "{}", d.render());
+    }
+
+    #[test]
+    fn stale_plan_topology_reports_c025() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        // Edit the network after planning: conv2 grows output maps.
+        let mut edited = net.clone();
+        if let Some(l) = edited.layers.iter_mut().find(|l| l.name == "conv2") {
+            if let LayerKind::Convolution { num_output, .. } = &mut l.kind {
+                *num_output = 64;
+            }
+        }
+        let d = run(&edited, &plan);
+        assert!(d.has_code(Code::C025), "{}", d.render());
+    }
+
+    #[test]
+    fn missing_layers_report_c025() {
+        let net = zoo::lenet();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        plan.pes.pop();
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C025), "{}", d.render());
+    }
+
+    #[test]
+    fn narrow_datamover_notes_c026() {
+        let net = zoo::tc1();
+        let mut plan = PlanBuilder::new(&net).build().unwrap();
+        plan.datamover_words_per_cycle = 1;
+        // Crank PE parallelism so PEs outrun the 1-word stream.
+        for pe in &mut plan.pes {
+            pe.parallelism.parallel_in = pe.parallelism.parallel_in.max(1);
+        }
+        plan.input_words_per_image = 1_000_000;
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C026), "{}", d.render());
+    }
+}

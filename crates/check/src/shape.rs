@@ -1,0 +1,321 @@
+//! Shape and stream-type inference over a network (pass 1).
+//!
+//! Unlike `Network::validate`, which stops at the first failure, this
+//! pass walks the whole network and *collects* every finding it can
+//! still reason about: structural problems (C001–C004), shape-inference
+//! failures (C010–C012) and weight mismatches (C013–C015). Shape
+//! chaining stops at the first broken layer — downstream shapes are
+//! unknowable — but weight checks keep running for every layer whose
+//! input shape was established.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use condor_nn::{LayerKind, Network};
+use condor_tensor::Shape;
+use std::collections::BTreeSet;
+
+/// Runs the shape/stream pass, appending findings to `diags`.
+///
+/// Returns the per-layer input shapes established before the first
+/// shape failure (one entry per layer, in order), which the SDF pass
+/// reuses to cross-check the plan topology.
+pub fn check_network(net: &Network, diags: &mut Diagnostics) -> Vec<Option<Shape>> {
+    check_structure(net, diags);
+    let ins = chain_shapes(net, diags);
+    check_weights(net, &ins, diags);
+    ins
+}
+
+/// Structural checks (the C00x group), collected exhaustively.
+fn check_structure(net: &Network, diags: &mut Diagnostics) {
+    if !net.layers.iter().any(|l| l.kind.is_compute()) {
+        diags.push(
+            Diagnostic::new(Code::C001, "network has no computational layers")
+                .hint("add at least one convolution, pooling or inner-product layer"),
+        );
+    }
+    let mut seen = BTreeSet::new();
+    for (i, layer) in net.layers.iter().enumerate() {
+        if layer.name.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::C002,
+                    format!("layer at position {i} has an empty name"),
+                )
+                .hint("every layer needs a unique Caffe-style name"),
+            );
+        } else if !seen.insert(layer.name.as_str()) {
+            diags.push(
+                Diagnostic::new(Code::C003, format!("duplicate layer name '{}'", layer.name))
+                    .at(layer.name.clone())
+                    .hint("rename one of the layers; weights are keyed by name"),
+            );
+        }
+        if matches!(layer.kind, LayerKind::Input) && i != 0 {
+            diags.push(
+                Diagnostic::new(
+                    Code::C004,
+                    format!("Input layer at position {i}, expected 0"),
+                )
+                .at(layer.name.clone())
+                .hint("move the Input layer to the front of the chain"),
+            );
+        }
+    }
+}
+
+/// Chains shape inference layer by layer, reporting the first failure
+/// with its typed kind and leaving later shapes unknown.
+fn chain_shapes(net: &Network, diags: &mut Diagnostics) -> Vec<Option<Shape>> {
+    let mut ins: Vec<Option<Shape>> = Vec::with_capacity(net.layers.len());
+    let mut current = Some(net.input_shape);
+    for layer in &net.layers {
+        ins.push(current);
+        current = match current {
+            None => None,
+            Some(shape) => match layer.kind.output_shape(shape) {
+                Ok(out) => Some(out),
+                Err(e) => {
+                    let code = Code::from_nn_kind(condor_nn::NnErrorKind::Shape(e.kind));
+                    diags.push(
+                        Diagnostic::new(code, e.message.clone())
+                            .at(layer.name.clone())
+                            .hint(shape_hint(&layer.kind, shape)),
+                    );
+                    None
+                }
+            },
+        };
+    }
+    ins
+}
+
+/// A fix hint tailored to the failing layer kind.
+fn shape_hint(kind: &LayerKind, input: Shape) -> String {
+    match kind {
+        LayerKind::Convolution { pad, .. } | LayerKind::Pooling { pad, .. } => {
+            format!(
+                "input is {}x{} (pad {pad}); shrink the kernel below \
+                 {} or pad the input",
+                input.h,
+                input.w,
+                input.h.min(input.w) + 2 * pad + 1
+            )
+        }
+        LayerKind::Softmax { .. } => format!(
+            "insert an InnerProduct (or flatten) before softmax; \
+             input still has a {}x{} spatial extent",
+            input.h, input.w
+        ),
+        _ => "check the layer hyper-parameters".to_string(),
+    }
+}
+
+/// Weight checks for every layer whose input shape is known: fan-in
+/// mismatches (C015), other shape mismatches (C013), missing weights
+/// (C014, warning) and weights keyed to no layer (C013).
+fn check_weights(net: &Network, ins: &[Option<Shape>], diags: &mut Diagnostics) {
+    for (layer, input) in net.layers.iter().zip(ins) {
+        let Some(input) = *input else { continue };
+        let expected = match layer.kind {
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                bias,
+                ..
+            } => Some((
+                Shape::new(num_output, input.c, kernel, kernel),
+                bias.then(|| Shape::vector(num_output)),
+            )),
+            LayerKind::InnerProduct { num_output, bias } => Some((
+                Shape::new(num_output, input.item_len(), 1, 1),
+                bias.then(|| Shape::vector(num_output)),
+            )),
+            _ => None,
+        };
+        let Some((want_w, want_b)) = expected else {
+            continue;
+        };
+        let Some(installed) = net.weights_of(&layer.name) else {
+            diags.push(
+                Diagnostic::new(
+                    Code::C014,
+                    format!("no weights installed (expected {want_w})"),
+                )
+                .at(layer.name.clone())
+                .hint("install trained weights or call attach_random_weights"),
+            );
+            continue;
+        };
+        let got = installed.weights.shape();
+        if got != want_w {
+            // Distinguish a wrong fan-in (the classic "previous layer
+            // changed" bug) from any other dimension disagreement.
+            let fan_in_only =
+                got.n == want_w.n && got.h == want_w.h && got.w == want_w.w && got.c != want_w.c;
+            let (code, hint) = if fan_in_only {
+                (
+                    Code::C015,
+                    format!(
+                        "weights expect {} input channels but the layer receives {}",
+                        got.c, want_w.c
+                    ),
+                )
+            } else {
+                (
+                    Code::C013,
+                    "re-export weights for the current topology".to_string(),
+                )
+            };
+            diags.push(
+                Diagnostic::new(
+                    code,
+                    format!("weight shape {got} does not match expected {want_w}"),
+                )
+                .at(layer.name.clone())
+                .hint(hint),
+            );
+        }
+        match (&installed.bias, want_b) {
+            (Some(b), Some(want)) if b.shape() != want => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::C013,
+                        format!("bias shape {} does not match expected {want}", b.shape()),
+                    )
+                    .at(layer.name.clone()),
+                );
+            }
+            (Some(_), None) => {
+                diags.push(
+                    Diagnostic::new(Code::C013, "bias installed but layer has bias_term: false")
+                        .at(layer.name.clone()),
+                );
+            }
+            (None, Some(want)) => {
+                diags.push(
+                    Diagnostic::new(Code::C013, format!("missing bias tensor (expected {want})"))
+                        .at(layer.name.clone()),
+                );
+            }
+            _ => {}
+        }
+    }
+    for name in net.weights.keys() {
+        if !net.layers.iter().any(|l| &l.name == name) {
+            diags.push(
+                Diagnostic::new(
+                    Code::C013,
+                    format!("weights keyed to unknown layer '{name}'"),
+                )
+                .hint("remove the stale entry or rename the layer"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use condor_nn::{zoo, Layer};
+    use condor_tensor::Tensor;
+
+    fn run(net: &Network) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        check_network(net, &mut d);
+        d
+    }
+
+    #[test]
+    fn clean_networks_have_no_errors() {
+        for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16()] {
+            let d = run(&net);
+            assert!(!d.has_errors(), "{}: {}", net.name, d.render());
+        }
+    }
+
+    #[test]
+    fn unweighted_networks_only_warn_about_weights() {
+        let d = run(&zoo::lenet());
+        assert!(d.iter().all(|x| x.code == Code::C014), "{}", d.render());
+        // Weighted variant is fully clean.
+        let d = run(&zoo::lenet_weighted(1));
+        assert!(d.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn oversized_kernel_reports_c011_once_then_stops() {
+        let mut net = zoo::lenet();
+        if let Some(l) = net.layers.iter_mut().find(|l| l.name == "conv1") {
+            if let LayerKind::Convolution { kernel, .. } = &mut l.kind {
+                *kernel = 40;
+            }
+        }
+        let d = run(&net);
+        assert!(d.has_code(Code::C011), "{}", d.render());
+        // Downstream layers are unknowable, not separately broken.
+        assert_eq!(d.error_count(), 1, "{}", d.render());
+    }
+
+    #[test]
+    fn early_softmax_reports_c012() {
+        let mut net = zoo::lenet();
+        net.layers
+            .insert(2, Layer::new("bad_prob", LayerKind::Softmax { log: false }));
+        let d = run(&net);
+        assert!(d.has_code(Code::C012), "{}", d.render());
+    }
+
+    #[test]
+    fn duplicate_and_empty_names_collected_together() {
+        let mut net = zoo::lenet();
+        if let Some(l) = net.layers.iter_mut().find(|l| l.name == "pool1") {
+            l.name = "conv1".to_string();
+        }
+        if let Some(l) = net.layers.iter_mut().find(|l| l.name == "relu1") {
+            l.name = String::new();
+        }
+        let d = run(&net);
+        assert!(d.has_code(Code::C003), "{}", d.render());
+        assert!(d.has_code(Code::C002), "{}", d.render());
+    }
+
+    #[test]
+    fn wrong_fanin_weights_report_c015() {
+        let mut net = zoo::lenet_weighted(3);
+        // conv2 expects 50×20×5×5; install 50×10×5×5 behind the API's back.
+        let w = net.weights.get_mut("conv2").unwrap();
+        w.weights = Tensor::zeros(Shape::new(50, 10, 5, 5));
+        let d = run(&net);
+        assert!(d.has_code(Code::C015), "{}", d.render());
+    }
+
+    #[test]
+    fn other_weight_mismatch_reports_c013() {
+        let mut net = zoo::lenet_weighted(3);
+        let w = net.weights.get_mut("conv2").unwrap();
+        w.weights = Tensor::zeros(Shape::new(50, 20, 3, 3));
+        let d = run(&net);
+        assert!(d.has_code(Code::C013), "{}", d.render());
+        assert!(!d.has_code(Code::C015), "{}", d.render());
+    }
+
+    #[test]
+    fn orphaned_weights_report_c013() {
+        let mut net = zoo::lenet_weighted(3);
+        let w = net.weights.get("conv1").unwrap().clone();
+        net.weights.insert("ghost".to_string(), w);
+        let d = run(&net);
+        assert!(d.has_code(Code::C013), "{}", d.render());
+    }
+
+    #[test]
+    fn returned_shapes_match_network_inference() {
+        let net = zoo::lenet();
+        let mut d = Diagnostics::new();
+        let ins = check_network(&net, &mut d);
+        let want = net.input_shapes().unwrap();
+        let got: Vec<Shape> = ins.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -145,6 +145,7 @@ fn type_err(path: &str, key: &str, want: &str, got: &Value) -> AccessError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::parse::parse;
 

@@ -17,6 +17,8 @@
 //! own end-to-end, and because error positions (line/column) matter for the
 //! frontend's user-facing diagnostics.
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod parse;
 pub mod value;

@@ -188,6 +188,7 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -113,6 +113,7 @@ fn write_string(s: &str, out: &mut String) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::parse::parse;
 

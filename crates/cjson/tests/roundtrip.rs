@@ -1,5 +1,7 @@
 //! Property tests: arbitrary JSON documents survive write→parse round trips.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_cjson::{parse, to_string, to_string_pretty, Number, Value};
 use proptest::prelude::*;
 

@@ -195,6 +195,7 @@ impl AfiRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::sdaccel::{xocc_link, XoFile};
     use bytes::Bytes;

@@ -187,6 +187,7 @@ impl F1Manager {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::s3::S3Client;
     use crate::sdaccel::{xocc_link, XoFile};

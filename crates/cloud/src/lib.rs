@@ -20,6 +20,8 @@
 //!   require users to run the Condor framework inside an FPGA Developer
 //!   Amazon Machine Image, which provides the aforementioned licenses").
 
+#![forbid(unsafe_code)]
+
 pub mod afi;
 pub mod ami;
 pub mod f1;

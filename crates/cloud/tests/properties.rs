@@ -1,5 +1,7 @@
 //! Property tests for the simulated cloud services.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use bytes::Bytes;
 use condor_cloud::{xocc_link, AfiRegistry, AfiState, S3Client, Xclbin, XoFile};
 use proptest::prelude::*;

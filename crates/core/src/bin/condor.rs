@@ -4,6 +4,9 @@
 //! condor info   <model.prototxt | network.json>
 //! condor build  <model.prototxt | network.json> [--weights FILE]
 //!               [--board NAME] [--freq MHZ] [--dse]
+//! condor check  <model.prototxt | network.json> [--weights FILE]
+//!               [--board NAME] [--freq MHZ] [--fusion N] [--json]
+//! condor check  --zoo | --defects [--json]
 //! condor dse    <model.prototxt | network.json> [--board NAME]
 //! condor export <network.json> --prototxt OUT [--weights FILE]
 //! ```
@@ -38,7 +41,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     args.flags.insert(name.to_string(), v);
                 }
-                "dse" => {
+                "dse" | "json" | "zoo" | "defects" => {
                     args.switches.insert(name.to_string());
                 }
                 other => return Err(format!("unknown flag --{other}")),
@@ -158,6 +161,166 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `condor check`: the static verifier, standalone. Verifies a model
+/// file against its (possibly overridden) hardware directives, or with
+/// `--zoo` / `--defects` runs the built-in self-checks CI relies on.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let json = args.switches.contains("json");
+    if args.switches.contains("zoo") {
+        return check_zoo(json);
+    }
+    if args.switches.contains("defects") {
+        return check_defects(json);
+    }
+    let path = args
+        .positional
+        .first()
+        .ok_or("check needs a model path (or --zoo / --defects)")?;
+    let model = load_model(path, args.flags.get("weights").map(String::as_str))?;
+    let hw = &model.representation.hardware;
+    let board = args
+        .flags
+        .get("board")
+        .cloned()
+        .unwrap_or_else(|| hw.board.clone());
+    let freq = match args.flags.get("freq") {
+        Some(f) => f.parse::<f64>().map_err(|e| format!("bad --freq: {e}"))?,
+        None => hw.freq_mhz,
+    };
+    let fusion = match args.flags.get("fusion") {
+        Some(f) => f
+            .parse::<usize>()
+            .map_err(|e| format!("bad --fusion: {e}"))?,
+        None => hw.fusion,
+    };
+    let plan = condor_dataflow::PlanBuilder::new(&model.network)
+        .board(&board)
+        .freq_mhz(freq)
+        .fusion(fusion)
+        .parallelism(hw.parallelism)
+        .build();
+    let report = match plan {
+        Ok(plan) => condor_check::check(&model.network, &plan),
+        Err(e) => {
+            // The plan cannot even be constructed: report the network
+            // passes plus the builder failure as a diagnostic.
+            let mut report = condor_check::check_network(&model.network);
+            report
+                .diagnostics
+                .push(condor_check::Diagnostic::from_dataflow_error(&e));
+            report
+        }
+    };
+    if json {
+        println!("{}", condor_cjson::to_string_pretty(&report.to_json()));
+    } else {
+        print!("{}", report.render());
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "static verification failed with {} error(s)",
+            report.diagnostics.error_count()
+        ))
+    }
+}
+
+/// Every zoo network must be statically well-typed (shape/stream pass
+/// clean of errors); the feasible ones must pass the full plan check.
+fn check_zoo(json: bool) -> Result<(), String> {
+    use condor_nn::zoo;
+    let mut failed = Vec::new();
+    let mut rows = Vec::new();
+    for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16()] {
+        let report = condor_check::check_network(&net);
+        if !report.passed() {
+            failed.push(net.name.clone());
+        }
+        rows.push(report);
+    }
+    if json {
+        println!(
+            "{}",
+            condor_cjson::to_string_pretty(&condor_cjson::Value::Array(
+                rows.iter()
+                    .map(condor_check::CheckReport::to_json)
+                    .collect()
+            ))
+        );
+    } else {
+        for r in &rows {
+            print!("{}", r.render());
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "zoo networks failed verification: {}",
+            failed.join(", ")
+        ))
+    }
+}
+
+/// The seeded-defect corpus must be *rejected*, each with its expected
+/// diagnostic code — this checks the checker itself.
+fn check_defects(json: bool) -> Result<(), String> {
+    let mut missed = Vec::new();
+    let mut items = Vec::new();
+    for d in condor_check::corpus() {
+        let report = condor_check::check_defect(&d);
+        let caught = !report.passed() && report.diagnostics.has_code(d.expected);
+        if !caught {
+            missed.push(d.name.to_string());
+        }
+        if json {
+            items.push(condor_cjson::Value::object([
+                ("defect".to_string(), condor_cjson::Value::str(d.name)),
+                (
+                    "class".to_string(),
+                    condor_cjson::Value::str(d.class.label()),
+                ),
+                (
+                    "expected".to_string(),
+                    condor_cjson::Value::str(d.expected.as_str()),
+                ),
+                ("caught".to_string(), condor_cjson::Value::Bool(caught)),
+                (
+                    "codes".to_string(),
+                    condor_cjson::Value::Array(
+                        report
+                            .diagnostics
+                            .codes()
+                            .into_iter()
+                            .map(condor_cjson::Value::str)
+                            .collect(),
+                    ),
+                ),
+            ]));
+        } else {
+            println!(
+                "{:<34} {:<16} expects {}  ->  {}",
+                d.name,
+                d.class.label(),
+                d.expected,
+                if caught { "caught" } else { "MISSED" }
+            );
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            condor_cjson::to_string_pretty(&condor_cjson::Value::Array(items))
+        );
+    }
+    if missed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("defects not caught: {}", missed.join(", ")))
+    }
+}
+
 fn cmd_dse(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("dse needs a model path")?;
     let model = load_model(path, None)?;
@@ -216,8 +379,8 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: condor <info|build|dse|export> <model> [--weights FILE] [--board NAME] \
-     [--freq MHZ] [--fusion N] [--dse] [--prototxt OUT]"
+    "usage: condor <info|build|check|dse|export> <model> [--weights FILE] [--board NAME] \
+     [--freq MHZ] [--fusion N] [--dse] [--json] [--zoo] [--defects] [--prototxt OUT]"
         .to_string()
 }
 
@@ -237,6 +400,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "info" => cmd_info(&args),
         "build" => cmd_build(&args),
+        "check" => cmd_check(&args),
         "dse" => cmd_dse(&args),
         "export" => cmd_export(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),

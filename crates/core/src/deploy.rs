@@ -447,6 +447,7 @@ impl ExecutionBackend for AcceleratorReplica {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::flow::Condor;
     use condor_nn::{dataset, zoo, GoldenEngine};

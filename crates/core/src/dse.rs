@@ -16,9 +16,10 @@
 //! in the network representation.
 
 use crate::error::CondorError;
+use condor_check::PlanBounds;
 use condor_dataflow::{PeParallelism, PipelineModel, PlanBuilder};
 use condor_fpga::{Board, Utilization};
-use condor_hls::{synthesize_plan, PlanSynthesis};
+use condor_hls::{synthesize_plan, PlanSynthesis, SynthModel};
 use condor_nn::Network;
 use rayon::prelude::*;
 
@@ -37,6 +38,11 @@ pub struct DseConfig {
     pub fc_simd: Vec<usize>,
     /// Batch size used to evaluate sustained GFLOPS.
     pub eval_batch: usize,
+    /// When true (the default), statically-infeasible points are pruned
+    /// by `condor_check::PlanBounds` before any plan is built or
+    /// simulated. Pruned points still appear in the outcome with their
+    /// reason, so the cross-product is always fully reported.
+    pub prefilter: bool,
 }
 
 impl Default for DseConfig {
@@ -48,6 +54,7 @@ impl Default for DseConfig {
             parallel_out: vec![1, 2, 4, 8],
             fc_simd: vec![1, 2, 4, 8],
             eval_batch: 64,
+            prefilter: true,
         }
     }
 }
@@ -69,6 +76,10 @@ pub struct DsePoint {
     pub gflops: f64,
     /// `None` when the point fits; the binding reason otherwise.
     pub infeasible_reason: Option<String>,
+    /// True when the static pre-filter rejected the point before any
+    /// plan was built or simulated; `synthesis.total` then holds the
+    /// resource *lower bound* rather than a full estimate.
+    pub pruned: bool,
 }
 
 impl DsePoint {
@@ -160,7 +171,38 @@ fn evaluate(
         utilization,
         gflops,
         infeasible_reason,
+        pruned: false,
     })
+}
+
+/// Builds the record of a statically-pruned point: no plan, no
+/// simulation — the synthesis slot carries the lower bound itself so
+/// reports can still show how far over budget the point was.
+fn pruned_point(
+    fusion: usize,
+    parallelism: PeParallelism,
+    freq_mhz: f64,
+    bounds: &PlanBounds,
+    model: &SynthModel,
+    budget: &condor_fpga::Resources,
+    reason: String,
+) -> DsePoint {
+    let lb = bounds.lower_bound(parallelism, model);
+    DsePoint {
+        fusion,
+        parallelism,
+        freq_mhz,
+        synthesis: PlanSynthesis {
+            modules: Vec::new(),
+            total: lb,
+            achieved_fmax_mhz: 0.0,
+            requested_fmax_mhz: freq_mhz,
+        },
+        utilization: lb.utilization(budget),
+        gflops: 0.0,
+        infeasible_reason: Some(reason),
+        pruned: true,
+    }
 }
 
 /// Sweeps the configured candidate space in parallel.
@@ -188,9 +230,26 @@ pub fn explore(net: &Network, board: &Board, cfg: &DseConfig) -> Result<DseOutco
     if combos.is_empty() {
         return Err(CondorError::new("dse", "empty candidate space"));
     }
+    // Static pre-filter: one shape-inference walk bounds the resources
+    // of every candidate parallelism from below, so hopeless points
+    // (most famously all of VGG-16) skip plan building and simulation.
+    let bounds = if cfg.prefilter {
+        Some(PlanBounds::analyze(net)?)
+    } else {
+        None
+    };
+    let model = SynthModel::default();
+    let budget = board.usable_resources();
     let points: Vec<DsePoint> = combos
         .par_iter()
-        .map(|&(fusion, par, freq)| evaluate(net, board, fusion, par, freq, cfg.eval_batch))
+        .map(|&(fusion, par, freq)| {
+            if let Some(b) = &bounds {
+                if let Some(reason) = b.infeasible_reason(par, &model, &budget) {
+                    return Ok(pruned_point(fusion, par, freq, b, &model, &budget, reason));
+                }
+            }
+            evaluate(net, board, fusion, par, freq, cfg.eval_batch)
+        })
         .collect::<Result<Vec<_>, _>>()?;
 
     let best = points
@@ -209,6 +268,7 @@ pub fn explore(net: &Network, board: &Board, cfg: &DseConfig) -> Result<DseOutco
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_fpga::board;
     use condor_nn::zoo;
@@ -225,6 +285,7 @@ mod tests {
             parallel_out: vec![1, 2],
             fc_simd: vec![1, 2],
             eval_batch: 32,
+            prefilter: true,
         }
     }
 
@@ -329,5 +390,29 @@ mod tests {
             assert!(!p.feasible());
             assert!(p.infeasible_reason.as_ref().unwrap().contains("budget"));
         }
+    }
+
+    #[test]
+    fn prefilter_prunes_without_changing_the_answer() {
+        let no_prefilter = DseConfig {
+            prefilter: false,
+            ..small_cfg()
+        };
+        // Feasible network: same verdicts and same winner either way.
+        let net = zoo::lenet();
+        let on = explore(&net, f1(), &small_cfg()).unwrap();
+        let off = explore(&net, f1(), &no_prefilter).unwrap();
+        assert_eq!(on.points.len(), off.points.len());
+        for (a, b) in on.points.iter().zip(&off.points) {
+            assert_eq!(a.feasible(), b.feasible());
+        }
+        assert_eq!(on.best, off.best);
+        // Hopeless network: every point is pruned statically, none is
+        // simulated, and the verdict matches the unfiltered sweep.
+        let net = zoo::vgg16();
+        let on = explore(&net, f1(), &small_cfg()).unwrap();
+        assert!(on.points.iter().all(|p| p.pruned && !p.feasible()));
+        let off = explore(&net, f1(), &no_prefilter).unwrap();
+        assert!(off.points.iter().all(|p| !p.pruned && !p.feasible()));
     }
 }

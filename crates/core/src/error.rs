@@ -75,6 +75,7 @@ impl From<condor_cloud::CloudError> for CondorError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

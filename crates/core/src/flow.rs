@@ -160,18 +160,27 @@ impl Condor {
             plan_builder = plan_builder.layer_parallelism(layer.clone(), *p);
         }
         let plan = plan_builder.build()?;
-        let synthesis = synthesize_plan(&plan, board.device());
-        let budget = board.usable_resources();
-        if !synthesis.total.fits_in(&budget) {
+
+        // Mandatory static verification gate: shape/stream typing, SDF
+        // FIFO analysis and resource budgets must all hold before any
+        // HLS codegen runs. Errors abort the build; warnings ride along
+        // on the report attached to the built accelerator.
+        let check = condor_check::check(&self.network, &plan);
+        if !check.passed() {
             return Err(CondorError::new(
                 "core-logic",
                 format!(
                     "network is not synthesizable with the current methodology on \
-                     '{}': needs {} but only {} is usable",
-                    board.name, synthesis.total, budget
+                     '{}': static verification failed\n{}",
+                    board.name,
+                    check.render()
                 ),
             ));
         }
+        let synthesis = check
+            .synthesis
+            .clone()
+            .unwrap_or_else(|| synthesize_plan(&plan, board.device()));
 
         // Step 5 — network creation: connect the layer IPs.
         let ips: Vec<_> = plan.pes.iter().map(package_layer_ip).collect();
@@ -198,6 +207,7 @@ impl Condor {
             representation,
             plan,
             synthesis,
+            check,
             accelerator,
             xo,
             host_code: host,
@@ -218,6 +228,10 @@ pub struct BuiltAccelerator {
     pub plan: AcceleratorPlan,
     /// Synthesis estimates and achieved clock.
     pub synthesis: PlanSynthesis,
+    /// The static verification report from the mandatory pre-codegen
+    /// gate — always a pass by construction, but it preserves any
+    /// warnings (missing weights, tight budgets, over-deep FIFOs).
+    pub check: condor_check::CheckReport,
     /// The connected accelerator IP with its generated sources.
     pub accelerator: AcceleratorIp,
     /// The packaged Xilinx object file.
@@ -261,6 +275,7 @@ impl BuiltAccelerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 
@@ -312,6 +327,26 @@ mod tests {
     fn vgg16_build_fails_like_the_paper_says() {
         let err = Condor::from_network(zoo::vgg16()).build().unwrap_err();
         assert!(err.message.contains("not synthesizable"));
+        // The static gate names the binding budget code.
+        assert!(err.message.contains("C030"), "{}", err.message);
+    }
+
+    #[test]
+    fn build_records_check_warnings() {
+        // An unweighted network builds fine, but the verification
+        // report carried on the result keeps the C014 warnings.
+        let built = Condor::from_network(zoo::lenet())
+            .board("aws-f1")
+            .build()
+            .unwrap();
+        assert!(built.check.passed());
+        assert!(built.check.diagnostics.warning_count() > 0);
+        // A fully-weighted build is warning-free.
+        let built = Condor::from_network(zoo::lenet_weighted(1))
+            .board("aws-f1")
+            .build()
+            .unwrap();
+        assert_eq!(built.check.diagnostics.warning_count(), 0);
     }
 
     #[test]
@@ -325,6 +360,7 @@ mod tests {
                 parallel_out: vec![1, 2],
                 fc_simd: vec![1, 2],
                 eval_batch: 16,
+                prefilter: true,
             })
             .build()
             .unwrap();

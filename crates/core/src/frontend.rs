@@ -480,6 +480,7 @@ impl<'a> Cursor<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_caffe::BlobProto;
     use condor_nn::zoo;
@@ -664,6 +665,7 @@ layer { name: "prob" type: "Softmax" }
 
 #[cfg(test)]
 mod export_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
     use condor_tensor::AllClose;

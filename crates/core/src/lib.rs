@@ -42,6 +42,8 @@
 //! assert_eq!(probs[0].shape().c, 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod deploy;
 pub mod dse;
 pub mod error;

@@ -221,6 +221,7 @@ impl fmt::Display for MetricsSnapshot {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -328,6 +328,7 @@ fn layer_from_json(doc: &Value, path: &str) -> Result<Layer, CondorError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 
@@ -456,6 +457,7 @@ mod tests {
 
 #[cfg(test)]
 mod layer_override_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 

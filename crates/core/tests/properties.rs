@@ -1,6 +1,8 @@
 //! Property tests over the framework tier: representation round trips,
 //! weights-file round trips and flow invariants on random networks.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor::frontend::{read_weights, write_weights};
 use condor::{Condor, HardwareConfig, NetworkRepresentation};
 use condor_dataflow::PeParallelism;

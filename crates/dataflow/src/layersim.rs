@@ -10,9 +10,14 @@
 //! and its cycle count against `PePlan::cycles_per_image`.
 
 use crate::fifo::Fifo;
+use crate::plan::{DataflowError, DataflowErrorKind};
 use crate::window::FilterChain;
 use condor_nn::PoolKind;
 use condor_tensor::{Shape, Tensor};
+
+fn sim_error(message: impl Into<String>) -> DataflowError {
+    DataflowError::kinded(DataflowErrorKind::Simulation, message)
+}
 
 /// Knobs for the layer simulation.
 #[derive(Clone, Debug)]
@@ -73,8 +78,8 @@ fn padded_stream(input: &Tensor, c: usize, pad: usize) -> Vec<f32> {
 /// per input map; for every completed window the PE spends one cycle per
 /// output map accumulating `w·window` into the partial-result buffer.
 ///
-/// # Panics
-/// Panics on shape mismatches between input and weights.
+/// Shape mismatches between the input and the weights produce a typed
+/// [`DataflowError`] rather than a panic.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_conv_layer(
     input: &Tensor,
@@ -84,12 +89,32 @@ pub fn simulate_conv_layer(
     pad: usize,
     relu: bool,
     cfg: &LayerSimConfig,
-) -> LayerSimReport {
+) -> Result<LayerSimReport, DataflowError> {
     let in_shape = input.shape();
     let w_shape = weights.shape();
-    assert_eq!(in_shape.n, 1, "layer sim takes a single image");
-    assert_eq!(w_shape.c, in_shape.c, "weight fan-in mismatch");
+    if in_shape.n != 1 {
+        return Err(sim_error(format!(
+            "layer sim takes a single image, got batch {}",
+            in_shape.n
+        )));
+    }
+    if w_shape.c != in_shape.c {
+        return Err(sim_error(format!(
+            "weight fan-in mismatch: weights expect {} input maps, input has {}",
+            w_shape.c, in_shape.c
+        )));
+    }
+    if cfg.out_fifo_depth == 0 || cfg.drain_every == 0 {
+        return Err(sim_error("out_fifo_depth and drain_every must be positive"));
+    }
     let kernel = w_shape.h;
+    if kernel == 0 || kernel > in_shape.h + 2 * pad || kernel > in_shape.w + 2 * pad {
+        return Err(sim_error(format!(
+            "kernel {kernel} does not fit padded input {}x{}",
+            in_shape.h + 2 * pad,
+            in_shape.w + 2 * pad
+        )));
+    }
     let num_output = w_shape.n;
     let out_h = Shape::conv_out_dim(in_shape.h, kernel, stride, pad);
     let out_w = Shape::conv_out_dim(in_shape.w, kernel, stride, pad);
@@ -203,20 +228,23 @@ pub fn simulate_conv_layer(
             }
         }
     }
-    assert_eq!(emitted, total_out, "simulation lost output elements");
+    if emitted != total_out {
+        return Err(sim_error("simulation lost output elements"));
+    }
 
-    LayerSimReport {
+    Ok(LayerSimReport {
         cycles: cycle,
         pe_stall_cycles: pe_stalls,
         input_stall_cycles: input_stalls,
         output,
         chain_high_water,
         out_fifo_high_water: out_fifo.high_water(),
-    }
+    })
 }
 
 /// Simulates a pooling layer: stream-bound, one window comparison per
-/// completed window.
+/// completed window. Inconsistent inputs produce a typed
+/// [`DataflowError`] rather than a panic.
 pub fn simulate_pool_layer(
     input: &Tensor,
     method: PoolKind,
@@ -224,9 +252,24 @@ pub fn simulate_pool_layer(
     stride: usize,
     pad: usize,
     cfg: &LayerSimConfig,
-) -> LayerSimReport {
+) -> Result<LayerSimReport, DataflowError> {
     let in_shape = input.shape();
-    assert_eq!(in_shape.n, 1, "layer sim takes a single image");
+    if in_shape.n != 1 {
+        return Err(sim_error(format!(
+            "layer sim takes a single image, got batch {}",
+            in_shape.n
+        )));
+    }
+    if cfg.out_fifo_depth == 0 || cfg.drain_every == 0 {
+        return Err(sim_error("out_fifo_depth and drain_every must be positive"));
+    }
+    if kernel == 0 || kernel > in_shape.h + 2 * pad || kernel > in_shape.w + 2 * pad {
+        return Err(sim_error(format!(
+            "pool window {kernel} does not fit padded input {}x{}",
+            in_shape.h + 2 * pad,
+            in_shape.w + 2 * pad
+        )));
+    }
     let out_h = Shape::pool_out_dim(in_shape.h, kernel, stride, pad);
     let out_w = Shape::pool_out_dim(in_shape.w, kernel, stride, pad);
     let out_shape = Shape::new(1, in_shape.c, out_h, out_w);
@@ -354,20 +397,23 @@ pub fn simulate_pool_layer(
             }
         }
     }
-    assert_eq!(emitted, total_out, "simulation lost output elements");
+    if emitted != total_out {
+        return Err(sim_error("simulation lost output elements"));
+    }
 
-    LayerSimReport {
+    Ok(LayerSimReport {
         cycles: cycle,
         pe_stall_cycles: pe_stalls,
         input_stall_cycles: input_stalls,
         output,
         chain_high_water,
         out_fifo_high_water: out_fifo.high_water(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::{GoldenEngine, Layer, LayerKind, Network};
     use condor_tensor::{linspace, AllClose, TensorRng};
@@ -418,7 +464,8 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         let golden = golden_conv(&input, &weights, &bias, 1, 0, false);
         assert!(report.output.all_close(&golden));
     }
@@ -437,7 +484,8 @@ mod tests {
             1,
             true,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         let golden = golden_conv(&input, &weights, &bias, 2, 1, true);
         assert!(report.output.all_close(&golden));
         assert!(report.output.as_slice().iter().all(|&v| v >= 0.0));
@@ -458,7 +506,8 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         let analytic = 2 * 4 * 16; // C · F · H_out · W_out
                                    // The simulated count adds stream/fill slack but must stay within
                                    // the fill overhead of the analytic bound.
@@ -486,7 +535,8 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         // Stream bound = 100 elements; compute = 64.
         assert!(report.cycles >= 100);
         assert!(report.cycles <= 100 + 64 + 33);
@@ -505,7 +555,8 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         let throttled = simulate_conv_layer(
             &input,
             &weights,
@@ -518,7 +569,8 @@ mod tests {
                 drain_every: 4, // consumer 4x slower than the PE
                 input_stall_period: None,
             },
-        );
+        )
+        .unwrap();
         assert!(throttled.pe_stall_cycles > fast.pe_stall_cycles);
         assert!(throttled.cycles > fast.cycles);
         // Functional result is unaffected by back-pressure.
@@ -538,7 +590,8 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         let slow = simulate_conv_layer(
             &input,
             &weights,
@@ -550,7 +603,8 @@ mod tests {
                 input_stall_period: Some(2), // every other cycle stalls
                 ..LayerSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(slow.input_stall_cycles > 0);
         assert!(slow.cycles > fast.cycles);
         assert!(slow.output.all_close(&fast.output));
@@ -560,7 +614,8 @@ mod tests {
     fn pool_sim_matches_golden_engine() {
         let input = linspace(Shape::chw(3, 6, 6), -2.0, 0.13);
         for method in [PoolKind::Max, PoolKind::Average] {
-            let report = simulate_pool_layer(&input, method, 2, 2, 0, &LayerSimConfig::default());
+            let report =
+                simulate_pool_layer(&input, method, 2, 2, 0, &LayerSimConfig::default()).unwrap();
             let net = Network::new(
                 "p",
                 input.shape(),
@@ -586,7 +641,8 @@ mod tests {
         // windows at the edges.
         let input = linspace(Shape::chw(1, 5, 5), 0.0, 1.0);
         let report =
-            simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default());
+            simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default())
+                .unwrap();
         assert_eq!(report.output.shape(), Shape::new(1, 1, 3, 3));
         let net = Network::new(
             "p",
@@ -610,7 +666,8 @@ mod tests {
     fn pool_cycles_are_stream_bound() {
         let input = linspace(Shape::chw(4, 10, 10), 0.0, 0.5);
         let report =
-            simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default());
+            simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default())
+                .unwrap();
         let stream = 4 * 100;
         assert!(report.cycles >= stream as u64);
         assert!(report.cycles <= stream as u64 + 200);
@@ -629,13 +686,15 @@ mod tests {
             0,
             false,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(report.chain_high_water <= (5 - 1) * 9 + 5);
     }
 }
 
 #[cfg(test)]
 mod pool_throttle_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::PoolKind;
     use condor_tensor::{Shape, TensorRng};
@@ -644,7 +703,8 @@ mod pool_throttle_tests {
     fn pool_under_backpressure_stays_correct() {
         let mut rng = TensorRng::seeded(44);
         let input = rng.uniform(Shape::chw(2, 8, 8), -3.0, 3.0);
-        let fast = simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default());
+        let fast = simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default())
+            .unwrap();
         let throttled = simulate_pool_layer(
             &input,
             PoolKind::Max,
@@ -656,7 +716,8 @@ mod pool_throttle_tests {
                 drain_every: 6,
                 input_stall_period: None,
             },
-        );
+        )
+        .unwrap();
         assert!(throttled.cycles > fast.cycles);
         assert!(throttled.pe_stall_cycles > 0);
         assert_eq!(throttled.output, fast.output);
@@ -676,7 +737,8 @@ mod pool_throttle_tests {
                 input_stall_period: Some(3),
                 ..LayerSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         let fast = simulate_pool_layer(
             &input,
             PoolKind::Average,
@@ -684,7 +746,8 @@ mod pool_throttle_tests {
             2,
             0,
             &LayerSimConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(slow.input_stall_cycles > 0);
         assert!(slow.cycles > fast.cycles);
         assert_eq!(slow.output, fast.output);

@@ -27,6 +27,8 @@
 //! * [`pipeline`] — the image-granularity pipeline timing model that
 //!   yields batch latency/throughput (the paper's Figure 5).
 
+#![forbid(unsafe_code)]
+
 pub mod fifo;
 pub mod layersim;
 pub mod pipeline;
@@ -36,5 +38,8 @@ pub mod window;
 
 pub use fifo::Fifo;
 pub use pipeline::{BatchTiming, PipelineModel};
-pub use plan::{AcceleratorPlan, DataflowError, PeParallelism, PePlan, PlanBuilder, PlannedLayer};
+pub use plan::{
+    AcceleratorPlan, DataflowError, DataflowErrorKind, PeParallelism, PePlan, PlanBuilder,
+    PlannedLayer,
+};
 pub use window::{FilterChain, FilterSpec};

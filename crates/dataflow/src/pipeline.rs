@@ -130,6 +130,7 @@ impl PipelineModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::plan::PlanBuilder;
     use condor_nn::zoo;

@@ -13,13 +13,30 @@
 //! model (which consumes it for Figure 5) and the design-space
 //! exploration in the core crate.
 
-use condor_nn::{LayerKind, Network, NnError, Stage};
+use condor_nn::{LayerKind, Network, NnError, NnErrorKind, Stage};
 use condor_tensor::Shape;
 use std::fmt;
+
+/// Machine-readable classification of a [`DataflowError`]. Mapped onto
+/// stable diagnostic codes by `condor-check`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataflowErrorKind {
+    /// Invalid mapping directives (zero parallelism, unknown layers).
+    Plan,
+    /// A propagated network error (see the wrapped [`NnErrorKind`]).
+    Nn(NnErrorKind),
+    /// Runtime misuse: unweighted network, wrong input shape, a worker
+    /// aborting mid-batch.
+    Execution,
+    /// Element-level layer simulation got inconsistent inputs.
+    Simulation,
+}
 
 /// Error raised while building or validating an accelerator plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DataflowError {
+    /// Machine-readable failure class.
+    pub kind: DataflowErrorKind,
     /// Human-readable description.
     pub message: String,
 }
@@ -27,6 +44,14 @@ pub struct DataflowError {
 impl DataflowError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         DataflowError {
+            kind: DataflowErrorKind::Plan,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn kinded(kind: DataflowErrorKind, message: impl Into<String>) -> Self {
+        DataflowError {
+            kind,
             message: message.into(),
         }
     }
@@ -42,7 +67,7 @@ impl std::error::Error for DataflowError {}
 
 impl From<NnError> for DataflowError {
     fn from(e: NnError) -> Self {
-        DataflowError::new(e.to_string())
+        DataflowError::kinded(DataflowErrorKind::Nn(e.kind), e.to_string())
     }
 }
 
@@ -117,6 +142,11 @@ pub struct PePlan {
     pub stage: Stage,
     /// Feature-map parallelism.
     pub parallelism: PeParallelism,
+    /// Explicit FIFO depths between consecutive filters, overriding the
+    /// spatial-distance rule. `PlanBuilder` always leaves this `None`
+    /// (the rule is exact); hand-tuned or mutated plans may set it, and
+    /// `condor-check` statically verifies it against the rule.
+    pub fifo_depth_override: Option<Vec<usize>>,
 }
 
 impl PePlan {
@@ -152,6 +182,16 @@ impl PePlan {
     /// image that distance is 1 within a row and `W − K + 1` across row
     /// boundaries.
     pub fn fifo_depths(&self) -> Vec<usize> {
+        if let Some(depths) = &self.fifo_depth_override {
+            return depths.clone();
+        }
+        self.required_fifo_depths()
+    }
+
+    /// FIFO depths mandated by the spatial-distance rule, ignoring any
+    /// [`PePlan::fifo_depth_override`] — the reference `condor-check`
+    /// verifies declared depths against.
+    pub fn required_fifo_depths(&self) -> Vec<usize> {
         let k = self.max_window();
         let w = self.max_input_width();
         let mut depths = Vec::with_capacity(k * k - 1);
@@ -510,6 +550,7 @@ impl<'a> PlanBuilder<'a> {
             name: format!("pe{index}"),
             layers,
             stage,
+            fifo_depth_override: None,
             parallelism: match stage {
                 Stage::FeatureExtraction => PeParallelism { fc_simd: 1, ..base },
                 // The paper implements FC layers as single-input/
@@ -526,6 +567,7 @@ impl<'a> PlanBuilder<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 
@@ -704,6 +746,7 @@ mod tests {
 
 #[cfg(test)]
 mod bottleneck_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 
@@ -728,6 +771,7 @@ mod bottleneck_tests {
 
 #[cfg(test)]
 mod layer_override_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_nn::zoo;
 

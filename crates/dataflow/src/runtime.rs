@@ -14,7 +14,7 @@
 //! run cross-checks the plan's topology, fusion grouping, stream wiring
 //! and ordering against [`condor_nn::GoldenEngine`].
 
-use crate::plan::{AcceleratorPlan, DataflowError, PePlan};
+use crate::plan::{AcceleratorPlan, DataflowError, DataflowErrorKind, PePlan};
 use condor_nn::golden;
 use condor_nn::{LayerKind, Network};
 use condor_tensor::{Shape, Tensor};
@@ -57,12 +57,26 @@ impl ThreadedRuntime {
         plan: Arc<AcceleratorPlan>,
     ) -> Result<Self, DataflowError> {
         if !net.fully_weighted() {
-            return Err(DataflowError::new(
+            return Err(DataflowError::kinded(
+                DataflowErrorKind::Execution,
                 "network must be fully weighted before hardware execution",
             ));
         }
         if plan.pes.is_empty() {
             return Err(DataflowError::new("plan has no PEs"));
+        }
+        if plan.pes.iter().any(|pe| pe.layers.is_empty()) {
+            return Err(DataflowError::new("plan has a PE with no layers"));
+        }
+        for pe in &plan.pes {
+            for layer in &pe.layers {
+                if layer.kind.has_weights() && net.weights_of(&layer.name).is_none() {
+                    return Err(DataflowError::kinded(
+                        DataflowErrorKind::Execution,
+                        format!("plan layer '{}' has no weights in the network", layer.name),
+                    ));
+                }
+            }
         }
         Ok(ThreadedRuntime {
             net,
@@ -94,11 +108,14 @@ impl ThreadedRuntime {
     pub fn run_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, DataflowError> {
         for img in images {
             if img.shape() != self.net.input_shape {
-                return Err(DataflowError::new(format!(
-                    "input shape {} does not match network input {}",
-                    img.shape(),
-                    self.net.input_shape
-                )));
+                return Err(DataflowError::kinded(
+                    DataflowErrorKind::Execution,
+                    format!(
+                        "input shape {} does not match network input {}",
+                        img.shape(),
+                        self.net.input_shape
+                    ),
+                ));
             }
         }
         if images.is_empty() {
@@ -173,9 +190,10 @@ impl ThreadedRuntime {
                 match recv_tensor(&rx, out_shape) {
                     Some(t) => outs.push(t),
                     None => {
-                        result = Err(DataflowError::new(format!(
-                            "pipeline terminated early at image {i}"
-                        )));
+                        result = Err(DataflowError::kinded(
+                            DataflowErrorKind::Execution,
+                            format!("pipeline terminated early at image {i}"),
+                        ));
                         return;
                     }
                 }
@@ -260,6 +278,7 @@ fn pe_forward(pe: &PePlan, net: &Network, input: &Tensor) -> Tensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::plan::{PeParallelism, PlanBuilder};
     use condor_nn::{dataset, zoo, GoldenEngine};

@@ -233,6 +233,7 @@ impl FilterChain {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     /// Brute-force window enumeration for cross-checking.

@@ -1,6 +1,8 @@
 //! Property tests over the dataflow substrate: window streaming, plan
 //! invariants, pipeline timing and runtime/golden equivalence.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_dataflow::layersim::{simulate_conv_layer, LayerSimConfig};
 use condor_dataflow::runtime::ThreadedRuntime;
 use condor_dataflow::{FilterChain, PipelineModel, PlanBuilder};
@@ -166,7 +168,7 @@ proptest! {
                 drain_every: drain,
                 input_stall_period: None,
             },
-        );
+        ).unwrap();
         let out_shape = Shape::new(1, f, h - k + 1, w - k + 1);
         let expect = golden::convolve(&input, &weights, None, out_shape, f, k, 1, 0, false);
         prop_assert!(report.output.all_close(&expect));

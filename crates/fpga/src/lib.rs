@@ -13,6 +13,8 @@
 //! * [`power`] — an analytic power model (static + per-resource dynamic
 //!   terms scaled by clock frequency) used for the GFLOPS/W column.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod power;
 pub mod resources;

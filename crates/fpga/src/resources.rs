@@ -183,6 +183,7 @@ impl fmt::Display for Utilization {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

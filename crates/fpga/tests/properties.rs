@@ -1,5 +1,7 @@
 //! Property tests for resource algebra and the power model.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_fpga::{PowerModel, Resources};
 use proptest::prelude::*;
 

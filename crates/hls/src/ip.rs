@@ -200,6 +200,7 @@ pub fn connect_network(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::synth::synthesize_plan;
     use condor_dataflow::PlanBuilder;

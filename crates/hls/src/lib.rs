@@ -20,6 +20,8 @@
 //!   Integrator step connecting them into the final accelerator IP, and
 //!   the interface checks real packaging would perform.
 
+#![forbid(unsafe_code)]
+
 pub mod codegen;
 pub mod ip;
 pub mod synth;

@@ -269,6 +269,7 @@ pub fn synthesize_plan_with(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor_dataflow::{PeParallelism, PlanBuilder};
     use condor_fpga::device;

@@ -1,6 +1,8 @@
 //! Property tests for the synthesis model: monotonicity and structural
 //! consistency on random networks.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_dataflow::{PeParallelism, PlanBuilder};
 use condor_fpga::device;
 use condor_hls::{synthesize_plan, ModuleKind};

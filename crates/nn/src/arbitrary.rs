@@ -135,6 +135,7 @@ pub fn random_weighted_chain(seed: u64) -> Network {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

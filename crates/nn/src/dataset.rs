@@ -128,6 +128,7 @@ pub fn mnist_like(n: usize, seed: u64) -> Vec<Sample> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -9,7 +9,7 @@
 //! rayon (images are independent at inference time).
 
 use crate::layer::{LayerKind, PoolKind};
-use crate::network::{Network, NnError};
+use crate::network::{Network, NnError, NnErrorKind};
 use condor_tensor::{Shape, Tensor};
 use rayon::prelude::*;
 
@@ -37,7 +37,8 @@ impl<'a> GoldenEngine<'a> {
         if !net.fully_weighted() {
             return Err(NnError::net(
                 "cannot run inference: some layers have no weights installed",
-            ));
+            )
+            .with_kind(NnErrorKind::MissingWeights));
         }
         Ok(GoldenEngine { net })
     }
@@ -56,7 +57,8 @@ impl<'a> GoldenEngine<'a> {
                 "input shape {} does not match network input {}",
                 input.shape(),
                 self.net.input_shape
-            )));
+            ))
+            .with_kind(NnErrorKind::InputMismatch));
         }
         let mut outputs = Vec::with_capacity(self.net.layers.len());
         let mut current = input.clone();
@@ -80,7 +82,7 @@ impl<'a> GoldenEngine<'a> {
     ) -> Result<Tensor, NnError> {
         let out_shape = kind
             .output_shape(input.shape())
-            .map_err(|e| NnError::at(name, e))?;
+            .map_err(|e| NnError::shape(name, e))?;
         Ok(match *kind {
             LayerKind::Input => input.clone(),
             LayerKind::Convolution {
@@ -90,7 +92,7 @@ impl<'a> GoldenEngine<'a> {
                 pad,
                 bias,
             } => {
-                let lw = self.net.weights_of(name).expect("fully weighted");
+                let lw = self.weights_or_err(name)?;
                 convolve(
                     input,
                     &lw.weights,
@@ -125,10 +127,18 @@ impl<'a> GoldenEngine<'a> {
                 out
             }
             LayerKind::InnerProduct { bias, .. } => {
-                let lw = self.net.weights_of(name).expect("fully weighted");
+                let lw = self.weights_or_err(name)?;
                 inner_product(input, &lw.weights, lw.bias.as_ref(), out_shape, bias)
             }
             LayerKind::Softmax { log } => softmax(input, log),
+        })
+    }
+
+    /// Weights for a layer; a typed error (rather than a panic) if the
+    /// network was mutated to drop them after construction.
+    fn weights_or_err(&self, name: &str) -> Result<&crate::network::LayerWeights, NnError> {
+        self.net.weights_of(name).ok_or_else(|| {
+            NnError::at(name, "no weights installed").with_kind(NnErrorKind::MissingWeights)
         })
     }
 }
@@ -266,6 +276,7 @@ pub fn softmax(input: &Tensor, log: bool) -> Tensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::layer::Layer;
     use condor_tensor::{constant, linspace, AllClose};

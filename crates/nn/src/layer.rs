@@ -3,6 +3,45 @@
 use condor_tensor::Shape;
 use std::fmt;
 
+/// Why shape inference failed for a layer (see [`ShapeError`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShapeErrorKind {
+    /// A hyper-parameter makes the layer meaningless (zero kernel,
+    /// zero output maps, ...).
+    BadHyperParam,
+    /// The sliding window does not fit inside the (padded) input extent.
+    WindowExceedsInput,
+    /// The layer needs a flat `1×1` spatial stream but got a feature map.
+    NonFlatStream,
+}
+
+/// Typed shape-inference failure; wrapped by `NnError` (and by
+/// `condor-check` diagnostics) with the offending layer attached.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Failure class, stable across message rewording.
+    pub kind: ShapeErrorKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ShapeError {
+    fn new(kind: ShapeErrorKind, message: impl Into<String>) -> Self {
+        ShapeError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// Pooling operator of a sub-sampling layer (paper Section 2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PoolKind {
@@ -125,7 +164,7 @@ impl LayerKind {
 
     /// Output shape for a single-item input shape — the paper's Eq. (2)
     /// (convolution) and Eq. (3) (sub-sampling).
-    pub fn output_shape(&self, input: Shape) -> Result<Shape, String> {
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, ShapeError> {
         match *self {
             LayerKind::Input => Ok(input),
             LayerKind::Convolution {
@@ -136,13 +175,19 @@ impl LayerKind {
                 ..
             } => {
                 if kernel == 0 || num_output == 0 {
-                    return Err("convolution needs kernel_size > 0 and num_output > 0".into());
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::BadHyperParam,
+                        "convolution needs kernel_size > 0 and num_output > 0",
+                    ));
                 }
                 if input.h + 2 * pad < kernel || input.w + 2 * pad < kernel {
-                    return Err(format!(
-                        "kernel {kernel} exceeds padded input {}x{}",
-                        input.h + 2 * pad,
-                        input.w + 2 * pad
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::WindowExceedsInput,
+                        format!(
+                            "kernel {kernel} exceeds padded input {}x{}",
+                            input.h + 2 * pad,
+                            input.w + 2 * pad
+                        ),
                     ));
                 }
                 Ok(Shape::new(
@@ -159,13 +204,19 @@ impl LayerKind {
                 ..
             } => {
                 if kernel == 0 {
-                    return Err("pooling needs kernel_size > 0".into());
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::BadHyperParam,
+                        "pooling needs kernel_size > 0",
+                    ));
                 }
                 if input.h + 2 * pad < kernel || input.w + 2 * pad < kernel {
-                    return Err(format!(
-                        "pool window {kernel} exceeds padded input {}x{}",
-                        input.h + 2 * pad,
-                        input.w + 2 * pad
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::WindowExceedsInput,
+                        format!(
+                            "pool window {kernel} exceeds padded input {}x{}",
+                            input.h + 2 * pad,
+                            input.w + 2 * pad
+                        ),
                     ));
                 }
                 Ok(Shape::new(
@@ -178,15 +229,21 @@ impl LayerKind {
             LayerKind::ReLU { .. } | LayerKind::Sigmoid | LayerKind::TanH => Ok(input),
             LayerKind::InnerProduct { num_output, .. } => {
                 if num_output == 0 {
-                    return Err("inner product needs num_output > 0".into());
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::BadHyperParam,
+                        "inner product needs num_output > 0",
+                    ));
                 }
                 Ok(Shape::new(input.n, num_output, 1, 1))
             }
             LayerKind::Softmax { .. } => {
                 if input.h != 1 || input.w != 1 {
-                    return Err(format!(
-                        "softmax expects a flat vector, got {}x{} spatial extent",
-                        input.h, input.w
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::NonFlatStream,
+                        format!(
+                            "softmax expects a flat vector, got {}x{} spatial extent",
+                            input.h, input.w
+                        ),
                     ));
                 }
                 Ok(input)
@@ -262,6 +319,7 @@ impl fmt::Display for Layer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn conv(num_output: usize, kernel: usize) -> LayerKind {

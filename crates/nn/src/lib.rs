@@ -22,6 +22,8 @@
 //! * [`arbitrary`] — seed-driven random valid networks for the
 //!   workspace's property-test suites.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod dataset;
 pub mod golden;
@@ -30,5 +32,5 @@ pub mod network;
 pub mod zoo;
 
 pub use golden::GoldenEngine;
-pub use layer::{Layer, LayerKind, PoolKind, Stage};
-pub use network::{LayerCost, Network, NnError};
+pub use layer::{Layer, LayerKind, PoolKind, ShapeError, ShapeErrorKind, Stage};
+pub use network::{LayerCost, Network, NnError, NnErrorKind};

@@ -1,14 +1,43 @@
 //! Feed-forward network container: validation, shape inference, weights
 //! and per-layer cost accounting.
 
-use crate::layer::{Layer, LayerKind, Stage};
+use crate::layer::{Layer, LayerKind, ShapeError, ShapeErrorKind, Stage};
 use condor_tensor::{Shape, Tensor, TensorRng};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Machine-readable classification of an [`NnError`]. `condor-check`
+/// maps these onto its stable diagnostic codes, so new variants must be
+/// added rather than repurposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NnErrorKind {
+    /// The network has no computational layers.
+    NoComputeLayers,
+    /// A layer has an empty name.
+    EmptyLayerName,
+    /// Two layers share a name.
+    DuplicateLayerName,
+    /// An `Input` layer appears after position 0.
+    InputNotFirst,
+    /// Shape inference failed (see the wrapped [`ShapeErrorKind`]).
+    Shape(ShapeErrorKind),
+    /// A layer name was looked up but does not exist.
+    UnknownLayer,
+    /// Installed weights/bias disagree with the declared layer shape.
+    WeightShape,
+    /// Inference requested on a layer with no weights installed.
+    MissingWeights,
+    /// Runtime input does not match the network's input shape.
+    InputMismatch,
+    /// Unclassified error (external constructors).
+    Other,
+}
+
 /// Error raised while building or validating a network.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NnError {
+    /// Machine-readable failure class.
+    pub kind: NnErrorKind,
     /// Name of the offending layer, when known.
     pub layer: Option<String>,
     /// Human-readable description.
@@ -19,6 +48,7 @@ impl NnError {
     /// Error tied to a layer.
     pub fn at(layer: &str, message: impl Into<String>) -> Self {
         NnError {
+            kind: NnErrorKind::Other,
             layer: Some(layer.to_string()),
             message: message.into(),
         }
@@ -27,9 +57,26 @@ impl NnError {
     /// Network-level error.
     pub fn net(message: impl Into<String>) -> Self {
         NnError {
+            kind: NnErrorKind::Other,
             layer: None,
             message: message.into(),
         }
+    }
+
+    /// Wraps a typed shape-inference failure at a layer.
+    pub fn shape(layer: &str, err: ShapeError) -> Self {
+        NnError {
+            kind: NnErrorKind::Shape(err.kind),
+            layer: Some(layer.to_string()),
+            message: err.message,
+        }
+    }
+
+    /// Tags the error with a machine-readable kind.
+    #[must_use]
+    pub fn with_kind(mut self, kind: NnErrorKind) -> Self {
+        self.kind = kind;
+        self
     }
 }
 
@@ -109,23 +156,27 @@ impl Network {
     /// Structural validation: non-empty, unique names, inferable shapes.
     pub fn validate(&self) -> Result<(), NnError> {
         if self.layers.iter().filter(|l| l.kind.is_compute()).count() == 0 {
-            return Err(NnError::net("network has no computational layers"));
+            return Err(NnError::net("network has no computational layers")
+                .with_kind(NnErrorKind::NoComputeLayers));
         }
         let mut seen = std::collections::BTreeSet::new();
         for layer in &self.layers {
             if layer.name.is_empty() {
-                return Err(NnError::net("layer with empty name"));
+                return Err(
+                    NnError::net("layer with empty name").with_kind(NnErrorKind::EmptyLayerName)
+                );
             }
             if !seen.insert(&layer.name) {
-                return Err(NnError::net(format!(
-                    "duplicate layer name '{}'",
-                    layer.name
-                )));
+                return Err(
+                    NnError::net(format!("duplicate layer name '{}'", layer.name))
+                        .with_kind(NnErrorKind::DuplicateLayerName),
+                );
             }
         }
         for (i, layer) in self.layers.iter().enumerate() {
             if matches!(layer.kind, LayerKind::Input) && i != 0 {
-                return Err(NnError::at(&layer.name, "Input layer must come first"));
+                return Err(NnError::at(&layer.name, "Input layer must come first")
+                    .with_kind(NnErrorKind::InputNotFirst));
             }
         }
         self.output_shapes()?; // shape inference as validation
@@ -140,7 +191,7 @@ impl Network {
             current = layer
                 .kind
                 .output_shape(current)
-                .map_err(|e| NnError::at(&layer.name, e))?;
+                .map_err(|e| NnError::shape(&layer.name, e))?;
             shapes.push(current);
         }
         Ok(shapes)
@@ -160,7 +211,9 @@ impl Network {
 
     /// Shape of the final output (single item).
     pub fn output_shape(&self) -> Result<Shape, NnError> {
-        Ok(*self.output_shapes()?.last().expect("validated non-empty"))
+        self.output_shapes()?.last().copied().ok_or_else(|| {
+            NnError::net("network has no layers").with_kind(NnErrorKind::NoComputeLayers)
+        })
     }
 
     /// Stage of every layer (feature extraction vs classification).
@@ -182,7 +235,10 @@ impl Network {
     /// layers.
     pub fn weight_shapes(&self, index: usize) -> Result<Option<(Shape, Option<Shape>)>, NnError> {
         let ins = self.input_shapes()?;
-        let layer = &self.layers[index];
+        let layer = self.layers.get(index).ok_or_else(|| {
+            NnError::net(format!("layer index {index} out of range"))
+                .with_kind(NnErrorKind::UnknownLayer)
+        })?;
         Ok(match layer.kind {
             LayerKind::Convolution {
                 num_output,
@@ -212,10 +268,14 @@ impl Network {
             .layers
             .iter()
             .position(|l| l.name == layer_name)
-            .ok_or_else(|| NnError::net(format!("no layer named '{layer_name}'")))?;
-        let expected = self
-            .weight_shapes(index)?
-            .ok_or_else(|| NnError::at(layer_name, "layer does not take weights"))?;
+            .ok_or_else(|| {
+                NnError::net(format!("no layer named '{layer_name}'"))
+                    .with_kind(NnErrorKind::UnknownLayer)
+            })?;
+        let expected = self.weight_shapes(index)?.ok_or_else(|| {
+            NnError::at(layer_name, "layer does not take weights")
+                .with_kind(NnErrorKind::WeightShape)
+        })?;
         if weights.shape() != expected.0 {
             return Err(NnError::at(
                 layer_name,
@@ -224,20 +284,24 @@ impl Network {
                     weights.shape(),
                     expected.0
                 ),
-            ));
+            )
+            .with_kind(NnErrorKind::WeightShape));
         }
         match (&bias, expected.1) {
             (Some(b), Some(eb)) if b.shape() != eb => {
                 return Err(NnError::at(
                     layer_name,
                     format!("bias shape {} does not match expected {eb}", b.shape()),
-                ));
+                )
+                .with_kind(NnErrorKind::WeightShape));
             }
             (Some(_), None) => {
-                return Err(NnError::at(layer_name, "layer has bias_term: false"));
+                return Err(NnError::at(layer_name, "layer has bias_term: false")
+                    .with_kind(NnErrorKind::WeightShape));
             }
             (None, Some(_)) => {
-                return Err(NnError::at(layer_name, "missing bias tensor"));
+                return Err(NnError::at(layer_name, "missing bias tensor")
+                    .with_kind(NnErrorKind::WeightShape));
             }
             _ => {}
         }
@@ -283,26 +347,23 @@ impl Network {
         let ins = self.input_shapes()?;
         let outs = self.output_shapes()?;
         let stages = self.stages();
-        Ok(self
-            .layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| {
-                let params = match self.weight_shapes(i).expect("validated") {
-                    Some((w, b)) => w.len() as u64 + b.map_or(0, |s| s.len() as u64),
-                    None => 0,
-                };
-                LayerCost {
-                    name: l.name.clone(),
-                    input: ins[i],
-                    output: outs[i],
-                    macs: l.kind.macs(ins[i]),
-                    flops: l.kind.flops(ins[i]),
-                    stage: stages[i],
-                    params,
-                }
-            })
-            .collect())
+        let mut costs = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let params = match self.weight_shapes(i)? {
+                Some((w, b)) => w.len() as u64 + b.map_or(0, |s| s.len() as u64),
+                None => 0,
+            };
+            costs.push(LayerCost {
+                name: l.name.clone(),
+                input: ins[i],
+                output: outs[i],
+                macs: l.kind.macs(ins[i]),
+                flops: l.kind.flops(ins[i]),
+                stage: stages[i],
+                params,
+            });
+        }
+        Ok(costs)
     }
 
     /// Total FLOPs per image.
@@ -368,6 +429,7 @@ impl fmt::Display for Network {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::layer::PoolKind;
 

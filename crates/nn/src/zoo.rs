@@ -237,6 +237,7 @@ layer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::layer::Stage;
 

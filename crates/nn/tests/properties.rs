@@ -1,5 +1,7 @@
 //! Property tests over the network IR and golden engine.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_nn::arbitrary::{random_chain, random_weighted_chain};
 use condor_nn::golden;
 use condor_nn::{GoldenEngine, LayerKind, PoolKind, Stage};

@@ -49,6 +49,8 @@
 //! assert_eq!(metrics.counter("requests_completed"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
 };
@@ -477,6 +479,7 @@ fn worker_loop(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use condor::deploy::DeployTarget;
     use condor::Condor;

@@ -1,6 +1,8 @@
 //! Serving-layer guarantees under concurrency: exactly-once replies,
 //! bit-identical outputs, and real batch coalescing across F1 slots.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor::{CloudContext, Condor, DeployTarget, DeployedAccelerator};
 use condor_cloud::F1InstanceType;
 use condor_nn::{dataset, zoo};

@@ -79,6 +79,7 @@ pub fn assert_close(a: &Tensor, b: &Tensor, context: &str) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::Shape;
 

@@ -72,6 +72,7 @@ pub fn xavier(shape: Shape, fan_in: usize, seed: u64) -> Tensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -15,6 +15,8 @@
 //! engine (`condor-nn`), the dataflow hardware simulator
 //! (`condor-dataflow`) and the Caffe frontend (`condor-caffe`).
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod init;
 pub mod shape;

@@ -135,6 +135,7 @@ impl From<(usize, usize, usize, usize)> for Shape {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -205,6 +205,7 @@ impl fmt::Debug for Tensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

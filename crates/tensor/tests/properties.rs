@@ -1,5 +1,7 @@
 //! Property tests for the tensor substrate.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor_tensor::{constant, linspace, max_abs_diff, AllClose, Shape, Tensor, TensorRng};
 use proptest::prelude::*;
 

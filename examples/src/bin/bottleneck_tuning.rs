@@ -29,7 +29,13 @@ fn build(overrides: &BTreeMap<String, PeParallelism>) -> BuiltAccelerator {
 fn gflops(built: &BuiltAccelerator) -> f64 {
     let mut plan = built.plan.clone();
     plan.freq_mhz = built.synthesis.achieved_fmax_mhz;
-    PipelineModel::from_plan(&plan).gflops(built.network.total_flops().unwrap(), 64)
+    PipelineModel::from_plan(&plan).gflops(
+        built
+            .network
+            .total_flops()
+            .expect("built networks are well-formed"),
+        64,
+    )
 }
 
 fn main() {

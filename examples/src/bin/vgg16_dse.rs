@@ -21,6 +21,7 @@ fn main() {
         parallel_out: vec![1, 2, 4, 8, 16],
         fc_simd: vec![1, 2, 4],
         eval_batch: 64,
+        prefilter: true,
     };
 
     // 1. The full network: expected to fail on the FC layers.
@@ -28,22 +29,25 @@ fn main() {
     println!(
         "VGG-16 full network: {} layers, {:.1} M parameters, {:.1} GFLOP/image",
         full.layers.len(),
-        full.total_params().unwrap() as f64 / 1e6,
-        full.total_flops().unwrap() as f64 / 1e9
+        full.total_params().expect("zoo network is well-formed") as f64 / 1e6,
+        full.total_flops().expect("zoo network is well-formed") as f64 / 1e9
     );
-    match explore(&full, board, &space).unwrap().require_best() {
+    let full_outcome = explore(&full, board, &space).expect("candidate space is non-empty");
+    match full_outcome.require_best() {
         Ok(_) => panic!("the paper says VGG-16's FC layers must not be synthesizable"),
         Err(e) => println!("  DSE verdict (as the paper reports): {e}\n"),
     }
 
     // 2. The feature-extraction prefix: the Table 2 study.
-    let fe = full.feature_extraction_prefix().unwrap();
+    let fe = full
+        .feature_extraction_prefix()
+        .expect("VGG-16 has a feature-extraction stage");
     println!(
         "VGG-16 features extraction: {} layers, {:.1} GFLOP/image",
         fe.layers.len(),
-        fe.total_flops().unwrap() as f64 / 1e9
+        fe.total_flops().expect("zoo network is well-formed") as f64 / 1e9
     );
-    let outcome = explore(&fe, board, &space).unwrap();
+    let outcome = explore(&fe, board, &space).expect("candidate space is non-empty");
     let feasible = outcome.feasible_ranked();
     println!(
         "  explored {} configurations, {} feasible; top 5:",
@@ -69,7 +73,9 @@ fn main() {
             p.utilization.bram_pct
         );
     }
-    let best = outcome.require_best().unwrap();
+    let best = outcome
+        .require_best()
+        .expect("feature extraction is synthesizable");
     println!(
         "\n  best: {:.2} GFLOPS (paper's Table 2 reports 113.30 for VGG-16 features)",
         best.gflops

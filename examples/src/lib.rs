@@ -1,5 +1,7 @@
 //! Shared helpers for the Condor example binaries.
 
+#![forbid(unsafe_code)]
+
 use condor::DeployedAccelerator;
 
 /// Prints a deployed accelerator's Table-1-style metric row.

@@ -1,5 +1,7 @@
 //! Shared fixtures for the cross-crate integration tests.
 
+#![forbid(unsafe_code)]
+
 use condor_caffe::{BlobProto, NetParameter};
 use condor_nn::{zoo, Network};
 

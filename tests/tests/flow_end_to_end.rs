@@ -1,6 +1,8 @@
 //! End-to-end integration: the full paper workflow, Caffe artifacts in,
 //! classified images out of a cloud-deployed accelerator.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor::{CloudContext, Condor, DeployTarget, Deployment};
 use condor_integration_tests::fabricate_lenet_caffemodel;
 use condor_nn::{dataset, zoo, GoldenEngine};

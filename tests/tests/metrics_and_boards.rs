@@ -1,6 +1,8 @@
 //! Integration tests: metric invariants of deployed accelerators and
 //! the board-portability matrix.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor::{Condor, DseConfig};
 use condor_dataflow::PeParallelism;
 use condor_nn::zoo;

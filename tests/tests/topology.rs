@@ -1,6 +1,8 @@
 //! Integration tests of the accelerator template structure (paper
 //! Figure 4): PEs, filters, FIFOs and datamover, across crates.
 
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
 use condor::Condor;
 use condor_dataflow::{PeParallelism, PlanBuilder};
 use condor_hls::{ModuleKind, StreamDir};
