@@ -1,0 +1,60 @@
+//! Kernel bench: the im2col + blocked-GEMM compute layer against the
+//! golden loop nests, plus whole-network engines and the threaded
+//! runtime's frame-chunked batches.
+//!
+//! Every run first cross-checks the fast paths against the golden oracle
+//! (so the timing numbers are known-correct code). With
+//! `CONDOR_BENCH_SMOKE=1` the bench stops after that check — CI uses
+//! this to catch kernel regressions without paying for the timing loops.
+//! `cargo run -p condor-bench --bin kernels_baseline` times the same
+//! workloads and records `BENCH_kernels.json`.
+
+#![allow(clippy::unwrap_used)] // bench harness: fail loud
+
+use condor_bench::kernels::{
+    assert_kernels_match_golden, conv_fast, conv_naive, lenet_case, runtime_case, vgg_conv_case,
+};
+use condor_kernels::Workspace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    assert_kernels_match_golden();
+    println!("kernels smoke: fast paths match the golden oracle (1e-4)");
+    if std::env::var_os("CONDOR_BENCH_SMOKE").is_some() {
+        return;
+    }
+
+    let case = vgg_conv_case(42);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(5);
+    group.bench_function("conv_naive_vgg56", |b| {
+        b.iter(|| black_box(conv_naive(&case)))
+    });
+    let mut out = vec![0.0f32; case.out_shape().len()];
+    let mut ws = Workspace::with_capacity(case.geo.lowered_len());
+    group.bench_function("conv_im2col_gemm_vgg56", |b| {
+        b.iter(|| {
+            conv_fast(&case, &mut out, &mut ws);
+            black_box(out.last().copied())
+        })
+    });
+
+    let mut engines = lenet_case(16);
+    group.bench_function("lenet_fast_batch16", |b| {
+        b.iter(|| black_box(engines.fast.infer_batch(&engines.images).unwrap()))
+    });
+    let golden = condor_nn::GoldenEngine::new(&engines.net).unwrap();
+    group.bench_function("lenet_golden_batch16", |b| {
+        b.iter(|| black_box(golden.infer_batch(&engines.images).unwrap()))
+    });
+
+    let rt = runtime_case(16);
+    group.bench_function("lenet_runtime_batch16", |b| {
+        b.iter(|| black_box(rt.runtime.run_batch(&rt.images).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

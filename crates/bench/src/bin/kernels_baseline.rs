@@ -1,0 +1,117 @@
+//! Records the kernel-layer performance baseline.
+//!
+//! Times the same workloads as `benches/kernels.rs` (after the same
+//! golden cross-check), then writes `BENCH_kernels.json`: machine
+//! identification, the median wall-clock nanoseconds per benchmark, and
+//! the derived naive-vs-im2col convolution speedup. The committed file
+//! at the repo root is the recorded baseline this optimisation PR claims
+//! (≥5× on the VGG-style layer); regenerate it with
+//! `cargo run --release -p condor-bench --bin kernels_baseline`.
+
+#![allow(clippy::unwrap_used)] // CLI tool: fail loud
+
+use condor_bench::kernels::{
+    assert_kernels_match_golden, conv_fast, conv_naive, lenet_case, median_ns, runtime_case,
+    vgg_conv_case,
+};
+use condor_cjson::value::Value;
+use condor_kernels::Workspace;
+use condor_nn::GoldenEngine;
+use std::hint::black_box;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
+
+    eprintln!("cross-checking fast paths against the golden oracle...");
+    assert_kernels_match_golden();
+
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    let mut record = |name: &str, ns: u64| {
+        eprintln!("  {name}: median {:.3} ms", ns as f64 / 1e6);
+        rows.push((name.to_string(), ns));
+    };
+
+    eprintln!("timing (median over samples, one warm-up each)...");
+    let case = vgg_conv_case(42);
+    let naive_ns = median_ns(5, || {
+        black_box(conv_naive(&case));
+    });
+    record("conv_naive_vgg56", naive_ns);
+
+    let mut out = vec![0.0f32; case.out_shape().len()];
+    let mut ws = Workspace::with_capacity(case.geo.lowered_len());
+    let fast_ns = median_ns(20, || {
+        conv_fast(&case, &mut out, &mut ws);
+        black_box(out.last().copied());
+    });
+    record("conv_im2col_gemm_vgg56", fast_ns);
+
+    let mut engines = lenet_case(16);
+    record(
+        "lenet_fast_batch16",
+        median_ns(20, || {
+            black_box(engines.fast.infer_batch(&engines.images).unwrap());
+        }),
+    );
+    let golden = GoldenEngine::new(&engines.net).unwrap();
+    record(
+        "lenet_golden_batch16",
+        median_ns(10, || {
+            black_box(golden.infer_batch(&engines.images).unwrap());
+        }),
+    );
+    let rt = runtime_case(16);
+    record(
+        "lenet_runtime_batch16",
+        median_ns(10, || {
+            black_box(rt.runtime.run_batch(&rt.images).unwrap());
+        }),
+    );
+
+    let speedup = naive_ns as f64 / fast_ns.max(1) as f64;
+    eprintln!("derived vgg conv speedup (naive / im2col+gemm): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "kernel layer regressed: naive/fast convolution speedup {speedup:.2}x < 5x"
+    );
+
+    let machine = Value::object([
+        ("arch".to_string(), Value::str(std::env::consts::ARCH)),
+        ("os".to_string(), Value::str(std::env::consts::OS)),
+        (
+            "cpus".to_string(),
+            Value::int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as i64)
+                    .unwrap_or(1),
+            ),
+        ),
+    ]);
+    let benchmarks = Value::object(rows.iter().map(|(name, ns)| {
+        (
+            name.clone(),
+            Value::object([("median_ns".to_string(), Value::int(*ns as i64))]),
+        )
+    }));
+    let doc = Value::object([
+        ("schema".to_string(), Value::str("condor-bench-kernels/v1")),
+        ("machine".to_string(), machine),
+        ("benchmarks".to_string(), benchmarks),
+        (
+            "derived".to_string(),
+            Value::object([(
+                "vgg_conv_speedup_naive_over_fast".to_string(),
+                Value::float((speedup * 100.0).round() / 100.0),
+            )]),
+        ),
+    ]);
+
+    std::fs::write(
+        &out_path,
+        condor_cjson::write::to_string_pretty(&doc) + "\n",
+    )
+    .expect("baseline file written");
+    eprintln!("wrote {out_path}");
+}

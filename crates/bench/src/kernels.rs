@@ -1,0 +1,217 @@
+//! Kernel-layer benchmark workloads: naive convolution against the
+//! im2col + blocked-GEMM path, whole-network engines, and the threaded
+//! runtime's frame-chunked batch execution.
+//!
+//! Shared between the `kernels` Criterion bench and the
+//! `kernels_baseline` binary so the committed `BENCH_kernels.json`
+//! baseline and the interactive `cargo bench` run time exactly the same
+//! code paths.
+
+use condor_dataflow::runtime::ThreadedRuntime;
+use condor_dataflow::PlanBuilder;
+use condor_kernels::{conv2d, ConvGeometry, Workspace};
+use condor_nn::{dataset, golden, zoo, FastEngine, GoldenEngine, Network};
+use condor_tensor::{AllClose, Shape, Tensor, TensorRng};
+use std::time::Instant;
+
+/// A VGG-style 3×3 same-convolution: 64→64 channels at 56×56, the
+/// mid-network layer shape the feature-extraction stage spends most of
+/// its multiply-accumulates on (≈116 M MACs per image).
+pub struct VggConvCase {
+    /// Input feature-map stack (`64×56×56`).
+    pub input: Tensor,
+    /// Filter bank (`64×64×3×3`).
+    pub weights: Tensor,
+    /// Per-filter bias.
+    pub bias: Tensor,
+    /// Lowering geometry of the layer.
+    pub geo: ConvGeometry,
+    /// Output channels.
+    pub num_output: usize,
+}
+
+impl VggConvCase {
+    /// Shape of the convolution output.
+    pub fn out_shape(&self) -> Shape {
+        Shape::new(1, self.num_output, self.geo.out_h, self.geo.out_w)
+    }
+}
+
+/// Builds the VGG-style convolution workload with seeded random data.
+pub fn vgg_conv_case(seed: u64) -> VggConvCase {
+    let (c, h, w, k, f) = (64usize, 56usize, 56usize, 3usize, 64usize);
+    let geo = ConvGeometry {
+        in_c: c,
+        in_h: h,
+        in_w: w,
+        kernel: k,
+        stride: 1,
+        pad: 1,
+        out_h: Shape::conv_out_dim(h, k, 1, 1),
+        out_w: Shape::conv_out_dim(w, k, 1, 1),
+    };
+    let mut rng = TensorRng::seeded(seed);
+    VggConvCase {
+        input: rng.uniform(Shape::chw(c, h, w), -1.0, 1.0),
+        weights: rng.uniform(Shape::new(f, c, k, k), -0.2, 0.2),
+        bias: rng.uniform(Shape::vector(f), -0.5, 0.5),
+        geo,
+        num_output: f,
+    }
+}
+
+/// Runs the golden engine's textbook sliding-window convolution.
+pub fn conv_naive(case: &VggConvCase) -> Tensor {
+    golden::convolve(
+        &case.input,
+        &case.weights,
+        Some(&case.bias),
+        case.out_shape(),
+        case.num_output,
+        case.geo.kernel,
+        case.geo.stride,
+        case.geo.pad,
+        true,
+    )
+}
+
+/// Runs the same layer through im2col + blocked GEMM into a reused
+/// output buffer and lowering workspace.
+pub fn conv_fast(case: &VggConvCase, out: &mut [f32], ws: &mut Workspace) {
+    conv2d(
+        case.input.as_slice(),
+        case.weights.as_slice(),
+        Some(case.bias.as_slice()),
+        case.num_output,
+        &case.geo,
+        None,
+        out,
+        ws,
+    );
+}
+
+/// Whole-network workload: a weighted LeNet, a batch of MNIST-like
+/// images, and a fast engine with its arena already warm.
+pub struct EngineCase {
+    /// The network (owns the weights; golden engines borrow it).
+    pub net: Network,
+    /// Fast engine reusing one scratch arena across calls.
+    pub fast: FastEngine,
+    /// Input batch.
+    pub images: Vec<Tensor>,
+}
+
+/// Builds the LeNet engine workload.
+pub fn lenet_case(batch: usize) -> EngineCase {
+    let net = zoo::lenet_weighted(5);
+    let fast = FastEngine::new(&net).expect("zoo network is fully weighted");
+    let images = dataset::mnist_like(batch, 7)
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    EngineCase { net, fast, images }
+}
+
+/// Threaded-runtime workload: LeNet mapped to one PE per layer,
+/// streaming frame-sized chunks between PE threads.
+pub struct RuntimeCase {
+    /// The functional runtime under test.
+    pub runtime: ThreadedRuntime,
+    /// Input batch.
+    pub images: Vec<Tensor>,
+}
+
+/// Builds the threaded-runtime workload.
+pub fn runtime_case(batch: usize) -> RuntimeCase {
+    let net = zoo::lenet_weighted(5);
+    let plan = PlanBuilder::new(&net)
+        .build()
+        .expect("zoo network plans cleanly");
+    let runtime = ThreadedRuntime::new(&net, &plan).expect("runtime wires");
+    let images = dataset::mnist_like(batch, 7)
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    RuntimeCase { runtime, images }
+}
+
+/// Cross-checks every fast path against the golden oracle; panics on the
+/// first disagreement. CI runs this as the bench smoke step
+/// (`CONDOR_BENCH_SMOKE=1`), so a kernel regression fails the build even
+/// though CI never runs the timing loops.
+pub fn assert_kernels_match_golden() {
+    // Single layer: im2col + GEMM vs the sliding-window loop nest.
+    let case = vgg_conv_case(42);
+    let want = conv_naive(&case);
+    let mut out = vec![0.0f32; case.out_shape().len()];
+    let mut ws = Workspace::new();
+    conv_fast(&case, &mut out, &mut ws);
+    let got = Tensor::from_vec(case.out_shape(), out);
+    assert!(
+        got.all_close_tol(&want, 1e-4, 1e-4),
+        "im2col+GEMM convolution diverged from the golden loop nest"
+    );
+
+    // Whole networks: fast engine vs golden engine.
+    for net in [zoo::tc1_weighted(3), zoo::lenet_weighted(3)] {
+        let golden_engine = GoldenEngine::new(&net).expect("weighted");
+        let mut fast = FastEngine::new(&net).expect("weighted");
+        let mut rng = TensorRng::seeded(99);
+        for _ in 0..3 {
+            let img = rng.uniform(net.input_shape, -1.0, 1.0);
+            let want = golden_engine.infer(&img).expect("golden runs");
+            let got = fast.infer(&img).expect("fast runs");
+            assert!(
+                got.all_close_tol(&want, 1e-4, 1e-4),
+                "fast engine diverged from golden on {}",
+                net.name
+            );
+        }
+    }
+
+    // Threaded runtime: frame-chunked PE streaming vs golden batch.
+    let rt = runtime_case(4);
+    let got = rt.runtime.run_batch(&rt.images).expect("runtime runs");
+    let golden_engine = GoldenEngine::new(rt.runtime.network()).expect("weighted");
+    let want = golden_engine.infer_batch(&rt.images).expect("golden runs");
+    for (g, w) in got.iter().zip(&want) {
+        assert!(
+            g.all_close_tol(w, 1e-4, 1e-4),
+            "threaded runtime diverged from golden"
+        );
+    }
+}
+
+/// Times `samples` runs of `f` (after one untimed warm-up) and returns
+/// the median in nanoseconds — the statistic `BENCH_kernels.json`
+/// records per benchmark.
+pub fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_pass() {
+        assert_kernels_match_golden();
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0u32;
+        let ns = median_ns(5, || calls += 1);
+        assert_eq!(calls, 6); // warm-up + 5 samples
+        assert!(ns < 1_000_000_000);
+    }
+}

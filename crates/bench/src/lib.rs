@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod kernels;
+
 use condor::deploy::F1InstanceType;
 use condor::{CloudContext, Condor, DeployTarget, DeployedAccelerator, DseConfig};
 use condor_dataflow::PeParallelism;

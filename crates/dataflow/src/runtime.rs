@@ -4,20 +4,30 @@
 //! communicating over FIFOs" using "blocking reads and writes" (paper
 //! Sections Abstract / 3.2). This runtime realises that structure in
 //! software: the datamover and every PE run as their own OS thread and
-//! exchange raw `f32` streams over *bounded* blocking channels, so
-//! back-pressure propagates exactly as in the hardware pipeline. All PEs
-//! are "concurrently active", which is what makes batched execution
+//! exchange *frame-sized* chunks — one `Vec<f32>` per feature-map payload,
+//! the software analogue of a DMA burst — over bounded blocking channels,
+//! so back-pressure propagates exactly as in the hardware pipeline. All
+//! PEs are "concurrently active", which is what makes batched execution
 //! pipeline across layers (Figure 5).
 //!
-//! Numerical behaviour per PE reuses the golden reference arithmetic,
-//! applied layer-by-layer over the PE's fused layers, so a full-network
-//! run cross-checks the plan's topology, fusion grouping, stream wiring
-//! and ordering against [`condor_nn::GoldenEngine`].
+//! Frame chunking replaced the original element-at-a-time streams: sending
+//! every `f32` through a channel cost a synchronised handoff per element,
+//! which dwarfed the arithmetic. A frame per send keeps the FIFO semantics
+//! (blocking, bounded, order-preserving) at per-image granularity.
+//!
+//! Numerical behaviour per PE uses the `condor-kernels` compute layer via
+//! [`condor_nn::fast::forward_layer_fast`] — the same slice-level
+//! primitive `FastEngine` is built on — applied layer-by-layer over the
+//! PE's fused layers. A full-network run therefore cross-checks the plan's
+//! topology, fusion grouping, stream wiring and ordering against
+//! [`condor_nn::GoldenEngine`], which the kernels are property-tested
+//! against.
 
 use crate::plan::{AcceleratorPlan, DataflowError, DataflowErrorKind, PePlan};
-use condor_nn::golden;
-use condor_nn::{LayerKind, Network};
-use condor_tensor::{Shape, Tensor};
+use condor_kernels::Workspace;
+use condor_nn::fast::forward_layer_fast;
+use condor_nn::Network;
+use condor_tensor::Tensor;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 
@@ -81,7 +91,7 @@ impl ThreadedRuntime {
         Ok(ThreadedRuntime {
             net,
             plan,
-            channel_depth: 1024,
+            channel_depth: 4,
         })
     }
 
@@ -95,9 +105,9 @@ impl ThreadedRuntime {
         &self.plan
     }
 
-    /// Overrides the inter-PE channel depth (default 1024 elements).
-    /// Depth 1 still completes — the channels are blocking, not lossy —
-    /// just with maximal back-pressure.
+    /// Overrides the inter-PE channel depth, measured in *frames*
+    /// (feature-map payloads), default 4. Depth 1 still completes — the
+    /// channels are blocking, not lossy — just with maximal back-pressure.
     pub fn with_channel_depth(mut self, depth: usize) -> Self {
         self.channel_depth = depth.max(1);
         self
@@ -134,11 +144,11 @@ impl ThreadedRuntime {
             .output;
 
         // One channel between consecutive stages: datamover → pe0 → … →
-        // collector.
-        let mut senders: Vec<Sender<f32>> = Vec::with_capacity(n_pes + 1);
-        let mut receivers: Vec<Receiver<f32>> = Vec::with_capacity(n_pes + 1);
+        // collector. Each message is one whole frame.
+        let mut senders: Vec<Sender<Vec<f32>>> = Vec::with_capacity(n_pes + 1);
+        let mut receivers: Vec<Receiver<Vec<f32>>> = Vec::with_capacity(n_pes + 1);
         for _ in 0..=n_pes {
-            let (tx, rx) = bounded::<f32>(self.channel_depth);
+            let (tx, rx) = bounded::<Vec<f32>>(self.channel_depth);
             senders.push(tx);
             receivers.push(rx);
         }
@@ -147,48 +157,35 @@ impl ThreadedRuntime {
         let mut result: Result<Vec<Tensor>, DataflowError> = Ok(Vec::new());
 
         std::thread::scope(|scope| {
-            // Datamover: streams each image's elements in NCHW order.
+            // Datamover: streams each image as one input frame.
             let dm_tx = senders.remove(0);
             let images_ref = images;
             scope.spawn(move || {
                 for img in images_ref {
-                    for &v in img.as_slice() {
-                        if dm_tx.send(v).is_err() {
-                            return; // downstream failed; unwind quietly
-                        }
+                    if dm_tx.send(img.as_slice().to_vec()).is_err() {
+                        return; // downstream failed; unwind quietly
                     }
                 }
                 // Dropping dm_tx closes the stream.
             });
 
-            // PEs: read one image worth of elements, apply fused layers,
-            // stream the output.
+            // PEs: receive one frame per image, apply the fused layers
+            // through the kernel compute layer, send the output frame.
+            // Scratch (ping-pong activations + im2col workspace) is
+            // allocated once per PE and reused across the batch.
             for pe in &self.plan.pes {
                 let rx = receivers.remove(0);
                 let tx = senders.remove(0);
                 let net = self.net.as_ref();
-                let in_shape = pe.layers.first().expect("PE has layers").input;
-                scope.spawn(move || {
-                    for _ in 0..batch {
-                        let Some(input) = recv_tensor(&rx, in_shape) else {
-                            return; // upstream closed early
-                        };
-                        let out = pe_forward(pe, net, &input);
-                        for &v in out.as_slice() {
-                            if tx.send(v).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                });
+                scope.spawn(move || pe_worker(pe, net, &rx, &tx, batch));
             }
 
             // Collector (this thread): assemble the batch outputs.
             let rx = receivers.remove(0);
             let mut outs = Vec::with_capacity(batch);
             for i in 0..batch {
-                match recv_tensor(&rx, out_shape) {
-                    Some(t) => outs.push(t),
+                match recv_frame(&rx, out_shape.len()) {
+                    Some(frame) => outs.push(Tensor::from_vec(out_shape, frame)),
                     None => {
                         result = Err(DataflowError::kinded(
                             DataflowErrorKind::Execution,
@@ -205,75 +202,72 @@ impl ThreadedRuntime {
     }
 }
 
-/// Receives exactly one tensor's worth of elements, or `None` if the
-/// channel closes first.
-fn recv_tensor(rx: &Receiver<f32>, shape: Shape) -> Option<Tensor> {
-    let mut data = Vec::with_capacity(shape.len());
-    for _ in 0..shape.len() {
-        data.push(rx.recv().ok()?);
-    }
-    Some(Tensor::from_vec(shape, data))
+/// Receives exactly one frame of the expected length, or `None` if the
+/// channel closes first (or an upstream stage sent a malformed frame).
+fn recv_frame(rx: &Receiver<Vec<f32>>, len: usize) -> Option<Vec<f32>> {
+    let frame = rx.recv().ok()?;
+    (frame.len() == len).then_some(frame)
 }
 
-/// Applies a PE's fused layers to one input tensor, reusing the golden
-/// arithmetic per operator (the PE hardware would compute the same values
-/// through its filter chains; `crate::layersim` validates that
-/// equivalence at the element level).
-fn pe_forward(pe: &PePlan, net: &Network, input: &Tensor) -> Tensor {
-    let mut current = input.clone();
-    for layer in &pe.layers {
-        // FC layers flatten their input implicitly.
-        current = match layer.kind {
-            LayerKind::Input => current,
-            LayerKind::Convolution {
-                num_output,
-                kernel,
-                stride,
-                pad,
-                bias,
-            } => {
-                let lw = net.weights_of(&layer.name).expect("fully weighted");
-                golden::convolve(
-                    &current,
-                    &lw.weights,
-                    lw.bias.as_ref(),
-                    layer.output,
-                    num_output,
-                    kernel,
-                    stride,
-                    pad,
-                    bias,
-                )
-            }
-            LayerKind::Pooling {
-                method,
-                kernel,
-                stride,
-                pad,
-            } => golden::pool(&current, layer.output, method, kernel, stride, pad),
-            LayerKind::ReLU { negative_slope } => {
-                let mut out = current.clone();
-                out.map_inplace(|v| if v > 0.0 { v } else { negative_slope * v });
-                out
-            }
-            LayerKind::Sigmoid => {
-                let mut out = current.clone();
-                out.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
-                out
-            }
-            LayerKind::TanH => {
-                let mut out = current.clone();
-                out.map_inplace(f32::tanh);
-                out
-            }
-            LayerKind::InnerProduct { bias, .. } => {
-                let lw = net.weights_of(&layer.name).expect("fully weighted");
-                golden::inner_product(&current, &lw.weights, lw.bias.as_ref(), layer.output, bias)
-            }
-            LayerKind::Softmax { log } => golden::softmax(&current, log),
+/// One PE thread: drains `batch` frames from `rx`, runs the PE's fused
+/// layers over its private scratch arena, and forwards output frames to
+/// `tx`. Returns early (closing both channels) on upstream termination,
+/// downstream termination or a compute error — the collector reports the
+/// resulting truncation.
+fn pe_worker(
+    pe: &PePlan,
+    net: &Network,
+    rx: &Receiver<Vec<f32>>,
+    tx: &Sender<Vec<f32>>,
+    batch: usize,
+) {
+    let in_len = pe.layers.first().expect("PE has layers").input.len();
+    let out_len = pe.layers.last().expect("PE has layers").output.len();
+    let max_len = pe
+        .layers
+        .iter()
+        .map(|l| l.input.len().max(l.output.len()))
+        .max()
+        .expect("PE has layers");
+    let mut ping = vec![0.0f32; max_len];
+    let mut pong = vec![0.0f32; max_len];
+    let mut ws = Workspace::new();
+
+    for _ in 0..batch {
+        let Some(mut frame) = recv_frame(rx, in_len) else {
+            return; // upstream closed early
         };
+        let mut src = &mut ping;
+        let mut dst = &mut pong;
+        src[..in_len].copy_from_slice(&frame);
+        for layer in &pe.layers {
+            // Standalone activation layers stay unfused here: the plan
+            // already groups layers into PEs, and the runtime mirrors
+            // the plan's structure one filter at a time.
+            if forward_layer_fast(
+                net,
+                &layer.name,
+                &layer.kind,
+                None,
+                &src[..layer.input.len()],
+                layer.input,
+                layer.output,
+                &mut dst[..layer.output.len()],
+                &mut ws,
+            )
+            .is_err()
+            {
+                return; // typed compute error ⇒ truncate the stream
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // Recycle the incoming frame's allocation for the outgoing one.
+        frame.resize(out_len, 0.0);
+        frame.copy_from_slice(&src[..out_len]);
+        if tx.send(frame).is_err() {
+            return; // downstream closed
+        }
     }
-    current
 }
 
 #[cfg(test)]
@@ -282,7 +276,7 @@ mod tests {
     use super::*;
     use crate::plan::{PeParallelism, PlanBuilder};
     use condor_nn::{dataset, zoo, GoldenEngine};
-    use condor_tensor::AllClose;
+    use condor_tensor::{AllClose, Shape};
 
     fn lenet_setup() -> (Network, AcceleratorPlan) {
         let net = zoo::lenet_weighted(21);
@@ -332,6 +326,26 @@ mod tests {
             .unwrap();
         for (h, g) in hw.iter().zip(&golden) {
             assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn runtime_matches_fast_engine_bitwise() {
+        // The PEs and FastEngine share `forward_layer_fast`, so modulo
+        // ReLU fusion (which changes no values for exact ReLU epilogue
+        // math) the runtime should reproduce the fast engine exactly on
+        // unfused plans.
+        let (net, plan) = lenet_setup();
+        let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+        let mut fast = condor_nn::FastEngine::new(&net).unwrap();
+        let images: Vec<Tensor> = dataset::mnist_like(3, 11)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let hw = rt.run_batch(&images).unwrap();
+        let sw = fast.infer_batch(&images).unwrap();
+        for (h, s) in hw.iter().zip(&sw) {
+            assert!(h.all_close(s));
         }
     }
 

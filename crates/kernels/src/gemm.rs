@@ -1,0 +1,551 @@
+//! Cache-blocked single-precision GEMM with fused epilogues.
+//!
+//! Computes `C = A · B` for row-major matrices (`A: m×k`, `B: k×n`,
+//! `C: m×n`) using the classic three-level loop blocking (BLIS-style
+//! `Nc`/`Kc`/`Mc` panels) so every hot inner loop runs over data that
+//! fits the cache hierarchy, plus a 4-row micro-kernel that reuses each
+//! loaded `B` element for four multiply-accumulates. The inner axpy loops
+//! are written over exact-length slices so LLVM auto-vectorises them; no
+//! `unsafe` is needed.
+//!
+//! Determinism: each output element accumulates its `k` products in
+//! strictly ascending `k` order regardless of blocking parameters or
+//! thread count (threads partition *rows*, never the reduction), so
+//! results are bit-identical across configurations.
+
+/// Loop-blocking parameters of the GEMM macro kernel.
+///
+/// Defaults target common x86/ARM cache sizes: a `kc × nc` panel of `B`
+/// (256·512·4 B = 512 KiB worst case, usually far less) streams through
+/// L2 while each row block of `C` (`nc` floats) stays resident in L1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Rows of `C` processed per macro-kernel panel.
+    pub mc: usize,
+    /// Columns of `C` processed per panel (contiguous, L1-resident).
+    pub nc: usize,
+    /// Depth of the reduction slice per panel.
+    pub kc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        GemmBlocking {
+            mc: 64,
+            nc: 512,
+            kc: 256,
+        }
+    }
+}
+
+impl GemmBlocking {
+    /// Clamps degenerate (zero) parameters to 1 so stepping always
+    /// advances.
+    fn sanitized(self) -> Self {
+        GemmBlocking {
+            mc: self.mc.max(1),
+            nc: self.nc.max(1),
+            kc: self.kc.max(1),
+        }
+    }
+}
+
+/// What to apply to each finished output element, fused into the final
+/// store instead of a separate pass over `C`.
+#[derive(Clone, Copy, Debug)]
+pub enum Epilogue<'a> {
+    /// Plain store: `C = A·B`.
+    None,
+    /// Per-row bias: `C[i][j] += bias[i]` (row = output channel).
+    Bias(&'a [f32]),
+    /// Leaky-ReLU with the given negative slope (0.0 = plain ReLU).
+    Relu(f32),
+    /// Bias then leaky-ReLU, the common convolution tail.
+    BiasRelu(&'a [f32], f32),
+}
+
+/// Work threshold (in multiply-accumulates) below which spawning threads
+/// costs more than it saves.
+const PAR_MACS_THRESHOLD: usize = 1 << 21;
+
+/// `C = A · B` with an optional fused epilogue.
+///
+/// All matrices are dense row-major; `C` is overwritten (not
+/// accumulated into). Large problems are split across threads by rows of
+/// `C`, so the reduction order — and therefore the result — is identical
+/// in the serial and parallel paths.
+///
+/// # Panics
+/// Panics when a slice length disagrees with its `m`/`n`/`k` extent, or
+/// when an epilogue bias is shorter than `m`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    blocking: GemmBlocking,
+    epilogue: Epilogue<'_>,
+) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    if let Epilogue::Bias(bias) | Epilogue::BiasRelu(bias, _) = epilogue {
+        assert!(bias.len() >= m, "bias shorter than m");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let blocking = blocking.sanitized();
+
+    let threads = available_threads();
+    if threads > 1 && m * n * k >= PAR_MACS_THRESHOLD && m >= 2 {
+        // Row-partitioned parallel path: each thread owns a horizontal
+        // band of C and the matching band of A; B is shared read-only.
+        let bands = threads.min(m);
+        let rows_per = m.div_ceil(bands);
+        std::thread::scope(|scope| {
+            for (band, c_band) in c.chunks_mut(rows_per * n).enumerate() {
+                let row0 = band * rows_per;
+                let rows = c_band.len() / n;
+                let a_band = &a[row0 * k..(row0 + rows) * k];
+                let bias_off = row0;
+                scope.spawn(move || {
+                    gemm_serial(rows, n, k, a_band, b, c_band, blocking);
+                    apply_epilogue(rows, n, c_band, epilogue, bias_off);
+                });
+            }
+        });
+    } else {
+        gemm_serial(m, n, k, a, b, c, blocking);
+        apply_epilogue(m, n, c, epilogue, 0);
+    }
+}
+
+/// The number of worker threads worth using on this machine.
+pub(crate) fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Single-threaded blocked GEMM over the whole of `c`.
+fn gemm_serial(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bl: GemmBlocking,
+) {
+    c.fill(0.0);
+    let mut jb = 0;
+    while jb < n {
+        let jw = bl.nc.min(n - jb);
+        let mut kb = 0;
+        while kb < k {
+            let kw = bl.kc.min(k - kb);
+            let mut ib = 0;
+            while ib < m {
+                let iw = bl.mc.min(m - ib);
+                macro_panel(
+                    &mut c[ib * n..(ib + iw) * n],
+                    &a[ib * k..(ib + iw) * k],
+                    b,
+                    n,
+                    k,
+                    jb,
+                    jw,
+                    kb,
+                    kw,
+                );
+                ib += iw;
+            }
+            kb += kw;
+        }
+        jb += jw;
+    }
+}
+
+/// One `iw × jw × kw` panel: 4 rows of `C` at a time so every loaded
+/// `B` element feeds four FMAs.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn macro_panel(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    jb: usize,
+    jw: usize,
+    kb: usize,
+    kw: usize,
+) {
+    let mut rows = c.chunks_mut(n);
+    let mut i = 0;
+    let iw = a.len() / k;
+    while i + 4 <= iw {
+        // `chunks_mut` hands out disjoint row slices, so four can be
+        // live at once without aliasing.
+        let (Some(r0), Some(r1), Some(r2), Some(r3)) =
+            (rows.next(), rows.next(), rows.next(), rows.next())
+        else {
+            break;
+        };
+        let c0 = &mut r0[jb..jb + jw];
+        let c1 = &mut r1[jb..jb + jw];
+        let c2 = &mut r2[jb..jb + jw];
+        let c3 = &mut r3[jb..jb + jw];
+        let a0 = &a[i * k + kb..i * k + kb + kw];
+        let a1 = &a[(i + 1) * k + kb..(i + 1) * k + kb + kw];
+        let a2 = &a[(i + 2) * k + kb..(i + 2) * k + kb + kw];
+        let a3 = &a[(i + 3) * k + kb..(i + 3) * k + kb + kw];
+        for p in 0..kw {
+            let brow = &b[(kb + p) * n + jb..(kb + p) * n + jb + jw];
+            let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+            for j in 0..jw {
+                let bv = brow[j];
+                c0[j] += x0 * bv;
+                c1[j] += x1 * bv;
+                c2[j] += x2 * bv;
+                c3[j] += x3 * bv;
+            }
+        }
+        i += 4;
+    }
+    // Remainder rows one at a time.
+    for r in rows {
+        let ci = &mut r[jb..jb + jw];
+        let arow = &a[i * k + kb..i * k + kb + kw];
+        for p in 0..kw {
+            let x = arow[p];
+            let brow = &b[(kb + p) * n + jb..(kb + p) * n + jb + jw];
+            for (cv, &bv) in ci.iter_mut().zip(brow) {
+                *cv += x * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Applies the fused tail over `rows × n` of `c`; `bias_off` shifts the
+/// bias index for row bands handled by worker threads.
+fn apply_epilogue(rows: usize, n: usize, c: &mut [f32], epilogue: Epilogue<'_>, bias_off: usize) {
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for (i, row) in c.chunks_mut(n).enumerate().take(rows) {
+                let bv = bias[bias_off + i];
+                for v in row {
+                    *v += bv;
+                }
+            }
+        }
+        Epilogue::Relu(slope) => {
+            for v in &mut c[..rows * n] {
+                if *v < 0.0 {
+                    *v *= slope;
+                }
+            }
+        }
+        Epilogue::BiasRelu(bias, slope) => {
+            for (i, row) in c.chunks_mut(n).enumerate().take(rows) {
+                let bv = bias[bias_off + i];
+                for v in row {
+                    let x = *v + bv;
+                    *v = if x < 0.0 { slope * x } else { x };
+                }
+            }
+        }
+    }
+}
+
+/// Dense matrix-vector product `y = W · x (+ bias)` with an optional
+/// fused leaky-ReLU — the fully-connected layer kernel. `w` is
+/// `m × k` row-major.
+///
+/// Each dot product runs over eight partial accumulators so the
+/// reduction vectorises; the accumulator combination order is fixed, so
+/// results are deterministic.
+///
+/// # Panics
+/// Panics when slice lengths disagree with `m`/`k`.
+pub fn gemv(
+    m: usize,
+    k: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+    relu_slope: Option<f32>,
+    y: &mut [f32],
+) {
+    assert_eq!(w.len(), m * k, "W must be m×k");
+    assert_eq!(x.len(), k, "x must have k elements");
+    assert_eq!(y.len(), m, "y must have m elements");
+    if let Some(b) = bias {
+        assert!(b.len() >= m, "bias shorter than m");
+    }
+
+    let threads = available_threads();
+    if threads > 1 && m * k >= PAR_MACS_THRESHOLD && m >= 2 {
+        let bands = threads.min(m);
+        let rows_per = m.div_ceil(bands);
+        std::thread::scope(|scope| {
+            for (band, y_band) in y.chunks_mut(rows_per).enumerate() {
+                let row0 = band * rows_per;
+                let w_band = &w[row0 * k..(row0 + y_band.len()) * k];
+                scope.spawn(move || {
+                    gemv_serial(k, w_band, x, bias, relu_slope, y_band, row0);
+                });
+            }
+        });
+    } else {
+        gemv_serial(k, w, x, bias, relu_slope, y, 0);
+    }
+}
+
+fn gemv_serial(
+    k: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+    relu_slope: Option<f32>,
+    y: &mut [f32],
+    row_off: usize,
+) {
+    for (i, yv) in y.iter_mut().enumerate() {
+        let mut acc = dot(&w[i * k..(i + 1) * k], x);
+        if let Some(b) = bias {
+            acc += b[row_off + i];
+        }
+        if let Some(slope) = relu_slope {
+            if acc < 0.0 {
+                acc *= slope;
+            }
+        }
+        *yv = acc;
+    }
+}
+
+/// Vectorisable dot product: eight independent partial sums combined in
+/// a fixed order.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let av = &a[c * LANES..(c + 1) * LANES];
+        let bv = &b[c * LANES..(c + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += av[l] * bv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in a[chunks * LANES..].iter().zip(&b[chunks * LANES..]) {
+        tail += x * y;
+    }
+    // Fixed combination order for determinism.
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    /// Textbook triple loop for cross-checking.
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i % 13) as f32 - 6.0) * scale).collect()
+    }
+
+    #[test]
+    fn matches_naive_across_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 3),
+            (17, 33, 29),
+            (64, 70, 65),
+        ] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let mut c = vec![9.0f32; m * n];
+            gemm(
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                &mut c,
+                GemmBlocking::default(),
+                Epilogue::None,
+            );
+            let want = naive(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3, "({m},{n},{k}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_matches_default() {
+        let (m, n, k) = (9, 11, 13);
+        let a = ramp(m * k, 0.3);
+        let b = ramp(k * n, 0.7);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c1,
+            GemmBlocking::default(),
+            Epilogue::None,
+        );
+        let tiny = GemmBlocking {
+            mc: 2,
+            nc: 3,
+            kc: 4,
+        };
+        gemm(m, n, k, &a, &b, &mut c2, tiny, Epilogue::None);
+        assert_eq!(c1, c2, "blocking must not change the reduction order");
+    }
+
+    #[test]
+    fn bias_and_relu_epilogues() {
+        let (m, n, k) = (2, 3, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity-ish
+        let b = vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0];
+        let bias = vec![10.0, -10.0];
+        let mut c = vec![0.0; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c,
+            GemmBlocking::default(),
+            Epilogue::Bias(&bias),
+        );
+        assert_eq!(c, vec![11.0, 8.0, 13.0, -14.0, -5.0, -16.0]);
+        gemm(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c,
+            GemmBlocking::default(),
+            Epilogue::BiasRelu(&bias, 0.0),
+        );
+        assert_eq!(c, vec![11.0, 8.0, 13.0, 0.0, 0.0, 0.0]);
+        gemm(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c,
+            GemmBlocking::default(),
+            Epilogue::Relu(0.5),
+        );
+        assert_eq!(c, vec![1.0, -1.0, 3.0, -2.0, 5.0, -3.0]);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_serial() {
+        // Big enough to cross PAR_MACS_THRESHOLD.
+        let (m, n, k) = (128, 160, 128);
+        let a = ramp(m * k, 0.01);
+        let b = ramp(k * n, 0.02);
+        let mut par = vec![0.0; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut par,
+            GemmBlocking::default(),
+            Epilogue::None,
+        );
+        let mut ser = vec![0.0; m * n];
+        gemm_serial(m, n, k, &a, &b, &mut ser, GemmBlocking::default());
+        assert_eq!(par, ser, "threaded row bands must be bit-identical");
+    }
+
+    #[test]
+    fn gemv_matches_gemm_column() {
+        let (m, k) = (7, 19);
+        let w = ramp(m * k, 0.1);
+        let x = ramp(k, 0.2);
+        let bias = ramp(m, 1.0);
+        let mut y = vec![0.0; m];
+        gemv(m, k, &w, &x, Some(&bias), None, &mut y);
+        let mut c = vec![0.0; m];
+        gemm(
+            m,
+            1,
+            k,
+            &w,
+            &x,
+            &mut c,
+            GemmBlocking::default(),
+            Epilogue::Bias(&bias),
+        );
+        for (a, b) in y.iter().zip(&c) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemv_fused_relu_clamps() {
+        let w = vec![1.0, -1.0];
+        let x = vec![1.0];
+        let mut y = vec![0.0; 2];
+        gemv(2, 1, &w, &x, None, Some(0.0), &mut y);
+        assert_eq!(y, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_matches_sequential_sum() {
+        let a = ramp(37, 0.3);
+        let b = ramp(37, 0.4);
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - want).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm(
+            0,
+            0,
+            3,
+            &[],
+            &[],
+            &mut c,
+            GemmBlocking::default(),
+            Epilogue::None,
+        );
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! im2col lowering: convolution as matrix multiplication.
+//!
+//! `im2col` unrolls every sliding-window patch of a `C×H×W` feature-map
+//! stack into one column of a `(C·K·K) × (outH·outW)` matrix. With the
+//! filter bank viewed as an `F × (C·K·K)` row-major matrix (exactly the
+//! layout of a Caffe weight blob), convolution becomes a single GEMM —
+//! the lowering fpgaConvNet and Caffeinated FPGAs treat as the central
+//! dataflow for convolutional layers, realised here in software.
+//!
+//! The output buffer is caller-provided so a per-engine workspace can be
+//! reused across layers and images with zero steady-state allocation.
+
+/// Geometry of one convolution lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Sliding-window stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Output height (`conv_out_dim(in_h, ...)`).
+    pub out_h: usize,
+    /// Output width (`conv_out_dim(in_w, ...)`).
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Rows of the lowered patch matrix (`C·K·K` — the GEMM reduction
+    /// depth).
+    pub fn lowered_rows(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// Columns of the lowered patch matrix (`outH·outW` — one per output
+    /// pixel).
+    pub fn lowered_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Elements the lowering workspace must hold.
+    pub fn lowered_len(&self) -> usize {
+        self.lowered_rows() * self.lowered_cols()
+    }
+
+    /// True when the lowering is the identity (1×1 kernel, unit stride,
+    /// no padding) and the input itself already is the patch matrix.
+    pub fn is_identity(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.pad == 0
+    }
+}
+
+/// Lowers `input` (a `C×H×W` stack in row-major NCHW order) into `cols`,
+/// the `(C·K·K) × (outH·outW)` row-major patch matrix.
+///
+/// Row `(c·K + m)·K + n`, column `i·outW + j` holds the zero-padded read
+/// `x[c, i·stride + m − pad, j·stride + n − pad]`. Unit-stride rows are
+/// copied with `copy_from_slice` (the patch row is contiguous in the
+/// input); other strides fall back to a per-element gather.
+///
+/// # Panics
+/// Panics when `input` or `cols` disagree with the geometry.
+pub fn im2col(input: &[f32], geo: &ConvGeometry, cols: &mut [f32]) {
+    assert_eq!(
+        input.len(),
+        geo.in_c * geo.in_h * geo.in_w,
+        "input length does not match geometry"
+    );
+    assert_eq!(cols.len(), geo.lowered_len(), "workspace length mismatch");
+    let (k, stride, pad) = (geo.kernel, geo.stride, geo.pad);
+    let (in_h, in_w) = (geo.in_h, geo.in_w);
+    let (out_h, out_w) = (geo.out_h, geo.out_w);
+    let n_cols = geo.lowered_cols();
+
+    for c in 0..geo.in_c {
+        let map = &input[c * in_h * in_w..(c + 1) * in_h * in_w];
+        for m in 0..k {
+            for n in 0..k {
+                let row = (c * k + m) * k + n;
+                let dst_row = &mut cols[row * n_cols..(row + 1) * n_cols];
+                for i in 0..out_h {
+                    let dst = &mut dst_row[i * out_w..(i + 1) * out_w];
+                    let ih = (i * stride + m) as isize - pad as isize;
+                    if ih < 0 || ih >= in_h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &map[ih as usize * in_w..(ih as usize + 1) * in_w];
+                    if stride == 1 {
+                        // iw = j + n - pad: a contiguous slice of the
+                        // input row, with zero fringes where it leaves
+                        // the image.
+                        let shift = n as isize - pad as isize;
+                        let j_lo = (-shift).max(0) as usize;
+                        let j_hi = (in_w as isize - shift).clamp(0, out_w as isize) as usize;
+                        dst[..j_lo.min(out_w)].fill(0.0);
+                        if j_lo < j_hi {
+                            let src_lo = (j_lo as isize + shift) as usize;
+                            dst[j_lo..j_hi]
+                                .copy_from_slice(&src_row[src_lo..src_lo + (j_hi - j_lo)]);
+                        }
+                        dst[j_hi.max(j_lo).min(out_w)..].fill(0.0);
+                    } else {
+                        for (j, v) in dst.iter_mut().enumerate() {
+                            let iw = (j * stride + n) as isize - pad as isize;
+                            *v = if iw < 0 || iw >= in_w as isize {
+                                0.0
+                            } else {
+                                src_row[iw as usize]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use condor_tensor::{Shape, Tensor, TensorRng};
+
+    fn geometry(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> ConvGeometry {
+        ConvGeometry {
+            in_c,
+            in_h,
+            in_w,
+            kernel: k,
+            stride: s,
+            pad: p,
+            out_h: Shape::conv_out_dim(in_h, k, s, p),
+            out_w: Shape::conv_out_dim(in_w, k, s, p),
+        }
+    }
+
+    /// Reference lowering through `Tensor::at_padded`.
+    fn reference(input: &Tensor, geo: &ConvGeometry) -> Vec<f32> {
+        let mut cols = vec![0.0; geo.lowered_len()];
+        let n_cols = geo.lowered_cols();
+        for c in 0..geo.in_c {
+            for m in 0..geo.kernel {
+                for n in 0..geo.kernel {
+                    let row = (c * geo.kernel + m) * geo.kernel + n;
+                    for i in 0..geo.out_h {
+                        for j in 0..geo.out_w {
+                            cols[row * n_cols + i * geo.out_w + j] = input.at_padded(
+                                0,
+                                c,
+                                (i * geo.stride + m) as isize,
+                                (j * geo.stride + n) as isize,
+                                geo.pad,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn identity_geometry_is_a_copy() {
+        let geo = geometry(3, 4, 5, 1, 1, 0);
+        assert!(geo.is_identity());
+        let input: Vec<f32> = (0..60).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; geo.lowered_len()];
+        im2col(&input, &geo, &mut cols);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn matches_padded_reads_across_geometries() {
+        let mut rng = TensorRng::seeded(11);
+        for (c, h, w, k, s, p) in [
+            (1, 5, 5, 3, 1, 0),
+            (2, 6, 7, 3, 1, 1),
+            (3, 8, 8, 5, 1, 2),
+            (2, 9, 9, 3, 2, 1),
+            (1, 7, 4, 2, 3, 0),
+            (4, 6, 6, 2, 2, 1),
+        ] {
+            let geo = geometry(c, h, w, k, s, p);
+            let t = rng.uniform(Shape::chw(c, h, w), -1.0, 1.0);
+            let mut cols = vec![f32::NAN; geo.lowered_len()];
+            im2col(t.as_slice(), &geo, &mut cols);
+            assert_eq!(
+                cols,
+                reference(&t, &geo),
+                "geometry ({c},{h},{w},k{k},s{s},p{p})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace length mismatch")]
+    fn short_workspace_is_rejected() {
+        let geo = geometry(1, 4, 4, 3, 1, 0);
+        im2col(&[0.0; 16], &geo, &mut [0.0; 3]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # condor-kernels
+//!
+//! Fast CPU compute kernels for CNN inference — the software analogue of
+//! the paper's hardware acceleration argument. Where the golden engine
+//! (`condor-nn`) transcribes the paper's equations as obvious loop
+//! nests, this crate treats convolution lowering as the central
+//! performance lever, the way fpgaConvNet and Caffeinated FPGAs do for
+//! their FPGA dataflows:
+//!
+//! * [`im2col`] — patch-matrix lowering so convolution becomes one GEMM,
+//!   writing into a reusable workspace buffer;
+//! * [`gemm`] — cache-blocked (`Mc×Nc×Kc`) f32 matrix multiply with a
+//!   4-row micro-kernel, thread parallelism over output-row blocks and
+//!   fused bias/LeakyReLU epilogues ([`Epilogue`]);
+//! * [`ops`] — layer-level kernels (convolution, pooling, activations,
+//!   softmax, fully-connected [`gemv`]) that all write into
+//!   caller-provided buffers, so steady-state inference allocates
+//!   nothing per layer.
+//!
+//! Thread parallelism uses `std::thread::scope` over disjoint row bands
+//! (the workspace's `rayon` shim is sequential, and band splitting keeps
+//! each element's reduction order fixed), so results are bit-identical
+//! across thread counts and blocking parameters. `condor-nn`'s
+//! `FastEngine` drives these kernels for whole networks and
+//! property-tests them against the golden oracle.
+
+#![forbid(unsafe_code)]
+
+pub mod gemm;
+pub mod im2col;
+pub mod ops;
+
+pub use gemm::{dot, gemm as gemm_f32, gemv, Epilogue, GemmBlocking};
+pub use im2col::{im2col, ConvGeometry};
+pub use ops::{activate, conv2d, pool2d, softmax, Activation, PoolMethod, Workspace};

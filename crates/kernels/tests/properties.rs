@@ -1,0 +1,189 @@
+//! Property tests for the compute-kernel layer: the blocked GEMM against
+//! a textbook triple loop, and the im2col lowering against per-element
+//! padded gathers, across randomly drawn shapes and geometries.
+
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
+use condor_kernels::{gemm_f32, gemv, im2col, ConvGeometry, Epilogue, GemmBlocking};
+use condor_tensor::{Shape, Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// Textbook `C = A·B` with the same ascending-`k` reduction order the
+/// blocked kernel guarantees.
+fn naive_matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            for j in 0..n {
+                c[i * n + j] += a[i * k + p] * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+fn geometry(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeometry {
+    ConvGeometry {
+        in_c: c,
+        in_h: h,
+        in_w: w,
+        kernel: k,
+        stride: s,
+        pad: p,
+        out_h: Shape::conv_out_dim(h, k, s, p),
+        out_w: Shape::conv_out_dim(w, k, s, p),
+    }
+}
+
+proptest! {
+    /// The blocked GEMM agrees with the naive triple loop for every
+    /// shape, and arbitrary blocking parameters are bit-identical to the
+    /// default ones (the reduction order never depends on blocking).
+    #[test]
+    fn gemm_matches_naive_matmul(
+        seed in any::<u64>(),
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        mc in 1usize..8,
+        nc in 1usize..8,
+        kc in 1usize..8,
+    ) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(Shape::vector(m * k), -1.0, 1.0);
+        let b = rng.uniform(Shape::vector(k * n), -1.0, 1.0);
+        let mut c = vec![f32::NAN; m * n];
+        gemm_f32(
+            m, n, k,
+            a.as_slice(), b.as_slice(), &mut c,
+            GemmBlocking::default(), Epilogue::None,
+        );
+        let want = naive_matmul(m, n, k, a.as_slice(), b.as_slice());
+        for (x, y) in c.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-4, "({m},{n},{k}): {x} vs {y}");
+        }
+        let mut c2 = vec![f32::NAN; m * n];
+        gemm_f32(
+            m, n, k,
+            a.as_slice(), b.as_slice(), &mut c2,
+            GemmBlocking { mc, nc, kc }, Epilogue::None,
+        );
+        prop_assert_eq!(c, c2, "blocking changed the result bits");
+    }
+
+    /// Fused epilogues equal the plain GEMM followed by an explicit
+    /// bias-add and leaky-ReLU pass, bit for bit.
+    #[test]
+    fn fused_epilogue_matches_separate_pass(
+        seed in any::<u64>(),
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..12,
+        slope in 0.0f32..0.5,
+    ) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(Shape::vector(m * k), -1.0, 1.0);
+        let b = rng.uniform(Shape::vector(k * n), -1.0, 1.0);
+        let bias = rng.uniform(Shape::vector(m), -0.5, 0.5);
+        let mut fused = vec![0.0f32; m * n];
+        gemm_f32(
+            m, n, k,
+            a.as_slice(), b.as_slice(), &mut fused,
+            GemmBlocking::default(), Epilogue::BiasRelu(bias.as_slice(), slope),
+        );
+        let mut plain = vec![0.0f32; m * n];
+        gemm_f32(
+            m, n, k,
+            a.as_slice(), b.as_slice(), &mut plain,
+            GemmBlocking::default(), Epilogue::None,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let v = plain[i * n + j] + bias.as_slice()[i];
+                plain[i * n + j] = if v >= 0.0 { v } else { slope * v };
+            }
+        }
+        prop_assert_eq!(fused, plain);
+    }
+
+    /// The fully-connected GEMV agrees with the naive per-row dot
+    /// product within accumulation-order tolerance.
+    #[test]
+    fn gemv_matches_naive_dot(
+        seed in any::<u64>(),
+        m in 1usize..20,
+        k in 1usize..64,
+    ) {
+        let mut rng = TensorRng::seeded(seed);
+        let w = rng.uniform(Shape::vector(m * k), -1.0, 1.0);
+        let x = rng.uniform(Shape::vector(k), -1.0, 1.0);
+        let mut y = vec![f32::NAN; m];
+        gemv(m, k, w.as_slice(), x.as_slice(), None, None, &mut y);
+        for (i, got) in y.iter().enumerate() {
+            let want: f32 = (0..k)
+                .map(|p| w.as_slice()[i * k + p] * x.as_slice()[p])
+                .sum();
+            prop_assert!((got - want).abs() < 1e-4, "row {i}: {got} vs {want}");
+        }
+    }
+
+    /// Every im2col element equals the corresponding zero-padded read of
+    /// the input tensor, for arbitrary geometry.
+    #[test]
+    fn im2col_matches_padded_gather(
+        seed in any::<u64>(),
+        c in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        k in 1usize..5,
+        s in 1usize..4,
+        p in 0usize..3,
+    ) {
+        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+        let geo = geometry(c, h, w, k, s, p);
+        let input = TensorRng::seeded(seed).uniform(Shape::chw(c, h, w), -1.0, 1.0);
+        let mut cols = vec![f32::NAN; geo.lowered_len()];
+        im2col(input.as_slice(), &geo, &mut cols);
+        let n_cols = geo.lowered_cols();
+        for ci in 0..c {
+            for m_ in 0..k {
+                for n_ in 0..k {
+                    let row = (ci * k + m_) * k + n_;
+                    for i in 0..geo.out_h {
+                        for j in 0..geo.out_w {
+                            let got = cols[row * n_cols + i * geo.out_w + j];
+                            let want = input.at_padded(
+                                0,
+                                ci,
+                                (i * s + m_) as isize,
+                                (j * s + n_) as isize,
+                                p,
+                            );
+                            prop_assert_eq!(got, want, "row {} col ({},{})", row, i, j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The identity geometry (1×1 kernel, unit stride, no padding)
+    /// round-trips: the lowered matrix *is* the input, so the lowering
+    /// can be skipped without changing results.
+    #[test]
+    fn identity_lowering_round_trips(
+        seed in any::<u64>(),
+        c in 1usize..5,
+        h in 1usize..9,
+        w in 1usize..9,
+    ) {
+        let geo = geometry(c, h, w, 1, 1, 0);
+        prop_assert!(geo.is_identity());
+        let input = TensorRng::seeded(seed).uniform(Shape::chw(c, h, w), -1.0, 1.0);
+        let mut cols = vec![f32::NAN; geo.lowered_len()];
+        im2col(input.as_slice(), &geo, &mut cols);
+        prop_assert_eq!(cols.as_slice(), input.as_slice());
+        let back = Tensor::from_vec(Shape::chw(c, h, w), cols);
+        prop_assert_eq!(back.as_slice(), input.as_slice());
+    }
+}

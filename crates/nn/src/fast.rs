@@ -1,0 +1,510 @@
+//! Fast inference engine over the `condor-kernels` compute layer.
+//!
+//! [`FastEngine`] runs whole networks through im2col + blocked-GEMM
+//! kernels instead of the golden engine's naive loop nests. It
+//! precompiles the network into a step list (fusing each Conv/FC layer
+//! with a directly following ReLU into the GEMM epilogue) and owns a
+//! scratch arena — two ping-pong activation buffers plus the im2col
+//! workspace, all sized to the network's high-water mark at
+//! construction — so steady-state inference performs **zero heap
+//! allocation per layer** (only the returned output tensor is
+//! allocated).
+//!
+//! The slice-level primitive, [`forward_layer_fast`], is shared with the
+//! dataflow hardware runtime: its PEs run the same kernels over the same
+//! buffers-in/buffers-out contract, so the functional simulation and the
+//! production CPU path cannot drift apart.
+//!
+//! [`GoldenEngine`](crate::GoldenEngine) remains the functional oracle;
+//! the workspace property suites assert `FastEngine == GoldenEngine`
+//! within 1e-4 on random networks. The two engines accumulate sums in
+//! different association orders (ascending-`k` GEMM vs `(c, m, n)` loop
+//! nest), so agreement is approximate, not bitwise.
+
+use crate::layer::{LayerKind, PoolKind};
+use crate::network::{Network, NnError, NnErrorKind};
+use condor_kernels::{
+    activate, conv2d, gemv, pool2d, softmax, Activation, ConvGeometry, PoolMethod, Workspace,
+};
+use condor_tensor::{Shape, Tensor};
+use std::sync::Arc;
+
+/// One compiled layer (or fused layer pair).
+#[derive(Clone, Debug)]
+struct Step {
+    /// Source layer name — the weight lookup key.
+    name: String,
+    /// Operator snapshot.
+    kind: LayerKind,
+    /// Negative slope of a directly following ReLU folded into this
+    /// step's GEMM epilogue (`Some(0.0)` for plain ReLU).
+    fused_relu: Option<f32>,
+    /// Single-item input shape.
+    input: Shape,
+    /// Single-item output shape.
+    output: Shape,
+}
+
+/// The immutable, shareable part of a compiled engine: network handle,
+/// step list and buffer high-water marks.
+#[derive(Debug)]
+struct EnginePlan {
+    net: Arc<Network>,
+    steps: Vec<Step>,
+    /// Largest single-layer activation length (ping-pong buffer size).
+    max_elems: usize,
+    /// Largest im2col patch-matrix length (workspace size).
+    max_cols: usize,
+    input_shape: Shape,
+    output_shape: Shape,
+}
+
+/// Lowering geometry of a convolution step, from its declared
+/// hyper-parameters and inferred shapes.
+fn conv_geometry(
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    input: Shape,
+    output: Shape,
+) -> ConvGeometry {
+    ConvGeometry {
+        in_c: input.c,
+        in_h: input.h,
+        in_w: input.w,
+        kernel,
+        stride,
+        pad,
+        out_h: output.h,
+        out_w: output.w,
+    }
+}
+
+impl EnginePlan {
+    fn compile(net: Arc<Network>) -> Result<Self, NnError> {
+        if !net.fully_weighted() {
+            return Err(NnError::net(
+                "cannot run inference: some layers have no weights installed",
+            )
+            .with_kind(NnErrorKind::MissingWeights));
+        }
+        let ins = net.input_shapes()?;
+        let outs = net.output_shapes()?;
+        let mut steps = Vec::with_capacity(net.layers.len());
+        let mut max_elems = net.input_shape.len();
+        let mut max_cols = 0usize;
+
+        let mut i = 0;
+        while i < net.layers.len() {
+            let layer = &net.layers[i];
+            // A ReLU directly after a Conv/FC folds into that kernel's
+            // epilogue; the fused step keeps the producer's shapes
+            // (activations are shape-preserving).
+            let fused_relu = match net.layers.get(i + 1).map(|l| &l.kind) {
+                Some(LayerKind::ReLU { negative_slope })
+                    if matches!(
+                        layer.kind,
+                        LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
+                    ) =>
+                {
+                    Some(*negative_slope)
+                }
+                _ => None,
+            };
+            let (input, output) = (ins[i], outs[i]);
+            if let LayerKind::Convolution {
+                kernel,
+                stride,
+                pad,
+                ..
+            } = layer.kind
+            {
+                let geo = conv_geometry(kernel, stride, pad, input, output);
+                if !geo.is_identity() {
+                    max_cols = max_cols.max(geo.lowered_len());
+                }
+            }
+            max_elems = max_elems.max(input.len()).max(output.len());
+            steps.push(Step {
+                name: layer.name.clone(),
+                kind: layer.kind.clone(),
+                fused_relu,
+                input,
+                output,
+            });
+            // Skip the folded ReLU layer.
+            i += if fused_relu.is_some() { 2 } else { 1 };
+        }
+        let output_shape = outs.last().copied().ok_or_else(|| {
+            NnError::net("network has no layers").with_kind(NnErrorKind::NoComputeLayers)
+        })?;
+        Ok(EnginePlan {
+            input_shape: net.input_shape,
+            output_shape,
+            net,
+            steps,
+            max_elems,
+            max_cols,
+        })
+    }
+}
+
+/// Fast CPU inference engine: im2col + blocked GEMM with a per-engine
+/// scratch arena.
+///
+/// ```
+/// use condor_nn::{zoo, FastEngine, GoldenEngine};
+/// use condor_tensor::{AllClose, Shape, Tensor};
+///
+/// let net = zoo::lenet_weighted(7);
+/// let mut fast = FastEngine::new(&net).unwrap();
+/// let digit = Tensor::zeros(Shape::chw(1, 28, 28));
+/// let probs = fast.infer(&digit).unwrap();
+/// let golden = GoldenEngine::new(&net).unwrap().infer(&digit).unwrap();
+/// assert!(probs.all_close(&golden));
+/// ```
+#[derive(Debug)]
+pub struct FastEngine {
+    plan: Arc<EnginePlan>,
+    ping: Vec<f32>,
+    pong: Vec<f32>,
+    ws: Workspace,
+}
+
+impl Clone for FastEngine {
+    /// Clones share the compiled plan (and network weights) but get a
+    /// fresh scratch arena, so each clone can run on its own thread.
+    fn clone(&self) -> Self {
+        FastEngine::from_plan(Arc::clone(&self.plan))
+    }
+}
+
+impl FastEngine {
+    /// Compiles an engine for a fully-weighted network (cloned into a
+    /// shared handle).
+    pub fn new(net: &Network) -> Result<Self, NnError> {
+        FastEngine::from_shared(Arc::new(net.clone()))
+    }
+
+    /// Compiles an engine from a shared network handle without copying
+    /// weights.
+    pub fn from_shared(net: Arc<Network>) -> Result<Self, NnError> {
+        Ok(FastEngine::from_plan(Arc::new(EnginePlan::compile(net)?)))
+    }
+
+    fn from_plan(plan: Arc<EnginePlan>) -> Self {
+        let max_elems = plan.max_elems;
+        let max_cols = plan.max_cols;
+        FastEngine {
+            plan,
+            ping: vec![0.0; max_elems],
+            pong: vec![0.0; max_elems],
+            ws: Workspace::with_capacity(max_cols),
+        }
+    }
+
+    /// The network this engine executes.
+    pub fn network(&self) -> &Network {
+        &self.plan.net
+    }
+
+    /// Number of compiled steps (< layer count when ReLUs were fused
+    /// into their producers).
+    pub fn step_count(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    /// Runs one image (`1×c×h×w`) through the whole network.
+    ///
+    /// Steady-state this allocates only the returned tensor: all
+    /// intermediate activations live in the engine's ping-pong arena and
+    /// the im2col workspace is reused across layers and calls.
+    pub fn infer(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let plan = Arc::clone(&self.plan);
+        if input.shape() != plan.input_shape {
+            return Err(NnError::net(format!(
+                "input shape {} does not match network input {}",
+                input.shape(),
+                plan.input_shape
+            ))
+            .with_kind(NnErrorKind::InputMismatch));
+        }
+        let mut src = &mut self.ping;
+        let mut dst = &mut self.pong;
+        src[..input.len()].copy_from_slice(input.as_slice());
+        for step in &plan.steps {
+            forward_layer_fast(
+                &plan.net,
+                &step.name,
+                &step.kind,
+                step.fused_relu,
+                &src[..step.input.len()],
+                step.input,
+                step.output,
+                &mut dst[..step.output.len()],
+                &mut self.ws,
+            )?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let out_len = plan.output_shape.len();
+        Ok(Tensor::from_vec(plan.output_shape, src[..out_len].to_vec()))
+    }
+
+    /// Runs a batch sequentially on this engine's arena (zero per-layer
+    /// allocation), preserving order.
+    pub fn infer_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnError> {
+        inputs.iter().map(|img| self.infer(img)).collect()
+    }
+
+    /// Runs a batch in parallel across threads, each with its own scratch
+    /// arena, preserving order. Falls back to the sequential path for
+    /// single-image batches.
+    pub fn par_infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnError> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if inputs.len() <= 1 || threads <= 1 {
+            return self.clone().infer_batch(inputs);
+        }
+        let per = inputs.len().div_ceil(threads.min(inputs.len()));
+        let chunk_results = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(per)
+                .map(|chunk| {
+                    let mut engine = self.clone();
+                    scope.spawn(move || engine.infer_batch(chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("inference worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for r in chunk_results {
+            outputs.extend(r?);
+        }
+        Ok(outputs)
+    }
+}
+
+/// Computes one layer from `input` (length `in_shape.len()`) into `out`
+/// (length `out_shape.len()`) using the `condor-kernels` compute layer.
+///
+/// `fused_relu` folds a following ReLU's negative slope into the GEMM
+/// epilogue of a Conv/FC layer (ignored for other kinds). This is the
+/// slice-level primitive shared by [`FastEngine`] and the dataflow
+/// hardware runtime's PEs.
+///
+/// # Errors
+/// Typed [`NnError`]s for missing weights or weight-shape mismatches.
+///
+/// # Panics
+/// Panics when the slice lengths disagree with the declared shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_layer_fast(
+    net: &Network,
+    name: &str,
+    kind: &LayerKind,
+    fused_relu: Option<f32>,
+    input: &[f32],
+    in_shape: Shape,
+    out_shape: Shape,
+    out: &mut [f32],
+    ws: &mut Workspace,
+) -> Result<(), NnError> {
+    assert_eq!(input.len(), in_shape.len(), "input length mismatch");
+    assert_eq!(out.len(), out_shape.len(), "output length mismatch");
+    match *kind {
+        LayerKind::Input => out.copy_from_slice(input),
+        LayerKind::Convolution {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            ..
+        } => {
+            let lw = weights_or_err(net, name)?;
+            let geo = conv_geometry(kernel, stride, pad, in_shape, out_shape);
+            conv2d(
+                input,
+                lw.weights.as_slice(),
+                lw.bias.as_ref().map(|b| b.as_slice()),
+                num_output,
+                &geo,
+                fused_relu,
+                out,
+                ws,
+            );
+        }
+        LayerKind::Pooling {
+            method,
+            kernel,
+            stride,
+            pad,
+        } => pool2d(
+            input,
+            in_shape.c,
+            in_shape.h,
+            in_shape.w,
+            match method {
+                PoolKind::Max => PoolMethod::Max,
+                PoolKind::Average => PoolMethod::Average,
+            },
+            kernel,
+            stride,
+            pad,
+            out_shape.h,
+            out_shape.w,
+            out,
+        ),
+        LayerKind::ReLU { negative_slope } => {
+            activate(input, Activation::Relu(negative_slope), out)
+        }
+        LayerKind::Sigmoid => activate(input, Activation::Sigmoid, out),
+        LayerKind::TanH => activate(input, Activation::Tanh, out),
+        LayerKind::InnerProduct { .. } => {
+            let lw = weights_or_err(net, name)?;
+            let (m, k) = (out_shape.item_len(), in_shape.item_len());
+            if lw.weights.shape().c != k {
+                return Err(NnError::at(
+                    name,
+                    format!(
+                        "weight fan-in {} does not match flattened input {k}",
+                        lw.weights.shape().c
+                    ),
+                )
+                .with_kind(NnErrorKind::WeightShape));
+            }
+            gemv(
+                m,
+                k,
+                lw.weights.as_slice(),
+                input,
+                lw.bias.as_ref().map(|b| b.as_slice()),
+                fused_relu,
+                out,
+            );
+        }
+        LayerKind::Softmax { log } => softmax(input, log, out),
+    }
+    Ok(())
+}
+
+fn weights_or_err<'a>(
+    net: &'a Network,
+    name: &str,
+) -> Result<&'a crate::network::LayerWeights, NnError> {
+    net.weights_of(name).ok_or_else(|| {
+        NnError::at(name, "no weights installed").with_kind(NnErrorKind::MissingWeights)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::arbitrary::random_weighted_chain;
+    use crate::{zoo, GoldenEngine};
+    use condor_tensor::{AllClose, TensorRng};
+
+    #[test]
+    fn lenet_matches_golden() {
+        let net = zoo::lenet_weighted(5);
+        let mut fast = FastEngine::new(&net).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap();
+        let imgs: Vec<Tensor> = (0..4)
+            .map(|i| TensorRng::seeded(i).uniform(net.input_shape, -1.0, 1.0))
+            .collect();
+        for img in &imgs {
+            let f = fast.infer(img).unwrap();
+            let g = golden.infer(img).unwrap();
+            assert!(f.all_close(&g));
+        }
+    }
+
+    #[test]
+    fn relu_fusion_shrinks_step_count() {
+        let net = zoo::lenet_weighted(1);
+        let fast = FastEngine::new(&net).unwrap();
+        // LeNet has no standalone ReLU after conv, but TC1 does; at
+        // minimum the step count never exceeds the layer count.
+        assert!(fast.step_count() <= net.layers.len());
+
+        let tc1 = zoo::tc1_weighted(1);
+        let fused = FastEngine::new(&tc1).unwrap();
+        let relu_after_weighted = tc1
+            .layers
+            .windows(2)
+            .filter(|w| {
+                matches!(
+                    w[0].kind,
+                    LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
+                ) && matches!(w[1].kind, LayerKind::ReLU { .. })
+            })
+            .count();
+        assert_eq!(fused.step_count(), tc1.layers.len() - relu_after_weighted);
+    }
+
+    #[test]
+    fn random_networks_match_golden() {
+        for seed in 0..40u64 {
+            let net = random_weighted_chain(seed);
+            let mut fast = FastEngine::new(&net).unwrap();
+            let golden = GoldenEngine::new(&net).unwrap();
+            let input = TensorRng::seeded(seed ^ 0xabcd).uniform(net.input_shape, -1.0, 1.0);
+            let f = fast.infer(&input).unwrap();
+            let g = golden.infer(&input).unwrap();
+            assert!(
+                f.all_close_tol(&g, 1e-4, 1e-4),
+                "seed {seed}: fast and golden disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_and_parallel_batch_match_sequential() {
+        let net = zoo::tc1_weighted(9);
+        let mut fast = FastEngine::new(&net).unwrap();
+        let imgs: Vec<Tensor> = (0..6)
+            .map(|i| TensorRng::seeded(100 + i).uniform(net.input_shape, -1.0, 1.0))
+            .collect();
+        let seq = fast.infer_batch(&imgs).unwrap();
+        let par = fast.par_infer_batch(&imgs).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "parallel batch must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_inference_reuses_buffers() {
+        let net = zoo::lenet_weighted(3);
+        let mut fast = FastEngine::new(&net).unwrap();
+        let img = TensorRng::seeded(0).uniform(net.input_shape, -1.0, 1.0);
+        let a = fast.infer(&img).unwrap();
+        let b = fast.infer(&img).unwrap();
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "arena reuse must not leak state"
+        );
+    }
+
+    #[test]
+    fn unweighted_network_refused() {
+        let net = zoo::lenet();
+        assert!(FastEngine::new(&net).is_err());
+    }
+
+    #[test]
+    fn wrong_input_shape_refused() {
+        let net = zoo::lenet_weighted(2);
+        let mut fast = FastEngine::new(&net).unwrap();
+        let bad = Tensor::zeros(Shape::chw(3, 28, 28));
+        let err = fast.infer(&bad).unwrap_err();
+        assert_eq!(err.kind, NnErrorKind::InputMismatch);
+    }
+}

@@ -60,11 +60,14 @@ impl<'a> GoldenEngine<'a> {
             ))
             .with_kind(NnErrorKind::InputMismatch));
         }
-        let mut outputs = Vec::with_capacity(self.net.layers.len());
-        let mut current = input.clone();
-        for layer in &self.net.layers {
-            current = self.forward_layer(&layer.kind, &layer.name, &current)?;
-            outputs.push(current.clone());
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.net.layers.len());
+        for (i, layer) in self.net.layers.iter().enumerate() {
+            // Borrow the previous layer's stored output instead of keeping
+            // a cloned running copy: each output tensor is allocated once
+            // and moved into `outputs`.
+            let current = if i == 0 { input } else { &outputs[i - 1] };
+            let next = self.forward_layer(&layer.kind, &layer.name, current)?;
+            outputs.push(next);
         }
         Ok(outputs)
     }
@@ -128,7 +131,12 @@ impl<'a> GoldenEngine<'a> {
             }
             LayerKind::InnerProduct { bias, .. } => {
                 let lw = self.weights_or_err(name)?;
-                inner_product(input, &lw.weights, lw.bias.as_ref(), out_shape, bias)
+                inner_product(input, &lw.weights, lw.bias.as_ref(), out_shape, bias).map_err(
+                    |mut e| {
+                        e.layer.get_or_insert_with(|| name.to_string());
+                        e
+                    },
+                )?
             }
             LayerKind::Softmax { log } => softmax(input, log),
         })
@@ -235,16 +243,29 @@ pub fn pool(
 }
 
 /// Paper Eq. (4): `o_l = Σ_h w[h,l]·x_h + b_l` over the flattened input.
+///
+/// # Errors
+/// Returns a [`NnErrorKind::WeightShape`] error when the weight fan-in
+/// does not match the flattened input length (previously a
+/// `debug_assert!`, which release builds silently skipped before reading
+/// out of bounds through `Tensor::at`'s panic).
 pub fn inner_product(
     input: &Tensor,
     weights: &Tensor,
     bias: Option<&Tensor>,
     out_shape: Shape,
     use_bias: bool,
-) -> Tensor {
+) -> Result<Tensor, NnError> {
     let x = input.as_slice();
     let w_shape = weights.shape();
-    debug_assert_eq!(w_shape.c, x.len(), "weight fan-in mismatch");
+    if w_shape.c != x.len() {
+        return Err(NnError::net(format!(
+            "weight fan-in {} does not match flattened input {}",
+            w_shape.c,
+            x.len()
+        ))
+        .with_kind(NnErrorKind::WeightShape));
+    }
     let mut out = Tensor::zeros(out_shape);
     for l in 0..out_shape.c {
         let mut acc = 0.0f32;
@@ -256,7 +277,7 @@ pub fn inner_product(
         }
         *out.at_mut(0, l, 0, 0) = acc;
     }
-    out
+    Ok(out)
 }
 
 /// Paper Eq. (5): `σ(o)_y = e^{o_y} / Σ e^{o_y}`, optionally followed by
@@ -559,6 +580,15 @@ mod tests {
         let input = Tensor::from_vec(Shape::vector(3), vec![1.0, 1.0, 1.0]);
         let out = GoldenEngine::new(&net).unwrap().infer(&input).unwrap();
         assert_eq!(out.as_slice(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn inner_product_fan_in_mismatch_is_typed_error() {
+        let weights = Tensor::zeros(Shape::new(2, 5, 1, 1)); // expects 5 inputs
+        let input = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let err = inner_product(&input, &weights, None, Shape::vector(2), false).unwrap_err();
+        assert_eq!(err.kind, NnErrorKind::WeightShape);
+        assert!(err.message.contains("fan-in"));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   engine (paper Eq. (1), (4), (5)) used as the functional oracle the
 //!   hardware simulator is validated against, with rayon-parallel batch
 //!   execution;
+//! * [`fast`] — the production CPU engine: im2col + blocked-GEMM kernels
+//!   from `condor-kernels`, ReLU fusion and a per-engine scratch arena,
+//!   property-tested against the golden oracle;
 //! * [`zoo`] — the three networks the evaluation uses: TC1 (the USPS CNN
 //!   of the authors' earlier work), LeNet (the Caffe MNIST reference
 //!   model) and VGG-16;
@@ -26,11 +29,13 @@
 
 pub mod arbitrary;
 pub mod dataset;
+pub mod fast;
 pub mod golden;
 pub mod layer;
 pub mod network;
 pub mod zoo;
 
+pub use fast::FastEngine;
 pub use golden::GoldenEngine;
 pub use layer::{Layer, LayerKind, PoolKind, ShapeError, ShapeErrorKind, Stage};
 pub use network::{LayerCost, Network, NnError, NnErrorKind};

@@ -4,7 +4,7 @@
 
 use condor_nn::arbitrary::{random_chain, random_weighted_chain};
 use condor_nn::golden;
-use condor_nn::{GoldenEngine, LayerKind, PoolKind, Stage};
+use condor_nn::{FastEngine, GoldenEngine, LayerKind, PoolKind, Stage};
 use condor_tensor::{AllClose, Shape, Tensor, TensorRng};
 use proptest::prelude::*;
 
@@ -65,6 +65,28 @@ proptest! {
         for (out, expected) in per_layer.iter().zip(shapes) {
             prop_assert_eq!(out.shape(), expected);
             prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// The fast engine (im2col + blocked GEMM, fused ReLU, reused scratch
+    /// arena) agrees with the golden oracle on every random weighted
+    /// network, within float tolerance, and keeps agreeing when the same
+    /// engine instance is reused (the arena holds no stale state).
+    #[test]
+    fn fast_engine_matches_golden_oracle(seed in any::<u64>()) {
+        let net = random_weighted_chain(seed);
+        let golden = GoldenEngine::new(&net).unwrap();
+        let mut fast = FastEngine::new(&net).unwrap();
+        let mut rng = TensorRng::seeded(seed ^ 0x9e37_79b9);
+        for _ in 0..2 {
+            let input = rng.uniform(net.input_shape, -1.0, 1.0);
+            let want = golden.infer(&input).unwrap();
+            let got = fast.infer(&input).unwrap();
+            prop_assert_eq!(got.shape(), want.shape());
+            prop_assert!(
+                got.all_close_tol(&want, 1e-4, 1e-4),
+                "fast engine diverged from golden on seed {}", seed
+            );
         }
     }
 

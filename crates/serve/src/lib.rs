@@ -9,7 +9,8 @@
 //! FPGA pipelines only reach their sustained rate when batches keep
 //! every PE busy), and worker threads dispatch each batch to the
 //! least-loaded [`ExecutionBackend`] — all FPGA slots of an F1 instance,
-//! or several on-premise deployments.
+//! several on-premise deployments, or pure-CPU [`CpuBackend`] lanes
+//! running `condor_nn::FastEngine` (see [`cpu`]).
 //!
 //! Operational behaviour:
 //!
@@ -50,6 +51,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+
+pub mod cpu;
+
+pub use cpu::CpuBackend;
 
 use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
