@@ -15,6 +15,7 @@
 use crate::s3::S3Client;
 use crate::sdaccel::Xclbin;
 use crate::CloudError;
+use condor_faults::{FaultAction, FaultHandle};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
@@ -40,11 +41,18 @@ struct AfiRecord {
 }
 
 /// The per-region AFI registry.
+///
+/// Fault sites: `afi.create_fpga_image` gates the `create-fpga-image`
+/// call itself; `afi.generation` intercepts the generation outcome — a
+/// `Fail*` action turns the image `Failed` (real AWS's ingestion
+/// failure) and a `Delay` action stretches generation by one tick per
+/// millisecond of delay.
 pub struct AfiRegistry {
     records: Mutex<BTreeMap<String, AfiRecord>>,
     counter: Mutex<u64>,
     /// Ticks a generation takes before becoming available.
     generation_ticks: u32,
+    faults: FaultHandle,
 }
 
 /// Device part AFIs must target (the F1 instance FPGA).
@@ -56,6 +64,7 @@ impl Default for AfiRegistry {
             records: Mutex::new(BTreeMap::new()),
             counter: Mutex::new(0),
             generation_ticks: 3,
+            faults: FaultHandle::disabled(),
         }
     }
 }
@@ -76,6 +85,11 @@ impl AfiRegistry {
 
     /// Starts AFI generation from an xclbin staged in S3 (the
     /// `create-fpga-image` call). Returns `(afi_id, agfi_id)`.
+    /// Arms fault injection on this registry (disabled by default).
+    pub fn set_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
+    }
+
     pub fn create_fpga_image(
         &self,
         s3: &S3Client,
@@ -83,6 +97,7 @@ impl AfiRegistry {
         key: &str,
         name: &str,
     ) -> Result<(String, String), CloudError> {
+        self.faults.gate("afi.create_fpga_image")?;
         let payload = s3
             .get_object(bucket, key)
             .map_err(|e| CloudError::new("afi", format!("cannot stage design: {e}")))?;
@@ -104,6 +119,18 @@ impl AfiRegistry {
         } else {
             // Real AWS fails the ingestion of a non-VU9P design.
             (AfiState::Failed, 0)
+        };
+        // Injected generation outcomes: fail the image outright, or
+        // stretch the pending phase (1 extra tick per ms of delay).
+        let (state, ticks) = match self.faults.check("afi.generation") {
+            Some(FaultAction::FailTransient)
+            | Some(FaultAction::FailPermanent)
+            | Some(FaultAction::Abort) => (AfiState::Failed, 0),
+            Some(FaultAction::Delay(d)) => (
+                state,
+                ticks.saturating_add(d.as_millis().min(u32::MAX as u128) as u32),
+            ),
+            None => (state, ticks),
         };
         self.records.lock().insert(
             afi_id.clone(),

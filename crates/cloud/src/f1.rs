@@ -7,6 +7,7 @@
 
 use crate::afi::{AfiRegistry, AfiState};
 use crate::CloudError;
+use condor_faults::FaultHandle;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
@@ -53,16 +54,26 @@ pub struct F1Instance {
 }
 
 /// Launches and tracks F1 instances.
+///
+/// Fault sites: `f1.load_afi` gates `fpga-load-local-image` (a slot
+/// failing to program) and `f1.clear_slot` gates
+/// `fpga-clear-local-image`.
 #[derive(Default)]
 pub struct F1Manager {
     instances: Mutex<BTreeMap<String, F1Instance>>,
     counter: Mutex<u64>,
+    faults: FaultHandle,
 }
 
 impl F1Manager {
     /// Creates an empty manager.
     pub fn new() -> Self {
         F1Manager::default()
+    }
+
+    /// Arms fault injection on this manager (disabled by default).
+    pub fn set_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
     }
 
     /// Launches an instance and returns its id.
@@ -91,6 +102,7 @@ impl F1Manager {
         slot: usize,
         agfi_id: &str,
     ) -> Result<(), CloudError> {
+        self.faults.gate("f1.load_afi")?;
         match registry.describe_by_agfi(agfi_id)? {
             AfiState::Available => {}
             AfiState::Pending => {
@@ -154,6 +166,7 @@ impl F1Manager {
 
     /// Clears a slot (`fpga-clear-local-image`).
     pub fn clear_slot(&self, instance_id: &str, slot: usize) -> Result<(), CloudError> {
+        self.faults.gate("f1.clear_slot")?;
         let mut instances = self.instances.lock();
         let inst = instances
             .get_mut(instance_id)

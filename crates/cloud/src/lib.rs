@@ -43,6 +43,11 @@ pub struct CloudError {
     pub service: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// True when the failure is transient (a retry may succeed):
+    /// injected transport faults, as opposed to the services' intrinsic
+    /// validation errors (missing buckets, wrong parts, bad slots),
+    /// which retrying cannot fix.
+    pub transient: bool,
 }
 
 impl CloudError {
@@ -50,6 +55,7 @@ impl CloudError {
         CloudError {
             service,
             message: message.into(),
+            transient: false,
         }
     }
 }
@@ -61,3 +67,29 @@ impl fmt::Display for CloudError {
 }
 
 impl std::error::Error for CloudError {}
+
+impl condor_faults::retry::Retryable for CloudError {
+    fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+impl From<condor_faults::InjectedFault> for CloudError {
+    fn from(f: condor_faults::InjectedFault) -> Self {
+        // Sites are namespaced `service.operation`; keep the static
+        // service tag the rest of the error surface uses.
+        let service = match f.site.split('.').next() {
+            Some("s3") => "s3",
+            Some("afi") => "afi",
+            Some("f1") => "f1",
+            Some("sdaccel") => "sdaccel",
+            Some("ami") => "ami",
+            _ => "fault",
+        };
+        CloudError {
+            service,
+            message: f.to_string(),
+            transient: f.transient,
+        }
+    }
+}

@@ -7,13 +7,19 @@
 
 use crate::CloudError;
 use bytes::Bytes;
+use condor_faults::FaultHandle;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// An in-memory S3 endpoint.
+///
+/// Fault sites (see `condor-faults`): `s3.put_object` and
+/// `s3.get_object` gate the transfer before any bucket logic runs, the
+/// way a real transport failure precedes server-side validation.
 #[derive(Default)]
 pub struct S3Client {
     buckets: Mutex<BTreeMap<String, BTreeMap<String, Bytes>>>,
+    faults: FaultHandle,
 }
 
 fn valid_bucket_name(name: &str) -> bool {
@@ -29,6 +35,11 @@ impl S3Client {
     /// Creates an empty endpoint.
     pub fn new() -> Self {
         S3Client::default()
+    }
+
+    /// Arms fault injection on this endpoint (disabled by default).
+    pub fn set_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
     }
 
     /// Creates a bucket; fails if it already exists or the name is
@@ -53,6 +64,7 @@ impl S3Client {
 
     /// Uploads an object, creating or overwriting `key`.
     pub fn put_object(&self, bucket: &str, key: &str, body: Bytes) -> Result<(), CloudError> {
+        self.faults.gate("s3.put_object")?;
         if key.is_empty() {
             return Err(CloudError::new("s3", "object key must not be empty"));
         }
@@ -66,6 +78,7 @@ impl S3Client {
 
     /// Downloads an object.
     pub fn get_object(&self, bucket: &str, key: &str) -> Result<Bytes, CloudError> {
+        self.faults.gate("s3.get_object")?;
         let buckets = self.buckets.lock();
         let b = buckets
             .get(bucket)

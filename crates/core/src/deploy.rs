@@ -29,6 +29,8 @@ pub use condor_cloud::F1InstanceType;
 use condor_cloud::{xocc_link, AfiRegistry, Environment, F1Manager, S3Client, Xclbin};
 use condor_dataflow::runtime::ThreadedRuntime;
 use condor_dataflow::{BatchTiming, PipelineModel};
+use condor_faults::retry::RetryPolicy;
+use condor_faults::{FaultHandle, FaultPlan};
 use condor_fpga::{PowerModel, Utilization};
 use condor_tensor::Tensor;
 use std::sync::{Arc, OnceLock};
@@ -38,6 +40,9 @@ use std::sync::{Arc, OnceLock};
 pub enum DeployTarget<'a> {
     /// A locally accessible board, programmed directly with the xclbin.
     OnPremise,
+    /// On-premise with an explicit context: fault injection on the
+    /// SDAccel toolchain steps and a retry policy for transient faults.
+    OnPremiseWith(&'a OnPremiseContext),
     /// The Amazon F1 instances, through S3 → AFI → FPGA slots.
     Cloud(&'a CloudContext),
 }
@@ -46,8 +51,46 @@ impl std::fmt::Debug for DeployTarget<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeployTarget::OnPremise => write!(f, "OnPremise"),
+            DeployTarget::OnPremiseWith(_) => write!(f, "OnPremiseWith"),
             DeployTarget::Cloud(ctx) => write!(f, "Cloud(bucket={:?})", ctx.bucket),
         }
+    }
+}
+
+/// Context for a fault-aware on-premise deployment: where injected
+/// faults fire (`sdaccel.xocc_link`, `sdaccel.program`) and how
+/// transient ones are retried. The default context has injection
+/// disabled and never retries, matching [`DeployTarget::OnPremise`].
+#[derive(Debug, Default)]
+pub struct OnPremiseContext {
+    /// Fault injection over the toolchain steps (disabled by default).
+    pub faults: FaultHandle,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl OnPremiseContext {
+    /// A context with injection disabled and the default retry policy.
+    pub fn new() -> Self {
+        OnPremiseContext::default()
+    }
+
+    /// Installs a fault plan over the deployment steps.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan.install();
+        self
+    }
+
+    /// Shares an already-installed fault handle.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -104,6 +147,11 @@ pub struct CloudContext {
     pub instance_type: F1InstanceType,
     /// Polling budget for AFI generation.
     pub max_wait_ticks: u32,
+    /// Fault injection shared across the account's services (disabled
+    /// by default).
+    pub faults: FaultHandle,
+    /// Retry policy for transient deployment failures.
+    pub retry: RetryPolicy,
 }
 
 impl CloudContext {
@@ -117,6 +165,8 @@ impl CloudContext {
             bucket: bucket.into(),
             instance_type: F1InstanceType::F1_2xlarge,
             max_wait_ticks: 16,
+            faults: FaultHandle::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -129,6 +179,28 @@ impl CloudContext {
     /// Same account, different instance size.
     pub fn with_instance_type(mut self, t: F1InstanceType) -> Self {
         self.instance_type = t;
+        self
+    }
+
+    /// Installs a fault plan across every service of this account (S3,
+    /// the AFI registry, the F1 fleet and the deployment steps share one
+    /// injector, so per-site call counters stay globally consistent).
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.with_faults(plan.install())
+    }
+
+    /// Shares an already-installed fault handle across the services.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.s3.set_faults(faults.clone());
+        self.afi.set_faults(faults.clone());
+        self.f1.set_faults(faults.clone());
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry policy for transient deployment failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -145,6 +217,9 @@ pub struct DeployedAccelerator {
     /// every batch after (and shared by all replicas of this
     /// deployment).
     runtime: OnceLock<ThreadedRuntime>,
+    /// Fault handle inherited from the deployment context; armed
+    /// runtimes keep injecting at the `dataflow.*` sites.
+    faults: FaultHandle,
 }
 
 /// Dispatches a deployment to the matching backend path.
@@ -154,6 +229,7 @@ pub(crate) fn deploy(
 ) -> Result<DeployedAccelerator, CondorError> {
     match target {
         DeployTarget::OnPremise => deploy_onpremise(built),
+        DeployTarget::OnPremiseWith(ctx) => deploy_onpremise_with(built, ctx),
         DeployTarget::Cloud(ctx) => deploy_cloud(built, ctx),
     }
 }
@@ -162,8 +238,23 @@ pub(crate) fn deploy(
 pub(crate) fn deploy_onpremise(
     built: BuiltAccelerator,
 ) -> Result<DeployedAccelerator, CondorError> {
+    deploy_onpremise_with(built, &OnPremiseContext::default())
+}
+
+/// Step 7 with a fault/retry context: the XOCC link and the board
+/// programming step are individually gated and transient failures are
+/// retried under the context's policy.
+pub(crate) fn deploy_onpremise_with(
+    built: BuiltAccelerator,
+    ctx: &OnPremiseContext,
+) -> Result<DeployedAccelerator, CondorError> {
     let board = built.board();
-    let xclbin = xocc_link(&built.xo, board.name)?;
+    let xclbin = ctx.retry.run(|| -> Result<Xclbin, CondorError> {
+        ctx.faults.gate("sdaccel.xocc_link")?;
+        Ok(xocc_link(&built.xo, board.name)?)
+    })?;
+    ctx.retry
+        .run(|| -> Result<(), CondorError> { Ok(ctx.faults.gate("sdaccel.program")?) })?;
     Ok(DeployedAccelerator {
         deployment: Deployment::OnPremise {
             board: board.name.to_string(),
@@ -171,6 +262,7 @@ pub(crate) fn deploy_onpremise(
         xclbin,
         built,
         runtime: OnceLock::new(),
+        faults: ctx.faults.clone(),
     })
 }
 
@@ -191,31 +283,66 @@ pub(crate) fn deploy_cloud(
             ),
         ));
     }
-    // Link for the F1 platform and stage into S3.
-    let xclbin = xocc_link(&built.xo, board.name)?;
+    // Link for the F1 platform and stage into S3. Transient transport
+    // faults are retried under the context's policy.
+    let xclbin = ctx.retry.run(|| -> Result<Xclbin, CondorError> {
+        ctx.faults.gate("sdaccel.xocc_link")?;
+        Ok(xocc_link(&built.xo, board.name)?)
+    })?;
     if !ctx.s3.bucket_exists(&ctx.bucket) {
         ctx.s3.create_bucket(&ctx.bucket)?;
     }
     let key = format!("designs/{}.xclbin", built.accelerator.name);
-    ctx.s3.put_object(&ctx.bucket, &key, xclbin.bytes.clone())?;
+    ctx.retry.run(|| {
+        Ok::<_, CondorError>(ctx.s3.put_object(&ctx.bucket, &key, xclbin.bytes.clone())?)
+    })?;
 
-    // Start AFI generation and wait for availability.
-    let (afi_id, agfi_id) =
-        ctx.afi
-            .create_fpga_image(&ctx.s3, &ctx.bucket, &key, &built.accelerator.name)?;
-    let state = ctx.afi.wait_available(&afi_id, ctx.max_wait_ticks)?;
-    if state != condor_cloud::AfiState::Available {
-        return Err(CondorError::new(
-            "backend",
-            format!("AFI {afi_id} ended in state {state:?}"),
-        ));
-    }
+    // Start AFI generation and wait for availability. An image that
+    // fails generation despite targeting the right part was killed by
+    // an injected fault — regenerating it (a fresh `create-fpga-image`)
+    // is the retryable path; a wrong-part failure is permanent.
+    let (afi_id, agfi_id) = ctx.retry.run(|| -> Result<(String, String), CondorError> {
+        let (afi_id, agfi_id) =
+            ctx.afi
+                .create_fpga_image(&ctx.s3, &ctx.bucket, &key, &built.accelerator.name)?;
+        let state = ctx.afi.wait_available(&afi_id, ctx.max_wait_ticks)?;
+        if state != condor_cloud::AfiState::Available {
+            let right_part = ctx
+                .afi
+                .part_of(&afi_id)
+                .map(|p| p == condor_cloud::afi::F1_PART)
+                .unwrap_or(false);
+            let msg = format!("AFI {afi_id} ended in state {state:?}");
+            return Err(if right_part {
+                CondorError::transient("backend", msg)
+            } else {
+                CondorError::new("backend", msg)
+            });
+        }
+        Ok((afi_id, agfi_id))
+    })?;
 
-    // Launch an instance and load the AFI on every slot it has.
+    // Launch an instance and load the AFI on each slot it has. A slot
+    // that keeps failing after retries is skipped — the deployment
+    // degrades to the slots that did program — and only a fully
+    // unloadable instance fails the deployment.
     let instance_id = ctx.f1.launch(ctx.instance_type);
-    let slots = ctx
-        .f1
-        .load_afi_all_slots(&ctx.afi, &instance_id, &agfi_id)?;
+    let n_slots = ctx.f1.describe(&instance_id)?.slots.len();
+    let mut slots = Vec::with_capacity(n_slots);
+    let mut last_err = None;
+    for slot in 0..n_slots {
+        match ctx.retry.run(|| {
+            Ok::<_, CondorError>(ctx.f1.load_afi(&ctx.afi, &instance_id, slot, &agfi_id)?)
+        }) {
+            Ok(()) => slots.push(slot),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if slots.is_empty() {
+        return Err(last_err.unwrap_or_else(|| {
+            CondorError::new("backend", format!("{instance_id} has no FPGA slots"))
+        }));
+    }
 
     Ok(DeployedAccelerator {
         deployment: Deployment::Cloud {
@@ -228,6 +355,7 @@ pub(crate) fn deploy_cloud(
         xclbin,
         built,
         runtime: OnceLock::new(),
+        faults: ctx.faults.clone(),
     })
 }
 
@@ -302,7 +430,8 @@ impl DeployedAccelerator {
         let rt = ThreadedRuntime::from_shared(
             Arc::new(self.built.network.clone()),
             Arc::new(self.built.plan.clone()),
-        )?;
+        )?
+        .with_faults(self.faults.clone());
         // A concurrent caller may have won the race; either runtime is
         // equivalent, so keep whichever landed first.
         Ok(self.runtime.get_or_init(|| rt))
@@ -641,5 +770,132 @@ mod tests {
         let img = dataset::mnist_like(1, 1).remove(0).image;
         let err = deployed.infer_batch(&[img]).unwrap_err();
         assert!(err.message.contains("no weights"));
+    }
+
+    #[test]
+    fn cloud_deploy_retries_transient_upload_faults() {
+        use condor_faults::FaultRule;
+        let ctx = CloudContext::new("condor-bucket").with_fault_plan(
+            FaultPlan::new(11)
+                .rule(
+                    FaultRule::at("s3.put_object")
+                        .first_calls(2)
+                        .fail_transient(),
+                )
+                .rule(FaultRule::at("f1.load_afi").nth_call(0).fail_transient()),
+        );
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+        assert!(matches!(deployed.deployment, Deployment::Cloud { .. }));
+        assert_eq!(ctx.faults.fired(), 3, "all three injected faults fired");
+    }
+
+    #[test]
+    fn cloud_deploy_regenerates_a_fault_killed_afi() {
+        use condor_faults::FaultRule;
+        let ctx = CloudContext::new("condor-bucket").with_fault_plan(
+            FaultPlan::new(4).rule(FaultRule::at("afi.generation").nth_call(0).fail_permanent()),
+        );
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+        let Deployment::Cloud { afi_id, .. } = &deployed.deployment else {
+            panic!("expected cloud deployment");
+        };
+        // The first image died; the retry generated a second one.
+        assert_eq!(afi_id, "afi-00000000000000002");
+    }
+
+    #[test]
+    fn cloud_deploy_degrades_to_loadable_slots() {
+        use condor_faults::FaultRule;
+        // Slot 0's loads all fail (initial attempt + every retry);
+        // deployment must degrade to slot 1 instead of failing.
+        let ctx = CloudContext::new("condor-bucket")
+            .with_instance_type(F1InstanceType::F1_4xlarge)
+            .with_fault_plan(
+                FaultPlan::new(2)
+                    .rule(FaultRule::at("f1.load_afi").first_calls(4).fail_transient()),
+            );
+        let deployed = built_lenet().deploy(&DeployTarget::Cloud(&ctx)).unwrap();
+        let Deployment::Cloud { slots, .. } = &deployed.deployment else {
+            panic!("expected cloud deployment");
+        };
+        assert_eq!(slots, &vec![1]);
+        assert_eq!(deployed.replica_count(), 1);
+    }
+
+    #[test]
+    fn cloud_deploy_fails_when_no_slot_loads() {
+        use condor_faults::FaultRule;
+        let ctx = CloudContext::new("condor-bucket").with_fault_plan(
+            FaultPlan::new(2).rule(FaultRule::at("f1.load_afi").always().fail_transient()),
+        );
+        let err = built_lenet()
+            .deploy(&DeployTarget::Cloud(&ctx))
+            .unwrap_err();
+        assert!(err.transient);
+        assert!(err.message.contains("injected transient fault"));
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        use condor_faults::FaultRule;
+        let ctx = CloudContext::new("condor-bucket").with_fault_plan(
+            FaultPlan::new(8).rule(FaultRule::at("s3.put_object").always().fail_permanent()),
+        );
+        let err = built_lenet()
+            .deploy(&DeployTarget::Cloud(&ctx))
+            .unwrap_err();
+        assert!(!err.transient);
+        assert_eq!(ctx.faults.fired(), 1, "no retry after a permanent fault");
+    }
+
+    #[test]
+    fn onpremise_context_retries_toolchain_faults() {
+        use condor_faults::FaultRule;
+        let ctx = OnPremiseContext::new().with_fault_plan(
+            FaultPlan::new(6)
+                .rule(
+                    FaultRule::at("sdaccel.xocc_link")
+                        .nth_call(0)
+                        .fail_transient(),
+                )
+                .rule(
+                    FaultRule::at("sdaccel.program")
+                        .nth_call(0)
+                        .fail_transient(),
+                ),
+        );
+        let deployed = built_lenet()
+            .deploy(&DeployTarget::OnPremiseWith(&ctx))
+            .unwrap();
+        assert!(matches!(deployed.deployment, Deployment::OnPremise { .. }));
+        assert_eq!(ctx.faults.fired(), 2);
+        // Exhausted retries surface the transient error.
+        let ctx = OnPremiseContext::new().with_fault_plan(
+            FaultPlan::new(6).rule(FaultRule::at("sdaccel.xocc_link").always().fail_transient()),
+        );
+        let err = built_lenet()
+            .deploy(&DeployTarget::OnPremiseWith(&ctx))
+            .unwrap_err();
+        assert!(err.transient);
+    }
+
+    #[test]
+    fn deployment_faults_reach_the_runtime() {
+        use condor_faults::FaultRule;
+        let ctx = OnPremiseContext::new().with_fault_plan(
+            FaultPlan::new(13).rule(FaultRule::at("dataflow.pe0").nth_call(0).fail_transient()),
+        );
+        let deployed = built_lenet()
+            .deploy(&DeployTarget::OnPremiseWith(&ctx))
+            .unwrap();
+        let imgs: Vec<Tensor> = dataset::mnist_like(2, 5)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let err = deployed.infer_batch(&imgs).unwrap_err();
+        assert!(err.transient);
+        assert!(err.message.contains("terminated early"));
+        // The fault window was one frame: the deployment recovers.
+        assert_eq!(deployed.infer_batch(&imgs).unwrap().len(), 2);
     }
 }

@@ -11,15 +11,35 @@ pub struct CondorError {
     pub tier: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// True when retrying the failed operation may succeed (injected
+    /// transport faults, truncated streams); false for the framework's
+    /// intrinsic validation errors, which retrying cannot fix.
+    pub transient: bool,
 }
 
 impl CondorError {
-    /// Creates a tagged error.
+    /// Creates a tagged (permanent) error.
     pub fn new(tier: &'static str, message: impl Into<String>) -> Self {
         CondorError {
             tier,
             message: message.into(),
+            transient: false,
         }
+    }
+
+    /// Creates a tagged transient error — a retry may succeed.
+    pub fn transient(tier: &'static str, message: impl Into<String>) -> Self {
+        CondorError {
+            tier,
+            message: message.into(),
+            transient: true,
+        }
+    }
+}
+
+impl condor_faults::retry::Retryable for CondorError {
+    fn is_transient(&self) -> bool {
+        self.transient
     }
 }
 
@@ -63,13 +83,31 @@ impl From<condor_cjson::AccessError> for CondorError {
 
 impl From<condor_dataflow::DataflowError> for CondorError {
     fn from(e: condor_dataflow::DataflowError) -> Self {
-        CondorError::new("core-logic", e.to_string())
+        CondorError {
+            tier: "core-logic",
+            message: e.to_string(),
+            transient: e.transient,
+        }
     }
 }
 
 impl From<condor_cloud::CloudError> for CondorError {
     fn from(e: condor_cloud::CloudError) -> Self {
-        CondorError::new("backend", e.to_string())
+        CondorError {
+            tier: "backend",
+            message: e.to_string(),
+            transient: e.transient,
+        }
+    }
+}
+
+impl From<condor_faults::InjectedFault> for CondorError {
+    fn from(f: condor_faults::InjectedFault) -> Self {
+        CondorError {
+            tier: "backend",
+            message: f.to_string(),
+            transient: f.transient,
+        }
     }
 }
 

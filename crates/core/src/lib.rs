@@ -54,7 +54,7 @@ pub mod repr;
 
 pub use deploy::{
     AcceleratorMetrics, AcceleratorReplica, CloudContext, DeployTarget, DeployedAccelerator,
-    Deployment, ExecutionBackend,
+    Deployment, ExecutionBackend, OnPremiseContext,
 };
 pub use dse::{explore, DseConfig, DseOutcome, DsePoint};
 pub use error::CondorError;

@@ -39,6 +39,10 @@ pub struct DataflowError {
     pub kind: DataflowErrorKind,
     /// Human-readable description.
     pub message: String,
+    /// True when the failure is transient — an injected fault truncated
+    /// the stream and re-running the batch may succeed. Plan/shape
+    /// validation errors are never transient.
+    pub transient: bool,
 }
 
 impl DataflowError {
@@ -46,6 +50,7 @@ impl DataflowError {
         DataflowError {
             kind: DataflowErrorKind::Plan,
             message: message.into(),
+            transient: false,
         }
     }
 
@@ -53,7 +58,19 @@ impl DataflowError {
         DataflowError {
             kind,
             message: message.into(),
+            transient: false,
         }
+    }
+
+    pub(crate) fn mark_transient(mut self) -> Self {
+        self.transient = true;
+        self
+    }
+}
+
+impl condor_faults::retry::Retryable for DataflowError {
+    fn is_transient(&self) -> bool {
+        self.transient
     }
 }
 

@@ -24,6 +24,7 @@
 //! against.
 
 use crate::plan::{AcceleratorPlan, DataflowError, DataflowErrorKind, PePlan};
+use condor_faults::{FaultAction, FaultHandle};
 use condor_kernels::Workspace;
 use condor_nn::fast::forward_layer_fast;
 use condor_nn::Network;
@@ -41,6 +42,7 @@ pub struct ThreadedRuntime {
     net: Arc<Network>,
     plan: Arc<AcceleratorPlan>,
     channel_depth: usize,
+    faults: FaultHandle,
 }
 
 impl std::fmt::Debug for ThreadedRuntime {
@@ -92,6 +94,7 @@ impl ThreadedRuntime {
             net,
             plan,
             channel_depth: 4,
+            faults: FaultHandle::disabled(),
         })
     }
 
@@ -110,6 +113,18 @@ impl ThreadedRuntime {
     /// channels are blocking, not lossy — just with maximal back-pressure.
     pub fn with_channel_depth(mut self, depth: usize) -> Self {
         self.channel_depth = depth.max(1);
+        self
+    }
+
+    /// Arms fault injection (disabled by default). Sites:
+    /// `dataflow.datamover` fires per input frame (`Delay` = DMA stall,
+    /// `FailTransient` = dropped frame, `Abort`/`FailPermanent` = the
+    /// datamover dies); `dataflow.pe{i}` fires per frame inside PE *i*
+    /// with the same action mapping (a stalled FIFO, a dropped frame, a
+    /// dead worker). Dropped frames and dead workers surface as a
+    /// *transient* "pipeline terminated early" error from `run_batch`.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -160,8 +175,15 @@ impl ThreadedRuntime {
             // Datamover: streams each image as one input frame.
             let dm_tx = senders.remove(0);
             let images_ref = images;
+            let dm_faults = self.faults.clone();
             scope.spawn(move || {
                 for img in images_ref {
+                    match dm_faults.check("dataflow.datamover") {
+                        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                        Some(FaultAction::FailTransient) => continue, // dropped frame
+                        Some(FaultAction::FailPermanent) | Some(FaultAction::Abort) => return,
+                        None => {}
+                    }
                     if dm_tx.send(img.as_slice().to_vec()).is_err() {
                         return; // downstream failed; unwind quietly
                     }
@@ -173,11 +195,13 @@ impl ThreadedRuntime {
             // through the kernel compute layer, send the output frame.
             // Scratch (ping-pong activations + im2col workspace) is
             // allocated once per PE and reused across the batch.
-            for pe in &self.plan.pes {
+            for (idx, pe) in self.plan.pes.iter().enumerate() {
                 let rx = receivers.remove(0);
                 let tx = senders.remove(0);
                 let net = self.net.as_ref();
-                scope.spawn(move || pe_worker(pe, net, &rx, &tx, batch));
+                let faults = self.faults.clone();
+                let site = format!("dataflow.pe{idx}");
+                scope.spawn(move || pe_worker(pe, net, &rx, &tx, batch, &faults, &site));
             }
 
             // Collector (this thread): assemble the batch outputs.
@@ -187,10 +211,18 @@ impl ThreadedRuntime {
                 match recv_frame(&rx, out_shape.len()) {
                     Some(frame) => outs.push(Tensor::from_vec(out_shape, frame)),
                     None => {
-                        result = Err(DataflowError::kinded(
+                        let err = DataflowError::kinded(
                             DataflowErrorKind::Execution,
                             format!("pipeline terminated early at image {i}"),
-                        ));
+                        );
+                        // Truncation caused by an injected dataflow fault
+                        // is transient: re-running the batch may succeed.
+                        let injected = self
+                            .faults
+                            .log()
+                            .iter()
+                            .any(|r| r.site.starts_with("dataflow."));
+                        result = Err(if injected { err.mark_transient() } else { err });
                         return;
                     }
                 }
@@ -220,6 +252,8 @@ fn pe_worker(
     rx: &Receiver<Vec<f32>>,
     tx: &Sender<Vec<f32>>,
     batch: usize,
+    faults: &FaultHandle,
+    site: &str,
 ) {
     let in_len = pe.layers.first().expect("PE has layers").input.len();
     let out_len = pe.layers.last().expect("PE has layers").output.len();
@@ -237,6 +271,13 @@ fn pe_worker(
         let Some(mut frame) = recv_frame(rx, in_len) else {
             return; // upstream closed early
         };
+        // Injected FIFO faults: stall, drop the frame, or kill the PE.
+        match faults.check(site) {
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::FailTransient) => continue, // frame dropped
+            Some(FaultAction::FailPermanent) | Some(FaultAction::Abort) => return,
+            None => {}
+        }
         let mut src = &mut ping;
         let mut dst = &mut pong;
         src[..in_len].copy_from_slice(&frame);
@@ -415,5 +456,92 @@ mod tests {
         let net = zoo::lenet();
         let plan = PlanBuilder::new(&net).build().unwrap();
         assert!(ThreadedRuntime::new(&net, &plan).is_err());
+    }
+
+    #[test]
+    fn dropped_pe_frame_truncates_with_transient_error() {
+        use condor_faults::{FaultPlan, FaultRule};
+        let (net, plan) = lenet_setup();
+        let handle = FaultPlan::new(7)
+            .rule(FaultRule::at("dataflow.pe0").nth_call(1).fail_transient())
+            .install();
+        let rt = ThreadedRuntime::new(&net, &plan)
+            .unwrap()
+            .with_faults(handle.clone());
+        let images: Vec<Tensor> = dataset::mnist_like(3, 5)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let err = rt.run_batch(&images).unwrap_err();
+        assert!(err.message.contains("pipeline terminated early"));
+        assert!(err.transient, "injected drop must classify as transient");
+        assert_eq!(handle.fired(), 1);
+        // The fault window was one frame: a re-run succeeds.
+        assert_eq!(rt.run_batch(&images).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dead_datamover_truncates_the_stream() {
+        use condor_faults::{FaultPlan, FaultRule};
+        let (net, plan) = lenet_setup();
+        let handle = FaultPlan::new(9)
+            .rule(FaultRule::at("dataflow.datamover").nth_call(2).abort())
+            .install();
+        let rt = ThreadedRuntime::new(&net, &plan)
+            .unwrap()
+            .with_faults(handle);
+        let images: Vec<Tensor> = dataset::mnist_like(4, 6)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let err = rt.run_batch(&images).unwrap_err();
+        assert!(err.message.contains("terminated early at image 2"));
+        assert!(err.transient);
+    }
+
+    #[test]
+    fn stalled_fifo_still_computes_correctly() {
+        use condor_faults::{FaultPlan, FaultRule};
+        use std::time::Duration;
+        let (net, plan) = lenet_setup();
+        let handle = FaultPlan::new(3)
+            .rule(
+                FaultRule::at("dataflow.pe1")
+                    .first_calls(2)
+                    .delay(Duration::from_millis(2)),
+            )
+            .install();
+        let rt = ThreadedRuntime::new(&net, &plan)
+            .unwrap()
+            .with_faults(handle.clone());
+        let images: Vec<Tensor> = dataset::mnist_like(3, 8)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        let stalled = rt.run_batch(&images).unwrap();
+        let golden = GoldenEngine::new(&net)
+            .unwrap()
+            .infer_batch(&images)
+            .unwrap();
+        for (h, g) in stalled.iter().zip(&golden) {
+            assert!(h.all_close(g), "stalls must not corrupt values");
+        }
+        assert_eq!(handle.fired(), 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_runtime_unchanged() {
+        use condor_faults::FaultPlan;
+        let (net, plan) = lenet_setup();
+        let handle = FaultPlan::new(0xC0).install();
+        let rt = ThreadedRuntime::new(&net, &plan)
+            .unwrap()
+            .with_faults(handle.clone());
+        let images: Vec<Tensor> = dataset::mnist_like(2, 1)
+            .into_iter()
+            .map(|s| s.image)
+            .collect();
+        assert_eq!(rt.run_batch(&images).unwrap().len(), 2);
+        assert_eq!(handle.fired(), 0);
     }
 }

@@ -25,6 +25,14 @@
 //! * **Graceful drain** — [`InferenceServer::shutdown`] stops accepting
 //!   new work, drains everything already accepted, joins all threads and
 //!   returns the final [`MetricsSnapshot`].
+//! * **Resilience** — workers retry transiently-failed batches (bounded
+//!   by [`ServeConfig::backend_attempts`] and the requests' remaining
+//!   deadlines); a lane that fails [`ServeConfig::failure_threshold`]
+//!   consecutive batches is quarantined for [`ServeConfig::quarantine`]
+//!   and traffic sheds to the healthy lanes until its re-probe
+//!   succeeds. Fault injection (`condor-faults`, sites
+//!   `serve.backend{i}`) drives the chaos suite in
+//!   `tests/chaos.rs`.
 //!
 //! Every accepted request receives exactly one reply, and outputs are
 //! bit-identical to calling `infer_batch` directly on the deployment:
@@ -59,8 +67,10 @@ pub use cpu::CpuBackend;
 use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
 };
+use condor_faults::{FaultHandle, FaultPlan};
 use condor_tensor::Tensor;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -81,6 +91,18 @@ pub struct ServeConfig {
     /// Deadline applied to requests submitted without an explicit
     /// timeout.
     pub default_timeout: Duration,
+    /// Consecutive batch failures before a lane is quarantined.
+    pub failure_threshold: usize,
+    /// How long a quarantined lane sits out before it is re-probed.
+    pub quarantine: Duration,
+    /// Total attempts a worker makes per batch when the backend fails
+    /// transiently (1 = never retry).
+    pub backend_attempts: u32,
+    /// Pause between in-worker retry attempts.
+    pub backend_backoff: Duration,
+    /// Fault injection over the dispatch path (sites
+    /// `serve.backend{i}`; disabled by default).
+    pub faults: FaultHandle,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +112,11 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             queue_capacity: 256,
             default_timeout: Duration::from_secs(1),
+            failure_threshold: 3,
+            quarantine: Duration::from_millis(50),
+            backend_attempts: 2,
+            backend_backoff: Duration::from_micros(500),
+            faults: FaultHandle::disabled(),
         }
     }
 }
@@ -116,6 +143,41 @@ impl ServeConfig {
     /// Sets the default per-request deadline.
     pub fn with_default_timeout(mut self, t: Duration) -> Self {
         self.default_timeout = t;
+        self
+    }
+
+    /// Sets the consecutive-failure threshold for lane quarantine.
+    pub fn with_failure_threshold(mut self, n: usize) -> Self {
+        self.failure_threshold = n.max(1);
+        self
+    }
+
+    /// Sets the quarantine duration for unhealthy lanes.
+    pub fn with_quarantine(mut self, q: Duration) -> Self {
+        self.quarantine = q;
+        self
+    }
+
+    /// Sets the total in-worker attempts per batch (1 = never retry).
+    pub fn with_backend_attempts(mut self, n: u32) -> Self {
+        self.backend_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the pause between in-worker retry attempts.
+    pub fn with_backend_backoff(mut self, b: Duration) -> Self {
+        self.backend_backoff = b;
+        self
+    }
+
+    /// Installs a fault plan over the dispatch path.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.with_faults(plan.install())
+    }
+
+    /// Shares an already-installed fault handle.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -152,6 +214,25 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl ServeError {
+    /// True when resubmitting the request may succeed: transient
+    /// backend failures, timeouts and overload are worth retrying;
+    /// shutdown, disconnection and misconfiguration are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Overloaded | ServeError::Timeout => true,
+            ServeError::Backend(e) => e.transient,
+            ServeError::ShuttingDown | ServeError::Disconnected | ServeError::NoBackends => false,
+        }
+    }
+}
+
+impl condor_faults::retry::Retryable for ServeError {
+    fn is_transient(&self) -> bool {
+        ServeError::is_transient(self)
+    }
+}
+
 /// One queued inference request.
 struct Request {
     tensor: Tensor,
@@ -185,10 +266,34 @@ impl PendingInference {
     }
 }
 
-/// One dispatch lane: a backend plus its in-flight load.
+/// Health of one dispatch lane, shared between its worker (which
+/// updates it after every batch) and the batcher (which reads it when
+/// picking a lane).
+#[derive(Default)]
+struct LaneState {
+    /// Consecutive failed batches.
+    consecutive_failures: usize,
+    /// Set while the lane is quarantined; an expired instant means the
+    /// lane is due for a re-probe.
+    unhealthy_until: Option<Instant>,
+}
+
+impl LaneState {
+    /// A lane is selectable when healthy or when its quarantine has
+    /// expired (the next batch is its re-probe).
+    fn selectable(&self, now: Instant) -> bool {
+        match self.unhealthy_until {
+            None => true,
+            Some(until) => now >= until,
+        }
+    }
+}
+
+/// One dispatch lane: a backend plus its in-flight load and health.
 struct WorkerHandle {
     tx: Sender<Vec<Request>>,
     inflight: Arc<AtomicUsize>,
+    health: Arc<Mutex<LaneState>>,
 }
 
 /// The dynamic-batching inference server.
@@ -234,21 +339,32 @@ impl InferenceServer {
         let mut handles = Vec::with_capacity(backends.len());
         let mut workers = Vec::with_capacity(backends.len());
         let mut locations = Vec::with_capacity(backends.len());
-        for backend in backends {
+        for (idx, backend) in backends.into_iter().enumerate() {
             let location = backend.location();
             // Capacity 1 keeps at most one batch queued per lane, so a
             // stalled backend pushes back into the request queue instead
             // of hoarding work a faster lane could take.
             let (tx, rx) = bounded::<Vec<Request>>(1);
             let inflight = Arc::new(AtomicUsize::new(0));
+            let health = Arc::new(Mutex::new(LaneState::default()));
             handles.push(WorkerHandle {
                 tx,
                 inflight: Arc::clone(&inflight),
+                health: Arc::clone(&health),
             });
             locations.push(location);
             let worker_metrics = Arc::clone(&metrics);
+            let worker_cfg = config.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(backend, rx, inflight, worker_metrics);
+                worker_loop(
+                    idx,
+                    backend,
+                    rx,
+                    inflight,
+                    health,
+                    worker_cfg,
+                    worker_metrics,
+                );
             }));
         }
 
@@ -431,13 +547,24 @@ fn batcher_loop(
             continue;
         }
 
-        // Least-loaded dispatch: the lane with the fewest in-flight
-        // images. The bounded lane makes this send block when every lane
-        // is busy, which is what backs pressure up into the request
-        // queue.
+        // Least-loaded dispatch over *healthy* lanes: quarantined lanes
+        // are shed until their quarantine expires (the next batch sent
+        // to an expired lane is its re-probe). If every lane is
+        // quarantined, fall back to the one whose quarantine ends
+        // soonest — liveness beats health when there is no healthy
+        // choice. The bounded lane makes this send block when every
+        // lane is busy, which is what backs pressure up into the
+        // request queue.
+        let now = Instant::now();
         let lane = workers
             .iter()
+            .filter(|w| w.health.lock().selectable(now))
             .min_by_key(|w| w.inflight.load(Ordering::SeqCst))
+            .or_else(|| {
+                workers
+                    .iter()
+                    .min_by_key(|w| w.health.lock().unhealthy_until.unwrap_or(now))
+            })
             .expect("server has at least one backend");
         lane.inflight.fetch_add(batch.len(), Ordering::SeqCst);
         metrics.observe("batch_size", batch.len() as f64);
@@ -452,19 +579,74 @@ fn batcher_loop(
     // is still queued on their channel and exit.
 }
 
-/// One worker thread: executes batches on its backend and answers every
-/// request in the batch.
+/// One worker thread: executes batches on its backend (retrying
+/// transient failures while some request still has deadline left),
+/// answers every request in the batch, and maintains the lane's health
+/// record.
 fn worker_loop(
+    idx: usize,
     backend: Box<dyn ExecutionBackend>,
     rx: Receiver<Vec<Request>>,
     inflight: Arc<AtomicUsize>,
+    health: Arc<Mutex<LaneState>>,
+    config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
 ) {
+    let site = format!("serve.backend{idx}");
     while let Ok(batch) = rx.recv() {
         let n = batch.len();
+        // Deadline escalation: requests that expired while waiting on
+        // this lane's channel time out instead of burning backend time.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Request>, Vec<Request>) =
+            batch.into_iter().partition(|r| now < r.deadline);
+        for request in expired {
+            metrics.incr("requests_timed_out", 1);
+            let _ = request.reply.send(Err(ServeError::Timeout));
+        }
+        if batch.is_empty() {
+            inflight.fetch_sub(n, Ordering::SeqCst);
+            continue;
+        }
+
         let tensors: Vec<Tensor> = batch.iter().map(|r| r.tensor.clone()).collect();
-        match backend.infer_batch(&tensors) {
+        let mut attempt = 0u32;
+        let result = loop {
+            attempt += 1;
+            let res = config
+                .faults
+                .gate(&site)
+                .map_err(CondorError::from)
+                .and_then(|()| backend.infer_batch(&tensors));
+            match res {
+                Ok(outputs) => break Ok(outputs),
+                Err(e) => {
+                    // Retry only transient failures, only while attempts
+                    // remain, and only if someone is still waiting.
+                    let worth_retrying = e.transient
+                        && attempt < config.backend_attempts.max(1)
+                        && batch.iter().any(|r| Instant::now() < r.deadline);
+                    if !worth_retrying {
+                        break Err(e);
+                    }
+                    metrics.incr("backend_retries", 1);
+                    if !config.backend_backoff.is_zero() {
+                        std::thread::sleep(config.backend_backoff);
+                    }
+                }
+            }
+        };
+
+        match result {
             Ok(outputs) => {
+                {
+                    let mut lane = health.lock();
+                    if lane.unhealthy_until.is_some() {
+                        metrics.incr("lane_recovered", 1);
+                    }
+                    lane.consecutive_failures = 0;
+                    lane.unhealthy_until = None;
+                }
                 for (request, output) in batch.into_iter().zip(outputs) {
                     metrics.incr("requests_completed", 1);
                     metrics.observe_duration("latency_us", request.enqueued.elapsed());
@@ -472,6 +654,16 @@ fn worker_loop(
                 }
             }
             Err(e) => {
+                {
+                    let mut lane = health.lock();
+                    lane.consecutive_failures += 1;
+                    if lane.consecutive_failures >= config.failure_threshold.max(1) {
+                        if lane.unhealthy_until.is_none() {
+                            metrics.incr("lane_marked_unhealthy", 1);
+                        }
+                        lane.unhealthy_until = Some(Instant::now() + config.quarantine);
+                    }
+                }
                 for request in batch {
                     metrics.incr("requests_failed", 1);
                     let _ = request.reply.send(Err(ServeError::Backend(e.clone())));
@@ -746,6 +938,127 @@ mod tests {
         }
         let snap = server.shutdown();
         assert_eq!(snap.counter("requests_failed"), 1);
+    }
+
+    #[test]
+    fn transient_backend_faults_are_retried_in_the_worker() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // Every first attempt on the single lane fails transiently; the
+        // in-worker retry must absorb it without the caller noticing.
+        let handle = FaultPlan::new(21)
+            .rule(FaultRule::at("serve.backend0").nth_call(0).fail_transient())
+            .install();
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_faults(handle.clone()),
+        )
+        .unwrap();
+        server.infer(images(1, 20).remove(0)).unwrap();
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 1);
+        assert_eq!(snap.counter("requests_failed"), 0);
+        assert_eq!(snap.counter("backend_retries"), 1);
+        assert_eq!(handle.fired(), 1);
+    }
+
+    #[test]
+    fn permanent_faults_fail_without_retry() {
+        use condor_faults::{FaultPlan, FaultRule};
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_fault_plan(
+                    FaultPlan::new(22)
+                        .rule(FaultRule::at("serve.backend0").nth_call(0).fail_permanent()),
+                ),
+        )
+        .unwrap();
+        let err = server.infer(images(1, 23).remove(0)).unwrap_err();
+        assert!(matches!(&err, ServeError::Backend(e) if !e.transient));
+        assert!(!err.is_transient());
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("backend_retries"), 0);
+        assert_eq!(snap.counter("requests_failed"), 1);
+    }
+
+    #[test]
+    fn failing_lane_is_quarantined_and_recovers() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // Two lanes; lane 0's fault window covers exactly the first
+        // batch's whole retry budget, so that batch fails. Threshold 1
+        // quarantines the lane; later traffic sheds to lane 1 and lane
+        // 0's eventual re-probe (faults exhausted) brings it back.
+        let handle = FaultPlan::new(31)
+            .rule(
+                FaultRule::at("serve.backend0")
+                    .first_calls(2)
+                    .fail_transient(),
+            )
+            .install();
+        let backends: Vec<Box<dyn ExecutionBackend>> = deployed_lenet()
+            .into_replicas()
+            .into_iter()
+            .map(|r| Box::new(r) as Box<dyn ExecutionBackend>)
+            .chain(
+                deployed_lenet()
+                    .into_replicas()
+                    .into_iter()
+                    .map(|r| Box::new(r) as Box<dyn ExecutionBackend>),
+            )
+            .collect();
+        let server = InferenceServer::new(
+            backends,
+            ServeConfig::default()
+                .with_max_batch(1)
+                .with_batch_window(Duration::ZERO)
+                .with_default_timeout(Duration::from_secs(30))
+                .with_failure_threshold(1)
+                .with_backend_attempts(2)
+                .with_quarantine(Duration::from_millis(20))
+                .with_faults(handle.clone()),
+        )
+        .unwrap();
+
+        // First request lands on lane 0 (least loaded, both idle),
+        // burns both attempts, fails, and quarantines the lane.
+        let first = server.infer(images(1, 30).remove(0));
+        assert!(first.is_err());
+        // Subsequent requests shed to lane 1 and succeed.
+        for img in images(4, 31) {
+            server.infer(img).unwrap();
+        }
+        // After the quarantine expires the re-probe must succeed.
+        std::thread::sleep(Duration::from_millis(25));
+        for img in images(4, 32) {
+            server.infer(img).unwrap();
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("lane_marked_unhealthy"), 1);
+        assert_eq!(snap.counter("requests_completed"), 8);
+        assert!(snap.counter("lane_recovered") <= 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_serving_unchanged() {
+        use condor_faults::FaultPlan;
+        let handle = FaultPlan::new(99).install();
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_faults(handle.clone()),
+        )
+        .unwrap();
+        for img in images(3, 40) {
+            server.infer(img).unwrap();
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 3);
+        assert_eq!(snap.counter("backend_retries"), 0);
+        assert_eq!(handle.fired(), 0);
     }
 
     #[test]
