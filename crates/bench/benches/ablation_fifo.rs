@@ -28,7 +28,7 @@ fn run(out_fifo_depth: usize, drain_every: u64) -> (u64, u64) {
         &LayerSimConfig {
             out_fifo_depth,
             drain_every,
-            input_stall_period: None,
+            ..LayerSimConfig::default()
         },
     )
     .unwrap();

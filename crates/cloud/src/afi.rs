@@ -130,7 +130,8 @@ impl AfiRegistry {
                 state,
                 ticks.saturating_add(d.as_millis().min(u32::MAX as u128) as u32),
             ),
-            None => (state, ticks),
+            // Timing actions only fire at DES timing consults.
+            Some(_) | None => (state, ticks),
         };
         self.records.lock().insert(
             afi_id.clone(),

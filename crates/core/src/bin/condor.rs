@@ -9,7 +9,12 @@
 //! condor check  --zoo | --defects [--json]
 //! condor dse    <model.prototxt | network.json> [--board NAME]
 //! condor export <network.json> --prototxt OUT [--weights FILE]
+//! condor faults replay <journal> [--json]
 //! ```
+//!
+//! `faults replay` reads a `condor-faultlog` dump or append-only
+//! journal (including the readable prefix of a crashed run) and
+//! reconstructs the fired-fault sequence as a replayable fault plan.
 //!
 //! Input kind is detected by extension: `.json` is the Condor network
 //! representation, anything else is treated as a Caffe prototxt.
@@ -18,6 +23,7 @@
 
 use condor::dse::{explore, DseConfig};
 use condor::{frontend, Condor, CondorError, FrontendInput};
+use condor_faults::journal;
 use std::process::ExitCode;
 
 struct Args {
@@ -378,9 +384,58 @@ fn cmd_export(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let sub = args
+        .positional
+        .first()
+        .ok_or("faults needs a subcommand: replay")?;
+    if sub != "replay" {
+        return Err(format!(
+            "unknown faults subcommand '{sub}' (expected: replay)"
+        ));
+    }
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("faults replay needs a journal path")?;
+    let dump = journal::read_dump(path).map_err(|e| e.to_string())?;
+    let plan = dump.replay_plan();
+    if args.switches.contains("json") {
+        println!(
+            "{}",
+            condor_cjson::to_string_pretty(&journal::plan_value(&plan))
+        );
+        return Ok(());
+    }
+    println!("journal: {path}");
+    println!(
+        "schema: condor-faultlog/{}  seed: {}{}",
+        dump.schema_version,
+        dump.seed,
+        if dump.truncated {
+            "  (truncated: torn tail dropped)"
+        } else {
+            ""
+        }
+    );
+    println!("fired: {} record(s)", dump.records.len());
+    for (i, r) in dump.records.iter().enumerate() {
+        println!(
+            "  [{i}] {} call {}: {} (arg {})",
+            r.site, r.call, r.action, r.arg
+        );
+    }
+    println!("replay plan: {} rule(s)", plan.rules.len());
+    for (i, rule) in plan.rules.iter().enumerate() {
+        println!("  [{i}] {}", journal::rule_summary(rule));
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     "usage: condor <info|build|check|dse|export> <model> [--weights FILE] [--board NAME] \
-     [--freq MHZ] [--fusion N] [--dse] [--json] [--zoo] [--defects] [--prototxt OUT]"
+     [--freq MHZ] [--fusion N] [--dse] [--json] [--zoo] [--defects] [--prototxt OUT]\n  \
+     or: condor faults replay <journal> [--json]"
         .to_string()
 }
 
@@ -403,6 +458,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "dse" => cmd_dse(&args),
         "export" => cmd_export(&args),
+        "faults" => cmd_faults(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {

@@ -700,17 +700,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_deploy_shims_still_work() {
-        #[allow(deprecated)]
-        let on_prem = built_lenet().deploy_onpremise().unwrap();
-        assert!(matches!(on_prem.deployment, Deployment::OnPremise { .. }));
-        let ctx = CloudContext::new("condor-bucket");
-        #[allow(deprecated)]
-        let cloud = built_lenet().deploy_cloud(&ctx).unwrap();
-        assert!(matches!(cloud.deployment, Deployment::Cloud { .. }));
-    }
-
-    #[test]
     fn cloud_deployment_requires_developer_ami() {
         let ctx = CloudContext::new("condor-bucket").with_environment(Environment::workstation());
         let err = built_lenet()

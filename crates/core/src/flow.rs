@@ -9,7 +9,7 @@
 //! `.xo`), returning a [`BuiltAccelerator`] ready for the backend
 //! deployment step.
 
-use crate::deploy::{CloudContext, DeployTarget, DeployedAccelerator};
+use crate::deploy::{DeployTarget, DeployedAccelerator};
 use crate::dse::{explore, DseConfig};
 use crate::error::CondorError;
 use crate::frontend::{analyze, FrontendInput};
@@ -258,18 +258,6 @@ impl BuiltAccelerator {
     /// directly; [`DeployTarget::Cloud`] walks S3 → AFI → F1 slots.
     pub fn deploy(self, target: &DeployTarget<'_>) -> Result<DeployedAccelerator, CondorError> {
         crate::deploy::deploy(self, target)
-    }
-
-    /// Deploys on a locally accessible board (paper step 7).
-    #[deprecated(note = "use `deploy(&DeployTarget::OnPremise)`")]
-    pub fn deploy_onpremise(self) -> Result<DeployedAccelerator, CondorError> {
-        crate::deploy::deploy_onpremise(self)
-    }
-
-    /// Deploys on the Amazon F1 instances (paper step 8).
-    #[deprecated(note = "use `deploy(&DeployTarget::Cloud(ctx))`")]
-    pub fn deploy_cloud(self, ctx: &CloudContext) -> Result<DeployedAccelerator, CondorError> {
-        crate::deploy::deploy_cloud(self, ctx)
     }
 }
 

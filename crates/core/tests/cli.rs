@@ -220,3 +220,97 @@ fn dse_lists_feasible_points() {
     assert!(stdout.contains("best feasible points"));
     assert!(stdout.contains("GFLOPS"));
 }
+
+/// Writes a live journal by firing a small plan through a journalling
+/// handle, exactly as a chaos run would.
+fn fired_journal(name: &str) -> std::path::PathBuf {
+    use condor_faults::{FaultPlan, FaultRule};
+    let dir = std::env::temp_dir().join("condor-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let handle = FaultPlan::new(42)
+        .rule(FaultRule::at("cli.site").first_calls(2).fail_transient())
+        .rule(FaultRule::at("cli.pe").nth_call(1).stall_cycles(64))
+        .install_with_journal(&path)
+        .expect("journal file");
+    assert!(handle.check("cli.site").is_some());
+    assert!(handle.check("cli.site").is_some());
+    assert!(handle.timing("cli.pe").is_none());
+    assert!(handle.timing("cli.pe").is_some());
+    path
+}
+
+#[test]
+fn faults_replay_reconstructs_the_fired_sequence() {
+    let path = fired_journal("replay.journal");
+    let out = Command::new(BIN)
+        .args(["faults", "replay", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("condor-faultlog/2"));
+    assert!(stdout.contains("seed: 42"));
+    assert!(stdout.contains("fired: 3 record(s)"));
+    assert!(stdout.contains("cli.site call 0: fail-transient"));
+    assert!(stdout.contains("cli.pe call 1: stall (arg 64)"));
+    assert!(stdout.contains("replay plan: 3 rule(s)"));
+    assert!(stdout.contains("stall(64)"));
+}
+
+#[test]
+fn faults_replay_emits_a_plan_document_with_json() {
+    let path = fired_journal("replay-json.journal");
+    let out = Command::new(BIN)
+        .args(["faults", "replay", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = condor_cjson::parse(&stdout).expect("valid cjson plan document");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("condor-faultplan/1")
+    );
+    assert_eq!(
+        doc.get("rules").and_then(|v| v.as_array()).map(|r| r.len()),
+        Some(3)
+    );
+}
+
+#[test]
+fn faults_replay_reads_a_torn_journal_prefix() {
+    let path = fired_journal("replay-torn.journal");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let torn = &text[..text.trim_end().len() - 4];
+    std::fs::write(&path, torn).unwrap();
+    let out = Command::new(BIN)
+        .args(["faults", "replay", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("truncated"));
+    assert!(stdout.contains("fired: 2 record(s)"));
+}
+
+#[test]
+fn faults_replay_rejects_a_missing_journal() {
+    let out = Command::new(BIN)
+        .args(["faults", "replay", "/nonexistent/run.journal"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -10,8 +10,10 @@
 //! and its cycle count against `PePlan::cycles_per_image`.
 
 use crate::fifo::Fifo;
+use crate::pipeline::TimingFaultReport;
 use crate::plan::{DataflowError, DataflowErrorKind};
 use crate::window::FilterChain;
+use condor_faults::FaultHandle;
 use condor_nn::PoolKind;
 use condor_tensor::{Shape, Tensor};
 
@@ -31,6 +33,16 @@ pub struct LayerSimConfig {
     /// `cycle % stall_period != stall_period - 1` when `Some(period)` —
     /// a crude bandwidth throttle.
     pub input_stall_period: Option<u64>,
+    /// Timing-fault injection over the simulated cycle loop: the handle
+    /// is consulted at [`LayerSimConfig::pe_site`] once per completed
+    /// window (PE slowdown / FIFO-stall windows) and at
+    /// `dataflow.datamover` once per input-map stream (jitter). Fired
+    /// perturbations stall the PE for extra cycles — the downstream
+    /// drain keeps running, so a stall can never deadlock the sim —
+    /// and never touch functional outputs. Disabled by default.
+    pub faults: FaultHandle,
+    /// Site name for PE-side timing consults.
+    pub pe_site: String,
 }
 
 impl Default for LayerSimConfig {
@@ -39,9 +51,14 @@ impl Default for LayerSimConfig {
             out_fifo_depth: 64,
             drain_every: 1,
             input_stall_period: None,
+            faults: FaultHandle::disabled(),
+            pe_site: "dataflow.pe0".to_string(),
         }
     }
 }
+
+/// Site of the datamover-jitter timing consults.
+const DATAMOVER_SITE: &str = "dataflow.datamover";
 
 /// Result of a layer simulation.
 #[derive(Clone, Debug)]
@@ -58,6 +75,9 @@ pub struct LayerSimReport {
     pub chain_high_water: usize,
     /// Peak occupancy of the output FIFO.
     pub out_fifo_high_water: usize,
+    /// Timing faults that fired during the run (stage 0 = datamover,
+    /// stage 1 = the PE).
+    pub timing: TimingFaultReport,
 }
 
 /// Pads one feature map into a row-major stream with a zero halo.
@@ -134,6 +154,15 @@ pub fn simulate_conv_layer(
     let mut pe_stalls: u64 = 0;
     let mut input_stalls: u64 = 0;
     let mut chain_high_water = 0usize;
+    let mut timing = TimingFaultReport {
+        events: 0,
+        extra_cycles: 0,
+        per_stage_extra: vec![0; 2],
+    };
+    // Outstanding injected stall cycles; consumed one per cycle while
+    // the PE holds (the drain keeps running, so this cannot deadlock).
+    let mut timing_stall: u64 = 0;
+    let faults_active = cfg.faults.is_active();
 
     // PE state: windows pending output-map iteration.
     let mut pending_window: Option<Vec<f32>> = None;
@@ -144,6 +173,17 @@ pub fn simulate_conv_layer(
     for c in 0..in_shape.c {
         let last_input_map = c == in_shape.c - 1;
         let stream = padded_stream(input, c, pad);
+        // Datamover jitter: one timing consult per input-map stream;
+        // the perturbation's cost base is the stream length.
+        if faults_active {
+            if let Some(p) = cfg.faults.timing(DATAMOVER_SITE) {
+                let extra = p.extra_cycles(stream.len() as u64);
+                timing_stall += extra;
+                timing.events += 1;
+                timing.extra_cycles += extra;
+                timing.per_stage_extra[0] += extra;
+            }
+        }
         let mut chain = FilterChain::new(kernel, in_shape.h, in_shape.w, stride, pad);
         let mut next_elem = 0usize;
 
@@ -156,6 +196,12 @@ pub fn simulate_conv_layer(
                     *output.at_mut(0, oc, oh, ow) = v;
                     drained += 1;
                 }
+            }
+            // Injected timing stall: the PE holds this cycle.
+            if timing_stall > 0 {
+                timing_stall -= 1;
+                pe_stalls += 1;
+                continue;
             }
 
             if let Some(window) = &pending_window {
@@ -208,6 +254,18 @@ pub fn simulate_conv_layer(
                     pending_window = Some(win.elems);
                     pending_pos = (win.out_row, win.out_col);
                     pending_phi = 0;
+                    // PE timing faults: one consult per completed
+                    // window; the cost base is the φ sweep this window
+                    // is about to pay.
+                    if faults_active {
+                        if let Some(p) = cfg.faults.timing(&cfg.pe_site) {
+                            let extra = p.extra_cycles(num_output as u64);
+                            timing_stall += extra;
+                            timing.events += 1;
+                            timing.extra_cycles += extra;
+                            timing.per_stage_extra[1] += extra;
+                        }
+                    }
                 }
                 next_elem += 1;
             } else {
@@ -217,9 +275,14 @@ pub fn simulate_conv_layer(
         chain_high_water = chain_high_water.max(chain.high_water());
     }
 
-    // Epilogue: drain remaining outputs.
-    while drained < total_out {
+    // Epilogue: drain remaining outputs and burn any residual injected
+    // stall so the reported cycle count reflects the full perturbation.
+    while drained < total_out || timing_stall > 0 {
         cycle += 1;
+        if timing_stall > 0 {
+            timing_stall -= 1;
+            pe_stalls += 1;
+        }
         if cycle.is_multiple_of(cfg.drain_every) {
             if let Some(v) = out_fifo.try_pop() {
                 let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
@@ -239,6 +302,7 @@ pub fn simulate_conv_layer(
         output,
         chain_high_water,
         out_fifo_high_water: out_fifo.high_water(),
+        timing,
     })
 }
 
@@ -284,10 +348,26 @@ pub fn simulate_pool_layer(
     let mut pe_stalls: u64 = 0;
     let mut input_stalls: u64 = 0;
     let mut chain_high_water = 0usize;
+    let mut timing = TimingFaultReport {
+        events: 0,
+        extra_cycles: 0,
+        per_stage_extra: vec![0; 2],
+    };
+    let mut timing_stall: u64 = 0;
+    let faults_active = cfg.faults.is_active();
     let total_out = out_shape.len();
 
     for c in 0..in_shape.c {
         let stream = padded_stream(input, c, pad);
+        if faults_active {
+            if let Some(p) = cfg.faults.timing(DATAMOVER_SITE) {
+                let extra = p.extra_cycles(stream.len() as u64);
+                timing_stall += extra;
+                timing.events += 1;
+                timing.extra_cycles += extra;
+                timing.per_stage_extra[0] += extra;
+            }
+        }
         let mut chain = FilterChain::new(kernel, in_shape.h, in_shape.w, stride, pad);
         let (chain_oh, chain_ow) = chain.out_dims();
         let mut next_elem = 0usize;
@@ -301,6 +381,12 @@ pub fn simulate_pool_layer(
                     *output.at_mut(0, oc, oh, ow) = v;
                     drained += 1;
                 }
+            }
+            // Injected timing stall: the pool PE holds this cycle.
+            if timing_stall > 0 {
+                timing_stall -= 1;
+                pe_stalls += 1;
+                continue;
             }
             if let Some((oi, oj, v)) = retry {
                 if out_fifo.try_push(v) {
@@ -331,6 +417,16 @@ pub fn simulate_pool_layer(
                         }
                         PoolKind::Average => win.elems.iter().sum::<f32>() / win.elems.len() as f32,
                     };
+                    // PE timing faults: one consult per completed window.
+                    if faults_active {
+                        if let Some(p) = cfg.faults.timing(&cfg.pe_site) {
+                            let extra = p.extra_cycles(1);
+                            timing_stall += extra;
+                            timing.events += 1;
+                            timing.extra_cycles += extra;
+                            timing.per_stage_extra[1] += extra;
+                        }
+                    }
                     if out_fifo.try_push(v) {
                         out_coords.push_back((c, win.out_row, win.out_col));
                         emitted += 1;
@@ -387,8 +483,14 @@ pub fn simulate_pool_layer(
         }
     }
 
-    while drained < total_out {
+    while drained < total_out || timing_stall > 0 {
         cycle += 1;
+        // Residual injected stall burns here; the drain below keeps
+        // running, so a stalled FIFO can delay but never deadlock.
+        if timing_stall > 0 {
+            timing_stall -= 1;
+            pe_stalls += 1;
+        }
         if cycle.is_multiple_of(cfg.drain_every) {
             if let Some(v) = out_fifo.try_pop() {
                 let (oc, oh, ow) = out_coords.pop_front().expect("coord queue in sync");
@@ -408,6 +510,7 @@ pub fn simulate_pool_layer(
         output,
         chain_high_water,
         out_fifo_high_water: out_fifo.high_water(),
+        timing,
     })
 }
 
@@ -567,7 +670,7 @@ mod tests {
             &LayerSimConfig {
                 out_fifo_depth: 1,
                 drain_every: 4, // consumer 4x slower than the PE
-                input_stall_period: None,
+                ..LayerSimConfig::default()
             },
         )
         .unwrap();
@@ -714,7 +817,7 @@ mod pool_throttle_tests {
             &LayerSimConfig {
                 out_fifo_depth: 1,
                 drain_every: 6,
-                input_stall_period: None,
+                ..LayerSimConfig::default()
             },
         )
         .unwrap();

@@ -37,7 +37,8 @@ pub mod runtime;
 pub mod window;
 
 pub use fifo::Fifo;
-pub use pipeline::{BatchTiming, PipelineModel};
+pub use layersim::{LayerSimConfig, LayerSimReport};
+pub use pipeline::{BatchTiming, PipelineModel, TimingFaultReport};
 pub use plan::{
     AcceleratorPlan, DataflowError, DataflowErrorKind, PeParallelism, PePlan, PlanBuilder,
     PlannedLayer,

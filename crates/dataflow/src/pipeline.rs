@@ -15,6 +15,33 @@
 //! grows.
 
 use crate::plan::AcceleratorPlan;
+use condor_faults::FaultHandle;
+
+/// What timing faults did to one simulated run: fired events and the
+/// cycles they injected, overall and per pipeline stage (stage 0 is the
+/// datamover, stages 1… the PEs).
+///
+/// Deterministic per `(seed, plan)`: the DES advances single-threaded
+/// and every perturbation is resolved by hashing `(seed, site, call)`,
+/// so two runs — on any machine, under any thread count — report
+/// identical perturbed cycle counts. Functional outputs are never
+/// touched: timing faults stretch the clock, not the data.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimingFaultReport {
+    /// Number of timing faults that fired.
+    pub events: u64,
+    /// Total extra cycles injected across all stages.
+    pub extra_cycles: u64,
+    /// Extra cycles injected per stage.
+    pub per_stage_extra: Vec<u64>,
+}
+
+impl TimingFaultReport {
+    /// True when no timing fault fired (the run was unperturbed).
+    pub fn is_clean(&self) -> bool {
+        self.events == 0
+    }
+}
 
 /// Timing of one batched run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -91,28 +118,69 @@ impl PipelineModel {
 
     /// Simulates a batch through the pipeline.
     pub fn batch(&self, batch: usize) -> BatchTiming {
+        self.batch_with_faults(batch, &FaultHandle::disabled()).0
+    }
+
+    /// Simulates a batch with timing-fault injection: per image and
+    /// stage the handle is consulted at `dataflow.datamover` (stage 0)
+    /// or `dataflow.pe{i}` (stage i+1), and any fired perturbation —
+    /// slowdown, stall window, jitter — stretches that stage's cost for
+    /// that image. Perturbations delay, they never drop: a plan whose
+    /// FIFO sizing passed `condor check` cannot be deadlocked by them,
+    /// because the recurrence always advances.
+    pub fn batch_with_faults(
+        &self,
+        batch: usize,
+        faults: &FaultHandle,
+    ) -> (BatchTiming, TimingFaultReport) {
         assert!(batch >= 1, "batch must be at least 1");
+        let sites: Vec<String> = (0..self.stages())
+            .map(|s| {
+                if s == 0 {
+                    "dataflow.datamover".to_string()
+                } else {
+                    format!("dataflow.pe{}", s - 1)
+                }
+            })
+            .collect();
+        let mut report = TimingFaultReport {
+            events: 0,
+            extra_cycles: 0,
+            per_stage_extra: vec![0; self.stages()],
+        };
         // finish[s] holds the finish time of the previous image at stage
         // s while sweeping images.
         let mut finish = vec![0u64; self.stages()];
+        let active = faults.is_active();
         for _img in 0..batch {
             let mut upstream_done = 0u64;
             for (s, &c) in self.stage_cycles.iter().enumerate() {
+                let mut cost = c;
+                if active {
+                    if let Some(p) = faults.timing(&sites[s]) {
+                        let extra = p.extra_cycles(c);
+                        cost += extra;
+                        report.events += 1;
+                        report.extra_cycles += extra;
+                        report.per_stage_extra[s] += extra;
+                    }
+                }
                 let start = upstream_done.max(finish[s]);
-                finish[s] = start + c;
+                finish[s] = start + cost;
                 upstream_done = finish[s];
             }
         }
         let total_cycles = *finish.last().expect("non-empty");
         let mean_cycles = total_cycles as f64 / batch as f64;
         let cycle_us = 1.0 / self.freq_mhz; // µs per cycle = 1/MHz
-        BatchTiming {
+        let timing = BatchTiming {
             batch,
             total_cycles,
             mean_cycles_per_image: mean_cycles,
             mean_us_per_image: mean_cycles * cycle_us,
             images_per_second: 1e6 / (mean_cycles * cycle_us),
-        }
+        };
+        (timing, report)
     }
 
     /// The Figure 5 sweep: mean time per image across batch sizes.

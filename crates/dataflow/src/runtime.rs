@@ -182,6 +182,9 @@ impl ThreadedRuntime {
                         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
                         Some(FaultAction::FailTransient) => continue, // dropped frame
                         Some(FaultAction::FailPermanent) | Some(FaultAction::Abort) => return,
+                        // Timing actions belong to the DES; `check`
+                        // never returns them on the functional path.
+                        Some(_) => {}
                         None => {}
                     }
                     if dm_tx.send(img.as_slice().to_vec()).is_err() {
@@ -276,6 +279,8 @@ fn pe_worker(
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
             Some(FaultAction::FailTransient) => continue, // frame dropped
             Some(FaultAction::FailPermanent) | Some(FaultAction::Abort) => return,
+            // Timing actions belong to the DES, not this thread.
+            Some(_) => {}
             None => {}
         }
         let mut src = &mut ping;

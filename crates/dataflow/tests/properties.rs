@@ -166,7 +166,7 @@ proptest! {
             &LayerSimConfig {
                 out_fifo_depth: 2,
                 drain_every: drain,
-                input_stall_period: None,
+                ..LayerSimConfig::default()
             },
         ).unwrap();
         let out_shape = Shape::new(1, f, h - k + 1, w - k + 1);

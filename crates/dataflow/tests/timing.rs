@@ -1,0 +1,210 @@
+//! Timing-fault injection in the cycle-level simulators.
+//!
+//! The contract under test: timing faults stretch the reported clock
+//! deterministically per `(seed, plan)` and never touch functional
+//! outputs — a perturbed run produces bit-identical tensors and a
+//! strictly larger cycle count, and two runs (or N concurrent runs)
+//! with the same seed report identical perturbed cycles.
+//!
+//! Seed window: `CONDOR_TIMING_SEEDS` narrows or widens the sweep the
+//! same way `CONDOR_CHAOS_SEEDS` does for the serve chaos suite —
+//! either a count (`"64"`) or an inclusive range (`"100-131"`).
+
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
+use condor_dataflow::layersim::{simulate_conv_layer, simulate_pool_layer};
+use condor_dataflow::{LayerSimConfig, PipelineModel};
+use condor_faults::{FaultPlan, FaultRule};
+use condor_nn::PoolKind;
+use condor_tensor::{AllClose, Shape, TensorRng};
+
+fn seed_window() -> Vec<u64> {
+    match std::env::var("CONDOR_TIMING_SEEDS") {
+        Ok(spec) => {
+            if let Some((lo, hi)) = spec.split_once('-') {
+                let lo: u64 = lo.trim().parse().expect("range start");
+                let hi: u64 = hi.trim().parse().expect("range end");
+                (lo..=hi).collect()
+            } else {
+                let n: u64 = spec.trim().parse().expect("seed count");
+                (0..n).collect()
+            }
+        }
+        Err(_) => (0..8).collect(),
+    }
+}
+
+fn timing_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rule(
+            FaultRule::at("dataflow.datamover")
+                .probability(0.5)
+                .jitter_cycles(40),
+        )
+        .rule(FaultRule::at("dataflow.pe").probability(0.3).slowdown(1.5))
+        .rule(FaultRule::at("dataflow.pe").nth_call(7).stall_cycles(120))
+}
+
+fn conv_under(cfg: &LayerSimConfig) -> condor_dataflow::LayerSimReport {
+    let mut rng = TensorRng::seeded(11);
+    let input = rng.uniform(Shape::chw(2, 10, 10), -1.0, 1.0);
+    let weights = rng.uniform(Shape::new(3, 2, 3, 3), -0.5, 0.5);
+    simulate_conv_layer(&input, &weights, None, 1, 0, true, cfg).unwrap()
+}
+
+#[test]
+fn conv_outputs_survive_timing_faults_and_cycles_grow() {
+    let clean = conv_under(&LayerSimConfig::default());
+    for seed in seed_window() {
+        let cfg = LayerSimConfig {
+            faults: timing_plan(seed).install(),
+            pe_site: "dataflow.pe0".to_string(),
+            ..LayerSimConfig::default()
+        };
+        let perturbed = conv_under(&cfg);
+        // Functional outputs are untouched — same tensor, within the
+        // golden tolerance (they are in fact bit-identical).
+        assert!(perturbed.output.all_close(&clean.output), "seed {seed}");
+        if perturbed.timing.is_clean() {
+            assert_eq!(perturbed.cycles, clean.cycles, "seed {seed}");
+        } else {
+            assert!(perturbed.cycles > clean.cycles, "seed {seed}");
+            assert_eq!(
+                perturbed.cycles - clean.cycles,
+                perturbed.timing.extra_cycles,
+                "seed {seed}: every injected cycle must show up in the clock"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_seed_and_plan_reports_identical_perturbed_cycles() {
+    for seed in seed_window() {
+        let run = |_: usize| {
+            let cfg = LayerSimConfig {
+                faults: timing_plan(seed).install(),
+                pe_site: "dataflow.pe0".to_string(),
+                ..LayerSimConfig::default()
+            };
+            conv_under(&cfg)
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
+        assert_eq!(a.timing, b.timing, "seed {seed}");
+        assert_eq!(a.output, b.output, "seed {seed}");
+    }
+}
+
+#[test]
+fn determinism_holds_across_thread_counts() {
+    // N concurrent simulations, each with its own injector installed
+    // from the same plan, must agree with a serial reference run: the
+    // DES advances single-threaded per run, so OS scheduling cannot
+    // leak into the perturbed clock.
+    let seed = 0xDE5;
+    let reference = {
+        let cfg = LayerSimConfig {
+            faults: timing_plan(seed).install(),
+            pe_site: "dataflow.pe0".to_string(),
+            ..LayerSimConfig::default()
+        };
+        conv_under(&cfg)
+    };
+    for threads in [2usize, 4, 8] {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let cfg = LayerSimConfig {
+                        faults: timing_plan(seed).install(),
+                        pe_site: "dataflow.pe0".to_string(),
+                        ..LayerSimConfig::default()
+                    };
+                    conv_under(&cfg)
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.cycles, reference.cycles, "{threads} threads");
+            assert_eq!(r.timing, reference.timing, "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn pool_sim_is_perturbed_but_functionally_exact() {
+    let mut rng = TensorRng::seeded(21);
+    let input = rng.uniform(Shape::chw(3, 8, 8), -1.0, 1.0);
+    let clean =
+        simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &LayerSimConfig::default()).unwrap();
+    let cfg = LayerSimConfig {
+        faults: FaultPlan::new(5)
+            .rule(
+                FaultRule::at("dataflow.datamover")
+                    .always()
+                    .stall_cycles(25),
+            )
+            .install(),
+        ..LayerSimConfig::default()
+    };
+    let perturbed = simulate_pool_layer(&input, PoolKind::Max, 2, 2, 0, &cfg).unwrap();
+    assert_eq!(perturbed.output, clean.output);
+    assert!(perturbed.cycles > clean.cycles);
+    assert_eq!(perturbed.timing.events, 3); // one per input map
+    assert_eq!(perturbed.timing.extra_cycles, 75);
+}
+
+#[test]
+fn stalled_fifo_never_deadlocks_a_checked_plan() {
+    // The worst case for the old drain loop: an undersized output FIFO
+    // (depth 1, slow consumer) plus a large injected stall window. The
+    // stall budget burns while the drain keeps running, so the run
+    // completes — delayed, never wedged.
+    let cfg = LayerSimConfig {
+        out_fifo_depth: 1,
+        drain_every: 4,
+        faults: FaultPlan::new(9)
+            .rule(
+                FaultRule::at("dataflow.pe0")
+                    .probability(0.8)
+                    .stall_cycles(500),
+            )
+            .rule(
+                FaultRule::at("dataflow.datamover")
+                    .always()
+                    .jitter_cycles(200),
+            )
+            .install(),
+        pe_site: "dataflow.pe0".to_string(),
+        ..LayerSimConfig::default()
+    };
+    let report = conv_under(&cfg);
+    let clean = conv_under(&LayerSimConfig {
+        out_fifo_depth: 1,
+        drain_every: 4,
+        ..LayerSimConfig::default()
+    });
+    assert!(report.output.all_close(&clean.output));
+    assert!(!report.timing.is_clean());
+}
+
+#[test]
+fn pipeline_model_perturbation_is_deterministic_and_localised() {
+    let m = PipelineModel::from_stage_cycles(vec![50, 120, 80], 100.0);
+    let clean = m.batch(16);
+    for seed in seed_window() {
+        let (a, ra) = m.batch_with_faults(16, &timing_plan(seed).install());
+        let (b, rb) = m.batch_with_faults(16, &timing_plan(seed).install());
+        assert_eq!(a.total_cycles, b.total_cycles, "seed {seed}");
+        assert_eq!(ra, rb, "seed {seed}");
+        assert!(a.total_cycles >= clean.total_cycles, "seed {seed}");
+        // Stage attribution covers every injected cycle.
+        assert_eq!(
+            ra.per_stage_extra.iter().sum::<u64>(),
+            ra.extra_cycles,
+            "seed {seed}"
+        );
+    }
+}

@@ -45,11 +45,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod journal;
 pub mod retry;
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -96,6 +98,17 @@ pub enum FaultAction {
     Delay(Duration),
     /// Kill the worker/stream mid-flight (PE panic, wedged kernel).
     Abort,
+    /// Timing fault: scale the cost of the intercepted work by the
+    /// given factor in per-mille (1500 = ×1.5). Only fires at timing
+    /// sites ([`FaultHandle::timing`]); functional gates ignore it.
+    Slowdown(u32),
+    /// Timing fault: stall the intercepted work for exactly this many
+    /// extra cycles (a FIFO-stall window in the DES).
+    StallCycles(u64),
+    /// Timing fault: stall for a per-fire number of cycles drawn
+    /// deterministically from `(seed, site, call)` in `[0, max]` —
+    /// datamover jitter.
+    JitterCycles(u64),
 }
 
 impl FaultAction {
@@ -105,6 +118,29 @@ impl FaultAction {
             FaultAction::FailPermanent => "fail-permanent",
             FaultAction::Delay(_) => "delay",
             FaultAction::Abort => "abort",
+            FaultAction::Slowdown(_) => "slowdown",
+            FaultAction::StallCycles(_) => "stall",
+            FaultAction::JitterCycles(_) => "jitter",
+        }
+    }
+
+    /// True for the timing-domain actions, which only the cycle-level
+    /// DES ([`FaultHandle::timing`]) consumes.
+    pub fn is_timing(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::Slowdown(_) | FaultAction::StallCycles(_) | FaultAction::JitterCycles(_)
+        )
+    }
+
+    /// The action's numeric argument as recorded in [`FaultRecord::arg`]
+    /// (delay in µs, slowdown in per-mille, stall/jitter in cycles).
+    fn arg(&self) -> u64 {
+        match self {
+            FaultAction::FailTransient | FaultAction::FailPermanent | FaultAction::Abort => 0,
+            FaultAction::Delay(d) => d.as_micros().min(u64::MAX as u128) as u64,
+            FaultAction::Slowdown(m) => *m as u64,
+            FaultAction::StallCycles(n) | FaultAction::JitterCycles(n) => *n,
         }
     }
 }
@@ -119,6 +155,10 @@ pub enum Trigger {
     /// Every call while the site's counter is below `n` — a fault
     /// window that clears once the site has been exercised `n` times.
     FirstCalls(u64),
+    /// Every call once the site's counter reaches `n` — the mirror of
+    /// [`Trigger::FirstCalls`]: a component that works for a while and
+    /// then fails for good (mid-stream instance death).
+    AfterCalls(u64),
     /// Each matched call independently with probability `p`, decided by
     /// hashing `(seed, rule, site, call)` — deterministic per plan.
     Probability(f64),
@@ -170,6 +210,12 @@ impl FaultRule {
         self
     }
 
+    /// Fires on every matched call once the site counter is `>= n`.
+    pub fn after_calls(mut self, n: u64) -> Self {
+        self.trigger = Trigger::AfterCalls(n);
+        self
+    }
+
     /// Fires each matched call independently with probability `p`.
     pub fn probability(mut self, p: f64) -> Self {
         self.trigger = Trigger::Probability(p.clamp(0.0, 1.0));
@@ -205,6 +251,32 @@ impl FaultRule {
         self.max_fires = Some(n);
         self
     }
+
+    /// Timing fault: scale the intercepted work's cycle cost by
+    /// `factor` (clamped to `[1.0, 4294.0]`; 1.5 = 50 % slower).
+    pub fn slowdown(self, factor: f64) -> Self {
+        let permille = (factor.max(1.0) * 1000.0).round().min(u32::MAX as f64) as u32;
+        self.slowdown_permille(permille)
+    }
+
+    /// Timing fault: slowdown given directly in per-mille (1500 = ×1.5).
+    pub fn slowdown_permille(mut self, permille: u32) -> Self {
+        self.action = FaultAction::Slowdown(permille.max(1000));
+        self
+    }
+
+    /// Timing fault: stall the intercepted work for `n` extra cycles.
+    pub fn stall_cycles(mut self, n: u64) -> Self {
+        self.action = FaultAction::StallCycles(n);
+        self
+    }
+
+    /// Timing fault: stall for a deterministic per-fire draw in
+    /// `[0, max]` cycles.
+    pub fn jitter_cycles(mut self, max: u64) -> Self {
+        self.action = FaultAction::JitterCycles(max);
+        self
+    }
 }
 
 /// A seed plus an ordered rule list; the unit tests and chaos harness
@@ -236,13 +308,61 @@ impl FaultPlan {
     /// Arms the plan: the returned handle is what injection sites
     /// consult and what tests read the [`FaultLog`] back from.
     pub fn install(self) -> FaultHandle {
+        self.install_inner(None)
+    }
+
+    /// Arms the plan with an append-only journal at `path`: every fired
+    /// fault is written as one `condor-faultlog/2` JSON line and flushed
+    /// immediately, so a crashed run leaves a readable prefix (see
+    /// [`journal`]).
+    pub fn install_with_journal(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<FaultHandle> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        let header = journal::journal_header(self.seed);
+        writeln!(file, "{header}")?;
+        file.flush()?;
+        Ok(self.install_inner(Some(Box::new(file))))
+    }
+
+    fn install_inner(self, sink: Option<Box<dyn Write + Send>>) -> FaultHandle {
         FaultHandle(Some(Arc::new(FaultInjector {
             plan: self,
             enabled: AtomicBool::new(true),
             counters: Mutex::new(BTreeMap::new()),
             fires: Mutex::new(Vec::new()),
             log: Mutex::new(Vec::new()),
+            journal: Mutex::new(sink),
         })))
+    }
+
+    /// Rebuilds a plan that replays a fired-fault sequence exactly: one
+    /// `nth_call`/`max_fires(1)` rule per record, in firing order. Run
+    /// against the same call sequence, the replayed plan fires the same
+    /// `(site, call, action)` sequence the journal recorded.
+    pub fn from_records(seed: u64, records: &[FaultRecord]) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for r in records {
+            let rule = FaultRule::at(r.site.clone()).nth_call(r.call).max_fires(1);
+            let rule = match r.action {
+                "fail-permanent" => rule.fail_permanent(),
+                "delay" => rule.delay(Duration::from_micros(r.arg)),
+                "abort" => rule.abort(),
+                "slowdown" => rule.slowdown_permille(r.arg.min(u32::MAX as u64) as u32),
+                "stall" => rule.stall_cycles(r.arg),
+                "jitter" => rule.jitter_cycles(r.arg),
+                _ => rule.fail_transient(),
+            };
+            plan = plan.rule(rule);
+        }
+        plan
     }
 }
 
@@ -257,6 +377,11 @@ pub struct FaultRecord {
     pub rule: usize,
     /// The action kind (`"fail-transient"`, `"delay"`, …).
     pub action: &'static str,
+    /// The action's numeric argument: delay in µs, slowdown in
+    /// per-mille, stall/jitter bound in cycles; 0 otherwise. Recorded so
+    /// [`FaultPlan::from_records`] replays parameterised actions
+    /// faithfully.
+    pub arg: u64,
 }
 
 /// The record of every fault that fired under a handle, in firing order.
@@ -296,6 +421,35 @@ impl retry::Retryable for InjectedFault {
     }
 }
 
+/// A timing perturbation resolved from a fired timing rule: what the
+/// cycle-level DES applies to the intercepted unit of work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingPerturbation {
+    /// Cost multiplier in per-mille (1000 = unperturbed).
+    pub slowdown_permille: u32,
+    /// Flat extra cycles (stall window, or resolved jitter draw).
+    pub stall_cycles: u64,
+    /// The firing action kind (`"slowdown"`, `"stall"`, `"jitter"`).
+    pub kind: &'static str,
+}
+
+impl TimingPerturbation {
+    /// The slowdown as a factor (≥ 1.0).
+    pub fn slowdown_factor(&self) -> f64 {
+        self.slowdown_permille as f64 / 1000.0
+    }
+
+    /// Extra cycles this perturbation adds to a unit of work that
+    /// nominally costs `base` cycles: the slowdown surcharge (rounded
+    /// up) plus the flat stall.
+    pub fn extra_cycles(&self, base: u64) -> u64 {
+        let scaled = ((base as f64) * self.slowdown_factor()).ceil() as u64;
+        scaled
+            .saturating_sub(base)
+            .saturating_add(self.stall_cycles)
+    }
+}
+
 /// The armed injector behind a [`FaultHandle`].
 struct FaultInjector {
     plan: FaultPlan,
@@ -303,10 +457,15 @@ struct FaultInjector {
     counters: Mutex<BTreeMap<String, u64>>,
     fires: Mutex<Vec<u64>>,
     log: Mutex<Vec<FaultRecord>>,
+    journal: Mutex<Option<Box<dyn Write + Send>>>,
 }
 
 impl FaultInjector {
-    fn check(&self, site: &str) -> Option<FaultAction> {
+    /// Bumps the site counter and fires the first matching rule whose
+    /// action domain matches (`timing` selects timing actions only,
+    /// otherwise functional actions only). Returns the fired rule index,
+    /// call number and action.
+    fn select(&self, site: &str, timing: bool) -> Option<(usize, u64, FaultAction)> {
         if !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
@@ -322,6 +481,9 @@ impl FaultInjector {
             fires.resize(self.plan.rules.len(), 0);
         }
         for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.action.is_timing() != timing {
+                continue;
+            }
             if !site.starts_with(rule.site.as_str()) {
                 continue;
             }
@@ -334,6 +496,7 @@ impl FaultInjector {
                 Trigger::Always => true,
                 Trigger::NthCall(n) => call == n,
                 Trigger::FirstCalls(n) => call < n,
+                Trigger::AfterCalls(n) => call >= n,
                 Trigger::Probability(p) => {
                     let mixed = self
                         .plan
@@ -346,16 +509,68 @@ impl FaultInjector {
             };
             if hit {
                 fires[i] += 1;
-                self.log.lock().push(FaultRecord {
+                drop(fires);
+                let record = FaultRecord {
                     site: site.to_string(),
                     call,
                     rule: i,
                     action: rule.action.kind_str(),
-                });
-                return Some(rule.action);
+                    arg: rule.action.arg(),
+                };
+                if let Some(sink) = self.journal.lock().as_mut() {
+                    // Best effort: a full disk must not take the run
+                    // down with it; the prefix written so far stays
+                    // readable either way.
+                    let line = journal::record_line(&record);
+                    let _ = writeln!(sink, "{line}");
+                    let _ = sink.flush();
+                }
+                self.log.lock().push(record);
+                return Some((i, call, rule.action));
             }
         }
         None
+    }
+
+    fn check(&self, site: &str) -> Option<FaultAction> {
+        self.select(site, false).map(|(_, _, action)| action)
+    }
+
+    /// The timing-domain twin of [`FaultInjector::check`]: resolves a
+    /// fired timing rule into the concrete perturbation. Jitter draws
+    /// hash `(seed, site, call)` only — not the rule index — so a
+    /// replayed plan ([`FaultPlan::from_records`]) resolves the same
+    /// stall even though its rule order differs.
+    fn timing(&self, site: &str) -> Option<TimingPerturbation> {
+        let (_, call, action) = self.select(site, true)?;
+        Some(match action {
+            FaultAction::Slowdown(permille) => TimingPerturbation {
+                slowdown_permille: permille.max(1000),
+                stall_cycles: 0,
+                kind: "slowdown",
+            },
+            FaultAction::StallCycles(n) => TimingPerturbation {
+                slowdown_permille: 1000,
+                stall_cycles: n,
+                kind: "stall",
+            },
+            FaultAction::JitterCycles(max) => TimingPerturbation {
+                slowdown_permille: 1000,
+                stall_cycles: if max == 0 {
+                    0
+                } else {
+                    let mixed = self
+                        .plan
+                        .seed
+                        .wrapping_add(fnv1a(site.as_bytes()))
+                        .wrapping_add(splitmix64(call ^ 0x7177_e200));
+                    splitmix64(mixed) % (max + 1)
+                },
+                kind: "jitter",
+            },
+            // select(timing = true) only returns timing actions.
+            _ => unreachable!("functional action from timing select"),
+        })
     }
 }
 
@@ -398,9 +613,21 @@ impl FaultHandle {
     }
 
     /// Consults the injector at a site: bumps the site counter, fires
-    /// the first matching rule, records it, and returns the action.
+    /// the first matching *functional* rule, records it, and returns
+    /// the action. Timing rules ([`FaultAction::is_timing`]) are
+    /// skipped here — only [`FaultHandle::timing`] fires them — so one
+    /// plan can carry both domains over the same site prefixes.
     pub fn check(&self, site: &str) -> Option<FaultAction> {
         self.0.as_ref()?.check(site)
+    }
+
+    /// Consults the injector at a *timing* site: fires the first
+    /// matching timing rule and resolves it into the perturbation the
+    /// cycle-level DES applies. Functional rules are skipped. Fully
+    /// deterministic per `(plan, site, call)` — jitter draws do not
+    /// depend on threads or wall clock.
+    pub fn timing(&self, site: &str) -> Option<TimingPerturbation> {
+        self.0.as_ref()?.timing(site)
     }
 
     /// The standard call-site gate: sleeps injected delays in place and
@@ -421,6 +648,11 @@ impl FaultHandle {
                 site: site.to_string(),
                 transient: false,
             }),
+            // Timing actions never reach a functional gate (`check`
+            // skips them); tolerate them as no-ops for exhaustiveness.
+            Some(FaultAction::Slowdown(_))
+            | Some(FaultAction::StallCycles(_))
+            | Some(FaultAction::JitterCycles(_)) => Ok(()),
         }
     }
 
@@ -449,30 +681,21 @@ impl FaultHandle {
         self.0.as_ref().map_or(0, |inj| inj.log.lock().len())
     }
 
-    /// The fault log as a JSON document (`condor-faultlog/1`), for CI
-    /// artifact upload when a chaos scenario fails.
+    /// The fault log as a `condor-faultlog/2` JSON document (serialised
+    /// through `condor-cjson`), for CI artifact upload when a chaos
+    /// scenario fails. Old `condor-faultlog/1` dumps remain readable via
+    /// [`journal::parse_dump`].
     pub fn log_json(&self) -> String {
         let (seed, records) = match &self.0 {
             None => (0, Vec::new()),
             Some(inj) => (inj.plan.seed, inj.log.lock().clone()),
         };
-        let mut out = String::from("{\"schema\":\"condor-faultlog/1\",\"seed\":");
-        out.push_str(&seed.to_string());
-        out.push_str(",\"fired\":[");
-        for (i, r) in records.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            // Sites and actions are code-controlled identifiers; escape
-            // quotes/backslashes anyway so the document stays valid.
-            let site = r.site.replace('\\', "\\\\").replace('"', "\\\"");
-            out.push_str(&format!(
-                "{{\"site\":\"{site}\",\"call\":{},\"rule\":{},\"action\":\"{}\"}}",
-                r.call, r.rule, r.action
-            ));
-        }
-        out.push_str("]}");
-        out
+        condor_cjson::to_string(&journal::dump_value(seed, &records))
+    }
+
+    /// The plan's seed (0 for a disabled handle).
+    pub fn seed(&self) -> u64 {
+        self.0.as_ref().map_or(0, |inj| inj.plan.seed)
     }
 }
 
@@ -628,10 +851,97 @@ mod tests {
             .install();
         let _ = h.gate("x.y");
         let json = h.log_json();
-        assert!(json.starts_with("{\"schema\":\"condor-faultlog/1\",\"seed\":9,"));
+        assert!(json.contains("\"schema\":\"condor-faultlog/2\""));
+        assert!(json.contains("\"seed\":9"));
         assert!(json.contains("\"site\":\"x.y\""));
-        assert!(json.ends_with("]}"));
+        let dump = journal::parse_dump(&json).unwrap();
+        assert_eq!(dump.schema_version, 2);
+        assert_eq!(dump.records, h.log());
         // Disabled handles still render a valid (empty) document.
         assert!(FaultHandle::disabled().log_json().contains("\"fired\":[]"));
+    }
+
+    #[test]
+    fn after_calls_is_a_permanent_tail_window() {
+        let h = FaultPlan::new(1)
+            .rule(FaultRule::at("inst.").after_calls(3).fail_permanent())
+            .install();
+        let results: Vec<bool> = (0..6).map(|_| h.gate("inst.call").is_ok()).collect();
+        assert_eq!(results, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn timing_rules_are_invisible_to_functional_gates() {
+        let h = FaultPlan::new(2)
+            .rule(FaultRule::at("dataflow.").always().slowdown(2.0))
+            .install();
+        for _ in 0..10 {
+            assert!(h.gate("dataflow.pe0").is_ok());
+            assert_eq!(h.check("dataflow.pe0"), None);
+        }
+        assert_eq!(
+            h.fired(),
+            0,
+            "functional consults must not fire timing rules"
+        );
+    }
+
+    #[test]
+    fn functional_rules_are_invisible_to_timing_consults() {
+        let h = FaultPlan::new(2)
+            .rule(FaultRule::at("dataflow.").always().fail_permanent())
+            .install();
+        for _ in 0..10 {
+            assert_eq!(h.timing("dataflow.pe0"), None);
+        }
+        assert_eq!(h.fired(), 0);
+        // The same site still fails functionally.
+        assert!(h.gate("dataflow.pe0").is_err());
+    }
+
+    #[test]
+    fn timing_actions_resolve_to_perturbations() {
+        let h = FaultPlan::new(3)
+            .rule(FaultRule::at("a").nth_call(0).slowdown(1.5))
+            .rule(FaultRule::at("b").nth_call(0).stall_cycles(40))
+            .install();
+        let slow = h.timing("a.pe").unwrap();
+        assert_eq!(slow.kind, "slowdown");
+        assert_eq!(slow.slowdown_permille, 1500);
+        assert_eq!(slow.extra_cycles(100), 50);
+        let stall = h.timing("b.pe").unwrap();
+        assert_eq!(stall.kind, "stall");
+        assert_eq!(stall.extra_cycles(100), 40);
+        assert_eq!(h.timing("a.pe"), None, "nth_call(0) fired already");
+        let log = h.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].action, "slowdown");
+        assert_eq!(log[0].arg, 1500);
+        assert_eq!(log[1].action, "stall");
+        assert_eq!(log[1].arg, 40);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let h = FaultPlan::new(seed)
+                .rule(FaultRule::at("dm").always().jitter_cycles(32))
+                .install();
+            (0..64)
+                .map(|_| h.timing("dm.stream").unwrap().stall_cycles)
+                .collect()
+        };
+        let a = draws(11);
+        let b = draws(11);
+        let c = draws(12);
+        assert_eq!(a, b, "same seed must reproduce the same jitter");
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.iter().all(|&d| d <= 32), "jitter bounded by max");
+        assert!(a.iter().any(|&d| d > 0), "jitter not identically zero");
+        // max = 0 degenerates to no jitter.
+        let h = FaultPlan::new(1)
+            .rule(FaultRule::at("dm").always().jitter_cycles(0))
+            .install();
+        assert_eq!(h.timing("dm.x").unwrap().stall_cycles, 0);
     }
 }

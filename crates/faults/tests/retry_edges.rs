@@ -1,0 +1,130 @@
+//! Edge-case coverage for [`condor_faults::retry::RetryPolicy`]:
+//! degenerate attempt bounds, backoff saturation at the cap, and the
+//! deterministic-jitter envelope across a seed sweep.
+
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
+use condor_faults::retry::{MockClock, RetryPolicy, Retryable};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+#[derive(Clone, Debug, PartialEq)]
+struct TestError {
+    transient: bool,
+}
+
+impl Retryable for TestError {
+    fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+#[test]
+fn zero_attempt_policy_clamps_to_one_attempt() {
+    // with_max_attempts(0) must not mean "never call the operation":
+    // the builder clamps to 1, so the op runs exactly once, unretried.
+    let policy = RetryPolicy::default().with_max_attempts(0);
+    assert_eq!(policy.max_attempts, 1);
+    let clock = MockClock::new();
+    let calls = AtomicU32::new(0);
+    let out: Result<(), TestError> = policy.run_with_clock(&clock, || {
+        calls.fetch_add(1, Ordering::SeqCst);
+        Err(TestError { transient: true })
+    });
+    assert!(out.is_err());
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert!(clock.slept().is_empty(), "one attempt never sleeps");
+}
+
+#[test]
+fn one_attempt_policy_never_sleeps_even_on_success() {
+    let policy = RetryPolicy::default().with_max_attempts(1);
+    let clock = MockClock::new();
+    let out: Result<u32, TestError> = policy.run_with_clock(&clock, || Ok(7));
+    assert_eq!(out.unwrap(), 7);
+    assert!(clock.slept().is_empty());
+}
+
+#[test]
+fn a_policy_built_from_raw_zero_attempts_still_runs_once() {
+    // Constructing the struct directly (bypassing the builder clamp)
+    // must still make one attempt — run_with_clock re-clamps.
+    let policy = RetryPolicy {
+        max_attempts: 0,
+        ..RetryPolicy::default()
+    };
+    let clock = MockClock::new();
+    let calls = AtomicU32::new(0);
+    let out: Result<(), TestError> = policy.run_with_clock(&clock, || {
+        calls.fetch_add(1, Ordering::SeqCst);
+        Err(TestError { transient: true })
+    });
+    assert!(out.is_err());
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn backoff_saturates_at_the_cap_for_extreme_attempts() {
+    let policy = RetryPolicy::default()
+        .with_base(Duration::from_millis(7))
+        .with_cap(Duration::from_millis(100))
+        .with_jitter(0.0);
+    // Attempts far past the doubling range (the shift is clamped
+    // internally) must neither overflow nor exceed the cap.
+    for attempt in [4, 10, 20, 21, 31, 63, u32::MAX] {
+        assert_eq!(
+            policy.backoff(attempt),
+            Duration::from_millis(100),
+            "attempt {attempt} must sit at the cap"
+        );
+    }
+    // A cap below the base pins every backoff to the cap.
+    let tight = policy.with_cap(Duration::from_millis(3));
+    assert_eq!(tight.backoff(0), Duration::from_millis(3));
+}
+
+#[test]
+fn jitter_samples_stay_within_half_of_nominal_across_a_seed_sweep() {
+    // The contract: jitter 0.5 scales each nominal delay into
+    // [0.5·nominal, nominal] — i.e. every deterministic sample is
+    // within ±50 % of nominal. Sweep seeds and attempts to check the
+    // envelope holds everywhere, not just for one lucky stream.
+    let base = Duration::from_millis(8);
+    let cap = Duration::from_secs(4);
+    for seed in 0..256u64 {
+        let policy = RetryPolicy::default()
+            .with_base(base)
+            .with_cap(cap)
+            .with_jitter(0.5)
+            .with_seed(seed);
+        for attempt in 0..8u32 {
+            let nominal = base.saturating_mul(1 << attempt).min(cap);
+            let d = policy.backoff(attempt);
+            assert!(
+                d <= nominal,
+                "seed {seed} attempt {attempt}: {d:?} above nominal {nominal:?}"
+            );
+            assert!(
+                d >= nominal.mul_f64(0.5),
+                "seed {seed} attempt {attempt}: {d:?} below the -50% floor"
+            );
+        }
+    }
+}
+
+#[test]
+fn jitter_zero_is_exactly_nominal_and_jitter_one_can_reach_zero() {
+    let exact = RetryPolicy::default()
+        .with_base(Duration::from_millis(16))
+        .with_cap(Duration::from_secs(1))
+        .with_jitter(0.0);
+    assert_eq!(exact.backoff(2), Duration::from_millis(64));
+    // jitter is clamped into [0, 1]; full jitter keeps samples in
+    // [0, nominal].
+    let full = exact.clone().with_jitter(5.0);
+    assert_eq!(full.jitter, 1.0);
+    for seed in 0..64 {
+        let d = full.clone().with_seed(seed).backoff(3);
+        assert!(d <= Duration::from_millis(128));
+    }
+}

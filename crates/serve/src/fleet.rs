@@ -1,0 +1,718 @@
+//! Fleet-level resilience: N independent F1 deployments behind one
+//! submit queue, with instance-level health scoring, automatic
+//! failover of in-flight requests, and background re-provisioning of
+//! failed instances.
+//!
+//! The paper deploys one AFI on one F1 instance; a production service
+//! runs several, because an instance can be lost whole — a crashed
+//! host, a wedged FPGA slot, a revoked spot reservation — taking every
+//! lane of its [`InferenceServer`] with it. This module promotes the
+//! health model one level: where the server quarantines a *lane*, the
+//! [`Fleet`] quarantines an *instance*, migrates the requests that were
+//! riding on it to a healthy peer, and asks its
+//! [`InstanceProvisioner`] for a fresh deployment in the background.
+//!
+//! Lifecycle of a failure:
+//!
+//! 1. a router thread dispatches a request to instance *k* and the
+//!    reply is a terminal backend error (the server already burned its
+//!    in-worker retries);
+//! 2. the fleet records the failure against *k*'s current generation —
+//!    stale reports against an already-replaced generation are ignored
+//!    — and after [`FleetConfig::instance_failure_threshold`]
+//!    consecutive failures marks the instance unhealthy
+//!    (`instance_failed_over`);
+//! 3. the request migrates to the healthiest remaining instance
+//!    (`requests_migrated`) and completes there;
+//! 4. the supervisor thread drains the dead server, waits
+//!    [`FleetConfig::reprovision_backoff`], provisions generation
+//!    *g+1* and swaps it in healthy (`instance_reprovisioned`).
+//!
+//! Every instance generation gets a unique fault-site prefix,
+//! `fleet{replica}g{generation}.`, so a chaos plan can kill exactly
+//! one incarnation: a rule at `fleet0g0.serve.` fails instance 0's
+//! first generation and leaves its replacement alone.
+//!
+//! The ledger invariant of the single server carries over: every
+//! accepted request is answered exactly once, and
+//! `requests_accepted == requests_completed + requests_failed +
+//! requests_timed_out` holds on the final snapshot.
+
+use crate::{InferenceServer, PendingInference, ServeConfig, ServeError};
+use condor::{CondorError, ExecutionBackend, MetricsRegistry, MetricsSnapshot};
+use condor_tensor::Tensor;
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Provisions one instance of the fleet: returns the execution
+/// backends (FPGA slots) of a freshly deployed accelerator for
+/// `replica`, at re-provisioning round `generation`.
+///
+/// Implemented by closures, so a test fleet is one line:
+///
+/// ```ignore
+/// let fleet = Fleet::new(
+///     |_replica, _generation| Ok(deploy().into_backend_boxes()),
+///     FleetConfig::default(),
+/// )?;
+/// ```
+pub trait InstanceProvisioner: Send + Sync {
+    /// Deploys (or re-deploys) one instance.
+    fn provision(
+        &self,
+        replica: usize,
+        generation: u64,
+    ) -> Result<Vec<Box<dyn ExecutionBackend>>, CondorError>;
+}
+
+impl<F> InstanceProvisioner for F
+where
+    F: Fn(usize, u64) -> Result<Vec<Box<dyn ExecutionBackend>>, CondorError> + Send + Sync,
+{
+    fn provision(
+        &self,
+        replica: usize,
+        generation: u64,
+    ) -> Result<Vec<Box<dyn ExecutionBackend>>, CondorError> {
+        self(replica, generation)
+    }
+}
+
+/// Tuning knobs of the fleet supervisor.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Independent instances to provision.
+    pub replicas: usize,
+    /// Fewest healthy instances required to accept new requests; below
+    /// this, [`Fleet::submit`] sheds load with [`ServeError::Overloaded`].
+    pub min_healthy: usize,
+    /// Pause before re-provisioning a failed instance (real AFIs load
+    /// in seconds; tests use milliseconds).
+    pub reprovision_backoff: Duration,
+    /// Consecutive terminal failures before an instance fails over.
+    pub instance_failure_threshold: usize,
+    /// Router threads draining the fleet queue (each carries one
+    /// request end-to-end, migrating it on failure).
+    pub router_threads: usize,
+    /// Bound on the fleet request queue.
+    pub queue_capacity: usize,
+    /// Per-instance serving configuration (the fleet overrides its
+    /// `site_prefix` per instance generation).
+    pub serve: ServeConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            min_healthy: 1,
+            reprovision_backoff: Duration::from_millis(10),
+            instance_failure_threshold: 1,
+            router_threads: 4,
+            queue_capacity: 256,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the instance count.
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        self.replicas = n.max(1);
+        self
+    }
+
+    /// Sets the healthy-instance floor for admission.
+    pub fn with_min_healthy(mut self, n: usize) -> Self {
+        self.min_healthy = n;
+        self
+    }
+
+    /// Sets the pause before re-provisioning a failed instance.
+    pub fn with_reprovision_backoff(mut self, d: Duration) -> Self {
+        self.reprovision_backoff = d;
+        self
+    }
+
+    /// Sets the consecutive-failure threshold for instance failover.
+    pub fn with_instance_failure_threshold(mut self, n: usize) -> Self {
+        self.instance_failure_threshold = n.max(1);
+        self
+    }
+
+    /// Sets the router thread count.
+    pub fn with_router_threads(mut self, n: usize) -> Self {
+        self.router_threads = n.max(1);
+        self
+    }
+
+    /// Sets the fleet queue bound.
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the per-instance serving configuration.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+}
+
+/// One fleet slot: the live server (absent while re-provisioning), its
+/// generation and health record.
+struct InstanceSlot {
+    server: Option<Arc<InferenceServer>>,
+    generation: u64,
+    healthy: bool,
+    consecutive_failures: usize,
+}
+
+/// A request riding the fleet queue.
+struct FleetRequest {
+    tensor: Tensor,
+    deadline: Instant,
+    reply: Sender<Result<Tensor, ServeError>>,
+}
+
+enum SupervisorMsg {
+    /// Replace the named replica if its generation still matches.
+    Reprovision {
+        replica: usize,
+        generation: u64,
+    },
+    Shutdown,
+}
+
+/// State shared by routers, the supervisor and the fleet handle.
+struct FleetShared {
+    slots: Vec<Mutex<InstanceSlot>>,
+    inflight: Vec<AtomicUsize>,
+    metrics: MetricsRegistry,
+    supervisor_tx: Sender<SupervisorMsg>,
+    rr: AtomicUsize,
+    threshold: usize,
+}
+
+impl FleetShared {
+    fn healthy_instances(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                let s = s.lock();
+                s.healthy && s.server.is_some()
+            })
+            .count()
+    }
+
+    /// Picks the healthy instance with the least in-flight work
+    /// (round-robin tie-break); falls back to *any* live instance when
+    /// none is healthy — liveness beats health when there is no healthy
+    /// choice. Returns the slot index, its server and its generation.
+    fn pick(&self, avoid: Option<usize>) -> Option<(usize, Arc<InferenceServer>, u64)> {
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let n = self.slots.len();
+        let mut best: Option<(usize, Arc<InferenceServer>, u64, usize)> = None;
+        let mut fallback: Option<(usize, Arc<InferenceServer>, u64)> = None;
+        for off in 0..n {
+            let i = (start + off) % n;
+            let slot = self.slots[i].lock();
+            let Some(server) = slot.server.as_ref() else {
+                continue;
+            };
+            if Some(i) == avoid && n > 1 {
+                continue;
+            }
+            if !slot.healthy {
+                if fallback.is_none() {
+                    fallback = Some((i, Arc::clone(server), slot.generation));
+                }
+                continue;
+            }
+            let load = self.inflight[i].load(Ordering::SeqCst);
+            if best.as_ref().is_none_or(|b| load < b.3) {
+                best = Some((i, Arc::clone(server), slot.generation, load));
+            }
+        }
+        best.map(|(i, s, g, _)| (i, s, g)).or(fallback)
+    }
+
+    /// Records a terminal failure against `(replica, generation)`. A
+    /// stale generation (the instance was already replaced) is ignored.
+    /// Crossing the threshold marks the instance unhealthy and asks the
+    /// supervisor for a replacement.
+    fn record_failure(&self, replica: usize, generation: u64) {
+        let mut slot = self.slots[replica].lock();
+        if slot.generation != generation {
+            return;
+        }
+        slot.consecutive_failures += 1;
+        if slot.healthy && slot.consecutive_failures >= self.threshold {
+            slot.healthy = false;
+            self.metrics.incr("instance_failed_over", 1);
+            drop(slot);
+            let _ = self.supervisor_tx.send(SupervisorMsg::Reprovision {
+                replica,
+                generation,
+            });
+        }
+    }
+
+    /// Clears the failure streak after a success on `(replica, generation)`.
+    fn record_success(&self, replica: usize, generation: u64) {
+        let mut slot = self.slots[replica].lock();
+        if slot.generation == generation {
+            slot.consecutive_failures = 0;
+        }
+    }
+}
+
+/// A supervisor over N independent accelerator instances.
+///
+/// See the module docs for the failure lifecycle. Metrics (on
+/// [`Fleet::metrics`] / [`Fleet::shutdown`]):
+///
+/// * ledger — `requests_accepted`, `requests_completed`,
+///   `requests_failed`, `requests_timed_out`,
+///   `requests_rejected_overloaded`;
+/// * resilience — `instance_failed_over`, `instance_reprovisioned`,
+///   `requests_migrated`;
+/// * placement — `instance{k}_completed` per replica.
+pub struct Fleet {
+    shared: Arc<FleetShared>,
+    accepting: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+    submit_tx: Option<Sender<FleetRequest>>,
+    routers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    config: FleetConfig,
+    started: Instant,
+}
+
+/// The fault-site prefix of one instance generation.
+fn site_prefix(replica: usize, generation: u64) -> String {
+    format!("fleet{replica}g{generation}.")
+}
+
+/// Builds the server for one instance generation: the shared serve
+/// config with this generation's site prefix.
+fn start_instance(
+    backends: Vec<Box<dyn ExecutionBackend>>,
+    serve: &ServeConfig,
+    replica: usize,
+    generation: u64,
+) -> Result<Arc<InferenceServer>, ServeError> {
+    let config = serve
+        .clone()
+        .with_site_prefix(site_prefix(replica, generation));
+    Ok(Arc::new(InferenceServer::new(backends, config)?))
+}
+
+impl Fleet {
+    /// Provisions `config.replicas` instances and starts routing.
+    pub fn new(
+        provisioner: impl InstanceProvisioner + 'static,
+        config: FleetConfig,
+    ) -> Result<Self, ServeError> {
+        Fleet::with_provisioner(Box::new(provisioner), config)
+    }
+
+    fn with_provisioner(
+        provisioner: Box<dyn InstanceProvisioner>,
+        config: FleetConfig,
+    ) -> Result<Self, ServeError> {
+        if config.replicas == 0 {
+            return Err(ServeError::NoBackends);
+        }
+        let (supervisor_tx, supervisor_rx) = crossbeam_channel::unbounded::<SupervisorMsg>();
+        let mut slots = Vec::with_capacity(config.replicas);
+        let mut inflight = Vec::with_capacity(config.replicas);
+        for replica in 0..config.replicas {
+            let backends = provisioner
+                .provision(replica, 0)
+                .map_err(ServeError::Backend)?;
+            let server = start_instance(backends, &config.serve, replica, 0)?;
+            slots.push(Mutex::new(InstanceSlot {
+                server: Some(server),
+                generation: 0,
+                healthy: true,
+                consecutive_failures: 0,
+            }));
+            inflight.push(AtomicUsize::new(0));
+        }
+        let shared = Arc::new(FleetShared {
+            slots,
+            inflight,
+            metrics: MetricsRegistry::new(),
+            supervisor_tx: supervisor_tx.clone(),
+            rr: AtomicUsize::new(0),
+            threshold: config.instance_failure_threshold.max(1),
+        });
+
+        let accepting = Arc::new(AtomicBool::new(true));
+        let running = Arc::new(AtomicBool::new(true));
+        let (submit_tx, submit_rx) = bounded::<FleetRequest>(config.queue_capacity.max(1));
+        let routers = (0..config.router_threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = submit_rx.clone();
+                let replicas = config.replicas;
+                std::thread::spawn(move || router_loop(shared, rx, replicas))
+            })
+            .collect();
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let running = Arc::clone(&running);
+            let serve = config.serve.clone();
+            let backoff = config.reprovision_backoff;
+            std::thread::spawn(move || {
+                supervisor_loop(shared, supervisor_rx, provisioner, serve, backoff, running)
+            })
+        };
+
+        Ok(Fleet {
+            shared,
+            accepting,
+            running,
+            submit_tx: Some(submit_tx),
+            routers,
+            supervisor: Some(supervisor),
+            config,
+            started: Instant::now(),
+        })
+    }
+
+    /// Instances currently healthy and serving.
+    pub fn healthy_instances(&self) -> usize {
+        self.shared.healthy_instances()
+    }
+
+    /// Submits one image with the default timeout.
+    pub fn submit(&self, tensor: Tensor) -> Result<PendingInference, ServeError> {
+        self.submit_with_timeout(tensor, self.config.serve.default_timeout)
+    }
+
+    /// Submits one image with an explicit deadline. Sheds load when the
+    /// fleet queue is full or fewer than [`FleetConfig::min_healthy`]
+    /// instances are healthy.
+    pub fn submit_with_timeout(
+        &self,
+        tensor: Tensor,
+        timeout: Duration,
+    ) -> Result<PendingInference, ServeError> {
+        if !self.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if self.shared.healthy_instances() < self.config.min_healthy {
+            self.shared.metrics.incr("requests_rejected_overloaded", 1);
+            return Err(ServeError::Overloaded);
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .expect("sender lives until shutdown");
+        let (reply_tx, reply_rx) = bounded(1);
+        let request = FleetRequest {
+            tensor,
+            deadline: Instant::now() + timeout,
+            reply: reply_tx,
+        };
+        match tx.try_send(request) {
+            Ok(()) => {
+                self.shared.metrics.incr("requests_accepted", 1);
+                Ok(PendingInference { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.incr("requests_rejected_overloaded", 1);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits one image and blocks for its result.
+    pub fn infer(&self, tensor: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(tensor)?.wait()
+    }
+
+    /// Live fleet metrics (ledger, resilience counters, throughput).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.snapshot();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            snap.gauges.insert(
+                "throughput_rps".into(),
+                snap.counter("requests_completed") as f64 / elapsed,
+            );
+        }
+        snap
+    }
+
+    /// Stops accepting requests, drains the queue (every accepted
+    /// request still gets its reply), retires every instance and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        self.running.store(false, Ordering::SeqCst);
+        drop(self.submit_tx.take());
+        for r in self.routers.drain(..) {
+            let _ = r.join();
+        }
+        let _ = self.shared.supervisor_tx.send(SupervisorMsg::Shutdown);
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        for slot in self.shared.slots.iter() {
+            let server = slot.lock().server.take();
+            // The last Arc drop drains the instance (its Drop joins all
+            // threads after answering every accepted request).
+            drop(server);
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        if self.supervisor.is_some() || !self.routers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// One router thread: carries each fleet request end-to-end, failing
+/// over to another instance when the serving one dies under it.
+fn router_loop(shared: Arc<FleetShared>, rx: Receiver<FleetRequest>, replicas: usize) {
+    while let Ok(request) = rx.recv() {
+        route_one(&shared, request, replicas);
+    }
+}
+
+fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) {
+    // One try per replica plus one: enough to walk off a dying instance
+    // onto every peer without looping forever under a total outage.
+    let budget = replicas + 1;
+    let mut avoid: Option<usize> = None;
+    let mut last_err = ServeError::Timeout;
+    for attempt in 0..budget {
+        let now = Instant::now();
+        if now >= request.deadline {
+            shared.metrics.incr("requests_timed_out", 1);
+            let _ = request.reply.send(Err(ServeError::Timeout));
+            return;
+        }
+        let Some((idx, server, generation)) = shared.pick(avoid) else {
+            // Nothing live right now (everything mid-reprovision): wait
+            // a beat and retry until the deadline decides.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        shared.inflight[idx].fetch_add(1, Ordering::SeqCst);
+        let outcome = server
+            .submit_with_timeout(request.tensor.clone(), request.deadline - now)
+            .and_then(PendingInference::wait);
+        shared.inflight[idx].fetch_sub(1, Ordering::SeqCst);
+        drop(server);
+        match outcome {
+            Ok(output) => {
+                shared.record_success(idx, generation);
+                shared.metrics.incr("requests_completed", 1);
+                shared.metrics.incr(&format!("instance{idx}_completed"), 1);
+                let _ = request.reply.send(Ok(output));
+                return;
+            }
+            Err(e) => {
+                match &e {
+                    // The instance failed the request outright: score it
+                    // and fail over.
+                    ServeError::Backend(_) | ServeError::Disconnected => {
+                        shared.record_failure(idx, generation);
+                    }
+                    // Congestion or a draining server: migrate without
+                    // a health penalty.
+                    ServeError::Overloaded | ServeError::ShuttingDown => {}
+                    // The deadline expired inside the instance; the
+                    // outer loop re-checks it and answers.
+                    ServeError::Timeout => {}
+                    ServeError::NoBackends => {}
+                }
+                if attempt + 1 < budget {
+                    shared.metrics.incr("requests_migrated", 1);
+                }
+                avoid = Some(idx);
+                last_err = e;
+            }
+        }
+    }
+    match last_err {
+        ServeError::Timeout => {
+            shared.metrics.incr("requests_timed_out", 1);
+            let _ = request.reply.send(Err(ServeError::Timeout));
+        }
+        other => {
+            shared.metrics.incr("requests_failed", 1);
+            let _ = request.reply.send(Err(other));
+        }
+    }
+}
+
+/// The supervisor thread: retires failed instances and provisions
+/// their replacements.
+fn supervisor_loop(
+    shared: Arc<FleetShared>,
+    rx: Receiver<SupervisorMsg>,
+    provisioner: Box<dyn InstanceProvisioner>,
+    serve: ServeConfig,
+    backoff: Duration,
+    running: Arc<AtomicBool>,
+) {
+    while let Ok(msg) = rx.recv() {
+        let (replica, generation) = match msg {
+            SupervisorMsg::Shutdown => break,
+            SupervisorMsg::Reprovision {
+                replica,
+                generation,
+            } => (replica, generation),
+        };
+        // Retire the failed generation. A stale message (the slot moved
+        // on) is dropped.
+        let old = {
+            let mut slot = shared.slots[replica].lock();
+            if slot.generation != generation {
+                continue;
+            }
+            slot.server.take()
+        };
+        // Routers may still hold clones; the drain runs when the last
+        // one lets go.
+        drop(old);
+
+        let next_gen = generation + 1;
+        loop {
+            if !running.load(Ordering::SeqCst) {
+                return;
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            match provisioner
+                .provision(replica, next_gen)
+                .map_err(ServeError::Backend)
+                .and_then(|b| start_instance(b, &serve, replica, next_gen))
+            {
+                Ok(server) => {
+                    let mut slot = shared.slots[replica].lock();
+                    slot.server = Some(server);
+                    slot.generation = next_gen;
+                    slot.healthy = true;
+                    slot.consecutive_failures = 0;
+                    shared.metrics.incr("instance_reprovisioned", 1);
+                    break;
+                }
+                Err(_) => {
+                    shared.metrics.incr("instance_reprovision_failed", 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::CpuBackend;
+    use condor_nn::{dataset, zoo};
+
+    fn quick_config() -> FleetConfig {
+        FleetConfig::default().with_serve(
+            ServeConfig::default()
+                .with_batch_window(Duration::from_millis(1))
+                .with_default_timeout(Duration::from_secs(20)),
+        )
+    }
+
+    #[test]
+    fn fleet_spreads_requests_and_balances_the_ledger() {
+        let net = zoo::tc1_weighted(3);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config().with_replicas(2),
+        )
+        .unwrap();
+        assert_eq!(fleet.healthy_instances(), 2);
+        for s in dataset::usps_like(8, 3) {
+            let out = fleet.infer(s.image).unwrap();
+            assert_eq!(out.shape().c, 10);
+        }
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_accepted"), 8);
+        assert_eq!(snap.counter("requests_completed"), 8);
+        assert_eq!(snap.counter("instance_failed_over"), 0);
+        assert_eq!(snap.counter("requests_migrated"), 0);
+    }
+
+    #[test]
+    fn min_healthy_floor_sheds_new_load() {
+        let net = zoo::tc1_weighted(4);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config().with_replicas(1).with_min_healthy(2),
+        )
+        .unwrap();
+        // One healthy instance < floor of two: admission sheds.
+        let err = fleet.submit(dataset::usps_like(1, 4).remove(0).image);
+        assert!(matches!(err, Err(ServeError::Overloaded)));
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_accepted"), 0);
+        assert!(snap.counter("requests_rejected_overloaded") >= 1);
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        let net = zoo::tc1_weighted(5);
+        let config = FleetConfig {
+            replicas: 0,
+            ..quick_config()
+        };
+        let err = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            config,
+        );
+        assert!(matches!(err, Err(ServeError::NoBackends)));
+    }
+
+    #[test]
+    fn provisioner_failure_at_startup_surfaces() {
+        let err = Fleet::new(
+            |_: usize, _: u64| Err(CondorError::new("deploy", "no capacity")),
+            quick_config(),
+        );
+        assert!(matches!(err, Err(ServeError::Backend(e)) if e.message.contains("no capacity")));
+    }
+
+    #[test]
+    fn dropping_a_fleet_drains_without_shutdown() {
+        let net = zoo::tc1_weighted(6);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config(),
+        )
+        .unwrap();
+        let pending = fleet
+            .submit(dataset::usps_like(1, 6).remove(0).image)
+            .unwrap();
+        drop(fleet);
+        // The dropped fleet still answered the accepted request.
+        assert!(pending.wait().is_ok());
+    }
+}

@@ -61,8 +61,10 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+pub mod fleet;
 
 pub use cpu::CpuBackend;
+pub use fleet::{Fleet, FleetConfig, InstanceProvisioner};
 
 use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
@@ -103,6 +105,11 @@ pub struct ServeConfig {
     /// Fault injection over the dispatch path (sites
     /// `serve.backend{i}`; disabled by default).
     pub faults: FaultHandle,
+    /// Prefix prepended to every fault site this server consults
+    /// (empty by default). A fleet supervisor sets
+    /// `fleet{replica}g{generation}.` so one plan can target a single
+    /// instance generation — e.g. `fleet0g0.serve.backend1`.
+    pub site_prefix: String,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +124,7 @@ impl Default for ServeConfig {
             backend_attempts: 2,
             backend_backoff: Duration::from_micros(500),
             faults: FaultHandle::disabled(),
+            site_prefix: String::new(),
         }
     }
 }
@@ -178,6 +186,12 @@ impl ServeConfig {
     /// Shares an already-installed fault handle.
     pub fn with_faults(mut self, faults: FaultHandle) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Prefixes every fault site this server consults.
+    pub fn with_site_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.site_prefix = prefix.into();
         self
     }
 }
@@ -592,7 +606,7 @@ fn worker_loop(
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
 ) {
-    let site = format!("serve.backend{idx}");
+    let site = format!("{}serve.backend{idx}", config.site_prefix);
     while let Ok(batch) = rx.recv() {
         let n = batch.len();
         // Deadline escalation: requests that expired while waiting on

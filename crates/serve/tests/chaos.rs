@@ -14,7 +14,7 @@
 //! The default matrix is seeds `0..64`. `CONDOR_CHAOS_SEEDS` overrides
 //! it (`"256"` for `0..256`, `"100-163"` for an inclusive range), which
 //! is how the CI chaos job widens the sweep. On failure the fault log
-//! is written to `target/chaos/seed-{seed}.json` for artifact upload.
+//! is written to `target/tmp/chaos/{test}-seed-{seed}.json` for artifact upload.
 
 #![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
 
@@ -97,13 +97,13 @@ fn chaos_plan(seed: u64) -> FaultPlan {
 
 /// Runs one full chaos scenario for a seed; panics (after dumping the
 /// fault log) when an invariant breaks.
-fn chaos_scenario(seed: u64) {
+fn chaos_scenario(test: &str, seed: u64) {
     let handle = chaos_plan(seed).install();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         chaos_scenario_inner(seed, handle.clone());
     }));
     if let Err(panic) = result {
-        dump_fault_log(seed, &handle);
+        dump_fault_log(test, seed, &handle);
         std::panic::resume_unwind(panic);
     }
 }
@@ -174,10 +174,17 @@ fn chaos_scenario_inner(seed: u64, handle: FaultHandle) {
     assert_eq!(snap.counter("requests_accepted"), accepted);
 }
 
-fn dump_fault_log(seed: u64, handle: &FaultHandle) {
-    let dir = std::path::Path::new("target").join("chaos");
+/// Dump names are unique per `(test, seed)` so two suites sweeping the
+/// same seed window cannot clobber each other's artifacts, and
+/// `create_dir_all` makes the directory race-free under `cargo test`'s
+/// parallel runners (concurrent creation is not an error). The dumps
+/// live under the *workspace* target dir (`CARGO_TARGET_TMPDIR`), not
+/// the package-relative `target/` cargo runs tests in, so the CI
+/// artifact glob finds them.
+fn dump_fault_log(test: &str, seed: u64, handle: &FaultHandle) {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos");
     if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("seed-{seed}.json"));
+        let path = dir.join(format!("{test}-seed-{seed}.json"));
         let _ = std::fs::write(&path, handle.log_json());
         eprintln!("chaos: fault log written to {}", path.display());
     }
@@ -203,7 +210,7 @@ fn with_watchdog(seed: u64, f: impl FnOnce() + Send + 'static) {
 #[test]
 fn chaos_seed_matrix_resolves_every_request() {
     for seed in seed_matrix() {
-        with_watchdog(seed, move || chaos_scenario(seed));
+        with_watchdog(seed, move || chaos_scenario("seed-matrix", seed));
     }
 }
 
@@ -300,6 +307,6 @@ proptest! {
     /// proptest's own case generation).
     #[test]
     fn chaos_any_seed_resolves(seed in 0u64..(1 << 32)) {
-        with_watchdog(seed, move || chaos_scenario(seed));
+        with_watchdog(seed, move || chaos_scenario("any-seed", seed));
     }
 }
