@@ -27,9 +27,10 @@ pub mod text;
 pub mod wire;
 
 pub use model::{
-    BlobProto, BlobShape, ConvolutionParameter, InnerProductParameter, InputParameter,
-    LayerParameter, NetParameter, PoolMethod, PoolingParameter,
+    BlobProto, BlobShape, ConcatParameter, ConvolutionParameter, EltwiseOperation,
+    EltwiseParameter, InnerProductParameter, InputParameter, LayerParameter, NetParameter,
+    PoolMethod, PoolingParameter,
 };
-pub use text::{TextError, TextMessage, TextScalar, TextValue};
+pub use text::{TextError, TextErrorKind, TextMessage, TextScalar, TextValue};
 
 pub use wire::{WireError, WireReader, WireType, WireWriter};

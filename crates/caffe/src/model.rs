@@ -392,6 +392,136 @@ impl InnerProductParameter {
     }
 }
 
+/// Element-wise operation selection (`EltwiseParameter.EltwiseOp`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EltwiseOperation {
+    /// `PROD = 0` — element-wise product.
+    Prod,
+    /// `SUM = 1` — element-wise sum, the Caffe default.
+    #[default]
+    Sum,
+    /// `MAX = 2` — element-wise maximum.
+    Max,
+}
+
+impl EltwiseOperation {
+    fn from_enum(v: u64) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(EltwiseOperation::Prod),
+            1 => Ok(EltwiseOperation::Sum),
+            2 => Ok(EltwiseOperation::Max),
+            other => Err(WireError::new(format!("unknown eltwise operation {other}"))),
+        }
+    }
+
+    fn to_enum(self) -> u64 {
+        match self {
+            EltwiseOperation::Prod => 0,
+            EltwiseOperation::Sum => 1,
+            EltwiseOperation::Max => 2,
+        }
+    }
+
+    /// The prototxt enum identifier.
+    pub fn caffe_name(self) -> &'static str {
+        match self {
+            EltwiseOperation::Prod => "PROD",
+            EltwiseOperation::Sum => "SUM",
+            EltwiseOperation::Max => "MAX",
+        }
+    }
+}
+
+/// `EltwiseParameter` (`operation = 1`). The repeated `coeff = 2` field
+/// is rejected rather than skipped: ignoring coefficients would silently
+/// change the layer's arithmetic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EltwiseParameter {
+    /// Merge operator applied across the bottoms.
+    pub operation: EltwiseOperation,
+}
+
+impl EltwiseParameter {
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.operation.to_enum());
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(data);
+        let mut p = EltwiseParameter::default();
+        while let Some((field, wt)) = r.next_field()? {
+            match field {
+                1 => p.operation = EltwiseOperation::from_enum(r.read_varint()?)?,
+                2 => return Err(WireError::new("eltwise coefficients are not supported")),
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(p)
+    }
+
+    fn from_text(m: &TextMessage) -> Result<Self, TextError> {
+        if !m.all("coeff").is_empty() {
+            return Err(TextError::schema("eltwise coefficients are not supported"));
+        }
+        let operation = match m.ident_or("operation", "SUM")?.as_str() {
+            "PROD" => EltwiseOperation::Prod,
+            "SUM" => EltwiseOperation::Sum,
+            "MAX" => EltwiseOperation::Max,
+            other => {
+                return Err(TextError::schema(format!(
+                    "unknown eltwise operation '{other}'"
+                )))
+            }
+        };
+        Ok(EltwiseParameter { operation })
+    }
+}
+
+/// `ConcatParameter` (`axis = 2`, legacy `concat_dim = 1`).
+///
+/// Condor only executes channel concatenation (`axis = 1`, the Caffe
+/// default); other axes parse here and are rejected by the frontend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcatParameter {
+    /// Concatenation axis (1 = channels in NCHW).
+    pub axis: i32,
+}
+
+impl Default for ConcatParameter {
+    fn default() -> Self {
+        ConcatParameter { axis: 1 }
+    }
+}
+
+impl ConcatParameter {
+    fn encode(&self, w: &mut WireWriter) {
+        if self.axis != 1 {
+            w.int(2, self.axis as i64);
+        }
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(data);
+        let mut p = ConcatParameter::default();
+        while let Some((field, wt)) = r.next_field()? {
+            match field {
+                1 => p.axis = r.read_varint()? as i32,
+                2 => p.axis = r.read_varint()? as i32,
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(p)
+    }
+
+    fn from_text(m: &TextMessage) -> Result<Self, TextError> {
+        let axis = match m.single("axis")? {
+            Some(_) => m.uint_or("axis", 1)? as i32,
+            None => m.uint_or("concat_dim", 1)? as i32,
+        };
+        Ok(ConcatParameter { axis })
+    }
+}
+
 /// `InputParameter` (`shape = 1`, repeated `BlobShape`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InputParameter {
@@ -433,8 +563,12 @@ pub struct LayerParameter {
     pub top: Vec<String>,
     /// Learned blobs: weights then bias (`blobs = 7`).
     pub blobs: Vec<BlobProto>,
+    /// `concat_param = 104`.
+    pub concat_param: Option<ConcatParameter>,
     /// `convolution_param = 106`.
     pub convolution_param: Option<ConvolutionParameter>,
+    /// `eltwise_param = 110`.
+    pub eltwise_param: Option<EltwiseParameter>,
     /// `inner_product_param = 117`.
     pub inner_product_param: Option<InnerProductParameter>,
     /// `pooling_param = 121`.
@@ -458,8 +592,14 @@ impl LayerParameter {
         for blob in &self.blobs {
             w.message(7, |inner| blob.encode(inner));
         }
+        if let Some(p) = &self.concat_param {
+            w.message(104, |inner| p.encode(inner));
+        }
         if let Some(p) = &self.convolution_param {
             w.message(106, |inner| p.encode(inner));
+        }
+        if let Some(p) = &self.eltwise_param {
+            w.message(110, |inner| p.encode(inner));
         }
         if let Some(p) = &self.inner_product_param {
             w.message(117, |inner| p.encode(inner));
@@ -485,9 +625,11 @@ impl LayerParameter {
                 3 => layer.bottom.push(r.read_string()?),
                 4 => layer.top.push(r.read_string()?),
                 7 => layer.blobs.push(BlobProto::decode(r.read_bytes()?)?),
+                104 => layer.concat_param = Some(ConcatParameter::decode(r.read_bytes()?)?),
                 106 => {
                     layer.convolution_param = Some(ConvolutionParameter::decode(r.read_bytes()?)?)
                 }
+                110 => layer.eltwise_param = Some(EltwiseParameter::decode(r.read_bytes()?)?),
                 117 => {
                     layer.inner_product_param =
                         Some(InnerProductParameter::decode(r.read_bytes()?)?)
@@ -519,8 +661,14 @@ impl LayerParameter {
             top: m.strings("top")?,
             ..LayerParameter::default()
         };
+        if let Some(p) = m.message("concat_param")? {
+            layer.concat_param = Some(ConcatParameter::from_text(p)?);
+        }
         if let Some(p) = m.message("convolution_param")? {
             layer.convolution_param = Some(ConvolutionParameter::from_text(p)?);
+        }
+        if let Some(p) = m.message("eltwise_param")? {
+            layer.eltwise_param = Some(EltwiseParameter::from_text(p)?);
         }
         if let Some(p) = m.message("inner_product_param")? {
             layer.inner_product_param = Some(InnerProductParameter::from_text(p)?);
@@ -629,12 +777,37 @@ impl NetParameter {
         for layer_msg in root.messages("layer")? {
             net.layer.push(LayerParameter::from_text(layer_msg)?);
         }
+        net.check_blob_wiring()?;
         Ok(net)
     }
 
     /// The layer with the given name, if any.
     pub fn layer_by_name(&self, name: &str) -> Option<&LayerParameter> {
         self.layer.iter().find(|l| l.name == name)
+    }
+
+    /// Checks that every layer's `bottom` names a blob declared by an
+    /// earlier layer's `top` or a top-level `input`.
+    ///
+    /// Caffe itself aborts on such nets at load time; historically this
+    /// crate accepted them silently (the linear frontend never looked at
+    /// blob names). Now that blob wiring *is* the topology, a dangling
+    /// bottom is a typed error naming the offending layer
+    /// ([`crate::text::TextErrorKind::UndeclaredBottom`]).
+    pub fn check_blob_wiring(&self) -> Result<(), TextError> {
+        let mut declared: std::collections::BTreeSet<&str> =
+            self.input.iter().map(String::as_str).collect();
+        for l in &self.layer {
+            for b in &l.bottom {
+                if !declared.contains(b.as_str()) {
+                    return Err(TextError::undeclared_bottom(&l.name, b));
+                }
+            }
+            for t in &l.top {
+                declared.insert(t);
+            }
+        }
+        Ok(())
     }
 
     /// Serialises to prototxt text (topology only — blobs never appear
@@ -707,6 +880,16 @@ impl LayerParameter {
                 pp.push_num("pad", p.pad as f64);
             }
             m.push_message("pooling_param", pp);
+        }
+        if let Some(p) = &self.eltwise_param {
+            let mut ep = TextMessage::default();
+            ep.push_ident("operation", p.operation.caffe_name());
+            m.push_message("eltwise_param", ep);
+        }
+        if let Some(p) = &self.concat_param {
+            let mut cp = TextMessage::default();
+            cp.push_num("axis", p.axis as f64);
+            m.push_message("concat_param", cp);
         }
         if let Some(p) = &self.inner_product_param {
             let mut ip = TextMessage::default();
@@ -916,6 +1099,104 @@ mod tests {
         let net = sample_net();
         assert!(net.layer_by_name("conv1").is_some());
         assert!(net.layer_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn eltwise_and_concat_params_roundtrip_binary() {
+        let net = NetParameter {
+            name: "merge".into(),
+            layer: vec![
+                LayerParameter {
+                    name: "join".into(),
+                    type_: "Eltwise".into(),
+                    bottom: vec!["a".into(), "b".into()],
+                    top: vec!["join".into()],
+                    eltwise_param: Some(EltwiseParameter {
+                        operation: EltwiseOperation::Max,
+                    }),
+                    ..LayerParameter::default()
+                },
+                LayerParameter {
+                    name: "cat".into(),
+                    type_: "Concat".into(),
+                    bottom: vec!["a".into(), "join".into()],
+                    top: vec!["cat".into()],
+                    concat_param: Some(ConcatParameter::default()),
+                    ..LayerParameter::default()
+                },
+            ],
+            ..NetParameter::default()
+        };
+        let back = NetParameter::decode(&net.encode()).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn eltwise_coefficients_rejected() {
+        let mut w = WireWriter::new();
+        w.float(2, 0.5); // coeff
+        assert!(EltwiseParameter::decode(&w.into_bytes())
+            .unwrap_err()
+            .message
+            .contains("coefficients"));
+    }
+
+    #[test]
+    fn undeclared_bottom_is_a_typed_error() {
+        use crate::text::TextErrorKind;
+        // `conv1` reads blob "datum", but the input layer declares "data".
+        let doc = r#"
+name: "broken"
+layer {
+  name: "data"
+  type: "Input"
+  top: "data"
+  input_param { shape: { dim: 1 dim: 1 dim: 8 dim: 8 } }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "datum"
+  top: "conv1"
+  convolution_param { num_output: 2 kernel_size: 3 }
+}
+"#;
+        let err = NetParameter::from_prototxt(doc).unwrap_err();
+        assert_eq!(err.kind, TextErrorKind::UndeclaredBottom);
+        assert!(err.message.contains("conv1"), "{}", err.message);
+        assert!(err.message.contains("datum"), "{}", err.message);
+    }
+
+    #[test]
+    fn top_level_inputs_and_in_place_tops_satisfy_wiring() {
+        // Legacy `input:` declaration plus an in-place layer
+        // (bottom == top) both count as declared blobs.
+        let doc = r#"
+name: "legacy"
+input: "data"
+input_dim: 1 input_dim: 1 input_dim: 8 input_dim: 8
+layer {
+  name: "ip"
+  type: "InnerProduct"
+  bottom: "data"
+  top: "ip"
+  inner_product_param { num_output: 4 }
+}
+layer {
+  name: "relu"
+  type: "ReLU"
+  bottom: "ip"
+  top: "ip"
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip"
+  top: "ip2"
+  inner_product_param { num_output: 2 }
+}
+"#;
+        assert!(NetParameter::from_prototxt(doc).is_ok());
     }
 }
 

@@ -9,6 +9,17 @@
 
 use std::fmt;
 
+/// Machine-readable classification of a prototxt failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TextErrorKind {
+    /// Tokenisation, grammar or schema-shape failure.
+    #[default]
+    Syntax,
+    /// A layer's `bottom` names a blob that no earlier layer's `top`
+    /// (nor a top-level `input`) declared.
+    UndeclaredBottom,
+}
+
 /// A parse or schema-validation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TextError {
@@ -16,6 +27,8 @@ pub struct TextError {
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// Machine-readable classification.
+    pub kind: TextErrorKind,
 }
 
 impl TextError {
@@ -23,6 +36,7 @@ impl TextError {
         TextError {
             line,
             message: message.into(),
+            kind: TextErrorKind::Syntax,
         }
     }
 
@@ -31,6 +45,19 @@ impl TextError {
         TextError {
             line: 0,
             message: message.into(),
+            kind: TextErrorKind::Syntax,
+        }
+    }
+
+    /// Layer `layer` reads blob `blob` that nothing declared.
+    pub fn undeclared_bottom(layer: &str, blob: &str) -> Self {
+        TextError {
+            line: 0,
+            message: format!(
+                "layer '{layer}' reads bottom blob '{blob}', but no earlier layer \
+                 (nor a top-level input) declares it"
+            ),
+            kind: TextErrorKind::UndeclaredBottom,
         }
     }
 }

@@ -77,8 +77,8 @@ fn layer_strategy() -> impl Strategy<Value = LayerParameter> {
                 convolution_param: conv,
                 pooling_param: pool,
                 inner_product_param: ip,
-                input_param: None,
                 relu_negative_slope: if type_ == "ReLU" { slope } else { 0.0 },
+                ..LayerParameter::default()
             },
         )
 }

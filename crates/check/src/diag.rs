@@ -42,7 +42,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// Grouped by pass: `C00x` network structure, `C01x` shape/stream
-/// typing, `C02x` SDF/FIFO analysis, `C03x` resource budgets.
+/// typing, `C02x` SDF/FIFO analysis, `C03x` resource budgets, `C04x`
+/// dataflow-graph (DAG) structure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Network has no computational layers.
@@ -94,6 +95,18 @@ pub enum Code {
     C033,
     /// The plan names a board missing from the catalog.
     C034,
+    /// A non-output node's result is consumed by no one (dangling
+    /// branch — its compute would be synthesised and thrown away).
+    C040,
+    /// A merge layer's input shapes disagree (concat spatial extents,
+    /// eltwise operand shapes).
+    C041,
+    /// A node's fan-in is impossible for its kind (merge with one
+    /// input, unary layer with two, `Input` with any).
+    C042,
+    /// The two sides of a fork/join produce tokens at different rates,
+    /// forcing the join to stall and buffer (SDF rate imbalance).
+    C043,
 }
 
 impl Code {
@@ -123,6 +136,10 @@ impl Code {
         Code::C032,
         Code::C033,
         Code::C034,
+        Code::C040,
+        Code::C041,
+        Code::C042,
+        Code::C043,
     ];
 
     /// The stable code string (`"C011"`).
@@ -152,6 +169,10 @@ impl Code {
             Code::C032 => "C032",
             Code::C033 => "C033",
             Code::C034 => "C034",
+            Code::C040 => "C040",
+            Code::C041 => "C041",
+            Code::C042 => "C042",
+            Code::C043 => "C043",
         }
     }
 
@@ -183,13 +204,19 @@ impl Code {
             Code::C032 => "utilisation above 90%",
             Code::C033 => "requested clock not achievable",
             Code::C034 => "unknown board",
+            Code::C040 => "dangling node (result never consumed)",
+            Code::C041 => "merge input shapes disagree",
+            Code::C042 => "impossible fan-in for layer kind",
+            Code::C043 => "unbalanced fork/join token rates",
         }
     }
 
     /// The severity this code reports at.
     pub fn severity(self) -> Severity {
         match self {
-            Code::C014 | Code::C022 | Code::C027 | Code::C032 | Code::C033 => Severity::Warning,
+            Code::C014 | Code::C022 | Code::C027 | Code::C032 | Code::C033 | Code::C043 => {
+                Severity::Warning
+            }
             Code::C026 => Severity::Note,
             _ => Severity::Error,
         }
@@ -205,6 +232,8 @@ impl Code {
             NnErrorKind::Shape(ShapeErrorKind::BadHyperParam) => Code::C010,
             NnErrorKind::Shape(ShapeErrorKind::WindowExceedsInput) => Code::C011,
             NnErrorKind::Shape(ShapeErrorKind::NonFlatStream) => Code::C012,
+            NnErrorKind::Shape(ShapeErrorKind::MergeMismatch) => Code::C041,
+            NnErrorKind::Shape(ShapeErrorKind::WrongArity) | NnErrorKind::BadFanIn => Code::C042,
             NnErrorKind::WeightShape => Code::C013,
             NnErrorKind::MissingWeights => Code::C014,
             NnErrorKind::InputMismatch => Code::C015,
@@ -459,6 +488,21 @@ mod tests {
             Code::from_dataflow_kind(DataflowErrorKind::Plan),
             Code::C021
         );
+    }
+
+    #[test]
+    fn dag_codes_map_from_graph_errors() {
+        assert_eq!(
+            Code::from_nn_kind(NnErrorKind::Shape(ShapeErrorKind::MergeMismatch)),
+            Code::C041
+        );
+        assert_eq!(
+            Code::from_nn_kind(NnErrorKind::Shape(ShapeErrorKind::WrongArity)),
+            Code::C042
+        );
+        assert_eq!(Code::from_nn_kind(NnErrorKind::BadFanIn), Code::C042);
+        assert_eq!(Code::C040.severity(), Severity::Error);
+        assert_eq!(Code::C043.severity(), Severity::Warning);
     }
 
     #[test]

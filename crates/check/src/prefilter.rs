@@ -108,6 +108,14 @@ impl PlanBounds {
                 LayerKind::ReLU { .. } | LayerKind::Sigmoid | LayerKind::TanH => {
                     layers.push(LayerBound::Activation);
                 }
+                // Stream merges synthesize to routing plus at most one
+                // ALU op per lane — the synth model charges them exactly
+                // one activation-stage worth of LUTs (plus DSPs only for
+                // the multiplying Eltwise, which the bound soundly
+                // under-counts at zero).
+                LayerKind::Concat | LayerKind::Eltwise { .. } => {
+                    layers.push(LayerBound::Activation);
+                }
                 LayerKind::Softmax { .. } => {
                     layers.push(LayerBound::Softmax);
                 }

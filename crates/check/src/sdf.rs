@@ -18,7 +18,10 @@
 //!   structural deadlock (C024);
 //! * the plan's layer topology must agree with the network it claims
 //!   to implement (C025), and every rate parameter must be positive
-//!   (C021).
+//!   (C021);
+//! * on DAG-shaped plans, the branches feeding a join should produce
+//!   tokens at the same rate — an imbalance means the join runs at the
+//!   slowest branch and the faster side stalls (C043, warning).
 
 use crate::diag::{Code, Diagnostic, Diagnostics};
 use condor_dataflow::{AcceleratorPlan, PePlan};
@@ -63,6 +66,43 @@ pub fn check_plan(
         });
     if rates_ok {
         check_datamover_balance(plan, diags);
+        check_branch_balance(plan, diags);
+    }
+}
+
+/// Warns when a join's upstream branches produce tokens at different
+/// rates (C043). The join consumes one element per cycle from every
+/// input, so the faster branch stalls against its FIFO while the slower
+/// one catches up — the merge runs at the slowest branch's rate.
+fn check_branch_balance(plan: &AcceleratorPlan, diags: &mut Diagnostics) {
+    for pe in &plan.pes {
+        if pe.inputs.len() < 2 {
+            continue;
+        }
+        let rates: Vec<u64> = pe
+            .inputs
+            .iter()
+            .filter_map(|&i| plan.pes.get(i))
+            .map(PePlan::cycles_per_image)
+            .collect();
+        let (min, max) = match (rates.iter().min(), rates.iter().max()) {
+            (Some(&min), Some(&max)) => (min, max),
+            _ => continue,
+        };
+        if max > min {
+            diags.push(
+                Diagnostic::new(
+                    Code::C043,
+                    format!(
+                        "join input branches produce at {rates:?} cycles/image: \
+                         the faster branch idles {} cycle(s) per image at the merge",
+                        max - min
+                    ),
+                )
+                .at(pe.name.clone())
+                .hint("raise the slow branch's parallelism so both sides of the fork keep pace"),
+            );
+        }
     }
 }
 
@@ -209,13 +249,13 @@ fn check_topology(
             diags.push(Diagnostic::new(Code::C025, "PE implements no layers").at(pe.name.clone()));
         }
     }
-    // Every planned layer must point at the matching network layer.
+    // Every planned layer must point at the matching network node.
     for pl in &planned {
-        let Some(layer) = net.layers.get(pl.index) else {
+        let Some(layer) = net.node(pl.node) else {
             diags.push(
                 Diagnostic::new(
                     Code::C025,
-                    format!("planned layer index {} is outside the network", pl.index),
+                    format!("planned layer node {} is outside the network", pl.node),
                 )
                 .at(pl.name.clone()),
             );
@@ -226,8 +266,8 @@ fn check_topology(
                 Diagnostic::new(
                     Code::C025,
                     format!(
-                        "planned layer disagrees with network layer {} ('{}')",
-                        pl.index, layer.name
+                        "planned layer disagrees with network node {} ('{}')",
+                        pl.node, layer.name
                     ),
                 )
                 .at(pl.name.clone())
@@ -236,7 +276,7 @@ fn check_topology(
             continue;
         }
         // Shapes must match what inference established (when it did).
-        if let Some(Some(want_in)) = ins.get(pl.index) {
+        if let Some(Some(want_in)) = ins.get(pl.node.index()) {
             if pl.input != *want_in {
                 diags.push(
                     Diagnostic::new(
@@ -272,7 +312,7 @@ fn check_topology(
         .filter(|(_, l)| l.kind.is_compute())
         .map(|(i, _)| i)
         .collect();
-    let got: Vec<usize> = planned.iter().map(|pl| pl.index).collect();
+    let got: Vec<usize> = planned.iter().map(|pl| pl.node.index()).collect();
     if got != want {
         diags.push(
             Diagnostic::new(
@@ -342,6 +382,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn resnet_block_plan_is_error_free_but_notes_rate_imbalance() {
+        let net = zoo::resnet_block();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        let d = run(&net, &plan);
+        assert!(!d.has_errors(), "{}", d.render());
+        // conv1 reads 3 input maps, conv2 reads 8 — the two branches
+        // feed the join at different rates; noted, never fatal.
+        assert!(d.has_code(Code::C043), "{}", d.render());
+    }
+
+    #[test]
+    fn balanced_fork_has_no_c043() {
+        use condor_nn::{EltwiseOp, Layer, NetworkBuilder};
+        let mut b = NetworkBuilder::new("fork", condor_tensor::Shape::chw(3, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let conv = |name: &str| {
+            Layer::new(
+                name,
+                LayerKind::Convolution {
+                    num_output: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                },
+            )
+        };
+        let c1 = b.add(conv("conv1"), &[data]).unwrap();
+        let c2 = b.add(conv("conv2"), &[data]).unwrap();
+        b.add(
+            Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+            &[c1, c2],
+        )
+        .unwrap();
+        let net = b.build().unwrap();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        let d = run(&net, &plan);
+        assert!(!d.has_code(Code::C043), "{}", d.render());
+        assert!(!d.has_errors(), "{}", d.render());
     }
 
     #[test]

@@ -2,14 +2,16 @@
 //!
 //! Unlike `Network::validate`, which stops at the first failure, this
 //! pass walks the whole network and *collects* every finding it can
-//! still reason about: structural problems (C001–C004), shape-inference
-//! failures (C010–C012) and weight mismatches (C013–C015). Shape
-//! chaining stops at the first broken layer — downstream shapes are
-//! unknowable — but weight checks keep running for every layer whose
-//! input shape was established.
+//! still reason about: structural problems (C001–C004, plus C040 for
+//! dangling DAG branches), shape-inference failures (C010–C012, C041,
+//! C042) and weight mismatches (C013–C015). Shapes propagate along the
+//! graph edges; a node is only diagnosed when *all* of its input shapes
+//! were established — downstream of a failure the shapes are
+//! unknowable, not separately broken. Weight checks keep running for
+//! every layer whose input shape was established.
 
 use crate::diag::{Code, Diagnostic, Diagnostics};
-use condor_nn::{LayerKind, Network};
+use condor_nn::{LayerKind, Network, NodeId};
 use condor_tensor::Shape;
 use std::collections::BTreeSet;
 
@@ -20,7 +22,7 @@ use std::collections::BTreeSet;
 /// reuses to cross-check the plan topology.
 pub fn check_network(net: &Network, diags: &mut Diagnostics) -> Vec<Option<Shape>> {
     check_structure(net, diags);
-    let ins = chain_shapes(net, diags);
+    let ins = propagate_shapes(net, diags);
     check_weights(net, &ins, diags);
     ins
 }
@@ -61,30 +63,68 @@ fn check_structure(net: &Network, diags: &mut Diagnostics) {
             );
         }
     }
+    // Dangling branches (C040): every node except the network output
+    // must be consumed by someone, or its compute would be synthesised
+    // and thrown away. Trivially satisfied on linear chains.
+    let last = net.node_count().checked_sub(1).map(NodeId::from_index);
+    for id in net.node_ids() {
+        if Some(id) != last && net.consumers_of(id).is_empty() {
+            let name = net.node(id).map(|l| l.name.clone()).unwrap_or_default();
+            diags.push(
+                Diagnostic::new(
+                    Code::C040,
+                    format!("node {id} ('{name}') is consumed by no other node"),
+                )
+                .at(name)
+                .hint("route the branch into a Concat/Eltwise join or remove it"),
+            );
+        }
+    }
 }
 
-/// Chains shape inference layer by layer, reporting the first failure
-/// with its typed kind and leaving later shapes unknown.
-fn chain_shapes(net: &Network, diags: &mut Diagnostics) -> Vec<Option<Shape>> {
+/// Propagates shape inference along the graph edges, reporting every
+/// failure whose input shapes are all known and leaving shapes
+/// downstream of a failure unknown. On a linear chain this degenerates
+/// to the historical walk: one report, then silence.
+fn propagate_shapes(net: &Network, diags: &mut Diagnostics) -> Vec<Option<Shape>> {
+    let mut outs: Vec<Option<Shape>> = Vec::with_capacity(net.layers.len());
     let mut ins: Vec<Option<Shape>> = Vec::with_capacity(net.layers.len());
-    let mut current = Some(net.input_shape);
-    for layer in &net.layers {
-        ins.push(current);
-        current = match current {
-            None => None,
-            Some(shape) => match layer.kind.output_shape(shape) {
+    for (i, layer) in net.layers.iter().enumerate() {
+        let preds = net.inputs_of(NodeId::from_index(i));
+        let in_shapes: Option<Vec<Shape>> = if preds.is_empty() {
+            Some(vec![net.input_shape])
+        } else {
+            preds
+                .iter()
+                .map(|p| outs.get(p.index()).copied().flatten())
+                .collect()
+        };
+        // The SDF pass cross-checks against the *primary* (first) input.
+        ins.push(
+            in_shapes
+                .as_ref()
+                .and_then(|v| v.first().copied())
+                .or(in_shapes.as_ref().map(|_| net.input_shape)),
+        );
+        let out = match &in_shapes {
+            None => None, // upstream already failed; unknowable here
+            Some(shapes) => match layer.kind.output_shape_multi(shapes) {
                 Ok(out) => Some(out),
                 Err(e) => {
                     let code = Code::from_nn_kind(condor_nn::NnErrorKind::Shape(e.kind));
                     diags.push(
                         Diagnostic::new(code, e.message.clone())
                             .at(layer.name.clone())
-                            .hint(shape_hint(&layer.kind, shape)),
+                            .hint(shape_hint(
+                                &layer.kind,
+                                shapes.first().copied().unwrap_or(net.input_shape),
+                            )),
                     );
                     None
                 }
             },
         };
+        outs.push(out);
     }
     ins
 }
@@ -228,10 +268,63 @@ mod tests {
 
     #[test]
     fn clean_networks_have_no_errors() {
-        for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16()] {
+        for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16(), zoo::resnet_block()] {
             let d = run(&net);
             assert!(!d.has_errors(), "{}: {}", net.name, d.render());
         }
+    }
+
+    #[test]
+    fn dangling_branch_reports_c040() {
+        use condor_nn::NetworkBuilder;
+        let mut b = NetworkBuilder::new("dangling", Shape::chw(3, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let conv = |name: &str| {
+            Layer::new(
+                name,
+                LayerKind::Convolution {
+                    num_output: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                },
+            )
+        };
+        // conv1 branches off data but nothing ever reads it back.
+        b.add(conv("conv1"), &[data]).unwrap();
+        b.add(conv("conv2"), &[data]).unwrap();
+        let net = b.build().unwrap();
+        let d = run(&net);
+        assert!(d.has_code(Code::C040), "{}", d.render());
+    }
+
+    #[test]
+    fn mismatched_merge_inputs_report_c041() {
+        let mut net = zoo::resnet_block();
+        // Shrink conv2's output maps behind the builder's back: the
+        // eltwise join now sees 8-channel vs 4-channel operands.
+        if let Some(l) = net.layers.iter_mut().find(|l| l.name == "conv2") {
+            if let LayerKind::Convolution { num_output, .. } = &mut l.kind {
+                *num_output = 4;
+            }
+        }
+        let d = run(&net);
+        assert!(d.has_code(Code::C041), "{}", d.render());
+    }
+
+    #[test]
+    fn unary_layer_with_two_inputs_reports_c042() {
+        let mut net = zoo::resnet_block();
+        // Rewrite the two-input join into a unary ReLU behind the
+        // builder's back: fan-in 2 is impossible for that kind.
+        if let Some(l) = net.layers.iter_mut().find(|l| l.name == "join") {
+            l.kind = LayerKind::ReLU {
+                negative_slope: 0.0,
+            };
+        }
+        let d = run(&net);
+        assert!(d.has_code(Code::C042), "{}", d.render());
     }
 
     #[test]

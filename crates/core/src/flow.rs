@@ -283,6 +283,36 @@ mod tests {
     }
 
     #[test]
+    fn resnet_block_conformance_end_to_end() {
+        use condor_nn::GoldenEngine;
+        use condor_tensor::AllClose;
+        // The branchy fixture rides the whole production path: DAG
+        // build → static verification → deploy → threaded inference.
+        let net = zoo::resnet_block_weighted(29);
+        assert!(!net.is_linear_chain());
+        let built = Condor::from_network(net.clone())
+            .board("aws-f1")
+            .build()
+            .unwrap();
+        assert!(
+            built.check.passed(),
+            "branchy network must pass the gate: {}",
+            built.check.diagnostics.render()
+        );
+        let deployed = built
+            .deploy(&crate::deploy::DeployTarget::OnPremise)
+            .unwrap();
+        let imgs: Vec<condor_tensor::Tensor> = (0..3u64)
+            .map(|i| condor_tensor::xavier(net.input_shape, 4, 60 + i))
+            .collect();
+        let out = deployed.infer_batch(&imgs).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap().infer_batch(&imgs).unwrap();
+        for (h, g) in out.iter().zip(&golden) {
+            assert!(h.all_close(g), "fork/join inference diverged from golden");
+        }
+    }
+
+    #[test]
     fn caffe_path_builds() {
         let built = Condor::from_caffe(zoo::lenet_prototxt(), None)
             .unwrap()

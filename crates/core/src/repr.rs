@@ -9,7 +9,7 @@
 use crate::error::CondorError;
 use condor_cjson::{access, to_string_pretty, Value};
 use condor_dataflow::PeParallelism;
-use condor_nn::{Layer, LayerKind, Network, PoolKind};
+use condor_nn::{EltwiseOp, Layer, LayerKind, Network, NetworkBuilder, NodeId, PoolKind};
 use condor_tensor::Shape;
 use std::collections::BTreeMap;
 
@@ -90,12 +90,28 @@ impl NetworkRepresentation {
     }
 
     /// Serialises to the Condor JSON document.
+    ///
+    /// Linear chains emit schema version 1 exactly as they always have
+    /// (byte-for-byte — edges are implicit in layer order). DAG-shaped
+    /// networks emit version 2, where every layer carries an `inputs`
+    /// array naming the layers it reads.
     pub fn to_json(&self) -> Value {
+        let version = if self.network.is_linear_chain() { 1 } else { 2 };
         let mut layers = Vec::new();
-        for layer in &self.network.layers {
+        for (i, layer) in self.network.layers.iter().enumerate() {
             let mut doc = layer_to_json(layer);
-            if let Some(p) = self.hardware.layer_overrides.get(&layer.name) {
-                if let Value::Object(map) = &mut doc {
+            if let Value::Object(map) = &mut doc {
+                if version == 2 {
+                    let inputs: Vec<Value> = self
+                        .network
+                        .inputs_of(NodeId::from_index(i))
+                        .into_iter()
+                        .filter_map(|p| self.network.node(p))
+                        .map(|l| Value::str(&l.name))
+                        .collect();
+                    map.insert("inputs".to_string(), Value::Array(inputs));
+                }
+                if let Some(p) = self.hardware.layer_overrides.get(&layer.name) {
                     map.insert("parallelism".to_string(), parallelism_to_json(p));
                 }
             }
@@ -103,7 +119,7 @@ impl NetworkRepresentation {
         }
         let input = self.network.input_shape;
         Value::object([
-            ("condor_version".to_string(), Value::int(1)),
+            ("condor_version".to_string(), Value::int(version)),
             ("name".to_string(), Value::str(&self.network.name)),
             ("board".to_string(), Value::str(&self.hardware.board)),
             (
@@ -145,10 +161,10 @@ impl NetworkRepresentation {
     /// Builds from a parsed JSON value.
     pub fn from_json(doc: &Value) -> Result<Self, CondorError> {
         let version = access::usize_or(doc, "", "condor_version", 1)?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(CondorError::new(
                 "frontend",
-                format!("unsupported condor_version {version}"),
+                format!("unsupported condor_version {version} (expected 1 or 2)"),
             ));
         }
         let name = access::req_str(doc, "", "name")?.to_string();
@@ -178,6 +194,10 @@ impl NetworkRepresentation {
         );
         let layer_docs = access::req_array(doc, "", "layers")?;
         let mut layers = Vec::with_capacity(layer_docs.len());
+        // Per-layer `inputs` arrays (version 2). `None` means the layer
+        // declared none and falls back to chaining off its predecessor —
+        // which is also how every version-1 document reads.
+        let mut layer_inputs: Vec<Option<Vec<String>>> = Vec::with_capacity(layer_docs.len());
         let mut layer_overrides = BTreeMap::new();
         for (i, ld) in layer_docs.iter().enumerate() {
             let path = access::elem_path("", "layers", i);
@@ -188,9 +208,67 @@ impl NetworkRepresentation {
                     parallelism_from_json(p, &format!("{path}.parallelism"))?,
                 );
             }
+            layer_inputs.push(match ld.get("inputs") {
+                None => None,
+                Some(v) => {
+                    let items = v.as_array().ok_or_else(|| {
+                        CondorError::new("frontend", format!("{path}.inputs: expected an array"))
+                    })?;
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        names.push(
+                            item.as_str()
+                                .ok_or_else(|| {
+                                    CondorError::new(
+                                        "frontend",
+                                        format!("{path}.inputs: expected layer-name strings"),
+                                    )
+                                })?
+                                .to_string(),
+                        );
+                    }
+                    Some(names)
+                }
+            });
             layers.push(layer);
         }
-        let network = Network::new(name, input_shape, layers)?;
+        let network = if layer_inputs.iter().all(Option::is_none) {
+            // Version 1 (or an inputs-free version-2 document): the
+            // historical chain semantics, bit-identical to before.
+            Network::new(name, input_shape, layers)?
+        } else {
+            let mut b = NetworkBuilder::new(name, input_shape);
+            let mut ids: BTreeMap<String, NodeId> = BTreeMap::new();
+            for (i, (layer, inputs)) in layers.into_iter().zip(layer_inputs).enumerate() {
+                let resolved: Vec<NodeId> = match inputs {
+                    Some(names) => {
+                        let mut r = Vec::with_capacity(names.len());
+                        for n in &names {
+                            r.push(*ids.get(n.as_str()).ok_or_else(|| {
+                                CondorError::new(
+                                    "frontend",
+                                    format!(
+                                        "layers[{i}]: input '{n}' does not name an \
+                                         earlier layer"
+                                    ),
+                                )
+                            })?);
+                        }
+                        r
+                    }
+                    // No `inputs` field: chain off the previous layer.
+                    None => i
+                        .checked_sub(1)
+                        .map(NodeId::from_index)
+                        .into_iter()
+                        .collect(),
+                };
+                let lname = layer.name.clone();
+                let id = b.add(layer, &resolved)?;
+                ids.insert(lname, id);
+            }
+            b.build()?
+        };
         Ok(NetworkRepresentation {
             network,
             hardware: HardwareConfig {
@@ -272,6 +350,10 @@ fn layer_to_json(layer: &Layer) -> Value {
         LayerKind::Softmax { log } => {
             fields.push(("log".to_string(), Value::Bool(log)));
         }
+        LayerKind::Concat => {}
+        LayerKind::Eltwise { op } => {
+            fields.push(("operation".to_string(), Value::str(op.caffe_name())));
+        }
     }
     Value::object(fields)
 }
@@ -316,6 +398,20 @@ fn layer_from_json(doc: &Value, path: &str) -> Result<Layer, CondorError> {
             log: access::bool_or(doc, path, "log", false)?,
         },
         "LogSoftmax" => LayerKind::Softmax { log: true },
+        "Concat" => LayerKind::Concat,
+        "Eltwise" => LayerKind::Eltwise {
+            op: match access::opt_str(doc, path, "operation")?.unwrap_or("SUM") {
+                "PROD" => EltwiseOp::Prod,
+                "SUM" => EltwiseOp::Sum,
+                "MAX" => EltwiseOp::Max,
+                other => {
+                    return Err(CondorError::new(
+                        "frontend",
+                        format!("{path}: unsupported eltwise operation '{other}'"),
+                    ))
+                }
+            },
+        },
         other => {
             return Err(CondorError::new(
                 "frontend",
@@ -439,6 +535,51 @@ mod tests {
         }"#;
         let err = NetworkRepresentation::parse(doc).unwrap_err();
         assert!(err.message.contains("condor_version"));
+    }
+
+    #[test]
+    fn chains_still_emit_version_1() {
+        let text = lenet_repr().to_text();
+        assert!(text.contains("\"condor_version\": 1"));
+        assert!(!text.contains("\"inputs\""));
+    }
+
+    #[test]
+    fn dags_roundtrip_through_version_2() {
+        let repr = NetworkRepresentation::new(zoo::resnet_block(), HardwareConfig::default());
+        let text = repr.to_text();
+        assert!(text.contains("\"condor_version\": 2"));
+        assert!(text.contains("\"inputs\""));
+        let back = NetworkRepresentation::parse(&text).unwrap();
+        assert_eq!(back, repr);
+        assert!(!back.network.is_linear_chain());
+    }
+
+    #[test]
+    fn random_dags_roundtrip_through_version_2() {
+        for seed in 0..20u64 {
+            let repr = NetworkRepresentation::new(
+                condor_nn::arbitrary::random_dag(seed),
+                HardwareConfig::default(),
+            );
+            let back = NetworkRepresentation::parse(&repr.to_text()).unwrap();
+            assert_eq!(back, repr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unknown_input_name_is_reported() {
+        let doc = r#"{
+            "condor_version": 2,
+            "name": "bad",
+            "input_shape": {"channels": 1, "height": 8, "width": 8},
+            "layers": [
+                {"name": "data", "type": "Input", "inputs": []},
+                {"name": "r", "type": "ReLU", "inputs": ["ghost"]}
+            ]
+        }"#;
+        let err = NetworkRepresentation::parse(doc).unwrap_err();
+        assert!(err.message.contains("ghost"));
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! is bigger than the total number of layers of the network".
 //!
 //! This model reproduces that curve from the plan's per-stage cycle
-//! counts with the classic pipeline recurrence
-//! `finish[s][i] = max(finish[s−1][i], finish[s][i−1]) + c_s`: the mean
-//! per-image time starts at the full pipeline latency (batch 1) and
-//! converges to the initiation interval (the slowest stage) as the batch
-//! grows.
+//! counts with the classic pipeline recurrence generalised to a DAG of
+//! stages, `finish[s][i] = max(max over preds p of finish[p][i],
+//! finish[s][i−1]) + c_s`: the mean per-image time starts at the full
+//! pipeline latency (batch 1) and converges to the initiation interval
+//! (the slowest stage) as the batch grows. On fork/join plans the two
+//! branches of a fork process the *same* image concurrently, so the
+//! single-image latency is the critical path through the stage graph,
+//! not the sum of all stages — while the initiation interval is still
+//! set by the slowest stage alone.
 
 use crate::plan::AcceleratorPlan;
 use condor_faults::FaultHandle;
@@ -72,6 +76,10 @@ pub struct BatchTiming {
 #[derive(Clone, Debug)]
 pub struct PipelineModel {
     stage_cycles: Vec<u64>,
+    /// Predecessor stages per stage. Stage 0 (the datamover) has none;
+    /// a PE stage lists the stages whose output frames it consumes.
+    /// Linear plans reduce to `[[], [0], [1], …]`.
+    stage_inputs: Vec<Vec<usize>>,
     freq_mhz: f64,
 }
 
@@ -81,22 +89,59 @@ impl PipelineModel {
     /// cost).
     pub fn from_plan(plan: &AcceleratorPlan) -> Self {
         let mut stage_cycles = Vec::with_capacity(plan.pes.len() + 1);
+        let mut stage_inputs = Vec::with_capacity(plan.pes.len() + 1);
         stage_cycles.push(plan.datamover_cycles_per_image().max(1));
+        stage_inputs.push(Vec::new());
         for pe in &plan.pes {
             stage_cycles.push(pe.cycles_per_image() + pe.fill_latency());
+            // PE indices shift by one: stage 0 is the datamover, which
+            // also feeds any PE with no upstream PE.
+            stage_inputs.push(if pe.inputs.is_empty() {
+                vec![0]
+            } else {
+                pe.inputs.iter().map(|&i| i + 1).collect()
+            });
         }
         PipelineModel {
             stage_cycles,
+            stage_inputs,
             freq_mhz: plan.freq_mhz,
         }
     }
 
-    /// Builds a model from raw stage cycles (for tests and ablations).
+    /// Builds a linear model from raw stage cycles (for tests and
+    /// ablations): stage `s` feeds stage `s + 1`.
     pub fn from_stage_cycles(stage_cycles: Vec<u64>, freq_mhz: f64) -> Self {
+        let inputs = (0..stage_cycles.len())
+            .map(|s| if s == 0 { Vec::new() } else { vec![s - 1] })
+            .collect();
+        Self::from_stage_graph(stage_cycles, inputs, freq_mhz)
+    }
+
+    /// Builds a model over an explicit stage graph (for tests and
+    /// ablations): `stage_inputs[s]` lists the stages whose output
+    /// stage `s` consumes; every predecessor must come earlier.
+    pub fn from_stage_graph(
+        stage_cycles: Vec<u64>,
+        stage_inputs: Vec<Vec<usize>>,
+        freq_mhz: f64,
+    ) -> Self {
         assert!(!stage_cycles.is_empty(), "pipeline needs stages");
+        assert_eq!(
+            stage_cycles.len(),
+            stage_inputs.len(),
+            "one predecessor list per stage"
+        );
         assert!(freq_mhz > 0.0, "clock must be positive");
+        for (s, preds) in stage_inputs.iter().enumerate() {
+            assert!(
+                preds.iter().all(|&p| p < s),
+                "stage {s} must only read earlier stages"
+            );
+        }
         PipelineModel {
             stage_cycles,
+            stage_inputs,
             freq_mhz,
         }
     }
@@ -111,9 +156,19 @@ impl PipelineModel {
         *self.stage_cycles.iter().max().expect("non-empty")
     }
 
-    /// Single-image latency: the sum of all stages.
+    /// Single-image latency: the critical path through the stage graph
+    /// (the plain sum of all stages on a linear pipeline).
     pub fn latency(&self) -> u64 {
-        self.stage_cycles.iter().sum()
+        let mut done = Vec::with_capacity(self.stages());
+        for (s, &c) in self.stage_cycles.iter().enumerate() {
+            let upstream = self.stage_inputs[s]
+                .iter()
+                .map(|&p| done[p])
+                .max()
+                .unwrap_or(0);
+            done.push(upstream + c);
+        }
+        done.into_iter().max().unwrap_or(0)
     }
 
     /// Simulates a batch through the pipeline.
@@ -149,11 +204,12 @@ impl PipelineModel {
             per_stage_extra: vec![0; self.stages()],
         };
         // finish[s] holds the finish time of the previous image at stage
-        // s while sweeping images.
+        // s while sweeping images; done[s] the current image's finish,
+        // so a join can wait on every upstream branch of *this* image.
         let mut finish = vec![0u64; self.stages()];
+        let mut done = vec![0u64; self.stages()];
         let active = faults.is_active();
         for _img in 0..batch {
-            let mut upstream_done = 0u64;
             for (s, &c) in self.stage_cycles.iter().enumerate() {
                 let mut cost = c;
                 if active {
@@ -165,12 +221,17 @@ impl PipelineModel {
                         report.per_stage_extra[s] += extra;
                     }
                 }
-                let start = upstream_done.max(finish[s]);
-                finish[s] = start + cost;
-                upstream_done = finish[s];
+                let upstream = self.stage_inputs[s]
+                    .iter()
+                    .map(|&p| done[p])
+                    .max()
+                    .unwrap_or(0);
+                let start = upstream.max(finish[s]);
+                done[s] = start + cost;
+                finish[s] = done[s];
             }
         }
-        let total_cycles = *finish.last().expect("non-empty");
+        let total_cycles = finish.into_iter().max().expect("non-empty");
         let mean_cycles = total_cycles as f64 / batch as f64;
         let cycle_us = 1.0 / self.freq_mhz; // µs per cycle = 1/MHz
         let timing = BatchTiming {
@@ -219,6 +280,42 @@ mod tests {
         let t = m.batch(100);
         assert_eq!(t.total_cycles, 60 + 99 * 30);
         assert!((t.mean_cycles_per_image - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fork_join_latency_is_critical_path_not_sum() {
+        // Diamond: dm → a, then b and c both read a, join d reads both.
+        let m = PipelineModel::from_stage_graph(
+            vec![10, 5, 30, 20, 7],
+            vec![vec![], vec![0], vec![1], vec![1], vec![2, 3]],
+            100.0,
+        );
+        // The same image runs both branches concurrently: only the
+        // slower one (30) appears on the critical path.
+        assert_eq!(m.latency(), 10 + 5 + 30 + 7);
+        assert_eq!(m.batch(1).total_cycles, 52);
+        // Steady state is still bounded by the slowest single stage.
+        assert_eq!(m.initiation_interval(), 30);
+        assert_eq!(m.batch(100).total_cycles, 52 + 99 * 30);
+    }
+
+    #[test]
+    fn resnet_plan_des_matches_plan_latency() {
+        for net in [zoo::lenet(), zoo::resnet_block()] {
+            let plan = PlanBuilder::new(&net).build().unwrap();
+            let m = PipelineModel::from_plan(&plan);
+            assert_eq!(
+                m.batch(1).total_cycles,
+                plan.image_latency(),
+                "{}: batch-1 DES must agree with the plan's path latency",
+                net.name
+            );
+            // And batching may only help the mean.
+            let sweep = m.batch_sweep(&[1, 4, 16, 64]);
+            for pair in sweep.windows(2) {
+                assert!(pair[1].mean_cycles_per_image <= pair[0].mean_cycles_per_image);
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! model (which consumes it for Figure 5) and the design-space
 //! exploration in the core crate.
 
-use condor_nn::{LayerKind, Network, NnError, NnErrorKind, Stage};
+use condor_nn::{LayerKind, Network, NnError, NnErrorKind, NodeId, Stage};
 use condor_tensor::Shape;
 use std::fmt;
 
@@ -116,7 +116,10 @@ impl Default for PeParallelism {
 /// One logical network layer as mapped into a PE.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlannedLayer {
+    /// Stable identity of the layer's node in the source network graph.
+    pub node: NodeId,
     /// Index into the source network's layer list.
+    #[deprecated(since = "0.6.0", note = "use `node` (a stable `NodeId`) instead")]
     pub index: usize,
     /// Layer name.
     pub name: String,
@@ -157,6 +160,13 @@ pub struct PePlan {
     pub layers: Vec<PlannedLayer>,
     /// Stage the PE belongs to.
     pub stage: Stage,
+    /// Indices of the PEs whose output streams feed this PE (distinct,
+    /// in first-use order over its layers' graph inputs). Empty means
+    /// the PE is fed by the datamover (it reads the network input or an
+    /// `Input` node). Linear chains get `[previous PE]` everywhere
+    /// except the first PE; fork/join topologies carry the real graph
+    /// edges, which the DES and the threaded runtime wire up.
+    pub inputs: Vec<usize>,
     /// Feature-map parallelism.
     pub parallelism: PeParallelism,
     /// Explicit FIFO depths between consecutive filters, overriding the
@@ -273,6 +283,9 @@ impl PePlan {
                 LayerKind::Softmax { .. } => l.input.c as u64,
                 LayerKind::ReLU { .. } | LayerKind::Sigmoid | LayerKind::TanH => 0,
                 LayerKind::Input => 0,
+                // Merges are pure stream plumbing: one output element per
+                // cycle while the joined branch streams drain in lockstep.
+                LayerKind::Concat | LayerKind::Eltwise { .. } => l.output.item_len() as u64,
             })
             .sum()
     }
@@ -324,14 +337,19 @@ impl AcceleratorPlan {
             .unwrap_or(0)
     }
 
-    /// Single-image latency: the sum of all stage cycles plus fills.
+    /// Single-image latency: the critical path through the PE graph
+    /// (datamover plus the slowest chain of dependent stages, fills
+    /// included). For a linear pipeline every PE is on the one path, so
+    /// this is the historical sum of all stage cycles; fork/join plans
+    /// only pay the slower branch.
     pub fn image_latency(&self) -> u64 {
-        self.datamover_cycles_per_image()
-            + self
-                .pes
-                .iter()
-                .map(|pe| pe.cycles_per_image() + pe.fill_latency())
-                .sum::<u64>()
+        let dm = self.datamover_cycles_per_image();
+        let mut done: Vec<u64> = Vec::with_capacity(self.pes.len());
+        for pe in &self.pes {
+            let upstream = pe.inputs.iter().map(|&i| done[i]).fold(dm, u64::max);
+            done.push(upstream + pe.cycles_per_image() + pe.fill_latency());
+        }
+        done.into_iter().max().unwrap_or(dm)
     }
 
     /// Number of pipeline stages (datamover + PEs).
@@ -460,10 +478,17 @@ impl<'a> PlanBuilder<'a> {
         let stages = self.net.stages();
 
         // Collect the "anchor" layers (those that own a PE slot) and the
-        // trailing operators fused onto them.
+        // trailing operators fused onto them. On a graph, an activation
+        // rides along only when it is the sole consumer of the group's
+        // last layer — an activation whose input also feeds a skip edge
+        // must keep its own stream. On a linear chain the condition
+        // always holds, reproducing the historical grouping exactly.
         let mut groups: Vec<(Stage, Vec<PlannedLayer>)> = Vec::new();
         for (i, layer) in self.net.layers.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            #[allow(deprecated)] // populate the `index` shim for one release
             let planned = PlannedLayer {
+                node: id,
                 index: i,
                 name: layer.name.clone(),
                 kind: layer.kind.clone(),
@@ -476,11 +501,17 @@ impl<'a> PlanBuilder<'a> {
                 | LayerKind::Sigmoid
                 | LayerKind::TanH
                 | LayerKind::Softmax { .. } => {
-                    // Fuse onto the previous anchor; a leading activation
-                    // with no producer gets its own (cheap) PE.
+                    let preds = self.net.inputs_of(id);
+                    let fusable = match (preds.as_slice(), groups.last()) {
+                        ([p], Some((_, layers))) => {
+                            layers.last().map(|l| l.node) == Some(*p)
+                                && self.net.consumers_of(*p) == [id]
+                        }
+                        _ => false,
+                    };
                     match groups.last_mut() {
-                        Some((_, layers)) => layers.push(planned),
-                        None => groups.push((stages[i], vec![planned])),
+                        Some((_, layers)) if fusable => layers.push(planned),
+                        _ => groups.push((stages[i], vec![planned])),
                     }
                 }
                 _ => groups.push((stages[i], vec![planned])),
@@ -490,13 +521,26 @@ impl<'a> PlanBuilder<'a> {
             return Err(DataflowError::new("network has no mappable layers"));
         }
 
-        // Apply the fusion factor within each stage.
+        // Apply the fusion factor: consecutive groups share a PE only
+        // within one stage AND along a purely linear segment — the next
+        // group's first layer must be the sole consumer of the current
+        // cluster's last layer. Merge nodes (fan-in > 1) therefore start
+        // a fresh PE and branch points (fan-out > 1) end one, keeping
+        // every fork/join boundary visible to the DES and the runtime.
         let mut pes: Vec<PePlan> = Vec::new();
         let mut current: Option<(Stage, Vec<PlannedLayer>, usize)> = None;
         for (stage, layers) in groups {
+            let linear_link = match (&current, layers.first()) {
+                (Some((_, cur_layers, _)), Some(first)) => {
+                    let last = cur_layers.last().expect("cluster has layers");
+                    self.net.inputs_of(first.node) == [last.node]
+                        && self.net.consumers_of(last.node) == [first.node]
+                }
+                _ => false,
+            };
             match current.as_mut() {
                 Some((cur_stage, cur_layers, anchors))
-                    if *cur_stage == stage && *anchors < self.fusion =>
+                    if *cur_stage == stage && *anchors < self.fusion && linear_link =>
                 {
                     cur_layers.extend(layers);
                     *anchors += 1;
@@ -511,6 +555,36 @@ impl<'a> PlanBuilder<'a> {
         }
         if let Some((stage, layers, _)) = current.take() {
             pes.push(self.make_pe(pes.len(), stage, layers));
+        }
+
+        // Wire the PE-level dataflow edges off the network graph: PE j
+        // feeds PE i when any layer of i reads a node mapped into j.
+        // Nodes outside every PE (`Input` nodes, the network input) are
+        // the datamover's job and contribute no edge.
+        let mut pe_of_node = vec![usize::MAX; self.net.node_count()];
+        for (pi, pe) in pes.iter().enumerate() {
+            for l in &pe.layers {
+                pe_of_node[l.node.index()] = pi;
+            }
+        }
+        let inputs_list: Vec<Vec<usize>> = pes
+            .iter()
+            .enumerate()
+            .map(|(pi, pe)| {
+                let mut ins_pe: Vec<usize> = Vec::new();
+                for l in &pe.layers {
+                    for p in self.net.inputs_of(l.node) {
+                        let src = pe_of_node[p.index()];
+                        if src != usize::MAX && src != pi && !ins_pe.contains(&src) {
+                            ins_pe.push(src);
+                        }
+                    }
+                }
+                ins_pe
+            })
+            .collect();
+        for (pe, ins_pe) in pes.iter_mut().zip(inputs_list) {
+            pe.inputs = ins_pe;
         }
 
         // Clamp parallelism per PE to the feature-map counts it can use:
@@ -567,6 +641,7 @@ impl<'a> PlanBuilder<'a> {
             name: format!("pe{index}"),
             layers,
             stage,
+            inputs: Vec::new(), // wired from the graph after clustering
             fifo_depth_override: None,
             parallelism: match stage {
                 Stage::FeatureExtraction => PeParallelism { fc_simd: 1, ..base },
@@ -745,6 +820,88 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(plan.initiation_interval(), 8 * 12 * 12);
+    }
+
+    #[test]
+    fn chain_plans_keep_linear_pe_edges() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        for (i, pe) in plan.pes.iter().enumerate() {
+            if i == 0 {
+                assert!(pe.inputs.is_empty(), "first PE is datamover-fed");
+            } else {
+                assert_eq!(pe.inputs, vec![i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn resnet_block_plan_has_fork_join_edges() {
+        let net = zoo::resnet_block();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        let anchors: Vec<&str> = plan
+            .pes
+            .iter()
+            .map(|pe| pe.layers[0].name.as_str())
+            .collect();
+        assert_eq!(anchors, ["conv1", "conv2", "join", "ip1"]);
+        // The trailing ReLU is the join's sole consumer, so it fuses into
+        // the join PE; prob fuses into ip1 as on any chain.
+        assert_eq!(plan.pes[2].layers.len(), 2);
+        assert_eq!(plan.pes[3].layers.len(), 2);
+        assert_eq!(plan.pes[0].inputs, Vec::<usize>::new());
+        assert_eq!(plan.pes[1].inputs, vec![0]);
+        assert_eq!(plan.pes[2].inputs, vec![0, 1]); // join reads both convs
+        assert_eq!(plan.pes[3].inputs, vec![2]);
+        // Merge cycle model: one output element per cycle.
+        let join = &plan.pes[2].layers[0];
+        assert_eq!(join.output.item_len(), 8 * 8 * 8);
+    }
+
+    #[test]
+    fn fusion_never_crosses_fork_join_boundaries() {
+        let net = zoo::resnet_block();
+        let plan = PlanBuilder::new(&net).fusion(10).build().unwrap();
+        // conv1 feeds both conv2 and the join (a branch point), and the
+        // join has fan-in 2 — no grouping may erase those boundaries even
+        // with an unlimited fusion budget.
+        assert_eq!(plan.pes.len(), 4);
+    }
+
+    #[test]
+    fn parallel_branches_overlap_in_latency() {
+        use condor_nn::{EltwiseOp, Layer, NetworkBuilder};
+        let mut b = NetworkBuilder::new("fork", condor_tensor::Shape::chw(3, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let conv = |name: &str| {
+            Layer::new(
+                name,
+                LayerKind::Convolution {
+                    num_output: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                },
+            )
+        };
+        let c1 = b.add(conv("conv1"), &[data]).unwrap();
+        let c2 = b.add(conv("conv2"), &[data]).unwrap();
+        b.add(
+            Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+            &[c1, c2],
+        )
+        .unwrap();
+        let net = b.build().unwrap();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        assert_eq!(plan.pes[0].inputs, Vec::<usize>::new());
+        assert_eq!(plan.pes[1].inputs, Vec::<usize>::new());
+        assert_eq!(plan.pes[2].inputs, vec![0, 1]);
+        // Latency pays the slower branch once, not both branches.
+        let dm = plan.datamover_cycles_per_image();
+        let c = |i: usize| plan.pes[i].cycles_per_image() + plan.pes[i].fill_latency();
+        assert_eq!(plan.image_latency(), dm + c(0).max(c(1)) + c(2));
+        assert!(plan.image_latency() < dm + c(0) + c(1) + c(2));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::plan::{AcceleratorPlan, DataflowError, DataflowErrorKind, PePlan};
 use condor_faults::{FaultAction, FaultHandle};
 use condor_kernels::Workspace;
-use condor_nn::fast::forward_layer_fast;
+use condor_nn::fast::{forward_layer_fast, merge_fast};
 use condor_nn::Network;
 use condor_tensor::Tensor;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -158,22 +158,84 @@ impl ThreadedRuntime {
             .expect("PE has layers")
             .output;
 
-        // One channel between consecutive stages: datamover → pe0 → … →
-        // collector. Each message is one whole frame.
-        let mut senders: Vec<Sender<Vec<f32>>> = Vec::with_capacity(n_pes + 1);
-        let mut receivers: Vec<Receiver<Vec<f32>>> = Vec::with_capacity(n_pes + 1);
-        for _ in 0..=n_pes {
-            let (tx, rx) = bounded::<Vec<f32>>(self.channel_depth);
-            senders.push(tx);
-            receivers.push(rx);
+        // Which stage feeds each input position of each PE: the PE
+        // hosting the first layer's predecessor node, or the datamover
+        // (`None`) when the predecessor is the network input. On a
+        // linear chain this is `[[None], [Some(0)], [Some(1)], …]`.
+        let mut pe_of_node = vec![usize::MAX; self.net.node_count()];
+        for (pi, pe) in self.plan.pes.iter().enumerate() {
+            for l in &pe.layers {
+                pe_of_node[l.node.index()] = pi;
+            }
         }
+        let feeds: Vec<Vec<Option<usize>>> = self
+            .plan
+            .pes
+            .iter()
+            .map(|pe| {
+                let first = pe.layers.first().expect("PE has layers");
+                let preds = self.net.inputs_of(first.node);
+                if preds.is_empty() {
+                    vec![None]
+                } else {
+                    preds
+                        .iter()
+                        .map(|p| {
+                            let src = pe_of_node.get(p.index()).copied().unwrap_or(usize::MAX);
+                            (src != usize::MAX).then_some(src)
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        // Per-position frame lengths (a join receives one frame per
+        // upstream branch, each with its own shape).
+        let ins_multi = self
+            .net
+            .input_shapes_multi()
+            .map_err(|e| DataflowError::kinded(DataflowErrorKind::Execution, e.message.clone()))?;
+        let in_lens: Vec<Vec<usize>> = self
+            .plan
+            .pes
+            .iter()
+            .map(|pe| {
+                let first = pe.layers.first().expect("PE has layers");
+                ins_multi
+                    .get(first.node.index())
+                    .map(|shapes| shapes.iter().map(|s| s.len()).collect())
+                    .unwrap_or_else(|| vec![first.input.len()])
+            })
+            .collect();
+
+        // One bounded channel per graph edge: each (PE, input position)
+        // pair gets its own FIFO, registered with the producing stage.
+        // Each message is one whole frame.
+        let mut pe_rxs: Vec<Vec<Receiver<Vec<f32>>>> = Vec::with_capacity(n_pes);
+        let mut dm_txs: Vec<Sender<Vec<f32>>> = Vec::new();
+        let mut pe_txs: Vec<Vec<Sender<Vec<f32>>>> = vec![Vec::new(); n_pes];
+        for feed in &feeds {
+            let mut rxs = Vec::with_capacity(feed.len());
+            for &src in feed {
+                let (tx, rx) = bounded::<Vec<f32>>(self.channel_depth);
+                rxs.push(rx);
+                match src {
+                    None => dm_txs.push(tx),
+                    Some(s) => pe_txs[s].push(tx),
+                }
+            }
+            pe_rxs.push(rxs);
+        }
+        // The collector is one more consumer of the final PE.
+        let (col_tx, col_rx) = bounded::<Vec<f32>>(self.channel_depth);
+        pe_txs[n_pes - 1].push(col_tx);
 
         let batch = images.len();
         let mut result: Result<Vec<Tensor>, DataflowError> = Ok(Vec::new());
 
         std::thread::scope(|scope| {
-            // Datamover: streams each image as one input frame.
-            let dm_tx = senders.remove(0);
+            // Datamover: streams each image as one input frame to every
+            // input-fed position (a fork at the network input replays
+            // the frame once per branch).
             let images_ref = images;
             let dm_faults = self.faults.clone();
             scope.spawn(move || {
@@ -187,28 +249,32 @@ impl ThreadedRuntime {
                         Some(_) => {}
                         None => {}
                     }
-                    if dm_tx.send(img.as_slice().to_vec()).is_err() {
+                    if send_to_all(&dm_txs, img.as_slice().to_vec()).is_err() {
                         return; // downstream failed; unwind quietly
                     }
                 }
-                // Dropping dm_tx closes the stream.
+                // Dropping dm_txs closes the streams.
             });
 
-            // PEs: receive one frame per image, apply the fused layers
-            // through the kernel compute layer, send the output frame.
-            // Scratch (ping-pong activations + im2col workspace) is
-            // allocated once per PE and reused across the batch.
+            // PEs: receive one frame per image and input position, apply
+            // the fused layers through the kernel compute layer, send the
+            // output frame to every consumer. Scratch (ping-pong
+            // activations + im2col workspace) is allocated once per PE
+            // and reused across the batch.
+            let mut rx_iter = pe_rxs.into_iter();
+            let mut tx_iter = pe_txs.into_iter();
             for (idx, pe) in self.plan.pes.iter().enumerate() {
-                let rx = receivers.remove(0);
-                let tx = senders.remove(0);
+                let rxs = rx_iter.next().expect("one rx set per PE");
+                let txs = tx_iter.next().expect("one tx set per PE");
+                let lens = in_lens[idx].clone();
                 let net = self.net.as_ref();
                 let faults = self.faults.clone();
                 let site = format!("dataflow.pe{idx}");
-                scope.spawn(move || pe_worker(pe, net, &rx, &tx, batch, &faults, &site));
+                scope.spawn(move || pe_worker(pe, net, &rxs, &txs, &lens, batch, &faults, &site));
             }
 
             // Collector (this thread): assemble the batch outputs.
-            let rx = receivers.remove(0);
+            let rx = col_rx;
             let mut outs = Vec::with_capacity(batch);
             for i in 0..batch {
                 match recv_frame(&rx, out_shape.len()) {
@@ -244,22 +310,42 @@ fn recv_frame(rx: &Receiver<Vec<f32>>, len: usize) -> Option<Vec<f32>> {
     (frame.len() == len).then_some(frame)
 }
 
-/// One PE thread: drains `batch` frames from `rx`, runs the PE's fused
-/// layers over its private scratch arena, and forwards output frames to
-/// `tx`. Returns early (closing both channels) on upstream termination,
-/// downstream termination or a compute error — the collector reports the
-/// resulting truncation.
+/// Sends one frame to every consumer, cloning for all but the last (the
+/// common single-consumer chain case moves the frame without a copy).
+/// `Err` when every consumer hung up; a dangling PE (no consumers)
+/// drops the frame, mirroring hardware where an unread stream idles.
+fn send_to_all(txs: &[Sender<Vec<f32>>], frame: Vec<f32>) -> Result<(), ()> {
+    let Some((last, rest)) = txs.split_last() else {
+        return Ok(());
+    };
+    for tx in rest {
+        let _ = tx.send(frame.clone()); // one dead branch must not kill the fork
+    }
+    last.send(frame).map_err(|_| ())
+}
+
+/// One PE thread: drains `batch` frames from each input position, runs
+/// the PE's fused layers over its private scratch arena, and forwards
+/// output frames to every consumer. A PE whose first layer is a
+/// multi-input merge (`Concat`/`Eltwise`) receives one frame per
+/// upstream branch and combines them before the remaining fused layers
+/// run. Returns early (closing its channels) on upstream termination,
+/// downstream termination or a compute error — the collector reports
+/// the resulting truncation.
+#[allow(clippy::too_many_arguments)]
 fn pe_worker(
     pe: &PePlan,
     net: &Network,
-    rx: &Receiver<Vec<f32>>,
-    tx: &Sender<Vec<f32>>,
+    rxs: &[Receiver<Vec<f32>>],
+    txs: &[Sender<Vec<f32>>],
+    in_lens: &[usize],
     batch: usize,
     faults: &FaultHandle,
     site: &str,
 ) {
-    let in_len = pe.layers.first().expect("PE has layers").input.len();
+    let first = pe.layers.first().expect("PE has layers");
     let out_len = pe.layers.last().expect("PE has layers").output.len();
+    let merge_head = rxs.len() > 1;
     let max_len = pe
         .layers
         .iter()
@@ -269,11 +355,16 @@ fn pe_worker(
     let mut ping = vec![0.0f32; max_len];
     let mut pong = vec![0.0f32; max_len];
     let mut ws = Workspace::new();
+    let mut frames: Vec<Vec<f32>> = Vec::with_capacity(rxs.len());
 
     for _ in 0..batch {
-        let Some(mut frame) = recv_frame(rx, in_len) else {
-            return; // upstream closed early
-        };
+        frames.clear();
+        for (rx, &len) in rxs.iter().zip(in_lens) {
+            let Some(frame) = recv_frame(rx, len) else {
+                return; // upstream closed early
+            };
+            frames.push(frame);
+        }
         // Injected FIFO faults: stall, drop the frame, or kill the PE.
         match faults.check(site) {
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
@@ -285,8 +376,17 @@ fn pe_worker(
         }
         let mut src = &mut ping;
         let mut dst = &mut pong;
-        src[..in_len].copy_from_slice(&frame);
-        for layer in &pe.layers {
+        let rest = if merge_head {
+            // The join combines its branch frames into the first
+            // layer's output, then the fused tail runs as usual.
+            let inputs: Vec<&[f32]> = frames.iter().map(Vec::as_slice).collect();
+            merge_fast(&first.kind, &inputs, &mut src[..first.output.len()]);
+            &pe.layers[1..]
+        } else {
+            src[..in_lens[0]].copy_from_slice(&frames[0]);
+            &pe.layers[..]
+        };
+        for layer in rest {
             // Standalone activation layers stay unfused here: the plan
             // already groups layers into PEs, and the runtime mirrors
             // the plan's structure one filter at a time.
@@ -307,11 +407,12 @@ fn pe_worker(
             }
             std::mem::swap(&mut src, &mut dst);
         }
-        // Recycle the incoming frame's allocation for the outgoing one.
-        frame.resize(out_len, 0.0);
-        frame.copy_from_slice(&src[..out_len]);
-        if tx.send(frame).is_err() {
-            return; // downstream closed
+        // Recycle an incoming frame's allocation for the outgoing one.
+        let mut out = frames.swap_remove(0);
+        out.resize(out_len, 0.0);
+        out.copy_from_slice(&src[..out_len]);
+        if send_to_all(txs, out).is_err() {
+            return; // every downstream consumer closed
         }
     }
 }
@@ -372,6 +473,49 @@ mod tests {
             .unwrap();
         for (h, g) in hw.iter().zip(&golden) {
             assert!(h.all_close(g));
+        }
+    }
+
+    #[test]
+    fn resnet_block_runtime_matches_golden_engine() {
+        let net = zoo::resnet_block_weighted(17);
+        for fusion in [1, 4] {
+            let plan = PlanBuilder::new(&net).fusion(fusion).build().unwrap();
+            let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+            let images: Vec<Tensor> = (0..4u64)
+                .map(|i| condor_tensor::xavier(net.input_shape, 4, 40 + i))
+                .collect();
+            let hw = rt.run_batch(&images).unwrap();
+            let golden = GoldenEngine::new(&net)
+                .unwrap()
+                .infer_batch(&images)
+                .unwrap();
+            for (h, g) in hw.iter().zip(&golden) {
+                assert!(
+                    h.all_close(g),
+                    "fusion {fusion}: fork/join wiring broke values"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_dag_runtimes_match_golden_engine() {
+        for seed in 0..8u64 {
+            let net = condor_nn::arbitrary::random_weighted_dag(seed);
+            let plan = PlanBuilder::new(&net).build().unwrap();
+            let rt = ThreadedRuntime::new(&net, &plan).unwrap();
+            let images: Vec<Tensor> = (0..2u64)
+                .map(|i| condor_tensor::xavier(net.input_shape, 4, seed * 10 + i))
+                .collect();
+            let hw = rt.run_batch(&images).unwrap();
+            let golden = GoldenEngine::new(&net)
+                .unwrap()
+                .infer_batch(&images)
+                .unwrap();
+            for (h, g) in hw.iter().zip(&golden) {
+                assert!(h.all_close(g), "seed {seed}: DAG runtime diverged");
+            }
         }
     }
 

@@ -179,6 +179,20 @@ impl SynthModel {
                     lut += self.softmax_lut;
                     dsp += self.softmax_dsp;
                 }
+                // Stream merges are routing plus at most one ALU op per
+                // lane — costed like an activation stage, with DSPs only
+                // for the multiplying Eltwise variant.
+                LayerKind::Concat | LayerKind::Eltwise { .. } => {
+                    lut += self.activation_lut;
+                    if matches!(
+                        l.kind,
+                        LayerKind::Eltwise {
+                            op: condor_nn::EltwiseOp::Prod
+                        }
+                    ) {
+                        dsp += 2 * p.parallel_in as u64;
+                    }
+                }
                 LayerKind::Input => {}
             }
         }

@@ -2,11 +2,13 @@
 //!
 //! Property suites across the workspace (shape inference, golden-engine
 //! vs hardware-runtime equivalence, representation round trips) all need
-//! "any valid feed-forward CNN". This generator produces structurally
-//! valid chains from a seed: feed it `proptest`-generated seeds and every
-//! failure shrinks to a reproducible seed.
+//! "any valid feed-forward CNN". These generators produce structurally
+//! valid chains ([`random_chain`]) and branchy DAGs ([`random_dag`])
+//! from a seed: feed them `proptest`-generated seeds and every failure
+//! shrinks to a reproducible seed.
 
-use crate::layer::{Layer, LayerKind, PoolKind};
+use crate::graph::{NetworkBuilder, NodeId};
+use crate::layer::{EltwiseOp, Layer, LayerKind, PoolKind};
 use crate::network::Network;
 use condor_tensor::{Shape, TensorRng};
 
@@ -133,6 +135,201 @@ pub fn random_weighted_chain(seed: u64) -> Network {
     net
 }
 
+/// Generates a valid random DAG network from a seed.
+///
+/// Structure: up to 8 growth steps over a tap list of already-built
+/// nodes — shape-preserving 3×3 convolution or activation branches, and
+/// eltwise / concat merges of 2–3 taps (branch factor ≤ 3). Every node
+/// keeps the input's spatial extent, so concat merges always validate
+/// and eltwise merges only need matching channel counts. Unconsumed
+/// leaves are funnelled through a final concat into a single output,
+/// optionally followed by a fully-connected classifier tail, so the
+/// generated graphs never contain dangling nodes. Seeds whose growth
+/// steps all degenerate still fall back to a chain with at least one
+/// compute layer.
+pub fn random_dag(seed: u64) -> Network {
+    let mut rng = TensorRng::seeded(seed ^ 0x0da6_0da6);
+    let c = 1 + rng.index(3);
+    let side = 6 + rng.index(6);
+    let input_shape = Shape::chw(c, side, side);
+    let mut b = NetworkBuilder::new(format!("random-dag-{seed}"), input_shape);
+    let data = b
+        .add(Layer::new("data", LayerKind::Input), &[])
+        .expect("input node is always valid");
+    // Every built node with its output shape; merges draw from here.
+    let mut taps: Vec<(NodeId, Shape)> = vec![(data, input_shape.with_n(1))];
+    let mut consumed: Vec<NodeId> = Vec::new();
+    let mut compute_nodes = 0usize;
+    let mut idx = 0usize;
+    let name = |prefix: &str, idx: &mut usize| {
+        *idx += 1;
+        format!("{prefix}{idx}")
+    };
+
+    let depth = 2 + rng.index(7);
+    for _ in 0..depth {
+        let roll = rng.index(5);
+        if roll < 2 {
+            // Shape-preserving convolution branch off a random tap.
+            let (src, s) = taps[rng.index(taps.len())];
+            let kind = LayerKind::Convolution {
+                num_output: 1 + rng.index(4),
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: rng.index(2) == 0,
+            };
+            let out = kind
+                .output_shape(s)
+                .expect("3x3 pad-1 conv preserves the extent");
+            let id = b
+                .add(Layer::new(name("conv", &mut idx), kind), &[src])
+                .expect("conv branch is valid");
+            consumed.push(src);
+            taps.push((id, out));
+            compute_nodes += 1;
+        } else if roll == 2 {
+            // Activation branch off a random tap.
+            let (src, s) = taps[rng.index(taps.len())];
+            let kind = match rng.index(3) {
+                0 => LayerKind::ReLU {
+                    negative_slope: if rng.index(2) == 0 { 0.0 } else { 0.1 },
+                },
+                1 => LayerKind::Sigmoid,
+                _ => LayerKind::TanH,
+            };
+            let id = b
+                .add(Layer::new(name("act", &mut idx), kind), &[src])
+                .expect("activation branch is valid");
+            consumed.push(src);
+            taps.push((id, s));
+            compute_nodes += 1;
+        } else if roll == 3 {
+            // Eltwise join of 2–3 identically-shaped taps.
+            let (pivot, s) = taps[rng.index(taps.len())];
+            let mut srcs = vec![pivot];
+            for &(t, ts) in &taps {
+                if srcs.len() >= 3 {
+                    break;
+                }
+                if ts == s && !srcs.contains(&t) {
+                    srcs.push(t);
+                }
+            }
+            if srcs.len() < 2 {
+                continue;
+            }
+            let op = match rng.index(3) {
+                0 => EltwiseOp::Prod,
+                1 => EltwiseOp::Sum,
+                _ => EltwiseOp::Max,
+            };
+            let id = b
+                .add(
+                    Layer::new(name("join", &mut idx), LayerKind::Eltwise { op }),
+                    &srcs,
+                )
+                .expect("same-shape eltwise is valid");
+            consumed.extend(srcs.iter().copied());
+            taps.push((id, s));
+            compute_nodes += 1;
+        } else {
+            // Concat of 2–3 taps (every tap shares the spatial extent).
+            if taps.len() < 2 {
+                continue;
+            }
+            let want = 2 + rng.index(2);
+            let mut pool = taps.clone();
+            let mut srcs = Vec::new();
+            let mut shapes = Vec::new();
+            while srcs.len() < want && !pool.is_empty() {
+                let (t, s) = pool.swap_remove(rng.index(pool.len()));
+                srcs.push(t);
+                shapes.push(s);
+            }
+            let out = LayerKind::Concat
+                .output_shape_multi(&shapes)
+                .expect("same-extent concat is valid");
+            let id = b
+                .add(Layer::new(name("cat", &mut idx), LayerKind::Concat), &srcs)
+                .expect("same-extent concat is valid");
+            consumed.extend(srcs.iter().copied());
+            taps.push((id, out));
+            compute_nodes += 1;
+        }
+    }
+
+    // Funnel every unconsumed leaf into a single output node.
+    let leaves: Vec<(NodeId, Shape)> = taps
+        .iter()
+        .copied()
+        .filter(|(t, _)| !consumed.contains(t))
+        .collect();
+    let (mut last, _) = if leaves.len() > 1 {
+        let srcs: Vec<NodeId> = leaves.iter().map(|&(t, _)| t).collect();
+        let shapes: Vec<Shape> = leaves.iter().map(|&(_, s)| s).collect();
+        let out = LayerKind::Concat
+            .output_shape_multi(&shapes)
+            .expect("same-extent concat is valid");
+        let id = b
+            .add(Layer::new("funnel", LayerKind::Concat), &srcs)
+            .expect("same-extent concat is valid");
+        compute_nodes += 1;
+        (id, out)
+    } else {
+        leaves[0]
+    };
+
+    // Optional classifier tail.
+    if rng.index(2) == 0 {
+        let kind = LayerKind::InnerProduct {
+            num_output: 1 + rng.index(10),
+            bias: rng.index(2) == 0,
+        };
+        last = b
+            .add(Layer::new("ip_out", kind), &[last])
+            .expect("FC accepts any shape");
+        compute_nodes += 1;
+        if rng.index(2) == 0 {
+            last = b
+                .add(
+                    Layer::new(
+                        "prob",
+                        LayerKind::Softmax {
+                            log: rng.index(2) == 0,
+                        },
+                    ),
+                    &[last],
+                )
+                .expect("softmax after FC is valid");
+        }
+    }
+
+    // Guarantee at least one computational layer.
+    if compute_nodes == 0 {
+        b.add(
+            Layer::new(
+                "relu_only",
+                LayerKind::ReLU {
+                    negative_slope: 0.0,
+                },
+            ),
+            &[last],
+        )
+        .expect("activation is always valid");
+    }
+
+    b.build().expect("generator only emits valid graphs")
+}
+
+/// [`random_dag`] with deterministic weights installed.
+pub fn random_weighted_dag(seed: u64) -> Network {
+    let mut net = random_dag(seed);
+    net.attach_random_weights(seed ^ 0x5eed_0da6)
+        .expect("valid graphs accept weights");
+    net
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -163,5 +360,36 @@ mod tests {
             let net = random_weighted_chain(seed);
             assert!(net.fully_weighted(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn many_seeds_generate_valid_dags() {
+        let mut branchy = 0usize;
+        for seed in 0..200 {
+            let net = random_dag(seed);
+            assert!(net.validate().is_ok(), "seed {seed}");
+            assert!(net.compute_layer_count() >= 1, "seed {seed}");
+            assert!(net.output_shapes().is_ok(), "seed {seed}");
+            if !net.is_linear_chain() {
+                branchy += 1;
+            }
+            // The funnel guarantees no dangling nodes: every non-final
+            // node has at least one consumer.
+            for id in net.node_ids() {
+                if id.index() + 1 < net.node_count() {
+                    assert!(
+                        !net.consumers_of(id).is_empty(),
+                        "seed {seed}: {id} dangles"
+                    );
+                }
+            }
+        }
+        assert!(branchy > 50, "only {branchy}/200 seeds produced branches");
+    }
+
+    #[test]
+    fn dag_generation_is_deterministic() {
+        assert_eq!(random_dag(23), random_dag(23));
+        assert!(random_weighted_dag(7).fully_weighted());
     }
 }

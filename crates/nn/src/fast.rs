@@ -2,13 +2,19 @@
 //!
 //! [`FastEngine`] runs whole networks through im2col + blocked-GEMM
 //! kernels instead of the golden engine's naive loop nests. It
-//! precompiles the network into a step list (fusing each Conv/FC layer
-//! with a directly following ReLU into the GEMM epilogue) and owns a
-//! scratch arena — two ping-pong activation buffers plus the im2col
+//! precompiles the network into a topologically-ordered step list
+//! (fusing each Conv/FC layer with a sole-consumer ReLU into the GEMM
+//! epilogue) and owns a scratch arena: a pool of activation slots
+//! assigned at compile time by a refcounting linear scan — a slot is
+//! recycled as soon as its last consumer has run — plus the im2col
 //! workspace, all sized to the network's high-water mark at
-//! construction — so steady-state inference performs **zero heap
+//! construction. Steady-state inference therefore performs **zero heap
 //! allocation per layer** (only the returned output tensor is
-//! allocated).
+//! allocated). A linear chain degenerates to exactly two alternating
+//! slots — the classic ping-pong buffer pair — so chain networks keep
+//! their historical memory footprint and bit-identical results; branchy
+//! graphs (concat / eltwise joins) hold as many live slots as their
+//! widest cut requires.
 //!
 //! The slice-level primitive, [`forward_layer_fast`], is shared with the
 //! dataflow hardware runtime: its PEs run the same kernels over the same
@@ -21,7 +27,8 @@
 //! different association orders (ascending-`k` GEMM vs `(c, m, n)` loop
 //! nest), so agreement is approximate, not bitwise.
 
-use crate::layer::{LayerKind, PoolKind};
+use crate::graph::NodeId;
+use crate::layer::{EltwiseOp, LayerKind, PoolKind};
 use crate::network::{Network, NnError, NnErrorKind};
 use condor_kernels::{
     activate, conv2d, gemv, pool2d, softmax, Activation, ConvGeometry, PoolMethod, Workspace,
@@ -29,29 +36,38 @@ use condor_kernels::{
 use condor_tensor::{Shape, Tensor};
 use std::sync::Arc;
 
-/// One compiled layer (or fused layer pair).
+/// One compiled node (or fused node pair).
 #[derive(Clone, Debug)]
 struct Step {
     /// Source layer name — the weight lookup key.
     name: String,
     /// Operator snapshot.
     kind: LayerKind,
-    /// Negative slope of a directly following ReLU folded into this
-    /// step's GEMM epilogue (`Some(0.0)` for plain ReLU).
+    /// Negative slope of a sole-consumer ReLU folded into this step's
+    /// GEMM epilogue (`Some(0.0)` for plain ReLU).
     fused_relu: Option<f32>,
-    /// Single-item input shape.
-    input: Shape,
+    /// Arena slot and single-item shape of each input, in fan-in order.
+    inputs: Vec<(usize, Shape)>,
     /// Single-item output shape.
     output: Shape,
+    /// Arena slot the output is written to.
+    out_slot: usize,
 }
 
 /// The immutable, shareable part of a compiled engine: network handle,
-/// step list and buffer high-water marks.
+/// step list, slot assignment and buffer high-water marks.
 #[derive(Debug)]
 struct EnginePlan {
     net: Arc<Network>,
     steps: Vec<Step>,
-    /// Largest single-layer activation length (ping-pong buffer size).
+    /// Number of arena slots the slot-pool linear scan settled on
+    /// (2 for any linear chain — the ping-pong pair).
+    slot_count: usize,
+    /// Slot the network input is staged into before the first step.
+    input_slot: usize,
+    /// Slot holding the final output after the last step.
+    output_slot: usize,
+    /// Largest single-node activation length (per-slot buffer size).
     max_elems: usize,
     /// Largest im2col patch-matrix length (workspace size).
     max_cols: usize,
@@ -80,6 +96,14 @@ fn conv_geometry(
     }
 }
 
+/// Pops a recycled arena slot or mints a new one.
+fn alloc_slot(free: &mut Vec<usize>, slot_count: &mut usize) -> usize {
+    free.pop().unwrap_or_else(|| {
+        *slot_count += 1;
+        *slot_count - 1
+    })
+}
+
 impl EnginePlan {
     fn compile(net: Arc<Network>) -> Result<Self, NnError> {
         if !net.fully_weighted() {
@@ -88,30 +112,89 @@ impl EnginePlan {
             )
             .with_kind(NnErrorKind::MissingWeights));
         }
-        let ins = net.input_shapes()?;
+        let ins_multi = net.input_shapes_multi()?;
         let outs = net.output_shapes()?;
-        let mut steps = Vec::with_capacity(net.layers.len());
+        let n = net.layers.len();
+        let output_shape = outs.last().copied().ok_or_else(|| {
+            NnError::net("network has no layers").with_kind(NnErrorKind::NoComputeLayers)
+        })?;
+
+        // A ReLU folds into a Conv/FC producer's GEMM epilogue exactly
+        // when it is that producer's *sole* consumer and reads nothing
+        // else — on a linear chain this is the historical "ReLU directly
+        // after Conv/FC" rule, and on a branchy graph it refuses to fuse
+        // a ReLU whose producer also feeds a skip edge (the raw
+        // pre-activation value must stay observable).
+        let mut fused_into: Vec<Option<usize>> = vec![None; n];
+        let mut fused_slope: Vec<Option<f32>> = vec![None; n];
+        for (i, layer) in net.layers.iter().enumerate() {
+            if !matches!(
+                layer.kind,
+                LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
+            ) {
+                continue;
+            }
+            if let [j] = net.consumers_of(NodeId::from_index(i)).as_slice() {
+                let j = j.index();
+                if let LayerKind::ReLU { negative_slope } = net.layers[j].kind {
+                    if net.inputs_of(NodeId::from_index(j)).len() == 1 {
+                        fused_into[j] = Some(i);
+                        fused_slope[i] = Some(negative_slope);
+                    }
+                }
+            }
+        }
+        // Node whose step produces node `k`'s value: its fused producer
+        // for folded ReLUs, itself otherwise.
+        let value_src: Vec<usize> = (0..n).map(|k| fused_into[k].unwrap_or(k)).collect();
+
+        // Refcount every value (and the network input) by the number of
+        // step reads; the final output takes one extra reference so its
+        // slot survives to the end of the run.
+        let mut refs = vec![0usize; n];
+        let mut input_refs = 0usize;
+        for (j, fused) in fused_into.iter().enumerate() {
+            if fused.is_some() {
+                continue;
+            }
+            let preds = net.inputs_of(NodeId::from_index(j));
+            if preds.is_empty() {
+                input_refs += 1;
+            }
+            for p in &preds {
+                refs[value_src[p.index()]] += 1;
+            }
+        }
+        refs[value_src[n - 1]] += 1;
+
+        // Linear-scan slot assignment over the topological order: the
+        // output slot is allocated while the step's inputs are still
+        // live (so it can never alias them), then inputs whose last
+        // consumer this step was are recycled. A chain settles on two
+        // alternating slots — the classic ping-pong pair.
+        let mut slot_count = 0usize;
+        let mut free: Vec<usize> = Vec::new();
+        let input_slot = alloc_slot(&mut free, &mut slot_count);
+        let mut input_live = input_refs;
+        let mut slot_of = vec![usize::MAX; n];
+        let mut steps = Vec::with_capacity(n);
         let mut max_elems = net.input_shape.len();
         let mut max_cols = 0usize;
-
-        let mut i = 0;
-        while i < net.layers.len() {
-            let layer = &net.layers[i];
-            // A ReLU directly after a Conv/FC folds into that kernel's
-            // epilogue; the fused step keeps the producer's shapes
-            // (activations are shape-preserving).
-            let fused_relu = match net.layers.get(i + 1).map(|l| &l.kind) {
-                Some(LayerKind::ReLU { negative_slope })
-                    if matches!(
-                        layer.kind,
-                        LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
-                    ) =>
-                {
-                    Some(*negative_slope)
-                }
-                _ => None,
+        for j in 0..n {
+            if fused_into[j].is_some() {
+                continue;
+            }
+            let layer = &net.layers[j];
+            let preds = net.inputs_of(NodeId::from_index(j));
+            let inputs: Vec<(usize, Shape)> = if preds.is_empty() {
+                vec![(input_slot, net.input_shape)]
+            } else {
+                preds
+                    .iter()
+                    .zip(&ins_multi[j])
+                    .map(|(p, &shape)| (slot_of[value_src[p.index()]], shape))
+                    .collect()
             };
-            let (input, output) = (ins[i], outs[i]);
             if let LayerKind::Convolution {
                 kernel,
                 stride,
@@ -119,30 +202,56 @@ impl EnginePlan {
                 ..
             } = layer.kind
             {
-                let geo = conv_geometry(kernel, stride, pad, input, output);
+                let geo = conv_geometry(kernel, stride, pad, inputs[0].1, outs[j]);
                 if !geo.is_identity() {
                     max_cols = max_cols.max(geo.lowered_len());
                 }
             }
-            max_elems = max_elems.max(input.len()).max(output.len());
+            for &(_, shape) in &inputs {
+                max_elems = max_elems.max(shape.len());
+            }
+            max_elems = max_elems.max(outs[j].len());
+            let out_slot = alloc_slot(&mut free, &mut slot_count);
+            slot_of[j] = out_slot;
             steps.push(Step {
                 name: layer.name.clone(),
                 kind: layer.kind.clone(),
-                fused_relu,
-                input,
-                output,
+                // The folded ReLU is shape-preserving, so the fused step
+                // keeps the producer's output shape.
+                fused_relu: fused_slope[j],
+                inputs,
+                output: outs[j],
+                out_slot,
             });
-            // Skip the folded ReLU layer.
-            i += if fused_relu.is_some() { 2 } else { 1 };
+            // Recycle inputs whose last read this step performed.
+            if preds.is_empty() {
+                input_live -= 1;
+                if input_live == 0 {
+                    free.push(input_slot);
+                }
+            }
+            for p in &preds {
+                let src = value_src[p.index()];
+                refs[src] -= 1;
+                if refs[src] == 0 {
+                    free.push(slot_of[src]);
+                }
+            }
+            // A dangling node's output is never read; hand its slot
+            // straight back.
+            if refs[j] == 0 {
+                free.push(out_slot);
+            }
         }
-        let output_shape = outs.last().copied().ok_or_else(|| {
-            NnError::net("network has no layers").with_kind(NnErrorKind::NoComputeLayers)
-        })?;
+        let output_slot = slot_of[value_src[n - 1]];
         Ok(EnginePlan {
             input_shape: net.input_shape,
             output_shape,
             net,
             steps,
+            slot_count,
+            input_slot,
+            output_slot,
             max_elems,
             max_cols,
         })
@@ -166,8 +275,7 @@ impl EnginePlan {
 #[derive(Debug)]
 pub struct FastEngine {
     plan: Arc<EnginePlan>,
-    ping: Vec<f32>,
-    pong: Vec<f32>,
+    slots: Vec<Vec<f32>>,
     ws: Workspace,
 }
 
@@ -195,10 +303,10 @@ impl FastEngine {
     fn from_plan(plan: Arc<EnginePlan>) -> Self {
         let max_elems = plan.max_elems;
         let max_cols = plan.max_cols;
+        let slot_count = plan.slot_count;
         FastEngine {
             plan,
-            ping: vec![0.0; max_elems],
-            pong: vec![0.0; max_elems],
+            slots: (0..slot_count).map(|_| vec![0.0; max_elems]).collect(),
             ws: Workspace::with_capacity(max_cols),
         }
     }
@@ -214,10 +322,17 @@ impl FastEngine {
         self.plan.steps.len()
     }
 
+    /// Number of activation slots the compile-time refcounting scan
+    /// settled on: 2 for every linear chain (the classic ping-pong
+    /// pair), more for branchy graphs whose widest live cut is wider.
+    pub fn arena_slot_count(&self) -> usize {
+        self.plan.slot_count
+    }
+
     /// Runs one image (`1×c×h×w`) through the whole network.
     ///
     /// Steady-state this allocates only the returned tensor: all
-    /// intermediate activations live in the engine's ping-pong arena and
+    /// intermediate activations live in the engine's slot-pool arena and
     /// the im2col workspace is reused across layers and calls.
     pub fn infer(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let plan = Arc::clone(&self.plan);
@@ -229,25 +344,44 @@ impl FastEngine {
             ))
             .with_kind(NnErrorKind::InputMismatch));
         }
-        let mut src = &mut self.ping;
-        let mut dst = &mut self.pong;
-        src[..input.len()].copy_from_slice(input.as_slice());
+        self.slots[plan.input_slot][..input.len()].copy_from_slice(input.as_slice());
         for step in &plan.steps {
-            forward_layer_fast(
-                &plan.net,
-                &step.name,
-                &step.kind,
-                step.fused_relu,
-                &src[..step.input.len()],
-                step.input,
-                step.output,
-                &mut dst[..step.output.len()],
-                &mut self.ws,
-            )?;
-            std::mem::swap(&mut src, &mut dst);
+            // Lift the output buffer out of the arena for the duration
+            // of the step so the input slots stay borrowable; the
+            // compile-time scan guarantees the output slot never aliases
+            // an input slot.
+            let mut out_buf = std::mem::take(&mut self.slots[step.out_slot]);
+            let out = &mut out_buf[..step.output.len()];
+            let result = if step.kind.is_merge() && step.inputs.len() > 1 {
+                let ins: Vec<&[f32]> = step
+                    .inputs
+                    .iter()
+                    .map(|&(slot, shape)| &self.slots[slot][..shape.len()])
+                    .collect();
+                merge_fast(&step.kind, &ins, out);
+                Ok(())
+            } else {
+                let (slot, in_shape) = step.inputs[0];
+                forward_layer_fast(
+                    &plan.net,
+                    &step.name,
+                    &step.kind,
+                    step.fused_relu,
+                    &self.slots[slot][..in_shape.len()],
+                    in_shape,
+                    step.output,
+                    out,
+                    &mut self.ws,
+                )
+            };
+            self.slots[step.out_slot] = out_buf;
+            result?;
         }
         let out_len = plan.output_shape.len();
-        Ok(Tensor::from_vec(plan.output_shape, src[..out_len].to_vec()))
+        Ok(Tensor::from_vec(
+            plan.output_shape,
+            self.slots[plan.output_slot][..out_len].to_vec(),
+        ))
     }
 
     /// Runs a batch sequentially on this engine's arena (zero per-layer
@@ -385,8 +519,47 @@ pub fn forward_layer_fast(
             );
         }
         LayerKind::Softmax { log } => softmax(input, log, out),
+        // Single-input merges are shape-preserving pass-throughs
+        // (mirroring `output_shape_multi`); fan-in ≥ 2 merges are
+        // executed by the engine's dedicated merge path, which reads
+        // several arena slots at once.
+        LayerKind::Concat | LayerKind::Eltwise { .. } => out.copy_from_slice(input),
     }
     Ok(())
+}
+
+/// Executes a fan-in ≥ 2 merge over arena slices: channel-axis
+/// concatenation (inputs are contiguous `1×c×h×w` items, so stacking
+/// channels is appending slices) or an element-wise left fold.
+///
+/// Both paths match [`crate::golden`]'s merge semantics bit-for-bit —
+/// same copy order, same fold order.
+///
+/// # Panics
+/// Panics when the input lengths do not add up to (Concat) or equal
+/// (Eltwise) the output length.
+pub fn merge_fast(kind: &LayerKind, inputs: &[&[f32]], out: &mut [f32]) {
+    match *kind {
+        LayerKind::Concat => {
+            let mut off = 0;
+            for part in inputs {
+                out[off..off + part.len()].copy_from_slice(part);
+                off += part.len();
+            }
+            assert_eq!(off, out.len(), "concat output length mismatch");
+        }
+        LayerKind::Eltwise { op } => {
+            out.copy_from_slice(inputs[0]);
+            for part in &inputs[1..] {
+                match op {
+                    EltwiseOp::Sum => out.iter_mut().zip(*part).for_each(|(o, &v)| *o += v),
+                    EltwiseOp::Prod => out.iter_mut().zip(*part).for_each(|(o, &v)| *o *= v),
+                    EltwiseOp::Max => out.iter_mut().zip(*part).for_each(|(o, &v)| *o = o.max(v)),
+                }
+            }
+        }
+        _ => unreachable!("is_merge covers exactly these kinds"),
+    }
 }
 
 fn weights_or_err<'a>(
@@ -442,6 +615,112 @@ mod tests {
             })
             .count();
         assert_eq!(fused.step_count(), tc1.layers.len() - relu_after_weighted);
+    }
+
+    #[test]
+    fn linear_chain_degenerates_to_ping_pong_arena() {
+        for net in [zoo::lenet_weighted(1), zoo::tc1_weighted(1)] {
+            let fast = FastEngine::new(&net).unwrap();
+            assert_eq!(fast.arena_slot_count(), 2, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn branchy_network_matches_golden() {
+        use crate::layer::{EltwiseOp, Layer};
+        use crate::NetworkBuilder;
+
+        let conv = |name: &str, c: usize| {
+            Layer::new(
+                name,
+                LayerKind::Convolution {
+                    num_output: c,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                },
+            )
+        };
+        let mut b = NetworkBuilder::new("branchy", Shape::chw(3, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let c1 = b.add(conv("conv1", 4), &[data]).unwrap();
+        let c2 = b.add(conv("conv2", 4), &[c1]).unwrap();
+        let join = b
+            .add(
+                Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+                &[c1, c2],
+            )
+            .unwrap();
+        let cat = b
+            .add(Layer::new("cat", LayerKind::Concat), &[c1, join])
+            .unwrap();
+        b.add(conv("conv3", 2), &[cat]).unwrap();
+        let mut net = b.build().unwrap();
+        net.attach_random_weights(11).unwrap();
+
+        let mut fast = FastEngine::new(&net).unwrap();
+        // conv1's value stays live across conv2, join and cat, so the
+        // arena needs more than the chain's ping-pong pair.
+        assert!(fast.arena_slot_count() > 2);
+        let golden = GoldenEngine::new(&net).unwrap();
+        for seed in 0..4u64 {
+            let img = TensorRng::seeded(seed).uniform(net.input_shape, -1.0, 1.0);
+            let f = fast.infer(&img).unwrap();
+            let g = golden.infer(&img).unwrap();
+            assert!(f.all_close_tol(&g, 1e-4, 1e-4), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fusion_refused_when_relu_producer_feeds_a_skip_edge() {
+        use crate::layer::{EltwiseOp, Layer};
+        use crate::NetworkBuilder;
+
+        // conv1 feeds both relu1 and the eltwise join: folding the ReLU
+        // into conv1's epilogue would corrupt the skip branch, so the
+        // compiler must keep them separate (step per layer).
+        let mut b = NetworkBuilder::new("skip", Shape::chw(1, 6, 6));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let c1 = b
+            .add(
+                Layer::new(
+                    "conv1",
+                    LayerKind::Convolution {
+                        num_output: 2,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                        bias: true,
+                    },
+                ),
+                &[data],
+            )
+            .unwrap();
+        let r1 = b
+            .add(
+                Layer::new(
+                    "relu1",
+                    LayerKind::ReLU {
+                        negative_slope: 0.0,
+                    },
+                ),
+                &[c1],
+            )
+            .unwrap();
+        b.add(
+            Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+            &[c1, r1],
+        )
+        .unwrap();
+        let mut net = b.build().unwrap();
+        net.attach_random_weights(3).unwrap();
+        let mut fast = FastEngine::new(&net).unwrap();
+        assert_eq!(fast.step_count(), net.layers.len(), "no fusion expected");
+        let img = TensorRng::seeded(9).uniform(net.input_shape, -1.0, 1.0);
+        let f = fast.infer(&img).unwrap();
+        let g = GoldenEngine::new(&net).unwrap().infer(&img).unwrap();
+        assert!(f.all_close_tol(&g, 1e-4, 1e-4));
     }
 
     #[test]

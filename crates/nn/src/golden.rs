@@ -8,7 +8,8 @@
 //! obviousness over speed. Batch execution parallelises across images with
 //! rayon (images are independent at inference time).
 
-use crate::layer::{LayerKind, PoolKind};
+use crate::graph::NodeId;
+use crate::layer::{EltwiseOp, LayerKind, PoolKind};
 use crate::network::{Network, NnError, NnErrorKind};
 use condor_tensor::{Shape, Tensor};
 use rayon::prelude::*;
@@ -49,8 +50,11 @@ impl<'a> GoldenEngine<'a> {
         Ok(outputs.into_iter().last().expect("validated non-empty"))
     }
 
-    /// Runs one image, returning every layer's output (for layer-by-layer
-    /// comparison against the hardware simulator).
+    /// Runs one image, returning every node's output in topological
+    /// order (for layer-by-layer comparison against the hardware
+    /// simulator). Nodes read their predecessors' stored outputs, so a
+    /// linear chain behaves exactly as it always has while branchy
+    /// graphs get correct fan-out for free.
     pub fn infer_all_layers(&self, input: &Tensor) -> Result<Vec<Tensor>, NnError> {
         if input.shape() != self.net.input_shape {
             return Err(NnError::net(format!(
@@ -62,11 +66,27 @@ impl<'a> GoldenEngine<'a> {
         }
         let mut outputs: Vec<Tensor> = Vec::with_capacity(self.net.layers.len());
         for (i, layer) in self.net.layers.iter().enumerate() {
-            // Borrow the previous layer's stored output instead of keeping
-            // a cloned running copy: each output tensor is allocated once
-            // and moved into `outputs`.
-            let current = if i == 0 { input } else { &outputs[i - 1] };
-            let next = self.forward_layer(&layer.kind, &layer.name, current)?;
+            let preds = self.net.inputs_of(NodeId::from_index(i));
+            let next = if layer.kind.is_merge() && preds.len() > 1 {
+                let ins: Vec<&Tensor> = preds.iter().map(|p| &outputs[p.index()]).collect();
+                match layer.kind {
+                    LayerKind::Concat => concat(&ins),
+                    LayerKind::Eltwise { op } => eltwise(op, &ins),
+                    _ => unreachable!("is_merge covers exactly these kinds"),
+                }
+            } else {
+                // Single-input merges (including a merge reading the
+                // network input) are shape-preserving pass-throughs,
+                // mirroring `output_shape_multi`.
+                // Borrow the predecessor's stored output instead of
+                // keeping a cloned running copy: each output tensor is
+                // allocated once and moved into `outputs`.
+                let current = match preds.first() {
+                    None => input,
+                    Some(p) => &outputs[p.index()],
+                };
+                self.forward_layer(&layer.kind, &layer.name, current)?
+            };
             outputs.push(next);
         }
         Ok(outputs)
@@ -139,6 +159,10 @@ impl<'a> GoldenEngine<'a> {
                 )?
             }
             LayerKind::Softmax { log } => softmax(input, log),
+            // Single-input merges are pass-throughs; the multi-input
+            // case is handled in `infer_all_layers`.
+            LayerKind::Concat => input.clone(),
+            LayerKind::Eltwise { .. } => input.clone(),
         })
     }
 
@@ -278,6 +302,38 @@ pub fn inner_product(
         *out.at_mut(0, l, 0, 0) = acc;
     }
     Ok(out)
+}
+
+/// Channel-axis concatenation (Caffe `Concat`, `axis = 1`): stacks the
+/// input maps in input order. Callers guarantee at least one input and
+/// matching spatial extents (enforced by shape inference).
+pub fn concat(inputs: &[&Tensor]) -> Tensor {
+    let first = inputs.first().expect("concat needs at least one input");
+    let channels: usize = inputs.iter().map(|t| t.shape().c).sum();
+    let s = first.shape();
+    let mut data = Vec::with_capacity(channels * s.h * s.w);
+    for t in inputs {
+        data.extend_from_slice(t.as_slice());
+    }
+    Tensor::from_vec(Shape::new(s.n, channels, s.h, s.w), data)
+}
+
+/// Element-wise merge (Caffe `Eltwise`): folds the inputs with the
+/// operator, left to right. Callers guarantee at least one input and
+/// identical shapes (enforced by shape inference).
+pub fn eltwise(op: EltwiseOp, inputs: &[&Tensor]) -> Tensor {
+    let first = inputs.first().expect("eltwise needs at least one input");
+    let mut out = (*first).clone();
+    for t in &inputs[1..] {
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+            *o = match op {
+                EltwiseOp::Sum => *o + v,
+                EltwiseOp::Prod => *o * v,
+                EltwiseOp::Max => o.max(v),
+            };
+        }
+    }
+    out
 }
 
 /// Paper Eq. (5): `σ(o)_y = e^{o_y} / Σ e^{o_y}`, optionally followed by

@@ -1,0 +1,326 @@
+//! Dataflow-graph construction for networks: stable node identities and
+//! the canonical [`NetworkBuilder`].
+//!
+//! A [`crate::Network`] is a DAG of layers stored in topological order.
+//! Linear chains — the only topology the original framework supported —
+//! are the degenerate case where every node reads its predecessor, and
+//! are stored without an explicit edge table so the historical behaviour
+//! (including direct mutation of `Network::layers` in tests and defect
+//! corpora) is preserved bit-for-bit.
+//!
+//! [`NetworkBuilder`] is the canonical construction path for *all*
+//! topologies: `add` only accepts already-created [`NodeId`]s as inputs,
+//! so insertion order is a topological order and cycles are
+//! unrepresentable by construction. [`crate::Network::new`] is a thin
+//! wrapper over [`NetworkBuilder::chain`].
+
+use crate::layer::{Layer, LayerKind};
+use crate::network::{Network, NnError, NnErrorKind};
+use condor_tensor::Shape;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identity of one node (layer) in a network graph.
+///
+/// A `NodeId` indexes the topologically-ordered node list of the network
+/// it was created for; it is a newtype so public APIs cannot confuse node
+/// identities with arbitrary `usize` positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a raw position in the topologically-ordered node list.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The position in the topologically-ordered node list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Incremental builder for [`Network`] graphs — the canonical
+/// construction path.
+///
+/// Nodes are added in execution order; each node names its input nodes by
+/// the [`NodeId`]s returned from earlier [`NetworkBuilder::add`] calls,
+/// which makes the resulting graph acyclic by construction (a node can
+/// never reference a node added after it). A node with no inputs reads
+/// the network input.
+///
+/// ```
+/// use condor_nn::{Layer, LayerKind, NetworkBuilder};
+/// use condor_tensor::Shape;
+///
+/// let mut b = NetworkBuilder::new("branchy", Shape::chw(1, 8, 8));
+/// let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+/// let conv = b.add(
+///     Layer::new("conv1", LayerKind::Convolution {
+///         num_output: 4, kernel: 3, stride: 1, pad: 1, bias: true,
+///     }),
+///     &[data],
+/// ).unwrap();
+/// let skip = b.add(
+///     Layer::new("conv2", LayerKind::Convolution {
+///         num_output: 4, kernel: 3, stride: 1, pad: 1, bias: true,
+///     }),
+///     &[conv],
+/// ).unwrap();
+/// b.add(
+///     Layer::new("join", LayerKind::Eltwise { op: Default::default() }),
+///     &[conv, skip],
+/// ).unwrap();
+/// let net = b.build().unwrap();
+/// assert!(!net.is_linear_chain());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: Shape,
+    layers: Vec<Layer>,
+    edges: Vec<Vec<NodeId>>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with the given single-item input
+    /// shape.
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            input_shape: input_shape.with_n(1),
+            layers: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends a node fed by the given input nodes and returns its id.
+    ///
+    /// An empty `inputs` list means the node reads the network input.
+    /// Every input must be a [`NodeId`] previously returned by this
+    /// builder — forward references (and therefore cycles) are rejected.
+    pub fn add(&mut self, layer: Layer, inputs: &[NodeId]) -> Result<NodeId, NnError> {
+        for id in inputs {
+            if id.index() >= self.layers.len() {
+                return Err(NnError::at(
+                    &layer.name,
+                    format!(
+                        "input {id} does not exist yet ({} nodes added so far); \
+                         inputs must be NodeIds returned by this builder",
+                        self.layers.len()
+                    ),
+                )
+                .with_kind(NnErrorKind::UnknownLayer));
+            }
+        }
+        if matches!(layer.kind, LayerKind::Input) && !inputs.is_empty() {
+            return Err(NnError::at(&layer.name, "Input layers take no inputs")
+                .with_kind(NnErrorKind::BadFanIn));
+        }
+        self.layers.push(layer);
+        self.edges.push(inputs.to_vec());
+        Ok(NodeId(self.layers.len() - 1))
+    }
+
+    /// The id the next [`NetworkBuilder::add`] call will return.
+    pub fn next_id(&self) -> NodeId {
+        NodeId(self.layers.len())
+    }
+
+    /// Finishes the graph: validates structure, fan-in arities and shape
+    /// inference, and returns the network.
+    ///
+    /// Graphs whose edges form the implicit linear chain (every node
+    /// reads the node added just before it) are canonicalised to the
+    /// chain representation, so `build()` on a chain is indistinguishable
+    /// from [`NetworkBuilder::chain`] — linear topologies stay a special
+    /// case of the graph, not a separate code path.
+    pub fn build(self) -> Result<Network, NnError> {
+        let net = Network {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+            weights: BTreeMap::new(),
+            edges: canonicalize_edges(self.edges),
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Builds a linear chain in one call: layer `i` feeds layer `i + 1`.
+    ///
+    /// This is what [`Network::new`] delegates to; it exists so chain
+    /// construction documents itself as the trivial special case of the
+    /// graph builder.
+    pub fn chain(
+        name: impl Into<String>,
+        input_shape: Shape,
+        layers: Vec<Layer>,
+    ) -> Result<Network, NnError> {
+        let net = Network {
+            name: name.into(),
+            input_shape: input_shape.with_n(1),
+            layers,
+            weights: BTreeMap::new(),
+            edges: None,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+}
+
+/// Collapses a chain-shaped edge table (node `i` reads node `i - 1`) to
+/// the implicit linear representation, so linear networks compare equal
+/// however they were built.
+pub(crate) fn canonicalize_edges(edges: Vec<Vec<NodeId>>) -> Option<Vec<Vec<NodeId>>> {
+    let linear = edges.iter().enumerate().all(|(i, preds)| match i {
+        0 => preds.is_empty(),
+        _ => preds.len() == 1 && preds[0].index() == i - 1,
+    });
+    if linear {
+        None
+    } else {
+        Some(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::layer::{EltwiseOp, PoolKind};
+    use condor_tensor::Shape;
+
+    fn conv(name: &str, num_output: usize, kernel: usize, pad: usize) -> Layer {
+        Layer::new(
+            name,
+            LayerKind::Convolution {
+                num_output,
+                kernel,
+                stride: 1,
+                pad,
+                bias: true,
+            },
+        )
+    }
+
+    #[test]
+    fn chain_builder_matches_network_new() {
+        let layers = vec![
+            Layer::new("data", LayerKind::Input),
+            conv("conv1", 4, 3, 0),
+            Layer::new(
+                "relu1",
+                LayerKind::ReLU {
+                    negative_slope: 0.0,
+                },
+            ),
+        ];
+        let via_chain = NetworkBuilder::chain("c", Shape::chw(1, 8, 8), layers.clone()).unwrap();
+        let via_new = Network::new("c", Shape::chw(1, 8, 8), layers.clone()).unwrap();
+        assert_eq!(via_chain, via_new);
+        // Incremental linear adds canonicalise to the same value.
+        let mut b = NetworkBuilder::new("c", Shape::chw(1, 8, 8));
+        let mut prev: Option<NodeId> = None;
+        for l in layers {
+            let inputs: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(b.add(l, &inputs).unwrap());
+        }
+        let via_build = b.build().unwrap();
+        assert_eq!(via_build, via_new);
+        assert!(via_build.is_linear_chain());
+    }
+
+    #[test]
+    fn branchy_graph_builds_and_infers_shapes() {
+        let mut b = NetworkBuilder::new("res", Shape::chw(3, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let c1 = b.add(conv("conv1", 4, 3, 1), &[data]).unwrap();
+        let c2 = b.add(conv("conv2", 4, 3, 1), &[c1]).unwrap();
+        let join = b
+            .add(
+                Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+                &[c1, c2],
+            )
+            .unwrap();
+        let cat = b
+            .add(Layer::new("cat", LayerKind::Concat), &[c1, join])
+            .unwrap();
+        let net = b.build().unwrap();
+        assert!(!net.is_linear_chain());
+        let outs = net.output_shapes().unwrap();
+        assert_eq!(outs[join.index()], Shape::new(1, 4, 8, 8));
+        assert_eq!(outs[cat.index()], Shape::new(1, 8, 8, 8));
+        assert_eq!(net.inputs_of(cat), vec![c1, join]);
+        assert_eq!(net.consumers_of(c1), vec![c2, join, cat]);
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let mut b = NetworkBuilder::new("bad", Shape::chw(1, 8, 8));
+        let bogus = NodeId::from_index(7);
+        let err = b.add(conv("conv1", 2, 3, 0), &[bogus]).unwrap_err();
+        assert_eq!(err.kind, NnErrorKind::UnknownLayer);
+    }
+
+    #[test]
+    fn input_node_takes_no_inputs() {
+        let mut b = NetworkBuilder::new("bad", Shape::chw(1, 8, 8));
+        let c = b.add(conv("conv1", 2, 3, 0), &[]).unwrap();
+        let err = b
+            .add(Layer::new("data", LayerKind::Input), &[c])
+            .unwrap_err();
+        assert_eq!(err.kind, NnErrorKind::BadFanIn);
+    }
+
+    #[test]
+    fn mismatched_merge_is_rejected_at_build() {
+        let mut b = NetworkBuilder::new("bad", Shape::chw(1, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        // 3x3 no-pad shrinks to 6x6; 1x1 keeps 8x8 — eltwise must reject.
+        let c1 = b.add(conv("conv1", 2, 3, 0), &[data]).unwrap();
+        let c2 = b.add(conv("conv2", 2, 1, 0), &[data]).unwrap();
+        b.add(
+            Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+            &[c1, c2],
+        )
+        .unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err.kind,
+            NnErrorKind::Shape(crate::layer::ShapeErrorKind::MergeMismatch)
+        );
+    }
+
+    #[test]
+    fn non_merge_fan_in_is_rejected() {
+        let mut b = NetworkBuilder::new("bad", Shape::chw(1, 8, 8));
+        let data = b.add(Layer::new("data", LayerKind::Input), &[]).unwrap();
+        let c1 = b.add(conv("conv1", 2, 3, 1), &[data]).unwrap();
+        let c2 = b.add(conv("conv2", 2, 3, 1), &[data]).unwrap();
+        b.add(
+            Layer::new(
+                "pool",
+                LayerKind::Pooling {
+                    method: PoolKind::Max,
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+            ),
+            &[c1, c2],
+        )
+        .unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err.kind,
+            NnErrorKind::Shape(crate::layer::ShapeErrorKind::WrongArity)
+        );
+    }
+}

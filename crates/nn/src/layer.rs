@@ -13,6 +13,11 @@ pub enum ShapeErrorKind {
     WindowExceedsInput,
     /// The layer needs a flat `1×1` spatial stream but got a feature map.
     NonFlatStream,
+    /// A merge layer's input shapes disagree (concat extents, eltwise
+    /// operand shapes).
+    MergeMismatch,
+    /// A layer received the wrong number of inputs for its kind.
+    WrongArity,
 }
 
 /// Typed shape-inference failure; wrapped by `NnError` (and by
@@ -50,6 +55,32 @@ pub enum PoolKind {
     Max,
     /// Average pooling — "... with its average".
     Average,
+}
+
+/// Element-wise merge operator of an [`LayerKind::Eltwise`] layer,
+/// following Caffe's `EltwiseParameter.EltwiseOp` (`PROD = 0`, `SUM = 1`,
+/// `MAX = 2`; `SUM` is the Caffe default and the operator ResNet-style
+/// skip connections use).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EltwiseOp {
+    /// Element-wise product.
+    Prod,
+    /// Element-wise sum (the default).
+    #[default]
+    Sum,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl EltwiseOp {
+    /// Caffe prototxt identifier for this operator.
+    pub fn caffe_name(self) -> &'static str {
+        match self {
+            EltwiseOp::Prod => "PROD",
+            EltwiseOp::Sum => "SUM",
+            EltwiseOp::Max => "MAX",
+        }
+    }
 }
 
 /// The two phases the paper identifies within a CNN (Section 2).
@@ -113,6 +144,16 @@ pub enum LayerKind {
         /// Apply `ln` after normalising.
         log: bool,
     },
+    /// Channel-axis concatenation of several inputs (Caffe `Concat` with
+    /// `axis = 1`); the junction layer GoogLeNet-style branch merges use.
+    /// All inputs must agree on spatial extent.
+    Concat,
+    /// Element-wise merge of several identically-shaped inputs (Caffe
+    /// `Eltwise`); `Sum` realises ResNet-style skip connections.
+    Eltwise {
+        /// Merge operator.
+        op: EltwiseOp,
+    },
 }
 
 impl LayerKind {
@@ -133,7 +174,15 @@ impl LayerKind {
                     "Softmax"
                 }
             }
+            LayerKind::Concat => "Concat",
+            LayerKind::Eltwise { .. } => "Eltwise",
         }
+    }
+
+    /// True for merge layers that accept (and usually require) more than
+    /// one input edge in the network graph.
+    pub fn is_merge(&self) -> bool {
+        matches!(self, LayerKind::Concat | LayerKind::Eltwise { .. })
     }
 
     /// True when the layer carries learned weights.
@@ -248,6 +297,57 @@ impl LayerKind {
                 }
                 Ok(input)
             }
+            // A merge of a single input is a pass-through; the general
+            // multi-input case lives in `output_shape_multi`.
+            LayerKind::Concat | LayerKind::Eltwise { .. } => Ok(input),
+        }
+    }
+
+    /// Output shape for a multi-input node. Merge layers (`Concat`,
+    /// `Eltwise`) combine all inputs; every other kind requires exactly
+    /// one input and defers to [`LayerKind::output_shape`].
+    pub fn output_shape_multi(&self, inputs: &[Shape]) -> Result<Shape, ShapeError> {
+        let first = *inputs
+            .first()
+            .ok_or_else(|| ShapeError::new(ShapeErrorKind::WrongArity, "layer has no inputs"))?;
+        match *self {
+            LayerKind::Concat => {
+                let mut channels = 0usize;
+                for s in inputs {
+                    if (s.n, s.h, s.w) != (first.n, first.h, first.w) {
+                        return Err(ShapeError::new(
+                            ShapeErrorKind::MergeMismatch,
+                            format!("concat inputs disagree on spatial extent: {s} vs {first}"),
+                        ));
+                    }
+                    channels += s.c;
+                }
+                Ok(Shape::new(first.n, channels, first.h, first.w))
+            }
+            LayerKind::Eltwise { .. } => {
+                for s in inputs {
+                    if *s != first {
+                        return Err(ShapeError::new(
+                            ShapeErrorKind::MergeMismatch,
+                            format!("eltwise inputs disagree on shape: {s} vs {first}"),
+                        ));
+                    }
+                }
+                Ok(first)
+            }
+            _ => {
+                if inputs.len() != 1 {
+                    return Err(ShapeError::new(
+                        ShapeErrorKind::WrongArity,
+                        format!(
+                            "{} expects exactly one input, got {}",
+                            self.caffe_type(),
+                            inputs.len()
+                        ),
+                    ));
+                }
+                self.output_shape(first)
+            }
         }
     }
 
@@ -269,8 +369,14 @@ impl LayerKind {
     }
 
     /// Floating-point operations per batch item (2 per MAC, plus bias
-    /// adds where enabled).
+    /// adds where enabled). `Eltwise` counts one op per output element
+    /// (the two-input case; each further input adds the same again —
+    /// [`crate::Network::costs`] accounts the exact fan-in). `Concat` is
+    /// pure routing and costs nothing.
     pub fn flops(&self, input: Shape) -> u64 {
+        if let LayerKind::Eltwise { .. } = *self {
+            return input.item_len() as u64;
+        }
         let macs = self.macs(input);
         let bias_adds = match *self {
             LayerKind::Convolution {

@@ -7,9 +7,13 @@
 //! * [`layer`] — the layer vocabulary from Section 2 of the paper
 //!   (convolutional, sub-sampling, fully-connected, activation and
 //!   normalisation layers);
-//! * [`network`] — a validated feed-forward chain of layers with shape
+//! * [`network`] — a validated feed-forward DAG of layers with shape
 //!   inference implementing the paper's Eq. (2) and Eq. (3), weight
-//!   storage and FLOP accounting;
+//!   storage and FLOP accounting (linear chains are the trivial special
+//!   case);
+//! * [`graph`] — stable [`NodeId`]s and the canonical [`NetworkBuilder`]
+//!   for constructing networks, including branchy (concat / eltwise)
+//!   topologies;
 //! * [`golden`] — a straightforward, obviously-correct software inference
 //!   engine (paper Eq. (1), (4), (5)) used as the functional oracle the
 //!   hardware simulator is validated against, with rayon-parallel batch
@@ -31,11 +35,13 @@ pub mod arbitrary;
 pub mod dataset;
 pub mod fast;
 pub mod golden;
+pub mod graph;
 pub mod layer;
 pub mod network;
 pub mod zoo;
 
 pub use fast::FastEngine;
 pub use golden::GoldenEngine;
-pub use layer::{Layer, LayerKind, PoolKind, ShapeError, ShapeErrorKind, Stage};
+pub use graph::{NetworkBuilder, NodeId};
+pub use layer::{EltwiseOp, Layer, LayerKind, PoolKind, ShapeError, ShapeErrorKind, Stage};
 pub use network::{LayerCost, Network, NnError, NnErrorKind};

@@ -1,6 +1,13 @@
 //! Feed-forward network container: validation, shape inference, weights
 //! and per-layer cost accounting.
+//!
+//! Since the graph redesign a network is a DAG of nodes in topological
+//! order (see [`crate::graph`]); the linear chain every earlier release
+//! supported is the special case with no explicit edge table. Construct
+//! networks through [`crate::NetworkBuilder`] (canonical) or
+//! [`Network::new`] for plain chains.
 
+use crate::graph::{NetworkBuilder, NodeId};
 use crate::layer::{Layer, LayerKind, ShapeError, ShapeErrorKind, Stage};
 use condor_tensor::{Shape, Tensor, TensorRng};
 use std::collections::BTreeMap;
@@ -29,6 +36,10 @@ pub enum NnErrorKind {
     MissingWeights,
     /// Runtime input does not match the network's input shape.
     InputMismatch,
+    /// A node's fan-in is impossible for its kind (e.g. an `Input` layer
+    /// given predecessors). Arity violations discovered during shape
+    /// inference carry `Shape(WrongArity)` instead.
+    BadFanIn,
     /// Unclassified error (external constructors).
     Other,
 }
@@ -105,6 +116,8 @@ pub struct LayerWeights {
 /// GFLOPS accounting.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LayerCost {
+    /// Graph node this cost row describes.
+    pub node: NodeId,
     /// Layer name.
     pub name: String,
     /// Input shape (single item).
@@ -121,39 +134,48 @@ pub struct LayerCost {
     pub params: u64,
 }
 
-/// A validated feed-forward CNN: a linear chain of layers, the topology
-/// Condor's accelerator template supports (each PE's output feeds the next
-/// PE).
+/// A validated feed-forward CNN: a DAG of layers in topological order.
+///
+/// The common case — and the only topology Condor's accelerator template
+/// originally supported — is a linear chain (each PE's output feeds the
+/// next PE); chains carry no explicit edge table (`edges` is `None`) and
+/// node `i` implicitly reads node `i - 1`. Branchy topologies (built with
+/// [`crate::NetworkBuilder`]) store an explicit predecessor list per node.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Network {
     /// Network name.
     pub name: String,
     /// Shape of one input item (`n` is forced to 1).
     pub input_shape: Shape,
-    /// Layers in execution order; the first layer may be `Input`.
+    /// Layers in topological execution order; the first layer may be
+    /// `Input`.
     pub layers: Vec<Layer>,
     /// Weights per layer name for layers that carry them.
     pub weights: BTreeMap<String, LayerWeights>,
+    /// Predecessor lists per node; `None` means the implicit linear
+    /// chain (node `i` reads node `i - 1`, node 0 reads the network
+    /// input). Kept private so direct `layers` mutation — which the
+    /// defect corpus and tests rely on for chains — cannot desync an
+    /// explicit edge table.
+    pub(crate) edges: Option<Vec<Vec<NodeId>>>,
 }
 
 impl Network {
-    /// Creates a network and validates its structure.
+    /// Creates a linear-chain network and validates its structure.
+    ///
+    /// This is a thin wrapper over [`NetworkBuilder::chain`]; use
+    /// [`crate::NetworkBuilder`] directly to build branchy (DAG)
+    /// topologies.
     pub fn new(
         name: impl Into<String>,
         input_shape: Shape,
         layers: Vec<Layer>,
     ) -> Result<Self, NnError> {
-        let net = Network {
-            name: name.into(),
-            input_shape: input_shape.with_n(1),
-            layers,
-            weights: BTreeMap::new(),
-        };
-        net.validate()?;
-        Ok(net)
+        NetworkBuilder::chain(name, input_shape, layers)
     }
 
-    /// Structural validation: non-empty, unique names, inferable shapes.
+    /// Structural validation: non-empty, unique names, well-formed edge
+    /// table, inferable shapes.
     pub fn validate(&self) -> Result<(), NnError> {
         if self.layers.iter().filter(|l| l.kind.is_compute()).count() == 0 {
             return Err(NnError::net("network has no computational layers")
@@ -179,32 +201,136 @@ impl Network {
                     .with_kind(NnErrorKind::InputNotFirst));
             }
         }
+        if let Some(edges) = &self.edges {
+            if edges.len() != self.layers.len() {
+                return Err(NnError::net(format!(
+                    "edge table covers {} nodes but the network has {} layers",
+                    edges.len(),
+                    self.layers.len()
+                )));
+            }
+            for (i, (layer, preds)) in self.layers.iter().zip(edges).enumerate() {
+                for p in preds {
+                    if p.index() >= i {
+                        return Err(NnError::at(
+                            &layer.name,
+                            format!("input {p} is not topologically earlier than node n{i}"),
+                        )
+                        .with_kind(NnErrorKind::BadFanIn));
+                    }
+                }
+                if matches!(layer.kind, LayerKind::Input) && !preds.is_empty() {
+                    return Err(NnError::at(&layer.name, "Input layers take no inputs")
+                        .with_kind(NnErrorKind::BadFanIn));
+                }
+            }
+        }
         self.output_shapes()?; // shape inference as validation
         Ok(())
     }
 
-    /// Output shape of every layer (single-item), in layer order.
+    /// Number of nodes in the graph (= layers).
+    pub fn node_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// All node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.layers.len()).map(NodeId::from_index)
+    }
+
+    /// The layer at a node, if the id is in range.
+    pub fn node(&self, id: NodeId) -> Option<&Layer> {
+        self.layers.get(id.index())
+    }
+
+    /// The node carrying the layer with the given name.
+    pub fn node_id_of(&self, name: &str) -> Option<NodeId> {
+        self.layers
+            .iter()
+            .position(|l| l.name == name)
+            .map(NodeId::from_index)
+    }
+
+    /// Predecessor nodes of a node, in input order. An empty list means
+    /// the node reads the network input.
+    pub fn inputs_of(&self, id: NodeId) -> Vec<NodeId> {
+        match &self.edges {
+            Some(edges) => edges.get(id.index()).cloned().unwrap_or_default(),
+            None => {
+                if id.index() == 0 || id.index() >= self.layers.len() {
+                    Vec::new()
+                } else {
+                    vec![NodeId::from_index(id.index() - 1)]
+                }
+            }
+        }
+    }
+
+    /// Nodes that consume this node's output, in topological order.
+    pub fn consumers_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.inputs_of(n).contains(&id))
+            .collect()
+    }
+
+    /// True when the network is a plain linear chain (every node reads
+    /// the preceding node). [`crate::NetworkBuilder`] canonicalises
+    /// chain-shaped edge tables away, so this is equivalent to "no
+    /// explicit edge table".
+    pub fn is_linear_chain(&self) -> bool {
+        self.edges.is_none()
+    }
+
+    /// Output shape of every node (single-item), in topological order.
     pub fn output_shapes(&self) -> Result<Vec<Shape>, NnError> {
-        let mut shapes = Vec::with_capacity(self.layers.len());
-        let mut current = self.input_shape;
-        for layer in &self.layers {
-            current = layer
+        let mut shapes: Vec<Shape> = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let preds = self.inputs_of(NodeId::from_index(i));
+            let ins: Vec<Shape> = if preds.is_empty() {
+                vec![self.input_shape]
+            } else {
+                let mut v = Vec::with_capacity(preds.len());
+                for p in &preds {
+                    v.push(*shapes.get(p.index()).ok_or_else(|| {
+                        NnError::at(&layer.name, format!("input {p} out of range"))
+                            .with_kind(NnErrorKind::BadFanIn)
+                    })?);
+                }
+                v
+            };
+            let out = layer
                 .kind
-                .output_shape(current)
+                .output_shape_multi(&ins)
                 .map_err(|e| NnError::shape(&layer.name, e))?;
-            shapes.push(current);
+            shapes.push(out);
         }
         Ok(shapes)
     }
 
-    /// Input shape of every layer (single-item), in layer order.
+    /// Primary (first) input shape of every node, in topological order.
+    /// For merge nodes this is the first predecessor's output; use
+    /// [`Network::input_shapes_multi`] for the full fan-in.
     pub fn input_shapes(&self) -> Result<Vec<Shape>, NnError> {
+        Ok(self
+            .input_shapes_multi()?
+            .into_iter()
+            .map(|ins| ins.first().copied().unwrap_or(self.input_shape))
+            .collect())
+    }
+
+    /// All input shapes of every node, in topological order and input
+    /// order. Nodes reading the network input get a one-element list.
+    pub fn input_shapes_multi(&self) -> Result<Vec<Vec<Shape>>, NnError> {
         let outs = self.output_shapes()?;
         let mut ins = Vec::with_capacity(self.layers.len());
-        let mut prev = self.input_shape;
-        for (i, _) in self.layers.iter().enumerate() {
-            ins.push(prev);
-            prev = outs[i];
+        for i in 0..self.layers.len() {
+            let preds = self.inputs_of(NodeId::from_index(i));
+            if preds.is_empty() {
+                ins.push(vec![self.input_shape]);
+            } else {
+                ins.push(preds.iter().map(|p| outs[p.index()]).collect());
+            }
         }
         Ok(ins)
     }
@@ -233,11 +359,21 @@ impl Network {
 
     /// Expected weight/bias shapes for a layer, `None` for weight-less
     /// layers.
+    #[deprecated(since = "0.6.0", note = "use `node_weight_shapes(NodeId)` instead")]
     pub fn weight_shapes(&self, index: usize) -> Result<Option<(Shape, Option<Shape>)>, NnError> {
+        self.node_weight_shapes(NodeId::from_index(index))
+    }
+
+    /// Expected weight/bias shapes for a node, `None` for weight-less
+    /// layers.
+    pub fn node_weight_shapes(
+        &self,
+        node: NodeId,
+    ) -> Result<Option<(Shape, Option<Shape>)>, NnError> {
+        let index = node.index();
         let ins = self.input_shapes()?;
         let layer = self.layers.get(index).ok_or_else(|| {
-            NnError::net(format!("layer index {index} out of range"))
-                .with_kind(NnErrorKind::UnknownLayer)
+            NnError::net(format!("node {node} out of range")).with_kind(NnErrorKind::UnknownLayer)
         })?;
         Ok(match layer.kind {
             LayerKind::Convolution {
@@ -272,10 +408,12 @@ impl Network {
                 NnError::net(format!("no layer named '{layer_name}'"))
                     .with_kind(NnErrorKind::UnknownLayer)
             })?;
-        let expected = self.weight_shapes(index)?.ok_or_else(|| {
-            NnError::at(layer_name, "layer does not take weights")
-                .with_kind(NnErrorKind::WeightShape)
-        })?;
+        let expected = self
+            .node_weight_shapes(NodeId::from_index(index))?
+            .ok_or_else(|| {
+                NnError::at(layer_name, "layer does not take weights")
+                    .with_kind(NnErrorKind::WeightShape)
+            })?;
         if weights.shape() != expected.0 {
             return Err(NnError::at(
                 layer_name,
@@ -329,7 +467,7 @@ impl Network {
         let mut rng = TensorRng::seeded(seed);
         let mut plans: Vec<(String, Shape, Option<Shape>)> = Vec::new();
         for (i, l) in self.layers.iter().enumerate() {
-            if let Some((w, b)) = self.weight_shapes(i)? {
+            if let Some((w, b)) = self.node_weight_shapes(NodeId::from_index(i))? {
                 plans.push((l.name.clone(), w, b));
             }
         }
@@ -342,23 +480,34 @@ impl Network {
         Ok(())
     }
 
-    /// Per-layer cost table.
+    /// Per-node cost table, in topological order.
     pub fn costs(&self) -> Result<Vec<LayerCost>, NnError> {
         let ins = self.input_shapes()?;
+        let ins_multi = self.input_shapes_multi()?;
         let outs = self.output_shapes()?;
         let stages = self.stages();
         let mut costs = Vec::with_capacity(self.layers.len());
         for (i, l) in self.layers.iter().enumerate() {
-            let params = match self.weight_shapes(i)? {
+            let node = NodeId::from_index(i);
+            let params = match self.node_weight_shapes(node)? {
                 Some((w, b)) => w.len() as u64 + b.map_or(0, |s| s.len() as u64),
                 None => 0,
             };
+            // Eltwise cost scales with the actual fan-in: n inputs take
+            // n - 1 element-wise ops per output element.
+            let flops = match l.kind {
+                LayerKind::Eltwise { .. } => {
+                    (ins_multi[i].len().saturating_sub(1) as u64) * outs[i].item_len() as u64
+                }
+                _ => l.kind.flops(ins[i]),
+            };
             costs.push(LayerCost {
+                node,
                 name: l.name.clone(),
                 input: ins[i],
                 output: outs[i],
                 macs: l.kind.macs(ins[i]),
-                flops: l.kind.flops(ins[i]),
+                flops,
                 stage: stages[i],
                 params,
             });
@@ -405,7 +554,19 @@ impl Network {
             .take_while(|(_, s)| **s == Stage::FeatureExtraction)
             .map(|(l, _)| l.clone())
             .collect();
-        let mut net = Network::new(format!("{}-features", self.name), self.input_shape, layers)?;
+        // A topological prefix is closed under predecessors, so the edge
+        // table truncates cleanly for DAG networks.
+        let prefix_len = layers.len();
+        let mut net = Network {
+            name: format!("{}-features", self.name),
+            input_shape: self.input_shape,
+            layers,
+            weights: BTreeMap::new(),
+            edges: self.edges.as_ref().and_then(|e| {
+                crate::graph::canonicalize_edges(e.iter().take(prefix_len).cloned().collect())
+            }),
+        };
+        net.validate()?;
         for l in &net.layers.clone() {
             if let Some(w) = self.weights.get(&l.name) {
                 net.weights.insert(l.name.clone(), w.clone());
@@ -537,6 +698,9 @@ mod tests {
     }
 
     #[test]
+    // The index-based shim stays for one release; this test pins its
+    // behaviour to the NodeId-based replacement.
+    #[allow(deprecated)]
     fn weight_shapes_for_conv_and_fc() {
         let net = tiny_net();
         let (w, b) = net.weight_shapes(1).unwrap().unwrap();
@@ -546,6 +710,10 @@ mod tests {
         assert_eq!(w, Shape::new(10, 4 * 3 * 3, 1, 1));
         assert_eq!(b, Some(Shape::vector(10)));
         assert!(net.weight_shapes(2).unwrap().is_none());
+        assert_eq!(
+            net.weight_shapes(1).unwrap(),
+            net.node_weight_shapes(NodeId::from_index(1)).unwrap()
+        );
     }
 
     #[test]

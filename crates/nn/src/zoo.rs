@@ -10,8 +10,13 @@
 //!   (`examples/mnist/lenet.prototxt`), inference layers only.
 //! * **VGG-16** — the standard 13-convolution configuration-D network,
 //!   used by Table 2 for the feature-extraction throughput study.
+//! * **ResNet block** — a hand-written residual block (conv → conv →
+//!   eltwise-add skip), the workspace's conformance fixture for
+//!   DAG-shaped networks across the frontend, check, deploy and
+//!   inference paths.
 
-use crate::layer::{Layer, LayerKind, PoolKind};
+use crate::graph::NetworkBuilder;
+use crate::layer::{EltwiseOp, Layer, LayerKind, PoolKind};
 use crate::network::Network;
 use condor_tensor::Shape;
 
@@ -133,6 +138,34 @@ pub fn vgg16() -> Network {
     Network::new("VGG-16", Shape::chw(3, 224, 224), layers).expect("VGG-16 topology is valid")
 }
 
+/// A hand-written residual block: `conv1 → conv2 → eltwise-add` with a
+/// skip edge from `conv1`, then ReLU and a small classifier. Input
+/// `3×8×8`, 10 classes.
+///
+/// This is the canonical branchy conformance fixture: the smallest
+/// network that is *not* a linear chain, exercising fan-out (conv1
+/// feeds both conv2 and the join) and fan-in (the eltwise merge) through
+/// every subsystem.
+pub fn resnet_block() -> Network {
+    let mut b = NetworkBuilder::new("ResNetBlock", Shape::chw(3, 8, 8));
+    let data = b
+        .add(Layer::new("data", LayerKind::Input), &[])
+        .expect("input");
+    let c1 = b.add(conv("conv1", 8, 3, 1, 1), &[data]).expect("conv1");
+    let c2 = b.add(conv("conv2", 8, 3, 1, 1), &[c1]).expect("conv2");
+    let join = b
+        .add(
+            Layer::new("join", LayerKind::Eltwise { op: EltwiseOp::Sum }),
+            &[c1, c2],
+        )
+        .expect("join");
+    let r1 = b.add(relu("relu1"), &[join]).expect("relu1");
+    let fc = b.add(ip("ip1", 10), &[r1]).expect("ip1");
+    b.add(Layer::new("prob", LayerKind::Softmax { log: false }), &[fc])
+        .expect("prob");
+    b.build().expect("ResNet block topology is valid")
+}
+
 /// TC1 with deterministic stand-in weights.
 pub fn tc1_weighted(seed: u64) -> Network {
     let mut net = tc1();
@@ -145,6 +178,14 @@ pub fn lenet_weighted(seed: u64) -> Network {
     let mut net = lenet();
     net.attach_random_weights(seed)
         .expect("LeNet weights attach");
+    net
+}
+
+/// [`resnet_block`] with deterministic stand-in weights.
+pub fn resnet_block_weighted(seed: u64) -> Network {
+    let mut net = resnet_block();
+    net.attach_random_weights(seed)
+        .expect("ResNet block weights attach");
     net
 }
 
@@ -230,6 +271,76 @@ layer {
   name: "prob"
   type: "Softmax"
   bottom: "ip2"
+  top: "prob"
+}
+"#
+}
+
+/// The ResNet-block prototxt (inference form) used to exercise the
+/// branchy frontend path end-to-end: repeated `bottom` entries on the
+/// eltwise join, a skip edge out of `conv1`, and an in-place ReLU
+/// (`bottom == top`).
+pub fn resnet_block_prototxt() -> &'static str {
+    r#"name: "ResNetBlock"
+layer {
+  name: "data"
+  type: "Input"
+  top: "data"
+  input_param { shape: { dim: 1 dim: 3 dim: 8 dim: 8 } }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param {
+    num_output: 8
+    kernel_size: 3
+    stride: 1
+    pad: 1
+  }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "conv1"
+  top: "conv2"
+  convolution_param {
+    num_output: 8
+    kernel_size: 3
+    stride: 1
+    pad: 1
+  }
+}
+layer {
+  name: "join"
+  type: "Eltwise"
+  bottom: "conv1"
+  bottom: "conv2"
+  top: "join"
+  eltwise_param {
+    operation: SUM
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "join"
+  top: "join"
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "join"
+  top: "ip1"
+  inner_product_param {
+    num_output: 10
+  }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "ip1"
   top: "prob"
 }
 "#
@@ -327,6 +438,40 @@ mod tests {
             .count();
         assert_eq!(fe, 5); // data conv1 pool1 conv2 pool2
         assert_eq!(cl, 4); // ip1 relu1 ip2 prob
+    }
+
+    #[test]
+    fn resnet_block_is_branchy_and_runs_on_both_engines() {
+        use crate::{FastEngine, GoldenEngine, NodeId};
+        use condor_tensor::{AllClose, TensorRng};
+
+        let net = resnet_block();
+        assert!(!net.is_linear_chain());
+        let c1 = net.node_id_of("conv1").unwrap();
+        let join = net.node_id_of("join").unwrap();
+        assert_eq!(net.inputs_of(join).len(), 2);
+        assert!(net.consumers_of(c1).contains(&join));
+        let outs = net.output_shapes().unwrap();
+        assert_eq!(outs[join.index()], Shape::new(1, 8, 8, 8));
+        assert_eq!(net.output_shape().unwrap(), Shape::vector(10));
+        let _ = NodeId::from_index(0);
+
+        let net = resnet_block_weighted(13);
+        let mut fast = FastEngine::new(&net).unwrap();
+        let golden = GoldenEngine::new(&net).unwrap();
+        let img = TensorRng::seeded(5).uniform(net.input_shape, -1.0, 1.0);
+        let f = fast.infer(&img).unwrap();
+        let g = golden.infer(&img).unwrap();
+        assert!(f.all_close_tol(&g, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn resnet_block_prototxt_is_parseable_text() {
+        let text = resnet_block_prototxt();
+        assert_eq!(text.matches("layer {").count(), 7);
+        // The join names both of its producers.
+        assert_eq!(text.matches("bottom: \"conv1\"").count(), 2);
+        assert!(text.contains("operation: SUM"));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 #![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
 
-use condor_nn::arbitrary::{random_chain, random_weighted_chain};
+use condor_nn::arbitrary::{random_chain, random_dag, random_weighted_chain, random_weighted_dag};
 use condor_nn::golden;
-use condor_nn::{FastEngine, GoldenEngine, LayerKind, PoolKind, Stage};
+use condor_nn::{FastEngine, GoldenEngine, LayerKind, NodeId, PoolKind, Stage};
 use condor_tensor::{AllClose, Shape, Tensor, TensorRng};
 use proptest::prelude::*;
 
@@ -90,6 +90,45 @@ proptest! {
         }
     }
 
+    /// Every random DAG validates, shape-infers and cost-accounts
+    /// consistently; merge nodes see their full fan-in.
+    #[test]
+    fn random_dags_are_consistent(seed in any::<u64>()) {
+        let net = random_dag(seed);
+        let costs = net.costs().unwrap();
+        prop_assert_eq!(costs.len(), net.node_count());
+        let ins_multi = net.input_shapes_multi().unwrap();
+        for id in net.node_ids() {
+            let preds = net.inputs_of(id);
+            if !preds.is_empty() {
+                prop_assert_eq!(ins_multi[id.index()].len(), preds.len());
+            }
+            prop_assert_eq!(costs[id.index()].node, id);
+        }
+        prop_assert!(net.feature_extraction_flops().unwrap() <= net.total_flops().unwrap());
+    }
+
+    /// The fast engine agrees with the golden oracle on every random
+    /// weighted DAG — branches, eltwise and concat merges included —
+    /// within float tolerance, including on engine reuse.
+    #[test]
+    fn fast_engine_matches_golden_oracle_on_dags(seed in any::<u64>()) {
+        let net = random_weighted_dag(seed);
+        let golden = GoldenEngine::new(&net).unwrap();
+        let mut fast = FastEngine::new(&net).unwrap();
+        let mut rng = TensorRng::seeded(seed ^ 0x517c_c1b7);
+        for _ in 0..2 {
+            let input = rng.uniform(net.input_shape, -1.0, 1.0);
+            let want = golden.infer(&input).unwrap();
+            let got = fast.infer(&input).unwrap();
+            prop_assert_eq!(got.shape(), want.shape());
+            prop_assert!(
+                got.all_close_tol(&want, 1e-4, 1e-4),
+                "fast engine diverged from golden on DAG seed {}", seed
+            );
+        }
+    }
+
     /// Convolution distributes over input maps: conv(x, all maps) equals
     /// the sum of single-map convolutions with sliced weights.
     #[test]
@@ -160,7 +199,7 @@ proptest! {
     fn weight_shapes_agree_with_installation(seed in 0u64..256) {
         let net = random_weighted_chain(seed);
         for (i, layer) in net.layers.iter().enumerate() {
-            match net.weight_shapes(i).unwrap() {
+            match net.node_weight_shapes(NodeId::from_index(i)).unwrap() {
                 Some((ws, bs)) => {
                     let lw = net.weights_of(&layer.name).unwrap();
                     prop_assert_eq!(lw.weights.shape(), ws);

@@ -1,0 +1,21 @@
+//! Regenerates the committed public-API snapshots under
+//! `crates/xtask/api/`. Run after an intentional surface change:
+//!
+//! ```text
+//! cargo run -p xtask
+//! ```
+
+fn main() {
+    std::fs::create_dir_all(xtask::repo_root().join("crates/xtask/api"))
+        .expect("api snapshot dir is creatable");
+    for (name, src_dir) in xtask::TRACKED {
+        let current = xtask::surface(src_dir);
+        let path = xtask::snapshot_path(name);
+        std::fs::write(&path, &current).expect("snapshot file is writable");
+        println!(
+            "wrote {} ({} items)",
+            path.display(),
+            current.lines().count()
+        );
+    }
+}
