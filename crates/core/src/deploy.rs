@@ -381,19 +381,15 @@ impl AcceleratorMetrics {
     /// metrics and serving metrics print and merge uniformly.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
-        snap.gauges
-            .insert("bram_pct".into(), self.utilization.bram_pct);
-        snap.gauges
-            .insert("dsp_pct".into(), self.utilization.dsp_pct);
-        snap.gauges.insert("ff_pct".into(), self.utilization.ff_pct);
-        snap.gauges
-            .insert("lut_pct".into(), self.utilization.lut_pct);
-        snap.gauges.insert("freq_mhz".into(), self.freq_mhz);
-        snap.gauges.insert("gflops".into(), self.gflops);
-        snap.gauges.insert("power_w".into(), self.power_w);
-        snap.gauges.insert("gflops_per_w".into(), self.gflops_per_w);
-        snap.gauges
-            .insert("mean_us_per_image".into(), self.mean_us_per_image);
+        snap.set_gauge("bram_pct", self.utilization.bram_pct);
+        snap.set_gauge("dsp_pct", self.utilization.dsp_pct);
+        snap.set_gauge("ff_pct", self.utilization.ff_pct);
+        snap.set_gauge("lut_pct", self.utilization.lut_pct);
+        snap.set_gauge("freq_mhz", self.freq_mhz);
+        snap.set_gauge("gflops", self.gflops);
+        snap.set_gauge("power_w", self.power_w);
+        snap.set_gauge("gflops_per_w", self.gflops_per_w);
+        snap.set_gauge("mean_us_per_image", self.mean_us_per_image);
         snap
     }
 }

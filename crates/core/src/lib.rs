@@ -60,5 +60,7 @@ pub use dse::{explore, DseConfig, DseOutcome, DsePoint};
 pub use error::CondorError;
 pub use flow::{BuiltAccelerator, Condor};
 pub use frontend::{FrontendInput, LoadedModel};
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    HistogramSummary, MetricKind, MetricSpec, MetricsRegistry, MetricsSnapshot, METRICS,
+};
 pub use repr::{HardwareConfig, NetworkRepresentation};

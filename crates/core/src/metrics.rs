@@ -17,6 +17,190 @@ use std::time::Duration;
 /// reservoir past this point so long-running servers stay bounded.
 const RESERVOIR_CAP: usize = 8192;
 
+/// What kind of instrument a registered metric name denominates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count ([`MetricsRegistry::incr`]).
+    Counter,
+    /// Instantaneous value ([`MetricsRegistry::set_gauge`]).
+    Gauge,
+    /// Distribution of observations ([`MetricsRegistry::observe`]).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case label used in documentation and audit output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered metric name (or name template: `{}` stands for a run
+/// of decimal digits, e.g. a per-instance index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricSpec {
+    /// Canonical name; `{}` matches one-or-more decimal digits.
+    pub name: &'static str,
+    /// The instrument the name belongs to.
+    pub kind: MetricKind,
+    /// What the metric measures.
+    pub help: &'static str,
+}
+
+/// The canonical metric-name registry.
+///
+/// Every name recorded into (or asserted against) a [`MetricsRegistry`]
+/// or [`MetricsSnapshot`] must come from this table; `cargo run -p
+/// xtask audit` enforces it statically (diagnostics `X010`–`X012`), so
+/// a typo'd counter can no longer silently fork a metric. Append-only:
+/// renaming an entry breaks every dashboard and test that reads it.
+pub const METRICS: &[MetricSpec] = &[
+    // Serving ledger: accepted == completed + failed + timed_out.
+    MetricSpec {
+        name: "requests_accepted",
+        kind: MetricKind::Counter,
+        help: "requests admitted into the queue",
+    },
+    MetricSpec {
+        name: "requests_completed",
+        kind: MetricKind::Counter,
+        help: "requests answered successfully",
+    },
+    MetricSpec {
+        name: "requests_failed",
+        kind: MetricKind::Counter,
+        help: "requests answered with a terminal error",
+    },
+    MetricSpec {
+        name: "requests_timed_out",
+        kind: MetricKind::Counter,
+        help: "requests that exceeded their deadline",
+    },
+    MetricSpec {
+        name: "requests_rejected_overloaded",
+        kind: MetricKind::Counter,
+        help: "requests rejected at admission (queue full)",
+    },
+    MetricSpec {
+        name: "requests_dropped_worker_died",
+        kind: MetricKind::Counter,
+        help: "requests lost because a router worker died",
+    },
+    MetricSpec {
+        name: "requests_migrated",
+        kind: MetricKind::Counter,
+        help: "in-flight requests moved to another fleet instance",
+    },
+    // Lane / backend resilience.
+    MetricSpec {
+        name: "backend_retries",
+        kind: MetricKind::Counter,
+        help: "in-worker retries against a backend lane",
+    },
+    MetricSpec {
+        name: "lane_marked_unhealthy",
+        kind: MetricKind::Counter,
+        help: "lanes quarantined after repeated failures",
+    },
+    MetricSpec {
+        name: "lane_recovered",
+        kind: MetricKind::Counter,
+        help: "quarantined lanes that passed a re-probe",
+    },
+    // Fleet supervision.
+    MetricSpec {
+        name: "instance_failed_over",
+        kind: MetricKind::Counter,
+        help: "fleet instances declared dead and routed around",
+    },
+    MetricSpec {
+        name: "instance_reprovisioned",
+        kind: MetricKind::Counter,
+        help: "fleet instances replaced by the supervisor",
+    },
+    MetricSpec {
+        name: "instance_reprovision_failed",
+        kind: MetricKind::Counter,
+        help: "supervisor re-provisioning attempts that failed",
+    },
+    MetricSpec {
+        name: "instance{}_completed",
+        kind: MetricKind::Counter,
+        help: "requests completed by one fleet instance",
+    },
+    // Table 1 accelerator row (AcceleratorMetrics::snapshot).
+    MetricSpec {
+        name: "bram_pct",
+        kind: MetricKind::Gauge,
+        help: "BRAM utilisation percent",
+    },
+    MetricSpec {
+        name: "dsp_pct",
+        kind: MetricKind::Gauge,
+        help: "DSP utilisation percent",
+    },
+    MetricSpec {
+        name: "ff_pct",
+        kind: MetricKind::Gauge,
+        help: "flip-flop utilisation percent",
+    },
+    MetricSpec {
+        name: "lut_pct",
+        kind: MetricKind::Gauge,
+        help: "LUT utilisation percent",
+    },
+    MetricSpec {
+        name: "freq_mhz",
+        kind: MetricKind::Gauge,
+        help: "achieved clock frequency",
+    },
+    MetricSpec {
+        name: "gflops",
+        kind: MetricKind::Gauge,
+        help: "sustained throughput",
+    },
+    MetricSpec {
+        name: "power_w",
+        kind: MetricKind::Gauge,
+        help: "estimated power draw",
+    },
+    MetricSpec {
+        name: "gflops_per_w",
+        kind: MetricKind::Gauge,
+        help: "energy efficiency",
+    },
+    MetricSpec {
+        name: "mean_us_per_image",
+        kind: MetricKind::Gauge,
+        help: "mean per-image latency",
+    },
+    // Server-side gauges and distributions.
+    MetricSpec {
+        name: "throughput_rps",
+        kind: MetricKind::Gauge,
+        help: "completed requests per second since start",
+    },
+    MetricSpec {
+        name: "queue_depth",
+        kind: MetricKind::Histogram,
+        help: "queue depth sampled at admission",
+    },
+    MetricSpec {
+        name: "batch_size",
+        kind: MetricKind::Histogram,
+        help: "dispatched batch sizes",
+    },
+    MetricSpec {
+        name: "latency_us",
+        kind: MetricKind::Histogram,
+        help: "end-to-end request latency in microseconds",
+    },
+];
+
 #[derive(Debug, Default)]
 struct Histogram {
     count: u64,
@@ -170,6 +354,14 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Sets a gauge on the snapshot itself — the named-metric API every
+    /// layer that decorates a snapshot (the Table 1 accelerator row,
+    /// the server throughput gauge) goes through, so the metric-name
+    /// audit sees the name.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
     /// Convenience: a gauge value, if present.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()
@@ -223,6 +415,24 @@ impl fmt::Display for MetricsSnapshot {
 mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_well_formed() {
+        let mut names: Vec<_> = METRICS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), METRICS.len());
+        for m in METRICS {
+            assert!(
+                m.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_{}".contains(c)),
+                "metric {} has unexpected characters",
+                m.name
+            );
+            assert!(!m.help.is_empty());
+        }
+    }
 
     #[test]
     fn counters_accumulate() {

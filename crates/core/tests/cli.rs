@@ -229,14 +229,18 @@ fn fired_journal(name: &str) -> std::path::PathBuf {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join(name);
     let handle = FaultPlan::new(42)
-        .rule(FaultRule::at("cli.site").first_calls(2).fail_transient())
-        .rule(FaultRule::at("cli.pe").nth_call(1).stall_cycles(64))
+        .rule(
+            FaultRule::at("s3.put_object")
+                .first_calls(2)
+                .fail_transient(),
+        )
+        .rule(FaultRule::at("dataflow.pe0").nth_call(1).stall_cycles(64))
         .install_with_journal(&path)
         .expect("journal file");
-    assert!(handle.check("cli.site").is_some());
-    assert!(handle.check("cli.site").is_some());
-    assert!(handle.timing("cli.pe").is_none());
-    assert!(handle.timing("cli.pe").is_some());
+    assert!(handle.check("s3.put_object").is_some());
+    assert!(handle.check("s3.put_object").is_some());
+    assert!(handle.timing("dataflow.pe0").is_none());
+    assert!(handle.timing("dataflow.pe0").is_some());
     path
 }
 
@@ -256,8 +260,8 @@ fn faults_replay_reconstructs_the_fired_sequence() {
     assert!(stdout.contains("condor-faultlog/2"));
     assert!(stdout.contains("seed: 42"));
     assert!(stdout.contains("fired: 3 record(s)"));
-    assert!(stdout.contains("cli.site call 0: fail-transient"));
-    assert!(stdout.contains("cli.pe call 1: stall (arg 64)"));
+    assert!(stdout.contains("s3.put_object call 0: fail-transient"));
+    assert!(stdout.contains("dataflow.pe0 call 1: stall (arg 64)"));
     assert!(stdout.contains("replay plan: 3 rule(s)"));
     assert!(stdout.contains("stall(64)"));
 }

@@ -119,7 +119,10 @@ pub struct PlannedLayer {
     /// Stable identity of the layer's node in the source network graph.
     pub node: NodeId,
     /// Index into the source network's layer list.
-    #[deprecated(since = "0.6.0", note = "use `node` (a stable `NodeId`) instead")]
+    // Re-dated from the aspirational "0.6.0": `since` must name a
+    // shipped release for the expiry audit (X031/X032) to be
+    // meaningful. The field is removed in the release after 0.1.0.
+    #[deprecated(since = "0.1.0", note = "use `node` (a stable `NodeId`) instead")]
     pub index: usize,
     /// Layer name.
     pub name: String,

@@ -47,6 +47,9 @@
 
 pub mod journal;
 pub mod retry;
+pub mod sites;
+
+pub use sites::{SiteSpec, SITES};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;

@@ -359,7 +359,10 @@ impl Network {
 
     /// Expected weight/bias shapes for a layer, `None` for weight-less
     /// layers.
-    #[deprecated(since = "0.6.0", note = "use `node_weight_shapes(NodeId)` instead")]
+    // Re-dated from the aspirational "0.6.0": `since` must name a
+    // shipped release for the expiry audit (X031/X032) to be
+    // meaningful. The shim is removed in the release after 0.1.0.
+    #[deprecated(since = "0.1.0", note = "use `node_weight_shapes(NodeId)` instead")]
     pub fn weight_shapes(&self, index: usize) -> Result<Option<(Shape, Option<Shape>)>, NnError> {
         self.node_weight_shapes(NodeId::from_index(index))
     }

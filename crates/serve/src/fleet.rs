@@ -445,10 +445,8 @@ impl Fleet {
         let mut snap = self.shared.metrics.snapshot();
         let elapsed = self.started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
-            snap.gauges.insert(
-                "throughput_rps".into(),
-                snap.counter("requests_completed") as f64 / elapsed,
-            );
+            let rps = snap.counter("requests_completed") as f64 / elapsed;
+            snap.set_gauge("throughput_rps", rps);
         }
         snap
     }

@@ -473,10 +473,8 @@ impl InferenceServer {
         let mut snap = self.metrics.snapshot();
         let elapsed = self.started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
-            snap.gauges.insert(
-                "throughput_rps".into(),
-                snap.counter("requests_completed") as f64 / elapsed,
-            );
+            let rps = snap.counter("requests_completed") as f64 / elapsed;
+            snap.set_gauge("throughput_rps", rps);
         }
         snap
     }

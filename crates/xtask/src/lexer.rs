@@ -1,0 +1,346 @@
+//! A minimal, dependency-free token scanner for Rust source.
+//!
+//! The audit needs exactly three things a regex cannot deliver
+//! reliably: string literals with comments stripped (a site name in a
+//! `//` comment is not a use), call context (which identifier's
+//! argument list a literal sits in), and attribute structure
+//! (`#[deprecated(since = "…")]`). This lexer produces a flat token
+//! stream — identifiers, string literals, single-character punctuation
+//! — with line numbers, understanding just enough of Rust's lexical
+//! grammar to never misparse a boundary: line and nested block
+//! comments, escaped and raw strings, byte strings, character literals
+//! vs lifetimes, and raw identifiers. Everything else (numbers,
+//! multi-character operators) is passed through as punctuation or
+//! skipped; the audit does not need it.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal's contents (escapes left as written).
+    Str(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs consume to
+/// end-of-file rather than erroring: the audit scans committed code
+/// that already compiles, so recovery precision is not needed.
+pub fn lex(src: &str) -> Vec<Spanned> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Spanned>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Spanned { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Spanned> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let s = self.string();
+                    self.push(Tok::Str(s), line);
+                }
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal (opening quote at the cursor) and
+    /// returns its raw contents.
+    fn string(&mut self) -> String {
+        self.bump();
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    s.push(c);
+                    if let Some(esc) = self.bump() {
+                        s.push(esc);
+                    }
+                }
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// Consumes a raw string `r#*"…"#*` with `hashes` `#`s (cursor on
+    /// the opening quote) and returns its contents.
+    fn raw_string(&mut self, hashes: usize) -> String {
+        self.bump();
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return s;
+            }
+            s.push(c);
+        }
+        s
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // 'x' or '\n' is a char literal; 'ident (no closing quote) is a
+        // lifetime. Distinguish by lookahead.
+        if self.peek(1) == Some('\\') || (self.peek(1).is_some() && self.peek(2) == Some('\'')) {
+            self.bump(); // opening quote
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                self.bump(); // escaped char
+            } else {
+                self.bump(); // the char
+            }
+            self.bump(); // closing quote
+        } else {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.bump();
+            }
+            self.push(Tok::Punct('\''), line);
+        }
+    }
+
+    fn number(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.bump();
+        }
+        // A fraction, but not the `..` of a range expression.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut ident = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                ident.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: r"", b"", br"", rb"", r#""#, b'…', and
+        // raw identifiers r#ident.
+        let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+        if is_str_prefix {
+            if self.peek(0) == Some('"') {
+                let s = self.string();
+                self.push(Tok::Str(s), line);
+                return;
+            }
+            if self.peek(0) == Some('#') {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    let s = self.raw_string(hashes);
+                    self.push(Tok::Str(s), line);
+                    return;
+                }
+                if ident == "r" {
+                    // Raw identifier r#type: consume and emit the ident.
+                    self.bump();
+                    let mut raw = String::new();
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                    {
+                        raw.push(c_unwrap(self.bump()));
+                    }
+                    self.push(Tok::Ident(raw), line);
+                    return;
+                }
+            }
+            if ident == "b" && self.peek(0) == Some('\'') {
+                self.char_or_lifetime();
+                return;
+            }
+        }
+        self.push(Tok::Ident(ident), line);
+    }
+}
+
+/// `bump` after a successful `peek` cannot fail; isolated so the
+/// workspace `unwrap_used` lint stays clean.
+fn c_unwrap(c: Option<char>) -> char {
+    c.unwrap_or('\0')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Str(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "// gate(\"x.y\")\n/* gate(\"a.b\") /* nested */ still */ fn f() {}";
+        assert!(strs(src).is_empty());
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw() {
+        assert_eq!(strs(r#"let s = "a\"b";"#), vec![r#"a\"b"#]);
+        assert_eq!(strs("let s = r#\"raw \" inside\"#;"), vec!["raw \" inside"]);
+        assert_eq!(strs(r#"let b = b"bytes";"#), vec!["bytes"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_strings() {
+        let src = "fn f<'a>(x: &'a str) { g('\\n', 'c', \"site\") }";
+        assert_eq!(strs(src), vec!["site"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\"s\"\n");
+        assert_eq!(toks[0], spanned_ident("a", 1));
+        assert_eq!(toks[1], spanned_ident("b", 2));
+        assert_eq!(
+            toks[2],
+            Spanned {
+                tok: Tok::Str("s".into()),
+                line: 3
+            }
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = lex("0..5 0.5 0x1b3 1e-4");
+        // No identifiers or strings come out of numeric soup; the two
+        // range dots survive as punctuation.
+        assert!(toks
+            .iter()
+            .all(|t| !matches!(t.tok, Tok::Str(_) | Tok::Ident(_))));
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    fn spanned_ident(i: &str, line: u32) -> Spanned {
+        Spanned {
+            tok: Tok::Ident(i.into()),
+            line,
+        }
+    }
+}

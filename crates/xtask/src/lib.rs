@@ -1,5 +1,6 @@
 //! Repo tooling (the `cargo xtask` pattern): a dependency-free
-//! public-API surface check.
+//! public-API surface check and a workspace-wide static invariant audit
+//! (see [`audit`]).
 //!
 //! `cargo-public-api` is not available offline, so this crate derives a
 //! poor man's item list instead: every `pub` item signature found in a
@@ -24,6 +25,9 @@
 //! too — that is conservative: a diff fires on any candidate surface
 //! change and the reviewer decides.
 
+pub mod audit;
+pub mod lexer;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,6 +37,9 @@ use std::path::{Path, PathBuf};
 pub const TRACKED: &[(&str, &str)] = &[
     ("condor-nn", "crates/nn/src"),
     ("condor", "crates/core/src"),
+    ("condor-serve", "crates/serve/src"),
+    ("condor-check", "crates/check/src"),
+    ("condor-faults", "crates/faults/src"),
 ];
 
 /// Repo root, derived from this crate's own manifest location.
@@ -182,6 +189,18 @@ fn pub_item_keyword(line: &str) -> Option<&'static str> {
         })
 }
 
+/// The committed compatibility snapshot of condor-check's diagnostic
+/// catalogue, one `C0xx severity summary` line per code. The audit's
+/// `X023`/`X024` rules diff against it, so removing or renumbering a
+/// code — or silently changing its meaning — fails the build until the
+/// snapshot is deliberately regenerated and committed.
+pub fn diag_code_snapshot() -> String {
+    condor_check::Code::ALL
+        .iter()
+        .map(|c| format!("{} {} {}\n", c.as_str(), c.severity().label(), c.summary()))
+        .collect()
+}
+
 /// Renders a human-oriented diff between the committed snapshot and the
 /// freshly extracted surface.
 pub fn render_diff(name: &str, committed: &str, current: &str) -> String {
@@ -253,7 +272,7 @@ pub const LIMIT: usize = 4;
     }
 
     /// The tier-1 gate: the committed snapshots must match the live
-    /// surface of `condor-nn` and `condor-core`.
+    /// surface of every tracked crate.
     #[test]
     fn public_api_surface_matches_committed_snapshots() {
         for (name, src_dir) in TRACKED {
@@ -270,5 +289,25 @@ pub const LIMIT: usize = 4;
                 render_diff(name, &committed, &current)
             );
         }
+    }
+
+    /// The committed diagnostic-code snapshot must match the live
+    /// catalogue (blessable the same way as the API snapshots; the
+    /// audit's X023/X024 rules enforce the same invariant from the
+    /// other direction).
+    #[test]
+    fn diag_code_snapshot_matches_committed() {
+        let current = diag_code_snapshot();
+        let path = snapshot_path("diag-codes");
+        if std::env::var_os("XTASK_BLESS").is_some() {
+            fs::write(&path, &current).expect("snapshot dir is writable");
+            return;
+        }
+        let committed = fs::read_to_string(&path).unwrap_or_default();
+        assert!(
+            committed == current,
+            "{}",
+            render_diff("diag-codes", &committed, &current)
+        );
     }
 }

@@ -1,11 +1,57 @@
-//! Regenerates the committed public-API snapshots under
-//! `crates/xtask/api/`. Run after an intentional surface change:
+//! Repo tooling entry point.
 //!
 //! ```text
-//! cargo run -p xtask
+//! cargo run -p xtask                  # regenerate committed snapshots
+//! cargo run -p xtask -- audit         # static invariant audit (text)
+//! cargo run -p xtask -- audit --json  # JSON report on stdout
 //! ```
+//!
+//! `audit` exits non-zero when the tree has any finding; the same check
+//! runs as a unit test, so `cargo test -q` gates it too.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let json = args.iter().any(|a| a == "--json");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--json") {
+                eprintln!("xtask audit: unknown flag `{bad}` (supported: --json)");
+                return ExitCode::from(2);
+            }
+            audit(json)
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (supported: audit, or no command to regenerate snapshots)");
+            ExitCode::from(2)
+        }
+        None => {
+            bless();
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn audit(json: bool) -> ExitCode {
+    let report = xtask::audit::run(&xtask::audit::AuditConfig::repo());
+    if json {
+        println!("{}", report.to_json_string());
+        eprintln!("{}", report.render().lines().last().unwrap_or_default());
+    } else {
+        println!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Regenerates every committed snapshot under `crates/xtask/api/`: the
+/// public-API surfaces of the tracked crates plus the diagnostic-code
+/// compatibility snapshot.
+fn bless() {
     std::fs::create_dir_all(xtask::repo_root().join("crates/xtask/api"))
         .expect("api snapshot dir is creatable");
     for (name, src_dir) in xtask::TRACKED {
@@ -18,4 +64,8 @@ fn main() {
             current.lines().count()
         );
     }
+    let codes = xtask::diag_code_snapshot();
+    let path = xtask::snapshot_path("diag-codes");
+    std::fs::write(&path, &codes).expect("snapshot file is writable");
+    println!("wrote {} ({} codes)", path.display(), codes.lines().count());
 }
