@@ -12,9 +12,10 @@
 #![allow(clippy::unwrap_used)] // bench harness: fail loud
 
 use condor_bench::kernels::{
-    assert_kernels_match_golden, conv_fast, conv_naive, lenet_case, runtime_case, vgg_conv_case,
+    assert_kernels_match_golden, conv_fast, conv_int8, conv_naive, lenet_case, quant_vgg_case,
+    quantized_lenet_case, runtime_case, vgg_conv_case,
 };
-use condor_kernels::Workspace;
+use condor_kernels::{QWorkspace, Workspace};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -40,9 +41,27 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
 
+    let qcase = quant_vgg_case(&case, &conv_naive(&case));
+    let mut qout = vec![0i8; case.out_shape().len()];
+    let mut qws = QWorkspace::new();
+    group.bench_function("conv_int8_gemm_vgg56", |b| {
+        b.iter(|| {
+            conv_int8(&qcase, &mut qout, &mut qws);
+            black_box(qout.last().copied())
+        })
+    });
+
     let mut engines = lenet_case(16);
     group.bench_function("lenet_fast_batch16", |b| {
         b.iter(|| black_box(engines.fast.infer_batch(&engines.images).unwrap()))
+    });
+    let mut quantized = quantized_lenet_case(16);
+    group.bench_function("lenet_quantized_batch16", |b| {
+        b.iter(|| {
+            for img in &quantized.images {
+                black_box(quantized.engine.infer(img).unwrap());
+            }
+        })
     });
     let golden = condor_nn::GoldenEngine::new(&engines.net).unwrap();
     group.bench_function("lenet_golden_batch16", |b| {

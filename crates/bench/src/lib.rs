@@ -157,6 +157,7 @@ pub fn table2_dse_space() -> DseConfig {
         parallel_in: vec![1, 2, 4, 8],
         parallel_out: vec![1, 2, 4, 8, 16],
         fc_simd: vec![1],
+        precisions: vec![condor_dataflow::Precision::F32],
         eval_batch: 64,
         prefilter: true,
     }

@@ -85,6 +85,10 @@ pub enum Code {
     C026,
     /// A filter-chain FIFO is deeper than required (wasted BRAM).
     C027,
+    /// An inter-PE stream crosses a precision boundary (int8 PE feeding
+    /// an f32 PE or vice versa): a format converter is synthesised on
+    /// the edge, costing resources and one pipeline stage.
+    C028,
     /// The design exceeds the board's usable resources.
     C030,
     /// A single module alone exceeds the whole board budget.
@@ -131,6 +135,7 @@ impl Code {
         Code::C025,
         Code::C026,
         Code::C027,
+        Code::C028,
         Code::C030,
         Code::C031,
         Code::C032,
@@ -164,6 +169,7 @@ impl Code {
             Code::C025 => "C025",
             Code::C026 => "C026",
             Code::C027 => "C027",
+            Code::C028 => "C028",
             Code::C030 => "C030",
             Code::C031 => "C031",
             Code::C032 => "C032",
@@ -199,6 +205,7 @@ impl Code {
             Code::C025 => "plan topology disagrees with network",
             Code::C026 => "datamover bounds initiation interval",
             Code::C027 => "FIFO deeper than required",
+            Code::C028 => "mixed-precision stream needs a converter",
             Code::C030 => "design exceeds board resource budget",
             Code::C031 => "single module exceeds board budget",
             Code::C032 => "utilisation above 90%",
@@ -214,9 +221,13 @@ impl Code {
     /// The severity this code reports at.
     pub fn severity(self) -> Severity {
         match self {
-            Code::C014 | Code::C022 | Code::C027 | Code::C032 | Code::C033 | Code::C043 => {
-                Severity::Warning
-            }
+            Code::C014
+            | Code::C022
+            | Code::C027
+            | Code::C028
+            | Code::C032
+            | Code::C033
+            | Code::C043 => Severity::Warning,
             Code::C026 => Severity::Note,
             _ => Severity::Error,
         }

@@ -20,7 +20,7 @@
 //! A point whose lower bound already exceeds the board budget is pruned
 //! without building or simulating anything.
 
-use condor_dataflow::PeParallelism;
+use condor_dataflow::{PeParallelism, Precision};
 use condor_fpga::Resources;
 use condor_hls::SynthModel;
 use condor_nn::{LayerKind, Network, NnError, PoolKind};
@@ -130,8 +130,18 @@ impl PlanBounds {
     }
 
     /// Sound lower bound on the synthesis estimate of *any* plan built
-    /// from this network with parallelism directive `p`, under `model`.
-    pub fn lower_bound(&self, p: PeParallelism, model: &SynthModel) -> Resources {
+    /// from this network with parallelism directive `p` at datapath
+    /// `precision`, under `model`. Narrowing to INT8 widens the feasible
+    /// region the DSE explores: one DSP48E2 packs two int8 MACs and
+    /// weight buffers shrink to a byte per word, so points the f32 bound
+    /// prunes can survive at int8.
+    pub fn lower_bound(
+        &self,
+        p: PeParallelism,
+        precision: Precision,
+        model: &SynthModel,
+    ) -> Resources {
+        let wbyte = precision.bytes_per_word();
         let mut lut: u64 = 0;
         let mut dsp: u64 = 0;
         let mut bram: u64 = 0;
@@ -149,9 +159,9 @@ impl PlanBounds {
                     let pin = p.parallel_in.min(in_c.max(1));
                     let pout = p.parallel_out.min(out_maps.max(1));
                     let macs = (kernel * kernel * pin * pout) as u64;
-                    lut += model.lut_per_mac * macs;
-                    dsp += model.dsp_per_mac * macs;
-                    let ws_bytes = (2 * in_c * kernel * kernel * pout * 4) as u64;
+                    lut += model.mac_lut(precision) * macs;
+                    dsp += model.mac_dsp(precision, macs);
+                    let ws_bytes = (2 * in_c * kernel * kernel * pout * wbyte) as u64;
                     bram += Resources::bram_tiles_for_bytes(ws_bytes).max(1);
                     if bias {
                         bram += Resources::bram_tiles_for_bytes((out_maps * 4) as u64).max(1);
@@ -173,9 +183,9 @@ impl PlanBounds {
                     // The whole weight matrix lives on chip regardless
                     // of fusion — the VGG-16 killer.
                     let macs = p.fc_simd as u64;
-                    lut += model.lut_per_mac * macs;
-                    dsp += model.dsp_per_mac * macs;
-                    bram += Resources::bram_tiles_for_bytes((in_len * out * 4) as u64).max(1);
+                    lut += model.mac_lut(precision) * macs;
+                    dsp += model.mac_dsp(precision, macs);
+                    bram += Resources::bram_tiles_for_bytes((in_len * out * wbyte) as u64).max(1);
                     if bias {
                         bram += Resources::bram_tiles_for_bytes((out * 4) as u64).max(1);
                     }
@@ -213,10 +223,11 @@ impl PlanBounds {
     pub fn infeasible_reason(
         &self,
         p: PeParallelism,
+        precision: Precision,
         model: &SynthModel,
         budget: &Resources,
     ) -> Option<String> {
-        let lb = self.lower_bound(p, model);
+        let lb = self.lower_bound(p, precision, model);
         if lb.fits_in(budget) {
             None
         } else {
@@ -240,35 +251,85 @@ mod tests {
     }
 
     /// The load-bearing property: the bound never exceeds the real
-    /// synthesis estimate, for any fusion and parallelism tried.
+    /// synthesis estimate, for any fusion, parallelism and precision
+    /// tried.
     #[test]
-    fn bound_is_sound_across_fusion_and_parallelism() {
+    fn bound_is_sound_across_fusion_parallelism_and_precision() {
         let model = SynthModel::default();
         for net in [zoo::tc1(), zoo::lenet(), zoo::vgg16()] {
             let bounds = PlanBounds::analyze(&net).unwrap();
             let device = condor_fpga::board("aws-f1").unwrap().device();
             for fusion in [1, 2, 100] {
                 for (pin, pout, simd) in [(1, 1, 1), (2, 4, 2), (16, 16, 8)] {
-                    let p = PeParallelism {
-                        parallel_in: pin,
-                        parallel_out: pout,
-                        fc_simd: simd,
-                    };
-                    let plan = PlanBuilder::new(&net)
-                        .fusion(fusion)
-                        .parallelism(p)
-                        .build()
-                        .unwrap();
-                    let real = synthesize_plan(&plan, device).total;
-                    let lb = bounds.lower_bound(p, &model);
-                    assert!(
-                        lb.fits_in(&real),
-                        "{} fusion {fusion} p=({pin},{pout},{simd}): bound {lb} > real {real}",
-                        net.name
-                    );
+                    for precision in [Precision::F32, Precision::Int8] {
+                        let p = PeParallelism {
+                            parallel_in: pin,
+                            parallel_out: pout,
+                            fc_simd: simd,
+                        };
+                        let plan = PlanBuilder::new(&net)
+                            .fusion(fusion)
+                            .parallelism(p)
+                            .precision(precision)
+                            .build()
+                            .unwrap();
+                        let real = synthesize_plan(&plan, device).total;
+                        let lb = bounds.lower_bound(p, precision, &model);
+                        assert!(
+                            lb.fits_in(&real),
+                            "{} fusion {fusion} p=({pin},{pout},{simd}) {precision}: \
+                             bound {lb} > real {real}",
+                            net.name
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// The acceptance pin for the int8 hardware model: a parallelism
+    /// point whose f32 lower bound blows the DSP budget becomes feasible
+    /// when the datapath narrows to int8 — the DSE's widened region.
+    #[test]
+    fn int8_admits_points_f32_rejects_under_the_same_dsp_budget() {
+        let bounds = PlanBounds::analyze(&zoo::lenet()).unwrap();
+        let model = SynthModel::default();
+        let p = PeParallelism {
+            parallel_in: 8,
+            parallel_out: 8,
+            fc_simd: 4,
+        };
+        let f32_lb = bounds.lower_bound(p, Precision::F32, &model);
+        let int8_lb = bounds.lower_bound(p, Precision::Int8, &model);
+        // Pick a budget strictly between the two DSP bounds: generous
+        // everywhere else so DSP is the only binding constraint.
+        let budget = Resources::new(u64::MAX, u64::MAX, (int8_lb.dsp + f32_lb.dsp) / 2, u64::MAX);
+        assert!(
+            bounds
+                .infeasible_reason(p, Precision::F32, &model, &budget)
+                .is_some(),
+            "f32 should be pruned at {} DSPs",
+            budget.dsp
+        );
+        assert!(
+            bounds
+                .infeasible_reason(p, Precision::Int8, &model, &budget)
+                .is_none(),
+            "int8 should fit at {} DSPs (bound {})",
+            budget.dsp,
+            int8_lb.dsp
+        );
+        // And the int8 point is genuinely buildable + synthesizable
+        // within that DSP budget, not just un-pruned.
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net)
+            .parallelism(p)
+            .precision(Precision::Int8)
+            .build()
+            .unwrap();
+        let device = condor_fpga::board("aws-f1").unwrap().device();
+        let real = synthesize_plan(&plan, device).total;
+        assert!(real.dsp <= budget.dsp, "real int8 {} DSPs", real.dsp);
     }
 
     #[test]
@@ -277,6 +338,7 @@ mod tests {
         let reason = bounds
             .infeasible_reason(
                 PeParallelism::default(),
+                Precision::F32,
                 &SynthModel::default(),
                 &f1_budget(),
             )
@@ -290,6 +352,7 @@ mod tests {
         assert!(bounds
             .infeasible_reason(
                 PeParallelism::default(),
+                Precision::F32,
                 &SynthModel::default(),
                 &f1_budget()
             )
@@ -305,7 +368,7 @@ mod tests {
             parallel_out: 16,
             fc_simd: 1,
         };
-        let reason = bounds.infeasible_reason(p, &SynthModel::default(), &budget);
+        let reason = bounds.infeasible_reason(p, Precision::F32, &SynthModel::default(), &budget);
         assert!(reason.is_some());
     }
 
@@ -313,13 +376,14 @@ mod tests {
     fn bound_grows_with_parallelism() {
         let bounds = PlanBounds::analyze(&zoo::lenet()).unwrap();
         let model = SynthModel::default();
-        let lo = bounds.lower_bound(PeParallelism::default(), &model);
+        let lo = bounds.lower_bound(PeParallelism::default(), Precision::F32, &model);
         let hi = bounds.lower_bound(
             PeParallelism {
                 parallel_in: 8,
                 parallel_out: 8,
                 fc_simd: 4,
             },
+            Precision::F32,
             &model,
         );
         assert!(hi.dsp > lo.dsp);

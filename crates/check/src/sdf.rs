@@ -55,6 +55,7 @@ pub fn check_plan(
         check_rates(pe, diags);
         check_fifos(pe, diags);
     }
+    check_precision_streams(plan, diags);
     check_topology(net, plan, ins, diags);
     // The cycle model divides by the parallelism degrees; only reason
     // about throughput once every rate is known positive.
@@ -102,6 +103,40 @@ fn check_branch_balance(plan: &AcceleratorPlan, diags: &mut Diagnostics) {
                 .at(pe.name.clone())
                 .hint("raise the slow branch's parallelism so both sides of the fork keep pace"),
             );
+        }
+    }
+}
+
+/// Warns on every inter-PE stream that crosses a precision boundary
+/// (C028). The synthesis model inserts a format converter on each such
+/// edge — legal, but it costs LUT/FF and a pipeline stage, so the plan
+/// should cross precision domains deliberately, not by accident.
+fn check_precision_streams(plan: &AcceleratorPlan, diags: &mut Diagnostics) {
+    for pe in &plan.pes {
+        for &i in &pe.inputs {
+            let Some(src) = plan.pes.get(i) else { continue };
+            if src.precision != pe.precision {
+                diags.push(
+                    Diagnostic::new(
+                        Code::C028,
+                        format!(
+                            "stream from {} ({}) into {} ({}) crosses a precision boundary: \
+                             a {}_to_{} converter will be synthesised on the edge",
+                            src.name,
+                            src.precision,
+                            pe.name,
+                            pe.precision,
+                            src.precision,
+                            pe.precision
+                        ),
+                    )
+                    .at(pe.name.clone())
+                    .hint(
+                        "group same-precision layers into contiguous plan regions to \
+                         amortise converters, or make the whole plan one precision",
+                    ),
+                );
+            }
         }
     }
 }
@@ -464,6 +499,28 @@ mod tests {
         let d = run(&net, &plan);
         assert!(d.has_code(Code::C027), "{}", d.render());
         assert!(!d.has_errors(), "{}", d.render());
+    }
+
+    #[test]
+    fn mixed_precision_edges_warn_c028_without_error() {
+        use condor_dataflow::Precision;
+        let net = zoo::lenet();
+        // Uniform plans — either precision — never warn.
+        for p in [Precision::F32, Precision::Int8] {
+            let plan = PlanBuilder::new(&net).precision(p).build().unwrap();
+            let d = run(&net, &plan);
+            assert!(!d.has_code(Code::C028), "{p}: {}", d.render());
+        }
+        // Narrowing one interior PE creates two boundary crossings.
+        let plan = PlanBuilder::new(&net)
+            .layer_precision("conv2", Precision::Int8)
+            .build()
+            .unwrap();
+        let d = run(&net, &plan);
+        assert!(d.has_code(Code::C028), "{}", d.render());
+        assert!(!d.has_errors(), "{}", d.render());
+        let crossings = d.iter().filter(|diag| diag.code == Code::C028).count();
+        assert_eq!(crossings, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 #![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
 
 use condor_check::{check, check_defect, corpus, PlanBounds, Severity};
-use condor_dataflow::{PeParallelism, PlanBuilder};
+use condor_dataflow::{PeParallelism, PlanBuilder, Precision};
 use condor_hls::{synthesize_plan, SynthModel};
 use condor_nn::arbitrary::{random_chain, random_weighted_chain};
 use proptest::prelude::*;
@@ -70,14 +70,16 @@ proptest! {
         let bounds = PlanBounds::analyze(&net).unwrap();
         let p = parallelism_from(seed);
         let fusion = 1 + (seed % 4) as usize;
+        let precision = if seed % 2 == 0 { Precision::F32 } else { Precision::Int8 };
         let plan = PlanBuilder::new(&net)
             .fusion(fusion)
             .parallelism(p)
+            .precision(precision)
             .build()
             .unwrap();
         let device = condor_fpga::board("aws-f1").unwrap().device();
         let real = synthesize_plan(&plan, device).total;
-        let lb = bounds.lower_bound(p, &SynthModel::default());
+        let lb = bounds.lower_bound(p, precision, &SynthModel::default());
         prop_assert!(
             lb.fits_in(&real),
             "seed {}: bound {} exceeds real {}", seed, lb, real

@@ -17,8 +17,8 @@
 
 use crate::error::CondorError;
 use condor_check::PlanBounds;
-use condor_dataflow::{PeParallelism, PipelineModel, PlanBuilder};
-use condor_fpga::{Board, Utilization};
+use condor_dataflow::{AcceleratorPlan, PeParallelism, PipelineModel, PlanBuilder, Precision};
+use condor_fpga::{Board, Resources, Utilization};
 use condor_hls::{synthesize_plan, PlanSynthesis, SynthModel};
 use condor_nn::Network;
 use rayon::prelude::*;
@@ -36,6 +36,11 @@ pub struct DseConfig {
     pub parallel_out: Vec<usize>,
     /// FC MAC vector widths.
     pub fc_simd: Vec<usize>,
+    /// Datapath precisions to sweep. Defaults to `[F32]` (the paper's
+    /// baseline); adding [`Precision::Int8`] lets the exploration trade
+    /// accuracy headroom for DSP budget — int8 points pack two MACs per
+    /// DSP48E2, so parallelism degrees the f32 bound prunes can survive.
+    pub precisions: Vec<Precision>,
     /// Batch size used to evaluate sustained GFLOPS.
     pub eval_batch: usize,
     /// When true (the default), statically-infeasible points are pruned
@@ -53,6 +58,7 @@ impl Default for DseConfig {
             parallel_in: vec![1, 2, 4, 8],
             parallel_out: vec![1, 2, 4, 8],
             fc_simd: vec![1, 2, 4, 8],
+            precisions: vec![Precision::F32],
             eval_batch: 64,
             prefilter: true,
         }
@@ -66,6 +72,8 @@ pub struct DsePoint {
     pub fusion: usize,
     /// Parallelism degrees.
     pub parallelism: PeParallelism,
+    /// Datapath precision of every PE at this point.
+    pub precision: Precision,
     /// Requested clock.
     pub freq_mhz: f64,
     /// Synthesis estimate.
@@ -137,6 +145,7 @@ fn evaluate(
     board: &Board,
     fusion: usize,
     parallelism: PeParallelism,
+    precision: Precision,
     freq_mhz: f64,
     eval_batch: usize,
 ) -> Result<DsePoint, CondorError> {
@@ -145,6 +154,7 @@ fn evaluate(
         .freq_mhz(freq_mhz)
         .fusion(fusion)
         .parallelism(parallelism)
+        .precision(precision)
         .build()?;
     let device = board.device();
     let synthesis = synthesize_plan(&plan, device);
@@ -166,6 +176,7 @@ fn evaluate(
     Ok(DsePoint {
         fusion,
         parallelism,
+        precision,
         freq_mhz,
         synthesis,
         utilization,
@@ -178,19 +189,22 @@ fn evaluate(
 /// Builds the record of a statically-pruned point: no plan, no
 /// simulation — the synthesis slot carries the lower bound itself so
 /// reports can still show how far over budget the point was.
+#[allow(clippy::too_many_arguments)]
 fn pruned_point(
     fusion: usize,
     parallelism: PeParallelism,
+    precision: Precision,
     freq_mhz: f64,
     bounds: &PlanBounds,
     model: &SynthModel,
-    budget: &condor_fpga::Resources,
+    budget: &Resources,
     reason: String,
 ) -> DsePoint {
-    let lb = bounds.lower_bound(parallelism, model);
+    let lb = bounds.lower_bound(parallelism, precision, model);
     DsePoint {
         fusion,
         parallelism,
+        precision,
         freq_mhz,
         synthesis: PlanSynthesis {
             modules: Vec::new(),
@@ -212,16 +226,19 @@ pub fn explore(net: &Network, board: &Board, cfg: &DseConfig) -> Result<DseOutco
         for &pi in &cfg.parallel_in {
             for &po in &cfg.parallel_out {
                 for &simd in &cfg.fc_simd {
-                    for &f in &cfg.freqs_mhz {
-                        combos.push((
-                            fusion,
-                            PeParallelism {
-                                parallel_in: pi,
-                                parallel_out: po,
-                                fc_simd: simd,
-                            },
-                            f,
-                        ));
+                    for &precision in &cfg.precisions {
+                        for &f in &cfg.freqs_mhz {
+                            combos.push((
+                                fusion,
+                                PeParallelism {
+                                    parallel_in: pi,
+                                    parallel_out: po,
+                                    fc_simd: simd,
+                                },
+                                precision,
+                                f,
+                            ));
+                        }
                     }
                 }
             }
@@ -242,13 +259,15 @@ pub fn explore(net: &Network, board: &Board, cfg: &DseConfig) -> Result<DseOutco
     let budget = board.usable_resources();
     let points: Vec<DsePoint> = combos
         .par_iter()
-        .map(|&(fusion, par, freq)| {
+        .map(|&(fusion, par, precision, freq)| {
             if let Some(b) = &bounds {
-                if let Some(reason) = b.infeasible_reason(par, &model, &budget) {
-                    return Ok(pruned_point(fusion, par, freq, b, &model, &budget, reason));
+                if let Some(reason) = b.infeasible_reason(par, precision, &model, &budget) {
+                    return Ok(pruned_point(
+                        fusion, par, precision, freq, b, &model, &budget, reason,
+                    ));
                 }
             }
-            evaluate(net, board, fusion, par, freq, cfg.eval_batch)
+            evaluate(net, board, fusion, par, precision, freq, cfg.eval_batch)
         })
         .collect::<Result<Vec<_>, _>>()?;
 
@@ -264,6 +283,73 @@ pub fn explore(net: &Network, board: &Board, cfg: &DseConfig) -> Result<DseOutco
         })
         .map(|(i, _)| i);
     Ok(DseOutcome { points, best })
+}
+
+/// Result of [`trade_precision_per_layer`].
+#[derive(Clone, Debug)]
+pub struct PrecisionTrade {
+    /// Layer names narrowed to int8, in the order they were flipped.
+    pub int8_layers: Vec<String>,
+    /// The final plan with the per-layer precision overrides applied.
+    pub plan: AcceleratorPlan,
+    /// Synthesis estimate of the final plan, converters included.
+    pub synthesis: PlanSynthesis,
+    /// True when the final plan fits the budget.
+    pub fits: bool,
+}
+
+/// Greedily trades per-layer precision against a resource budget.
+///
+/// Starts from an all-f32 plan at the given configuration and, while the
+/// synthesized design exceeds `budget`, narrows the f32 PE with the
+/// largest DSP bill to int8 (every layer fused into that PE flips at
+/// once, so no PE is ever internally mixed). Each iteration re-prices the
+/// whole plan, so the format converters that appear on the new
+/// mixed-precision edges are charged against the saving they enable. The
+/// loop stops as soon as the plan fits, or once every PE is int8 — the
+/// `fits` flag then reports whether full narrowing was enough.
+pub fn trade_precision_per_layer(
+    net: &Network,
+    board: &Board,
+    fusion: usize,
+    parallelism: PeParallelism,
+    freq_mhz: f64,
+    budget: &Resources,
+) -> Result<PrecisionTrade, CondorError> {
+    let device = board.device();
+    let model = SynthModel::default();
+    let mut int8_layers: Vec<String> = Vec::new();
+    loop {
+        let mut builder = PlanBuilder::new(net)
+            .board(board.name)
+            .freq_mhz(freq_mhz)
+            .fusion(fusion)
+            .parallelism(parallelism);
+        for name in &int8_layers {
+            builder = builder.layer_precision(name.as_str(), Precision::Int8);
+        }
+        let plan = builder.build()?;
+        let synthesis = synthesize_plan(&plan, device);
+        let fits = synthesis.total.fits_in(budget);
+        let victim = plan
+            .pes
+            .iter()
+            .filter(|pe| pe.precision == Precision::F32)
+            .max_by_key(|pe| model.synthesize_pe(pe).resources.dsp);
+        match (fits, victim) {
+            (true, _) | (false, None) => {
+                return Ok(PrecisionTrade {
+                    int8_layers,
+                    plan,
+                    synthesis,
+                    fits,
+                });
+            }
+            (false, Some(pe)) => {
+                int8_layers.extend(pe.layers.iter().map(|l| l.name.clone()));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +370,7 @@ mod tests {
             parallel_in: vec![1, 2],
             parallel_out: vec![1, 2],
             fc_simd: vec![1, 2],
+            precisions: vec![Precision::F32],
             eval_batch: 32,
             prefilter: true,
         }
@@ -371,6 +458,98 @@ mod tests {
         let vc709 = board("vc709").unwrap();
         let outcome = explore(&tc1, vc709, &small_cfg()).unwrap();
         assert!(outcome.require_best().is_ok());
+    }
+
+    #[test]
+    fn precision_axis_doubles_the_sweep_and_int8_halves_dsp() {
+        let cfg = DseConfig {
+            precisions: vec![Precision::F32, Precision::Int8],
+            ..small_cfg()
+        };
+        let net = zoo::lenet();
+        let outcome = explore(&net, f1(), &cfg).unwrap();
+        assert_eq!(outcome.points.len(), 2 * 2 * 2 * 2 * 2 * 2);
+        // At every shared (fusion, parallelism, freq) coordinate the int8
+        // point must spend strictly fewer DSPs than its f32 twin.
+        for p in outcome
+            .points
+            .iter()
+            .filter(|p| p.precision == Precision::Int8)
+        {
+            let twin = outcome
+                .points
+                .iter()
+                .find(|q| {
+                    q.precision == Precision::F32
+                        && q.fusion == p.fusion
+                        && q.parallelism == p.parallelism
+                        && q.freq_mhz == p.freq_mhz
+                })
+                .unwrap();
+            assert!(p.synthesis.total.dsp < twin.synthesis.total.dsp);
+        }
+    }
+
+    #[test]
+    fn precision_trade_narrows_only_what_the_budget_demands() {
+        let net = zoo::lenet();
+        let board = f1();
+        let par = PeParallelism {
+            parallel_in: 4,
+            parallel_out: 4,
+            fc_simd: 4,
+        };
+        let device = board.device();
+        let f32_plan = PlanBuilder::new(&net)
+            .board(board.name)
+            .freq_mhz(200.0)
+            .fusion(1)
+            .parallelism(par)
+            .build()
+            .unwrap();
+        let f32_total = synthesize_plan(&f32_plan, device).total;
+        let int8_plan = PlanBuilder::new(&net)
+            .board(board.name)
+            .freq_mhz(200.0)
+            .fusion(1)
+            .parallelism(par)
+            .precision(Precision::Int8)
+            .build()
+            .unwrap();
+        let int8_total = synthesize_plan(&int8_plan, device).total;
+        assert!(int8_total.dsp < f32_total.dsp);
+        // Generous budget: nothing flips.
+        let roomy = board.usable_resources();
+        let trade = trade_precision_per_layer(&net, board, 1, par, 200.0, &roomy).unwrap();
+        assert!(trade.fits);
+        assert!(trade.int8_layers.is_empty());
+        // A DSP budget strictly between the all-int8 and all-f32 bills
+        // forces some layers down to int8 — but not necessarily all.
+        let tight = Resources {
+            dsp: (int8_total.dsp + f32_total.dsp) / 2,
+            ..roomy
+        };
+        let trade = trade_precision_per_layer(&net, board, 1, par, 200.0, &tight).unwrap();
+        assert!(trade.fits);
+        assert!(!trade.int8_layers.is_empty());
+        assert!(trade
+            .plan
+            .pes
+            .iter()
+            .any(|pe| pe.precision == Precision::Int8));
+        assert!(trade.synthesis.total.dsp <= tight.dsp);
+        // An impossible budget narrows everything and reports the miss.
+        let hopeless = Resources {
+            dsp: int8_total.dsp / 4,
+            ..roomy
+        };
+        let trade = trade_precision_per_layer(&net, board, 1, par, 200.0, &hopeless).unwrap();
+        assert!(!trade.fits);
+        assert!(trade
+            .plan
+            .pes
+            .iter()
+            .all(|pe| pe.precision == Precision::Int8));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::error::CondorError;
 use crate::frontend::{analyze, FrontendInput};
 use crate::repr::{DeploymentTarget, HardwareConfig, NetworkRepresentation};
 use condor_cloud::{host_code, XoFile};
-use condor_dataflow::{AcceleratorPlan, PeParallelism, PlanBuilder};
+use condor_dataflow::{AcceleratorPlan, PeParallelism, PlanBuilder, Precision};
 use condor_fpga::{board, Board, Utilization};
 use condor_hls::{
     connect_network, package_layer_ip, synthesize_plan, AcceleratorIp, PlanSynthesis,
@@ -107,6 +107,18 @@ impl Condor {
         self
     }
 
+    /// Sets the datapath precision applied to every PE.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.hardware.precision = p;
+        self
+    }
+
+    /// Overrides the precision of one layer's PE.
+    pub fn layer_precision(mut self, layer: impl Into<String>, p: Precision) -> Self {
+        self.hardware.layer_precisions.insert(layer.into(), p);
+        self
+    }
+
     /// Enables automatic design-space exploration: `build()` will pick
     /// fusion/parallelism/clock from the best feasible point instead of
     /// the pinned directives.
@@ -148,6 +160,7 @@ impl Condor {
             self.hardware.fusion = best.fusion;
             self.hardware.parallelism = best.parallelism;
             self.hardware.freq_mhz = best.freq_mhz;
+            self.hardware.precision = best.precision;
         }
 
         // Steps 3–4 — layer creation: map layers onto PEs and filters.
@@ -155,9 +168,13 @@ impl Condor {
             .board(board.name)
             .freq_mhz(self.hardware.freq_mhz)
             .fusion(self.hardware.fusion)
-            .parallelism(self.hardware.parallelism);
+            .parallelism(self.hardware.parallelism)
+            .precision(self.hardware.precision);
         for (layer, p) in &self.hardware.layer_overrides {
             plan_builder = plan_builder.layer_parallelism(layer.clone(), *p);
+        }
+        for (layer, p) in &self.hardware.layer_precisions {
+            plan_builder = plan_builder.layer_precision(layer.clone(), *p);
         }
         let plan = plan_builder.build()?;
 
@@ -377,6 +394,7 @@ mod tests {
                 parallel_in: vec![1, 2],
                 parallel_out: vec![1, 2],
                 fc_simd: vec![1, 2],
+                precisions: vec![Precision::F32],
                 eval_batch: 16,
                 prefilter: true,
             })
@@ -385,6 +403,33 @@ mod tests {
         // DSE should at minimum raise the clock beyond the pinned 100.
         assert!(built.representation.hardware.freq_mhz >= 100.0);
         assert!(built.utilization().feasible());
+    }
+
+    #[test]
+    fn int8_build_narrows_every_pe_and_saves_dsp() {
+        let f32_built = Condor::from_network(zoo::lenet_weighted(4))
+            .board("aws-f1")
+            .build()
+            .unwrap();
+        let int8_built = Condor::from_network(zoo::lenet_weighted(4))
+            .board("aws-f1")
+            .precision(Precision::Int8)
+            .build()
+            .unwrap();
+        assert!(int8_built
+            .plan
+            .pes
+            .iter()
+            .all(|pe| pe.precision == Precision::Int8));
+        assert!(int8_built.synthesis.total.dsp < f32_built.synthesis.total.dsp);
+        // A single-layer override warns (C028 converters) but builds.
+        let mixed = Condor::from_network(zoo::lenet_weighted(4))
+            .board("aws-f1")
+            .layer_precision("conv2", Precision::Int8)
+            .build()
+            .unwrap();
+        assert!(mixed.check.passed());
+        assert!(mixed.check.diagnostics.has_code(condor_check::Code::C028));
     }
 
     #[test]

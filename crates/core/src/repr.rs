@@ -8,7 +8,7 @@
 
 use crate::error::CondorError;
 use condor_cjson::{access, to_string_pretty, Value};
-use condor_dataflow::PeParallelism;
+use condor_dataflow::{PeParallelism, Precision};
 use condor_nn::{EltwiseOp, Layer, LayerKind, Network, NetworkBuilder, NodeId, PoolKind};
 use condor_tensor::Shape;
 use std::collections::BTreeMap;
@@ -58,6 +58,12 @@ pub struct HardwareConfig {
     /// Per-layer parallelism overrides — the paper's "desired level of
     /// parallelism of each layer". Keyed by layer name.
     pub layer_overrides: BTreeMap<String, PeParallelism>,
+    /// Datapath precision applied to every PE. Serialised only when it
+    /// differs from the f32 default, so historical documents stay
+    /// byte-identical.
+    pub precision: Precision,
+    /// Per-layer precision overrides, keyed by layer name.
+    pub layer_precisions: BTreeMap<String, Precision>,
 }
 
 impl Default for HardwareConfig {
@@ -69,6 +75,8 @@ impl Default for HardwareConfig {
             fusion: 1,
             parallelism: PeParallelism::default(),
             layer_overrides: BTreeMap::new(),
+            precision: Precision::F32,
+            layer_precisions: BTreeMap::new(),
         }
     }
 }
@@ -114,11 +122,14 @@ impl NetworkRepresentation {
                 if let Some(p) = self.hardware.layer_overrides.get(&layer.name) {
                     map.insert("parallelism".to_string(), parallelism_to_json(p));
                 }
+                if let Some(p) = self.hardware.layer_precisions.get(&layer.name) {
+                    map.insert("precision".to_string(), Value::str(p.as_str()));
+                }
             }
             layers.push(doc);
         }
         let input = self.network.input_shape;
-        Value::object([
+        let mut fields = vec![
             ("condor_version".to_string(), Value::int(version)),
             ("name".to_string(), Value::str(&self.network.name)),
             ("board".to_string(), Value::str(&self.hardware.board)),
@@ -131,6 +142,16 @@ impl NetworkRepresentation {
                 Value::str(self.hardware.deployment.as_str()),
             ),
             ("fusion".to_string(), Value::from(self.hardware.fusion)),
+        ];
+        // Default-omitted so f32 documents serialise exactly as before
+        // the precision field existed.
+        if self.hardware.precision != Precision::F32 {
+            fields.push((
+                "precision".to_string(),
+                Value::str(self.hardware.precision.as_str()),
+            ));
+        }
+        fields.extend([
             (
                 "parallelism".to_string(),
                 parallelism_to_json(&self.hardware.parallelism),
@@ -144,7 +165,8 @@ impl NetworkRepresentation {
                 ]),
             ),
             ("layers".to_string(), Value::Array(layers)),
-        ])
+        ]);
+        Value::object(fields)
     }
 
     /// Pretty-printed document text (the on-disk artifact).
@@ -182,6 +204,7 @@ impl NetworkRepresentation {
             access::opt_str(doc, "", "deployment")?.unwrap_or("on-premise"),
         )?;
         let fusion = access::usize_or(doc, "", "fusion", 1)?.max(1);
+        let precision = precision_from_json(doc, "")?.unwrap_or_default();
         let parallelism = match doc.get("parallelism") {
             None => PeParallelism::default(),
             Some(p) => parallelism_from_json(p, "parallelism")?,
@@ -199,6 +222,7 @@ impl NetworkRepresentation {
         // which is also how every version-1 document reads.
         let mut layer_inputs: Vec<Option<Vec<String>>> = Vec::with_capacity(layer_docs.len());
         let mut layer_overrides = BTreeMap::new();
+        let mut layer_precisions = BTreeMap::new();
         for (i, ld) in layer_docs.iter().enumerate() {
             let path = access::elem_path("", "layers", i);
             let layer = layer_from_json(ld, &path)?;
@@ -207,6 +231,9 @@ impl NetworkRepresentation {
                     layer.name.clone(),
                     parallelism_from_json(p, &format!("{path}.parallelism"))?,
                 );
+            }
+            if let Some(p) = precision_from_json(ld, &path)? {
+                layer_precisions.insert(layer.name.clone(), p);
             }
             layer_inputs.push(match ld.get("inputs") {
                 None => None,
@@ -278,8 +305,24 @@ impl NetworkRepresentation {
                 fusion,
                 parallelism,
                 layer_overrides,
+                precision,
+                layer_precisions,
             },
         })
+    }
+}
+
+/// Reads an optional `precision` field off `doc`, rejecting unknown
+/// names so a typo cannot silently fall back to f32.
+fn precision_from_json(doc: &Value, path: &str) -> Result<Option<Precision>, CondorError> {
+    match access::opt_str(doc, path, "precision")? {
+        None => Ok(None),
+        Some(s) => Precision::parse(s).map(Some).ok_or_else(|| {
+            CondorError::new(
+                "frontend",
+                format!("{path}.precision: unknown precision '{s}' (expected f32 or int8)"),
+            )
+        }),
     }
 }
 
@@ -442,6 +485,8 @@ mod tests {
                     fc_simd: 2,
                 },
                 layer_overrides: BTreeMap::new(),
+                precision: Precision::F32,
+                layer_precisions: BTreeMap::new(),
             },
         )
     }
@@ -452,6 +497,37 @@ mod tests {
         let text = repr.to_text();
         let back = NetworkRepresentation::parse(&text).unwrap();
         assert_eq!(back, repr);
+    }
+
+    #[test]
+    fn f32_documents_omit_the_precision_field() {
+        let text = lenet_repr().to_text();
+        assert!(!text.contains("precision"));
+    }
+
+    #[test]
+    fn precision_roundtrips_globally_and_per_layer() {
+        let mut repr = lenet_repr();
+        repr.hardware.precision = Precision::Int8;
+        repr.hardware
+            .layer_precisions
+            .insert("conv2".to_string(), Precision::F32);
+        let text = repr.to_text();
+        assert!(text.contains("\"precision\": \"int8\""));
+        assert!(text.contains("\"precision\": \"f32\""));
+        let back = NetworkRepresentation::parse(&text).unwrap();
+        assert_eq!(back, repr);
+    }
+
+    #[test]
+    fn unknown_precision_is_rejected() {
+        let mut text = lenet_repr().to_text();
+        text = text.replace(
+            "\"fusion\": 1,",
+            "\"fusion\": 1,\n  \"precision\": \"fp16\",",
+        );
+        let err = NetworkRepresentation::parse(&text).unwrap_err();
+        assert!(err.message.contains("unknown precision"), "{}", err.message);
     }
 
     #[test]

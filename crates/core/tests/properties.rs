@@ -21,6 +21,7 @@ proptest! {
         po in 1usize..8,
         simd in 1usize..8,
         cloud in any::<bool>(),
+        int8 in any::<bool>(),
     ) {
         let net = random_chain(seed);
         let hw = HardwareConfig {
@@ -38,6 +39,12 @@ proptest! {
                 fc_simd: simd,
             },
             layer_overrides: std::collections::BTreeMap::new(),
+            precision: if int8 {
+                condor_dataflow::Precision::Int8
+            } else {
+                condor_dataflow::Precision::F32
+            },
+            layer_precisions: std::collections::BTreeMap::new(),
         };
         let repr = NetworkRepresentation::new(net, hw);
         let text = repr.to_text();

@@ -41,6 +41,6 @@ pub use layersim::{LayerSimConfig, LayerSimReport};
 pub use pipeline::{BatchTiming, PipelineModel, TimingFaultReport};
 pub use plan::{
     AcceleratorPlan, DataflowError, DataflowErrorKind, PeParallelism, PePlan, PlanBuilder,
-    PlannedLayer,
+    PlannedLayer, Precision,
 };
 pub use window::{FilterChain, FilterSpec};

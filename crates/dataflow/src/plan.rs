@@ -88,6 +88,59 @@ impl From<NnError> for DataflowError {
     }
 }
 
+/// Arithmetic precision of a PE's datapath.
+///
+/// The paper's flow synthesizes single-precision floating-point PEs;
+/// narrowing a PE to INT8 (the scheme `condor-kernels`' quantized path
+/// models in software) changes its resource profile: one DSP48E2 packs
+/// two int8 MACs, and weight/stream buffers shrink to one byte per word
+/// while bias and partial-sum buffers keep their 32-bit accumulators.
+/// The DSE can therefore trade precision against the DSP budget per
+/// layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// Single-precision floating point (the paper's baseline).
+    #[default]
+    F32,
+    /// Symmetric 8-bit integers with 32-bit accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// Bytes of one weight or activation word on streams and in
+    /// weight buffers (accumulators always stay 4 bytes).
+    pub fn bytes_per_word(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Stable lower-case name (`"f32"` / `"int8"`), used by the plan
+    /// serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses the name produced by [`Precision::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Feature-map parallelism of a PE (paper Section 3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PeParallelism {
@@ -172,6 +225,9 @@ pub struct PePlan {
     pub inputs: Vec<usize>,
     /// Feature-map parallelism.
     pub parallelism: PeParallelism,
+    /// Datapath precision (f32 by default; int8 halves the DSP cost per
+    /// MAC and narrows weight/stream buffers).
+    pub precision: Precision,
     /// Explicit FIFO depths between consecutive filters, overriding the
     /// spatial-distance rule. `PlanBuilder` always leaves this `None`
     /// (the rule is exact); hand-tuned or mutated plans may set it, and
@@ -393,6 +449,9 @@ pub struct PlanBuilder<'a> {
     /// representation carries the "desired level of parallelism of each
     /// layer". Keyed by layer name; applies to the PE hosting the layer.
     layer_overrides: std::collections::BTreeMap<String, PeParallelism>,
+    precision: Precision,
+    /// Per-layer precision overrides, mirroring the parallelism ones.
+    layer_precisions: std::collections::BTreeMap<String, Precision>,
     datamover_words_per_cycle: usize,
 }
 
@@ -407,6 +466,8 @@ impl<'a> PlanBuilder<'a> {
             fusion: 1,
             parallelism: PeParallelism::default(),
             layer_overrides: std::collections::BTreeMap::new(),
+            precision: Precision::default(),
+            layer_precisions: std::collections::BTreeMap::new(),
             datamover_words_per_cycle: 16,
         }
     }
@@ -444,6 +505,20 @@ impl<'a> PlanBuilder<'a> {
         self
     }
 
+    /// Sets the datapath precision applied to every PE.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Overrides the precision of the PE hosting `layer`. When fused
+    /// layers carry conflicting overrides, the first override in layer
+    /// order wins (as with [`PlanBuilder::layer_parallelism`]).
+    pub fn layer_precision(mut self, layer: impl Into<String>, p: Precision) -> Self {
+        self.layer_precisions.insert(layer.into(), p);
+        self
+    }
+
     /// Sets the datamover stream width in 32-bit words per cycle.
     pub fn datamover_words_per_cycle(mut self, w: usize) -> Self {
         self.datamover_words_per_cycle = w.max(1);
@@ -473,6 +548,13 @@ impl<'a> PlanBuilder<'a> {
             if p.parallel_in == 0 || p.parallel_out == 0 || p.fc_simd == 0 {
                 return Err(DataflowError::new(format!(
                     "parallelism override for '{name}' must be positive"
+                )));
+            }
+        }
+        for name in self.layer_precisions.keys() {
+            if !self.net.layers.iter().any(|l| &l.name == name) {
+                return Err(DataflowError::new(format!(
+                    "precision override references unknown layer '{name}'"
                 )));
             }
         }
@@ -640,12 +722,17 @@ impl<'a> PlanBuilder<'a> {
             .iter()
             .find_map(|l| self.layer_overrides.get(&l.name).copied())
             .unwrap_or(self.parallelism);
+        let precision = layers
+            .iter()
+            .find_map(|l| self.layer_precisions.get(&l.name).copied())
+            .unwrap_or(self.precision);
         PePlan {
             name: format!("pe{index}"),
             layers,
             stage,
             inputs: Vec::new(), // wired from the graph after clustering
             fifo_depth_override: None,
+            precision,
             parallelism: match stage {
                 Stage::FeatureExtraction => PeParallelism { fc_simd: 1, ..base },
                 // The paper implements FC layers as single-input/
@@ -997,6 +1084,46 @@ mod layer_override_tests {
         // conv1 is first in the fused FE PE and has no override; pool1's
         // applies because conv1 carries none.
         assert_eq!(plan.pes[0].parallelism.parallel_in, 2);
+    }
+
+    #[test]
+    fn precision_defaults_to_f32_and_threads_through() {
+        let net = zoo::lenet();
+        let plan = PlanBuilder::new(&net).build().unwrap();
+        assert!(plan.pes.iter().all(|pe| pe.precision == Precision::F32));
+        let plan = PlanBuilder::new(&net)
+            .precision(Precision::Int8)
+            .layer_precision("conv1", Precision::F32)
+            .build()
+            .unwrap();
+        assert_eq!(plan.pes[0].precision, Precision::F32);
+        assert!(plan.pes[1..]
+            .iter()
+            .all(|pe| pe.precision == Precision::Int8));
+        // The cycle model is precision-independent: narrowing the
+        // datapath changes resources, not the schedule.
+        let f32_plan = PlanBuilder::new(&net).build().unwrap();
+        assert_eq!(plan.initiation_interval(), f32_plan.initiation_interval());
+    }
+
+    #[test]
+    fn precision_names_roundtrip() {
+        for p in [Precision::F32, Precision::Int8] {
+            assert_eq!(Precision::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Precision::parse("fp16"), None);
+        assert_eq!(Precision::F32.bytes_per_word(), 4);
+        assert_eq!(Precision::Int8.bytes_per_word(), 1);
+    }
+
+    #[test]
+    fn unknown_precision_override_rejected() {
+        let net = zoo::lenet();
+        let err = PlanBuilder::new(&net)
+            .layer_precision("conv99", Precision::Int8)
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("conv99"));
     }
 
     #[test]

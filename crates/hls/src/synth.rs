@@ -10,7 +10,7 @@
 //! with on-chip weights and deep line FIFOs, and large designs close
 //! timing at lower clocks.
 
-use condor_dataflow::{AcceleratorPlan, PePlan};
+use condor_dataflow::{AcceleratorPlan, PePlan, Precision};
 use condor_fpga::{Device, Resources};
 use condor_nn::LayerKind;
 
@@ -25,6 +25,9 @@ pub enum ModuleKind {
     Datamover,
     /// AXI / SDAccel platform infrastructure.
     Infrastructure,
+    /// Precision converter on an inter-PE stream whose endpoints run at
+    /// different precisions (quantize / dequantize stage).
+    Converter,
 }
 
 /// Synthesis estimate of one module.
@@ -62,6 +65,13 @@ pub struct SynthModel {
     /// DSP slices per floating-point MAC (3 for the multiplier + 2 for
     /// the adder on UltraScale+).
     pub dsp_per_mac: u64,
+    /// LUTs per spatially-unrolled INT8 MAC (operand packing and the
+    /// shared requantize datapath glue; the arithmetic itself packs two
+    /// MACs per DSP48E2, see `synthesize_pe`).
+    pub lut_per_int8_mac: u64,
+    /// Cost of one stream precision converter (quantize or dequantize
+    /// stage inserted on a mixed-precision inter-PE edge).
+    pub converter: Resources,
     /// Base LUTs of a pooling PE (comparators only, no MACs).
     pub pool_base_lut: u64,
     /// LUTs per window element of a pooling reduction tree.
@@ -97,6 +107,8 @@ impl Default for SynthModel {
             pe_base_lut: 8_000,
             lut_per_mac: 300,
             dsp_per_mac: 5,
+            lut_per_int8_mac: 60,
+            converter: Resources::new(1_200, 2_040, 2, 0),
             pool_base_lut: 3_000,
             pool_lut_per_elem: 100,
             filter_lut: 600,
@@ -115,9 +127,34 @@ impl Default for SynthModel {
 }
 
 impl SynthModel {
+    /// LUTs of one spatially-unrolled MAC at the given precision.
+    pub fn mac_lut(&self, precision: Precision) -> u64 {
+        match precision {
+            Precision::F32 => self.lut_per_mac,
+            Precision::Int8 => self.lut_per_int8_mac,
+        }
+    }
+
+    /// DSP slices for `macs` spatially-unrolled MACs at the given
+    /// precision. Floating point burns [`SynthModel::dsp_per_mac`] per
+    /// MAC; one DSP48E2 packs **two** int8 multiplies (the 27×18
+    /// pre-adder trick), so INT8 pays one slice per MAC pair.
+    pub fn mac_dsp(&self, precision: Precision, macs: u64) -> u64 {
+        match precision {
+            Precision::F32 => self.dsp_per_mac * macs,
+            Precision::Int8 => macs.div_ceil(2),
+        }
+    }
+
     /// Estimates one PE (compute logic + its weight/partial buffers).
+    ///
+    /// INT8 PEs pay fewer DSPs per MAC and store weights at one byte per
+    /// word; bias and partial-sum buffers keep their 32-bit accumulator
+    /// width regardless of precision.
     pub fn synthesize_pe(&self, pe: &PePlan) -> ModuleSynthesis {
         let p = pe.parallelism;
+        // Weight/stream word width; accumulators are always 4 bytes.
+        let wbyte = pe.precision.bytes_per_word();
         let mut lut: u64 = 0;
         let mut dsp: u64 = 0;
         let mut bram: u64 = 0;
@@ -133,15 +170,16 @@ impl SynthModel {
                 } => {
                     is_pool_only = false;
                     let macs = (kernel * kernel * p.parallel_in * p.parallel_out) as u64;
-                    lut += self.lut_per_mac * macs;
-                    dsp += self.dsp_per_mac * macs;
+                    lut += self.mac_lut(pe.precision) * macs;
+                    dsp += self.mac_dsp(pe.precision, macs);
                     // Convolution weights are *streamed* from the
                     // datamover per output-map group ("each PE also
                     // communicates with our custom datamover to receive
                     // the weights"): only a double-buffered working set
                     // of C·K²·P_out coefficients lives on chip. The
                     // stream overlaps compute (C·K² ≤ C·H_out·W_out).
-                    let ws_bytes = (2 * l.input.c * kernel * kernel * p.parallel_out * 4) as u64;
+                    let ws_bytes =
+                        (2 * l.input.c * kernel * kernel * p.parallel_out * wbyte) as u64;
                     bram += Resources::bram_tiles_for_bytes(ws_bytes).max(1);
                     if bias {
                         bram += Resources::bram_tiles_for_bytes((num_output * 4) as u64).max(1);
@@ -159,14 +197,14 @@ impl SynthModel {
                 LayerKind::InnerProduct { num_output, bias } => {
                     is_pool_only = false;
                     let macs = p.fc_simd as u64;
-                    lut += self.lut_per_mac * macs;
-                    dsp += self.dsp_per_mac * macs;
+                    lut += self.mac_lut(pe.precision) * macs;
+                    dsp += self.mac_dsp(pe.precision, macs);
                     // The current FC methodology buffers the whole weight
                     // matrix on chip — this is precisely why "the
                     // fully-connected layers of VGG-16 would not be
                     // synthesizable with the current methodology" (the
                     // paper's own limitation, reproduced faithfully).
-                    let wbytes = (l.input.item_len() * num_output * 4) as u64;
+                    let wbytes = (l.input.item_len() * num_output * wbyte) as u64;
                     bram += Resources::bram_tiles_for_bytes(wbytes).max(1);
                     if bias {
                         bram += Resources::bram_tiles_for_bytes((num_output * 4) as u64).max(1);
@@ -212,18 +250,22 @@ impl SynthModel {
     }
 
     /// Estimates the filter chains feeding one PE (paper step 3b/3c).
+    ///
+    /// Line FIFOs hold activation stream words, so an INT8 PE's chains
+    /// buffer one byte per element — deep row FIFOs shrink accordingly.
     pub fn synthesize_filter_chain(&self, pe: &PePlan) -> Option<ModuleSynthesis> {
         let needs_chain = pe.layers.iter().any(|l| l.needs_filter_chain());
         if !needs_chain {
             return None;
         }
+        let wbyte = pe.precision.bytes_per_word();
         let pipelines = pe.parallelism.parallel_in as u64;
         let filters = pe.filters_per_pipeline() as u64;
         let mut lut = self.filter_lut * filters * pipelines;
         let mut bram = 0u64;
         for depth in pe.fifo_depths() {
             if depth > self.bram_fifo_threshold {
-                bram += pipelines * Resources::bram_tiles_for_bytes((depth * 4) as u64).max(1);
+                bram += pipelines * Resources::bram_tiles_for_bytes((depth * wbyte) as u64).max(1);
             } else {
                 lut += self.shallow_fifo_lut * pipelines;
             }
@@ -259,6 +301,17 @@ pub fn synthesize_plan_with(
         modules.push(model.synthesize_pe(pe));
         if let Some(chain) = model.synthesize_filter_chain(pe) {
             modules.push(chain);
+        }
+        // Mixed-precision inter-PE edges need a converter stage on the
+        // stream (requantize on f32→int8, dequantize on int8→f32).
+        for &src in &pe.inputs {
+            if plan.pes[src].precision != pe.precision {
+                modules.push(ModuleSynthesis {
+                    name: format!("{}_to_{}_cvt", plan.pes[src].name, pe.name),
+                    kind: ModuleKind::Converter,
+                    resources: model.converter,
+                });
+            }
         }
     }
     modules.push(ModuleSynthesis {
@@ -402,6 +455,81 @@ mod tests {
         assert_eq!(conv2_chain.resources.bram_36k, 0);
         // FC PEs have no chain at all.
         assert!(model.synthesize_filter_chain(&plan.pes[4]).is_none());
+    }
+
+    #[test]
+    fn int8_halves_dsp_and_shrinks_weight_bram() {
+        let net = zoo::lenet();
+        let f32_plan = PlanBuilder::new(&net)
+            .parallelism(PeParallelism {
+                parallel_in: 2,
+                parallel_out: 2,
+                fc_simd: 2,
+            })
+            .build()
+            .unwrap();
+        let int8_plan = PlanBuilder::new(&net)
+            .parallelism(PeParallelism {
+                parallel_in: 2,
+                parallel_out: 2,
+                fc_simd: 2,
+            })
+            .precision(Precision::Int8)
+            .build()
+            .unwrap();
+        let s_f32 = synthesize_plan(&f32_plan, vu9p());
+        let s_int8 = synthesize_plan(&int8_plan, vu9p());
+        // 5 DSP per f32 MAC vs 1 per int8 MAC pair: an order of
+        // magnitude, modulo the precision-independent softmax/pool DSPs.
+        assert!(
+            s_int8.total.dsp * 5 < s_f32.total.dsp,
+            "int8 {} vs f32 {}",
+            s_int8.total.dsp,
+            s_f32.total.dsp
+        );
+        // LeNet is dominated by ip1's on-chip weight matrix: one byte
+        // per int8 word cuts the BRAM footprint.
+        assert!(
+            s_int8.total.bram_36k < s_f32.total.bram_36k,
+            "int8 {} vs f32 {}",
+            s_int8.total.bram_36k,
+            s_f32.total.bram_36k
+        );
+        assert!(s_int8.total.lut < s_f32.total.lut);
+    }
+
+    #[test]
+    fn mixed_precision_edges_get_converters() {
+        let net = zoo::lenet();
+        // conv2's PE runs int8 inside an otherwise-f32 pipeline: its
+        // input edge (pool1 → conv2) and output edge (conv2 → pool2)
+        // both cross precisions.
+        let plan = PlanBuilder::new(&net)
+            .layer_precision("conv2", Precision::Int8)
+            .build()
+            .unwrap();
+        let synth = synthesize_plan(&plan, vu9p());
+        let cvts: Vec<&str> = synth
+            .modules
+            .iter()
+            .filter(|m| m.kind == ModuleKind::Converter)
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(cvts, ["pe1_to_pe2_cvt", "pe2_to_pe3_cvt"]);
+        // Uniform plans — either precision — need no converters.
+        for plan in [
+            PlanBuilder::new(&net).build().unwrap(),
+            PlanBuilder::new(&net)
+                .precision(Precision::Int8)
+                .build()
+                .unwrap(),
+        ] {
+            let synth = synthesize_plan(&plan, vu9p());
+            assert!(synth
+                .modules
+                .iter()
+                .all(|m| m.kind != ModuleKind::Converter));
+        }
     }
 
     #[test]

@@ -23,13 +23,43 @@
 //! across thread counts and blocking parameters. `condor-nn`'s
 //! `FastEngine` drives these kernels for whole networks and
 //! property-tests them against the golden oracle.
+//!
+//! The INT8 quantized path mirrors the f32 one a precision tier down,
+//! following the ACCEL-v1-style narrow-precision dataflow:
+//!
+//! * [`quant`] — symmetric per-channel weight quantization, per-tensor
+//!   activation scales and the min/max + moving-average calibration
+//!   observers;
+//! * [`qgemm`] — packed GEMM over `i8` operands (4× denser than f32) in
+//!   the patch-major layout the int8 im2col emits directly, widened once
+//!   into `i16` staging planes so the reduction runs as
+//!   `pmaddwd`-shaped widening dot products into exact `i32`
+//!   accumulators (the workspace pins `x86-64-v3` codegen in
+//!   `.cargo/config.toml` so that combine fires), with fused
+//!   requantize/clamp/ReLU epilogues ([`requantize_into`]);
+//! * [`qops`] — quantized convolution ([`qconv2d`], patch-major int8
+//!   im2col into the reusable [`QWorkspace`]) and pooling ([`qpool2d`]).
+//!
+//! Integer accumulation is exact, so the quantized kernels are
+//! bit-identical across blocking and threading by construction;
+//! `condor-nn`'s `QuantizedEngine` drives them end to end under
+//! per-layer error budgets.
 
 #![forbid(unsafe_code)]
 
 pub mod gemm;
 pub mod im2col;
 pub mod ops;
+pub mod qgemm;
+pub mod qops;
+pub mod quant;
 
 pub use gemm::{dot, gemm as gemm_f32, gemv, Epilogue, GemmBlocking};
-pub use im2col::{im2col, ConvGeometry};
+pub use im2col::{im2col, im2col_i8, im2col_i8_patches, ConvGeometry};
 pub use ops::{activate, conv2d, pool2d, softmax, Activation, PoolMethod, Workspace};
+pub use qgemm::{gemm_i8, gemm_i8_requant, qgemv_i8, requantize_into, QWorkspace};
+pub use qops::{qconv2d, qpool2d};
+pub use quant::{
+    dequantize_into, quantize_into, quantize_weights_per_channel, MinMaxObserver,
+    MovingAvgObserver, QuantParams, QMAX,
+};

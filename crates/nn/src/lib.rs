@@ -21,6 +21,11 @@
 //! * [`fast`] — the production CPU engine: im2col + blocked-GEMM kernels
 //!   from `condor-kernels`, ReLU fusion and a per-engine scratch arena,
 //!   property-tested against the golden oracle;
+//! * [`quantized`] — the INT8 engine: calibrates activation scales from a
+//!   sample batch, compiles per-layer quantized plans (per-channel
+//!   weights, fused requantize epilogues, LUT-compiled activations) over
+//!   the same ping-pong arena, and reports golden-vs-quantized accuracy
+//!   against explicit per-layer error budgets;
 //! * [`zoo`] — the three networks the evaluation uses: TC1 (the USPS CNN
 //!   of the authors' earlier work), LeNet (the Caffe MNIST reference
 //!   model) and VGG-16;
@@ -38,6 +43,7 @@ pub mod golden;
 pub mod graph;
 pub mod layer;
 pub mod network;
+pub mod quantized;
 pub mod zoo;
 
 pub use fast::FastEngine;
@@ -45,3 +51,4 @@ pub use golden::GoldenEngine;
 pub use graph::{NetworkBuilder, NodeId};
 pub use layer::{EltwiseOp, Layer, LayerKind, PoolKind, ShapeError, ShapeErrorKind, Stage};
 pub use network::{LayerCost, Network, NnError, NnErrorKind};
+pub use quantized::{Calibration, LayerAccuracy, QuantAccuracyReport, QuantizedEngine};

@@ -1,0 +1,1095 @@
+//! INT8 quantized inference engine with calibration and error budgets.
+//!
+//! [`QuantizedEngine`] runs whole networks through the packed INT8
+//! kernels of `condor-kernels`: symmetric per-channel weight
+//! quantization, per-tensor activation scales chosen by calibration
+//! observers, and the patch-major `i8` GEMM with fused
+//! requantize/clamp/ReLU epilogues. It is the software model of the
+//! paper's narrow-precision hardware path — the same network that runs
+//! on f32 PEs can run on int8 PEs at half the DSP cost (see
+//! `condor-hls`), and this engine answers the accuracy side of that
+//! trade.
+//!
+//! ## Calibration
+//!
+//! [`QuantizedEngine::calibrate`] drives the golden engine over a sample
+//! batch, observes every node's activation range
+//! ([`MinMaxObserver`](condor_kernels::MinMaxObserver) by default,
+//! [`MovingAvgObserver`](condor_kernels::MovingAvgObserver) via
+//! [`Calibration::MovingAvg`]) and freezes one [`QuantParams`] per node
+//! value. Weights are quantized **per output channel**.
+//!
+//! ## Compilation
+//!
+//! The compile pass mirrors `FastEngine`'s plan: the same topological
+//! step list, the same sole-consumer ReLU fusion (restricted to
+//! `negative_slope == 0`, the form the integer epilogue clamp realises
+//! exactly), and the same refcounting linear-scan slot assignment — a
+//! linear chain ping-pongs between two `i8` arena slots. Each step
+//! carries its quantized payload: conv/FC steps own their `i8` weight
+//! blobs, accumulator-unit biases and per-channel requantize
+//! multipliers; pointwise activations (standalone ReLU, Sigmoid, TanH)
+//! compile to 256-entry `i8 → i8` lookup tables (the dequantize → f(x)
+//! → requantize map is a pure function of one quantized input); merges
+//! requantize every input onto the node's common output scale, so
+//! Concat/Eltwise joins of differently-scaled branches stay well
+//! defined.
+//!
+//! ## Error budgets
+//!
+//! Compilation also derives an explicit per-layer error budget: an
+//! analytic bound on `|dequantized − golden|` accumulated from input
+//! quantization, weight quantization and every requantize rounding along
+//! the way (conv/FC amplify upstream error by at most the ℓ₁ norm of
+//! their filter rows; pooling, ReLU and merges are 1-Lipschitz). The
+//! [`QuantizedEngine::accuracy_report`] harness replays inputs through
+//! both engines and checks every layer against its declared budget —
+//! the bounds hold for inputs within the calibrated ranges (saturating
+//! requantization projects onto the observed interval, which can only
+//! shrink the error), so min/max-calibrated engines satisfy them on
+//! their calibration batch by construction.
+
+use crate::graph::NodeId;
+use crate::layer::{EltwiseOp, LayerKind, PoolKind};
+use crate::network::{Network, NnError, NnErrorKind};
+use crate::GoldenEngine;
+use condor_kernels::{
+    dequantize_into, qconv2d, qgemv_i8, qpool2d, quantize_into, quantize_weights_per_channel,
+    softmax, ConvGeometry, MinMaxObserver, MovingAvgObserver, PoolMethod, QWorkspace, QuantParams,
+    QMAX,
+};
+use condor_tensor::{Shape, Tensor};
+use std::sync::Arc;
+
+/// Activation-range calibration strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Calibration {
+    /// Exact extrema of everything the calibration batch produced — the
+    /// default; budgets are then guaranteed on the calibration inputs.
+    MinMax,
+    /// Exponential moving average of per-image absolute maxima — the
+    /// streaming calibration that damps single-image outliers (ranges
+    /// may then clip outlier activations, trading budget guarantees for
+    /// robustness to calibration noise).
+    MovingAvg {
+        /// EMA momentum in `[0, 1)`; 0.9 is conventional.
+        momentum: f32,
+    },
+}
+
+enum Obs {
+    MinMax(MinMaxObserver),
+    Avg(MovingAvgObserver),
+}
+
+impl Obs {
+    fn new(method: Calibration) -> Self {
+        match method {
+            Calibration::MinMax => Obs::MinMax(MinMaxObserver::new()),
+            Calibration::MovingAvg { momentum } => Obs::Avg(MovingAvgObserver::new(momentum)),
+        }
+    }
+
+    fn observe(&mut self, values: &[f32]) {
+        match self {
+            Obs::MinMax(o) => o.observe(values),
+            Obs::Avg(o) => o.observe(values),
+        }
+    }
+
+    fn params(&self) -> QuantParams {
+        match self {
+            Obs::MinMax(o) => o.params(),
+            Obs::Avg(o) => o.params(),
+        }
+    }
+}
+
+/// Per-kind quantized execution payload of one step.
+#[derive(Debug)]
+enum QPayload {
+    /// Input staging and single-input merges: a quantized copy.
+    Copy,
+    /// Convolution through the patch-major int8 GEMM.
+    Conv {
+        weights: Vec<i8>,
+        bias: Option<Vec<i32>>,
+        multipliers: Vec<f32>,
+        num_output: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    /// Fully-connected layer through the quantized GEMV.
+    Fc {
+        weights: Vec<i8>,
+        bias: Option<Vec<i32>>,
+        multipliers: Vec<f32>,
+    },
+    /// Quantized pooling (max is exact, average rounds once).
+    Pool {
+        method: PoolMethod,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    /// Pointwise unary op compiled to a 256-entry `i8 → i8` table
+    /// (standalone ReLU, Sigmoid, TanH).
+    Lut(Vec<i8>),
+    /// (Log)SoftMax through the f32 scratch pair.
+    Softmax { log: bool },
+    /// Channel concatenation, each part requantized to the output scale.
+    Concat,
+    /// Element-wise merge on dequantized values, requantized once.
+    Eltwise { op: EltwiseOp },
+}
+
+/// One compiled quantized step (or fused step pair).
+#[derive(Debug)]
+struct QStep {
+    name: String,
+    /// Network node whose golden output this step's output represents
+    /// (the folded ReLU node for fused steps) — the accuracy harness
+    /// compares against `infer_all_layers()[golden_index]`.
+    golden_index: usize,
+    /// Slot, single-item shape and scale of each input, in fan-in order.
+    inputs: Vec<(usize, Shape, QuantParams)>,
+    output: Shape,
+    out_params: QuantParams,
+    out_slot: usize,
+    /// Whether a slope-0 ReLU is folded into this step's epilogue.
+    fused_relu: bool,
+    payload: QPayload,
+    /// Declared bound on `|dequantized − golden|` for this step's output
+    /// on inputs within the calibrated ranges.
+    budget: f32,
+}
+
+/// The immutable, shareable part of a calibrated engine.
+#[derive(Debug)]
+struct QPlan {
+    net: Arc<Network>,
+    steps: Vec<QStep>,
+    slot_count: usize,
+    input_slot: usize,
+    output_slot: usize,
+    input_params: QuantParams,
+    output_params: QuantParams,
+    max_elems: usize,
+    max_cols: usize,
+    max_acc: usize,
+    input_shape: Shape,
+    output_shape: Shape,
+}
+
+/// Lowering geometry of a convolution step (mirrors `fast.rs`).
+fn conv_geometry(
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    input: Shape,
+    output: Shape,
+) -> ConvGeometry {
+    ConvGeometry {
+        in_c: input.c,
+        in_h: input.h,
+        in_w: input.w,
+        kernel,
+        stride,
+        pad,
+        out_h: output.h,
+        out_w: output.w,
+    }
+}
+
+fn alloc_slot(free: &mut Vec<usize>, slot_count: &mut usize) -> usize {
+    free.pop().unwrap_or_else(|| {
+        *slot_count += 1;
+        *slot_count - 1
+    })
+}
+
+/// Multiplies the analytic bound by a hair and adds an absolute epsilon,
+/// covering f32 multiplier storage and non-associative float folds that
+/// the integer analysis does not model.
+fn slacked(bound: f32) -> f32 {
+    bound * 1.001 + 1e-5
+}
+
+impl QPlan {
+    fn compile(net: Arc<Network>, calib: &[Tensor], method: Calibration) -> Result<Self, NnError> {
+        if calib.is_empty() {
+            return Err(
+                NnError::net("quantized calibration needs at least one sample input")
+                    .with_kind(NnErrorKind::InputMismatch),
+            );
+        }
+        let golden = GoldenEngine::new(&net)?;
+        let n = net.layers.len();
+
+        // Observe every node's activation range (and the input's) over
+        // the calibration batch.
+        let mut node_obs: Vec<Obs> = (0..n).map(|_| Obs::new(method)).collect();
+        let mut input_obs = Obs::new(method);
+        for img in calib {
+            input_obs.observe(img.as_slice());
+            let all = golden.infer_all_layers(img)?;
+            for (obs, out) in node_obs.iter_mut().zip(&all) {
+                obs.observe(out.as_slice());
+            }
+        }
+        let node_params: Vec<QuantParams> = node_obs.iter().map(Obs::params).collect();
+        let input_params = input_obs.params();
+
+        let ins_multi = net.input_shapes_multi()?;
+        let outs = net.output_shapes()?;
+        let output_shape = outs.last().copied().ok_or_else(|| {
+            NnError::net("network has no layers").with_kind(NnErrorKind::NoComputeLayers)
+        })?;
+
+        // Sole-consumer ReLU fusion, restricted to slope 0 — the only
+        // form the integer epilogue's clamp-at-zero realises exactly.
+        let mut fused_into: Vec<Option<usize>> = vec![None; n];
+        let mut fused_relu_node: Vec<Option<usize>> = vec![None; n];
+        for (i, layer) in net.layers.iter().enumerate() {
+            if !matches!(
+                layer.kind,
+                LayerKind::Convolution { .. } | LayerKind::InnerProduct { .. }
+            ) {
+                continue;
+            }
+            if let [j] = net.consumers_of(NodeId::from_index(i)).as_slice() {
+                let j = j.index();
+                if let LayerKind::ReLU { negative_slope } = net.layers[j].kind {
+                    if negative_slope == 0.0 && net.inputs_of(NodeId::from_index(j)).len() == 1 {
+                        fused_into[j] = Some(i);
+                        fused_relu_node[i] = Some(j);
+                    }
+                }
+            }
+        }
+        let value_src: Vec<usize> = (0..n).map(|k| fused_into[k].unwrap_or(k)).collect();
+
+        // Refcounts, as in the f32 plan.
+        let mut refs = vec![0usize; n];
+        let mut input_refs = 0usize;
+        for (j, fused) in fused_into.iter().enumerate() {
+            if fused.is_some() {
+                continue;
+            }
+            let preds = net.inputs_of(NodeId::from_index(j));
+            if preds.is_empty() {
+                input_refs += 1;
+            }
+            for p in &preds {
+                refs[value_src[p.index()]] += 1;
+            }
+        }
+        refs[value_src[n - 1]] += 1;
+
+        let input_err = slacked(input_params.scale / 2.0);
+        let input_abs = input_params.scale * QMAX as f32;
+
+        let mut slot_count = 0usize;
+        let mut free: Vec<usize> = Vec::new();
+        let input_slot = alloc_slot(&mut free, &mut slot_count);
+        let mut input_live = input_refs;
+        let mut slot_of = vec![usize::MAX; n];
+        // Scale / error bound / abs-max of the *value* each node
+        // produces (a fused producer's value is the ReLU node's).
+        let mut vparams = vec![QuantParams::from_abs_max(1.0); n];
+        let mut verr = vec![0.0f32; n];
+        let mut vabs = vec![0.0f32; n];
+        let mut steps = Vec::with_capacity(n);
+        let mut max_elems = net.input_shape.len();
+        let mut max_cols = 0usize;
+        let mut max_acc = 0usize;
+
+        for j in 0..n {
+            if fused_into[j].is_some() {
+                continue;
+            }
+            let layer = &net.layers[j];
+            let preds = net.inputs_of(NodeId::from_index(j));
+            let inputs: Vec<(usize, Shape, QuantParams)> = if preds.is_empty() {
+                vec![(input_slot, net.input_shape, input_params)]
+            } else {
+                preds
+                    .iter()
+                    .zip(&ins_multi[j])
+                    .map(|(p, &shape)| {
+                        let src = value_src[p.index()];
+                        (slot_of[src], shape, vparams[src])
+                    })
+                    .collect()
+            };
+            let in_errs: Vec<f32> = if preds.is_empty() {
+                vec![input_err]
+            } else {
+                preds.iter().map(|p| verr[value_src[p.index()]]).collect()
+            };
+            let in_abs: Vec<f32> = if preds.is_empty() {
+                vec![input_abs]
+            } else {
+                preds.iter().map(|p| vabs[value_src[p.index()]]).collect()
+            };
+            let golden_index = fused_relu_node[j].unwrap_or(j);
+            let in_params = inputs[0].2;
+            let s_in = in_params.scale;
+
+            // Per-kind payload, output scale and error budget.
+            let (payload, out_params, budget) = match layer.kind {
+                LayerKind::Input => (QPayload::Copy, in_params, in_errs[0]),
+                LayerKind::Convolution {
+                    num_output,
+                    kernel,
+                    stride,
+                    pad,
+                    ..
+                } => {
+                    let lw = weights_or_err(&net, &layer.name)?;
+                    let p_out = node_params[golden_index];
+                    let (qw, bias, mult, bound) = quantize_linear_layer(
+                        lw.weights.as_slice(),
+                        lw.bias.as_ref().map(|b| b.as_slice()),
+                        num_output,
+                        in_params,
+                        p_out,
+                        in_errs[0],
+                        in_abs[0],
+                    );
+                    (
+                        QPayload::Conv {
+                            weights: qw,
+                            bias,
+                            multipliers: mult,
+                            num_output,
+                            kernel,
+                            stride,
+                            pad,
+                        },
+                        p_out,
+                        bound,
+                    )
+                }
+                LayerKind::InnerProduct { num_output, .. } => {
+                    let lw = weights_or_err(&net, &layer.name)?;
+                    let k = inputs[0].1.item_len();
+                    if lw.weights.shape().c != k {
+                        return Err(NnError::at(
+                            &layer.name,
+                            format!(
+                                "weight fan-in {} does not match flattened input {k}",
+                                lw.weights.shape().c
+                            ),
+                        )
+                        .with_kind(NnErrorKind::WeightShape));
+                    }
+                    let p_out = node_params[golden_index];
+                    let (qw, bias, mult, bound) = quantize_linear_layer(
+                        lw.weights.as_slice(),
+                        lw.bias.as_ref().map(|b| b.as_slice()),
+                        num_output,
+                        in_params,
+                        p_out,
+                        in_errs[0],
+                        in_abs[0],
+                    );
+                    (
+                        QPayload::Fc {
+                            weights: qw,
+                            bias,
+                            multipliers: mult,
+                        },
+                        p_out,
+                        bound,
+                    )
+                }
+                LayerKind::Pooling {
+                    method,
+                    kernel,
+                    stride,
+                    pad,
+                } => {
+                    let (pm, extra) = match method {
+                        // Max commutes with monotone dequantization:
+                        // exact on the input's scale.
+                        PoolKind::Max => (PoolMethod::Max, 0.0),
+                        // Average rounds its quotient once.
+                        PoolKind::Average => (PoolMethod::Average, s_in / 2.0),
+                    };
+                    (
+                        QPayload::Pool {
+                            method: pm,
+                            kernel,
+                            stride,
+                            pad,
+                        },
+                        in_params,
+                        slacked(in_errs[0] + extra),
+                    )
+                }
+                LayerKind::ReLU { negative_slope } => {
+                    // Scale-preserving: plain ReLU is exact in the
+                    // quantized domain; the leaky variant rounds once.
+                    let lut = build_lut(
+                        |x| {
+                            if x >= 0.0 {
+                                x
+                            } else {
+                                x * negative_slope
+                            }
+                        },
+                        in_params,
+                        in_params,
+                    );
+                    let extra = if negative_slope == 0.0 {
+                        0.0
+                    } else {
+                        s_in / 2.0
+                    };
+                    let amp = negative_slope.abs().max(1.0);
+                    (
+                        QPayload::Lut(lut),
+                        in_params,
+                        slacked(in_errs[0] * amp + extra),
+                    )
+                }
+                LayerKind::Sigmoid => {
+                    let p_out = node_params[j];
+                    let lut = build_lut(|x| 1.0 / (1.0 + (-x).exp()), in_params, p_out);
+                    // Sigmoid is 1/4-Lipschitz.
+                    (
+                        QPayload::Lut(lut),
+                        p_out,
+                        slacked(in_errs[0] / 4.0 + p_out.scale / 2.0),
+                    )
+                }
+                LayerKind::TanH => {
+                    let p_out = node_params[j];
+                    let lut = build_lut(f32::tanh, in_params, p_out);
+                    (
+                        QPayload::Lut(lut),
+                        p_out,
+                        slacked(in_errs[0] + p_out.scale / 2.0),
+                    )
+                }
+                LayerKind::Softmax { log } => {
+                    let p_out = node_params[j];
+                    // (Log)SoftMax is 2-Lipschitz in the ∞-norm.
+                    (
+                        QPayload::Softmax { log },
+                        p_out,
+                        slacked(2.0 * in_errs[0] + p_out.scale / 2.0),
+                    )
+                }
+                LayerKind::Concat => {
+                    if inputs.len() > 1 {
+                        let p_out = node_params[j];
+                        let worst = in_errs.iter().fold(0.0f32, |m, &e| m.max(e));
+                        (QPayload::Concat, p_out, slacked(worst + p_out.scale / 2.0))
+                    } else {
+                        (QPayload::Copy, in_params, in_errs[0])
+                    }
+                }
+                LayerKind::Eltwise { op } => {
+                    if inputs.len() > 1 {
+                        let p_out = node_params[j];
+                        let bound = match op {
+                            EltwiseOp::Sum => in_errs.iter().sum::<f32>(),
+                            EltwiseOp::Max => in_errs.iter().fold(0.0f32, |m, &e| m.max(e)),
+                            EltwiseOp::Prod => {
+                                // Fold |ab − a′b′| ≤ |a|·err_b + (|b| + err_b)·err_a.
+                                let mut err = in_errs[0];
+                                let mut abs = in_abs[0];
+                                for (&e, &a) in in_errs[1..].iter().zip(&in_abs[1..]) {
+                                    err = abs * e + (a + e) * err;
+                                    abs *= a;
+                                }
+                                err
+                            }
+                        };
+                        (
+                            QPayload::Eltwise { op },
+                            p_out,
+                            slacked(bound + p_out.scale / 2.0),
+                        )
+                    } else {
+                        (QPayload::Copy, in_params, in_errs[0])
+                    }
+                }
+            };
+
+            vparams[j] = out_params;
+            verr[j] = budget;
+            vabs[j] = out_params.scale * QMAX as f32;
+
+            if let LayerKind::Convolution {
+                kernel,
+                stride,
+                pad,
+                ..
+            } = layer.kind
+            {
+                let geo = conv_geometry(kernel, stride, pad, inputs[0].1, outs[j]);
+                max_cols = max_cols.max(geo.lowered_len());
+                max_acc = max_acc.max(outs[j].len());
+            }
+            for &(_, shape, _) in &inputs {
+                max_elems = max_elems.max(shape.len());
+            }
+            max_elems = max_elems.max(outs[j].len());
+            let out_slot = alloc_slot(&mut free, &mut slot_count);
+            slot_of[j] = out_slot;
+            steps.push(QStep {
+                name: layer.name.clone(),
+                golden_index,
+                inputs,
+                output: outs[j],
+                out_params,
+                out_slot,
+                fused_relu: fused_relu_node[j].is_some(),
+                payload,
+                budget,
+            });
+            if preds.is_empty() {
+                input_live -= 1;
+                if input_live == 0 {
+                    free.push(input_slot);
+                }
+            }
+            for p in &preds {
+                let src = value_src[p.index()];
+                refs[src] -= 1;
+                if refs[src] == 0 {
+                    free.push(slot_of[src]);
+                }
+            }
+            if refs[j] == 0 {
+                free.push(out_slot);
+            }
+        }
+        let output_slot = slot_of[value_src[n - 1]];
+        let output_params = vparams[value_src[n - 1]];
+        Ok(QPlan {
+            input_shape: net.input_shape,
+            output_shape,
+            net,
+            steps,
+            slot_count,
+            input_slot,
+            output_slot,
+            input_params,
+            output_params,
+            max_elems,
+            max_cols,
+            max_acc,
+        })
+    }
+}
+
+/// Quantizes one linear layer (conv filter bank or FC weight matrix, both
+/// `F × k` row-major): per-channel `i8` weights, accumulator-unit bias,
+/// per-channel requantize multipliers, and the analytic error bound.
+fn quantize_linear_layer(
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    num_output: usize,
+    p_in: QuantParams,
+    p_out: QuantParams,
+    err_in: f32,
+    abs_in: f32,
+) -> (Vec<i8>, Option<Vec<i32>>, Vec<f32>, f32) {
+    let mut qw = vec![0i8; weights.len()];
+    let wparams = quantize_weights_per_channel(weights, num_output, &mut qw);
+    let s_in = p_in.scale as f64;
+    let multipliers: Vec<f32> = wparams
+        .iter()
+        .map(|pw| (s_in * pw.scale as f64 / p_out.scale as f64) as f32)
+        .collect();
+    let qbias = bias.map(|b| {
+        b.iter()
+            .zip(&wparams)
+            .map(|(&bv, pw)| (bv as f64 / (s_in * pw.scale as f64)).round() as i32)
+            .collect()
+    });
+
+    // Per-channel bound: requantize rounding + upstream error amplified
+    // by the filter row's ℓ₁ norm + weight-quantization error across the
+    // fan-in + bias rounding; worst channel declares the budget.
+    let k = weights.len() / num_output.max(1);
+    let mut worst = 0.0f32;
+    for (f, pw) in wparams.iter().enumerate() {
+        let l1: f32 = weights[f * k..(f + 1) * k].iter().map(|v| v.abs()).sum();
+        let e = l1 * err_in
+            + (pw.scale / 2.0) * k as f32 * (abs_in + err_in)
+            + p_in.scale * pw.scale / 2.0;
+        worst = worst.max(e);
+    }
+    let bound = slacked(p_out.scale / 2.0 + worst);
+    (qw, qbias, multipliers, bound)
+}
+
+/// Compiles a pointwise unary op into a 256-entry `i8 → i8` table:
+/// `lut[q + 128] = requantize(f(dequantize(q)))`. Entry 0 (`q = -128`,
+/// unreachable for symmetric quantization) mirrors `q = -127`.
+fn build_lut(f: impl Fn(f32) -> f32, p_in: QuantParams, p_out: QuantParams) -> Vec<i8> {
+    (-128i32..=127)
+        .map(|q| {
+            let x = q.max(-QMAX) as f32 * p_in.scale;
+            p_out.quantize(f(x))
+        })
+        .collect()
+}
+
+fn weights_or_err<'a>(
+    net: &'a Network,
+    name: &str,
+) -> Result<&'a crate::network::LayerWeights, NnError> {
+    net.weights_of(name).ok_or_else(|| {
+        NnError::at(name, "no weights installed").with_kind(NnErrorKind::MissingWeights)
+    })
+}
+
+/// Per-layer outcome of a golden-vs-quantized accuracy run.
+#[derive(Clone, Debug)]
+pub struct LayerAccuracy {
+    /// Layer name (of the step's producer).
+    pub name: String,
+    /// Declared error budget from compilation.
+    pub budget: f32,
+    /// Largest `|dequantized − golden|` observed over the batch.
+    pub max_abs_err: f32,
+}
+
+impl LayerAccuracy {
+    /// Whether the observed error stayed within the declared budget.
+    pub fn within_budget(&self) -> bool {
+        self.max_abs_err <= self.budget
+    }
+}
+
+/// Golden-vs-quantized accuracy report over a batch of inputs.
+#[derive(Clone, Debug, Default)]
+pub struct QuantAccuracyReport {
+    /// One row per compiled step, in execution order.
+    pub layers: Vec<LayerAccuracy>,
+}
+
+impl QuantAccuracyReport {
+    /// True when every layer stayed within its declared budget.
+    pub fn within_budget(&self) -> bool {
+        self.layers.iter().all(LayerAccuracy::within_budget)
+    }
+
+    /// The layer with the largest budget overshoot (or closest call).
+    pub fn worst(&self) -> Option<&LayerAccuracy> {
+        self.layers.iter().max_by(|a, b| {
+            (a.max_abs_err / a.budget.max(f32::MIN_POSITIVE))
+                .total_cmp(&(b.max_abs_err / b.budget.max(f32::MIN_POSITIVE)))
+        })
+    }
+}
+
+/// INT8 quantized inference engine: calibrated scales, packed int8
+/// kernels, and per-layer accuracy budgets.
+///
+/// ```
+/// use condor_nn::{zoo, QuantizedEngine};
+/// use condor_tensor::{Shape, Tensor, TensorRng};
+///
+/// let net = zoo::lenet_weighted(7);
+/// let calib: Vec<Tensor> = (0..2)
+///     .map(|i| TensorRng::seeded(i).uniform(net.input_shape, -1.0, 1.0))
+///     .collect();
+/// let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+/// let report = q.accuracy_report(&calib).unwrap();
+/// assert!(report.within_budget());
+/// ```
+#[derive(Debug)]
+pub struct QuantizedEngine {
+    plan: Arc<QPlan>,
+    slots: Vec<Vec<i8>>,
+    fbuf_a: Vec<f32>,
+    fbuf_b: Vec<f32>,
+    ws: QWorkspace,
+}
+
+impl Clone for QuantizedEngine {
+    /// Clones share the calibrated plan (weights, scales, budgets) but
+    /// get a fresh arena.
+    fn clone(&self) -> Self {
+        QuantizedEngine::from_plan(Arc::clone(&self.plan))
+    }
+}
+
+impl QuantizedEngine {
+    /// Calibrates with exact min/max observers over the sample batch and
+    /// compiles the quantized plan.
+    pub fn calibrate(net: &Network, calib: &[Tensor]) -> Result<Self, NnError> {
+        QuantizedEngine::calibrate_with(net, calib, Calibration::MinMax)
+    }
+
+    /// Calibrates with an explicit strategy.
+    pub fn calibrate_with(
+        net: &Network,
+        calib: &[Tensor],
+        method: Calibration,
+    ) -> Result<Self, NnError> {
+        let plan = QPlan::compile(Arc::new(net.clone()), calib, method)?;
+        Ok(QuantizedEngine::from_plan(Arc::new(plan)))
+    }
+
+    fn from_plan(plan: Arc<QPlan>) -> Self {
+        let max_elems = plan.max_elems;
+        QuantizedEngine {
+            slots: (0..plan.slot_count).map(|_| vec![0i8; max_elems]).collect(),
+            fbuf_a: vec![0.0; max_elems],
+            fbuf_b: vec![0.0; max_elems],
+            ws: QWorkspace::with_capacity(plan.max_cols, plan.max_acc),
+            plan,
+        }
+    }
+
+    /// The network this engine executes.
+    pub fn network(&self) -> &Network {
+        &self.plan.net
+    }
+
+    /// Number of compiled steps (< layer count when ReLUs were fused).
+    pub fn step_count(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    /// Number of `i8` activation slots the arena holds (2 for chains —
+    /// the same ping-pong pair as the f32 engine).
+    pub fn arena_slot_count(&self) -> usize {
+        self.plan.slot_count
+    }
+
+    /// Declared per-layer error budgets, in execution order.
+    pub fn layer_budgets(&self) -> Vec<(String, f32)> {
+        self.plan
+            .steps
+            .iter()
+            .map(|s| (s.name.clone(), s.budget))
+            .collect()
+    }
+
+    /// Runs one image through the quantized network, returning the
+    /// dequantized f32 output.
+    pub fn infer(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.run(input, |_, _| {})?;
+        let plan = Arc::clone(&self.plan);
+        let out_len = plan.output_shape.len();
+        let mut out = vec![0.0f32; out_len];
+        dequantize_into(
+            &self.slots[plan.output_slot][..out_len],
+            plan.output_params,
+            &mut out,
+        );
+        Ok(Tensor::from_vec(plan.output_shape, out))
+    }
+
+    /// Replays a batch through both engines and reports every layer's
+    /// worst absolute error against its declared budget.
+    pub fn accuracy_report(&mut self, inputs: &[Tensor]) -> Result<QuantAccuracyReport, NnError> {
+        let plan = Arc::clone(&self.plan);
+        let golden = GoldenEngine::new(&plan.net)?;
+        let mut max_err = vec![0.0f32; plan.steps.len()];
+        for img in inputs {
+            let all = golden.infer_all_layers(img)?;
+            self.run(img, |si, out_q| {
+                let step = &plan.steps[si];
+                let g = all[step.golden_index].as_slice();
+                let s = step.out_params.scale;
+                for (&q, &gv) in out_q.iter().zip(g) {
+                    let e = (q as f32 * s - gv).abs();
+                    if e > max_err[si] {
+                        max_err[si] = e;
+                    }
+                }
+            })?;
+        }
+        Ok(QuantAccuracyReport {
+            layers: plan
+                .steps
+                .iter()
+                .zip(&max_err)
+                .map(|(s, &e)| LayerAccuracy {
+                    name: s.name.clone(),
+                    budget: s.budget,
+                    max_abs_err: e,
+                })
+                .collect(),
+        })
+    }
+
+    /// Quantizes the input, executes every step, and hands each step's
+    /// quantized output to `hook`.
+    fn run(&mut self, input: &Tensor, mut hook: impl FnMut(usize, &[i8])) -> Result<(), NnError> {
+        let plan = Arc::clone(&self.plan);
+        if input.shape() != plan.input_shape {
+            return Err(NnError::net(format!(
+                "input shape {} does not match network input {}",
+                input.shape(),
+                plan.input_shape
+            ))
+            .with_kind(NnErrorKind::InputMismatch));
+        }
+        quantize_into(
+            input.as_slice(),
+            plan.input_params,
+            &mut self.slots[plan.input_slot][..input.len()],
+        );
+        for (si, step) in plan.steps.iter().enumerate() {
+            let mut out_buf = std::mem::take(&mut self.slots[step.out_slot]);
+            let out_len = step.output.len();
+            let out = &mut out_buf[..out_len];
+            self.execute(step, out);
+            hook(si, out);
+            self.slots[step.out_slot] = out_buf;
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, step: &QStep, out: &mut [i8]) {
+        let (in_slot, in_shape, in_params) = (step.inputs[0].0, step.inputs[0].1, step.inputs[0].2);
+        let input = &self.slots[in_slot][..in_shape.len()];
+        match &step.payload {
+            QPayload::Copy => out.copy_from_slice(input),
+            QPayload::Conv {
+                weights,
+                bias,
+                multipliers,
+                num_output,
+                kernel,
+                stride,
+                pad,
+            } => {
+                let geo = conv_geometry(*kernel, *stride, *pad, in_shape, step.output);
+                qconv2d(
+                    input,
+                    weights,
+                    bias.as_deref(),
+                    *num_output,
+                    &geo,
+                    multipliers,
+                    step.fused_relu,
+                    out,
+                    &mut self.ws,
+                );
+            }
+            QPayload::Fc {
+                weights,
+                bias,
+                multipliers,
+            } => {
+                let (m, k) = (step.output.item_len(), in_shape.item_len());
+                qgemv_i8(
+                    m,
+                    k,
+                    weights,
+                    input,
+                    bias.as_deref(),
+                    multipliers,
+                    step.fused_relu,
+                    out,
+                    &mut self.ws,
+                );
+            }
+            QPayload::Pool {
+                method,
+                kernel,
+                stride,
+                pad,
+            } => qpool2d(
+                input,
+                in_shape.c,
+                in_shape.h,
+                in_shape.w,
+                *method,
+                *kernel,
+                *stride,
+                *pad,
+                step.output.h,
+                step.output.w,
+                out,
+            ),
+            QPayload::Lut(table) => {
+                for (o, &q) in out.iter_mut().zip(input) {
+                    *o = table[(q as i16 + 128) as usize];
+                }
+            }
+            QPayload::Softmax { log } => {
+                let n = in_shape.len();
+                dequantize_into(input, in_params, &mut self.fbuf_a[..n]);
+                softmax(&self.fbuf_a[..n], *log, &mut self.fbuf_b[..n]);
+                quantize_into(&self.fbuf_b[..n], step.out_params, out);
+            }
+            QPayload::Concat => {
+                let mut off = 0;
+                let s_out = step.out_params.scale as f64;
+                for &(slot, shape, p) in &step.inputs {
+                    let part = &self.slots[slot][..shape.len()];
+                    let ratio = p.scale as f64 / s_out;
+                    for (o, &q) in out[off..off + part.len()].iter_mut().zip(part) {
+                        *o = ((q as f64 * ratio).round()).clamp(-127.0, 127.0) as i8;
+                    }
+                    off += part.len();
+                }
+                assert_eq!(off, out.len(), "concat output length mismatch");
+            }
+            QPayload::Eltwise { op } => {
+                let n = step.output.len();
+                dequantize_into(input, in_params, &mut self.fbuf_a[..n]);
+                for &(slot, shape, p) in &step.inputs[1..] {
+                    let part = &self.slots[slot][..shape.len()];
+                    let acc = &mut self.fbuf_a[..n];
+                    match op {
+                        EltwiseOp::Sum => {
+                            for (a, &q) in acc.iter_mut().zip(part) {
+                                *a += q as f32 * p.scale;
+                            }
+                        }
+                        EltwiseOp::Prod => {
+                            for (a, &q) in acc.iter_mut().zip(part) {
+                                *a *= q as f32 * p.scale;
+                            }
+                        }
+                        EltwiseOp::Max => {
+                            for (a, &q) in acc.iter_mut().zip(part) {
+                                *a = a.max(q as f32 * p.scale);
+                            }
+                        }
+                    }
+                }
+                quantize_into(&self.fbuf_a[..n], step.out_params, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::arbitrary::{random_weighted_chain, random_weighted_dag};
+    use crate::zoo;
+    use condor_tensor::TensorRng;
+
+    fn calib_batch(shape: Shape, count: u64, seed: u64) -> Vec<Tensor> {
+        (0..count)
+            .map(|i| TensorRng::seeded(seed + i).uniform(shape, -1.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn lenet_stays_within_declared_budgets() {
+        let net = zoo::lenet_weighted(5);
+        let calib = calib_batch(net.input_shape, 3, 40);
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let report = q.accuracy_report(&calib).unwrap();
+        assert!(report.within_budget(), "worst layer: {:?}", report.worst());
+        // Budgets are meaningful, not vacuous: every budget is finite
+        // and the final layer's is small relative to the output range.
+        for row in &report.layers {
+            assert!(row.budget.is_finite() && row.budget > 0.0, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn tc1_stays_within_declared_budgets() {
+        let net = zoo::tc1_weighted(9);
+        let calib = calib_batch(net.input_shape, 2, 77);
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let report = q.accuracy_report(&calib).unwrap();
+        assert!(report.within_budget(), "worst: {:?}", report.worst());
+    }
+
+    #[test]
+    fn quantized_fuses_plain_relu_like_the_fast_engine() {
+        let net = zoo::tc1_weighted(1);
+        let calib = calib_batch(net.input_shape, 1, 3);
+        let q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let fast = crate::FastEngine::new(&net).unwrap();
+        // TC1's ReLUs are plain (slope 0), so the quantized plan fuses
+        // exactly the same pairs.
+        assert_eq!(q.step_count(), fast.step_count());
+    }
+
+    #[test]
+    fn chains_keep_the_ping_pong_arena() {
+        for net in [zoo::lenet_weighted(1), zoo::tc1_weighted(1)] {
+            let calib = calib_batch(net.input_shape, 1, 8);
+            let q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+            assert_eq!(q.arena_slot_count(), 2, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn empty_calibration_batch_refused() {
+        let net = zoo::lenet_weighted(1);
+        assert!(QuantizedEngine::calibrate(&net, &[]).is_err());
+    }
+
+    #[test]
+    fn moving_average_calibration_runs_end_to_end() {
+        let net = zoo::lenet_weighted(2);
+        let calib = calib_batch(net.input_shape, 4, 60);
+        let mut q =
+            QuantizedEngine::calibrate_with(&net, &calib, Calibration::MovingAvg { momentum: 0.9 })
+                .unwrap();
+        let out = q.infer(&calib[0]).unwrap();
+        assert_eq!(out.shape(), Shape::vector(10));
+    }
+
+    #[test]
+    fn repeated_inference_reuses_the_arena_without_leaking_state() {
+        let net = zoo::lenet_weighted(3);
+        let calib = calib_batch(net.input_shape, 2, 11);
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let a = q.infer(&calib[0]).unwrap();
+        let b = q.infer(&calib[0]).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn wrong_input_shape_refused() {
+        let net = zoo::lenet_weighted(2);
+        let calib = calib_batch(net.input_shape, 1, 1);
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let err = q.infer(&Tensor::zeros(Shape::chw(3, 28, 28))).unwrap_err();
+        assert_eq!(err.kind, NnErrorKind::InputMismatch);
+    }
+
+    #[test]
+    fn random_chains_stay_within_budget() {
+        for seed in 0..12u64 {
+            let net = random_weighted_chain(seed);
+            let calib = calib_batch(net.input_shape, 2, seed ^ 0x5151);
+            let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+            let report = q.accuracy_report(&calib).unwrap();
+            assert!(
+                report.within_budget(),
+                "seed {seed}, worst: {:?}",
+                report.worst()
+            );
+        }
+    }
+
+    #[test]
+    fn random_dags_requantize_merges_within_budget() {
+        for seed in 0..12u64 {
+            let net = random_weighted_dag(seed);
+            let calib = calib_batch(net.input_shape, 2, seed ^ 0xd06);
+            let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+            let report = q.accuracy_report(&calib).unwrap();
+            assert!(
+                report.within_budget(),
+                "seed {seed}, worst: {:?}",
+                report.worst()
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use condor_nn::arbitrary::{random_chain, random_dag, random_weighted_chain, random_weighted_dag};
 use condor_nn::golden;
-use condor_nn::{FastEngine, GoldenEngine, LayerKind, NodeId, PoolKind, Stage};
+use condor_nn::{FastEngine, GoldenEngine, LayerKind, NodeId, PoolKind, QuantizedEngine, Stage};
 use condor_tensor::{AllClose, Shape, Tensor, TensorRng};
 use proptest::prelude::*;
 
@@ -127,6 +127,41 @@ proptest! {
                 "fast engine diverged from golden on DAG seed {}", seed
             );
         }
+    }
+
+    /// The INT8 quantized engine, calibrated with min/max observers on a
+    /// small batch, stays within its own declared per-layer error budgets
+    /// against the golden oracle on every random weighted chain — the
+    /// budgets are honest, not vacuous.
+    #[test]
+    fn quantized_engine_honors_budgets_on_chains(seed in 0u64..128) {
+        let net = random_weighted_chain(seed);
+        let mut rng = TensorRng::seeded(seed ^ 0x2545_f491);
+        let calib: Vec<Tensor> =
+            (0..2).map(|_| rng.uniform(net.input_shape, -1.0, 1.0)).collect();
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let report = q.accuracy_report(&calib).unwrap();
+        prop_assert!(
+            report.within_budget(),
+            "seed {}: worst layer {:?}", seed, report.worst()
+        );
+    }
+
+    /// Same property over random weighted DAGs: concat/eltwise merges of
+    /// differently-scaled branches requantize onto a common output scale
+    /// and the per-layer budgets still hold.
+    #[test]
+    fn quantized_engine_honors_budgets_on_dags(seed in 0u64..128) {
+        let net = random_weighted_dag(seed);
+        let mut rng = TensorRng::seeded(seed ^ 0x9e37_79b9);
+        let calib: Vec<Tensor> =
+            (0..2).map(|_| rng.uniform(net.input_shape, -1.0, 1.0)).collect();
+        let mut q = QuantizedEngine::calibrate(&net, &calib).unwrap();
+        let report = q.accuracy_report(&calib).unwrap();
+        prop_assert!(
+            report.within_budget(),
+            "DAG seed {}: worst layer {:?}", seed, report.worst()
+        );
     }
 
     /// Convolution distributes over input maps: conv(x, all maps) equals

@@ -40,6 +40,7 @@ pub const TRACKED: &[(&str, &str)] = &[
     ("condor-serve", "crates/serve/src"),
     ("condor-check", "crates/check/src"),
     ("condor-faults", "crates/faults/src"),
+    ("condor-kernels", "crates/kernels/src"),
 ];
 
 /// Repo root, derived from this crate's own manifest location.

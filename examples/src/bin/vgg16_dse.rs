@@ -20,6 +20,7 @@ fn main() {
         parallel_in: vec![1, 2, 4, 8],
         parallel_out: vec![1, 2, 4, 8, 16],
         fc_simd: vec![1, 2, 4],
+        precisions: vec![condor_dataflow::plan::Precision::F32],
         eval_batch: 64,
         prefilter: true,
     };
