@@ -199,6 +199,32 @@ pub const METRICS: &[MetricSpec] = &[
         kind: MetricKind::Histogram,
         help: "end-to-end request latency in microseconds",
     },
+    // Durable admission (condor-queue wired through condor-serve).
+    MetricSpec {
+        name: "requests_redelivered",
+        kind: MetricKind::Counter,
+        help: "unacked durable records replayed after a restart",
+    },
+    MetricSpec {
+        name: "disk_queue_depth",
+        kind: MetricKind::Gauge,
+        help: "records appended but not yet acked in the disk queue",
+    },
+    MetricSpec {
+        name: "ack_latency_us",
+        kind: MetricKind::Histogram,
+        help: "admission-to-ack latency of durable requests",
+    },
+    MetricSpec {
+        name: "concurrency_limit",
+        kind: MetricKind::Gauge,
+        help: "aggregate AIMD concurrency limit across the fleet",
+    },
+    MetricSpec {
+        name: "instance{}_concurrency_limit",
+        kind: MetricKind::Gauge,
+        help: "AIMD concurrency limit of one fleet instance",
+    },
 ];
 
 #[derive(Debug, Default)]

@@ -22,9 +22,21 @@ pub trait Retryable {
 }
 
 /// The time source retries sleep on; mockable for tests.
+///
+/// Beyond sleeping, consumers that make *rate* decisions (the AIMD
+/// admission controller in `condor-queue`) also need to read elapsed
+/// time, so the trait carries a monotonic [`Clock::now`] with a real
+/// default; [`MockClock`] overrides it with a manually advanced
+/// counter, which is what makes controller tests deterministic.
 pub trait Clock {
     /// Waits for `d` (or records that it would have).
     fn sleep(&self, d: Duration);
+
+    /// Elapsed time since an arbitrary fixed epoch (monotonic).
+    fn now(&self) -> Duration {
+        static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+        EPOCH.get_or_init(std::time::Instant::now).elapsed()
+    }
 }
 
 /// The real clock: `std::thread::sleep`.
@@ -37,14 +49,18 @@ impl Clock for SystemClock {
     }
 }
 
-/// A clock that records every requested sleep and never blocks.
+/// A clock that records every requested sleep and never blocks. Its
+/// [`Clock::now`] reading starts at zero and advances only through
+/// [`MockClock::advance`] and recorded sleeps, so time-dependent logic
+/// under test is fully deterministic.
 #[derive(Debug, Default)]
 pub struct MockClock {
     slept: Mutex<Vec<Duration>>,
+    now: Mutex<Duration>,
 }
 
 impl MockClock {
-    /// A fresh recording clock.
+    /// A fresh recording clock (its `now` starts at zero).
     pub fn new() -> Self {
         MockClock::default()
     }
@@ -53,11 +69,22 @@ impl MockClock {
     pub fn slept(&self) -> Vec<Duration> {
         self.slept.lock().clone()
     }
+
+    /// Moves the mock time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let mut now = self.now.lock();
+        *now = now.saturating_add(d);
+    }
 }
 
 impl Clock for MockClock {
     fn sleep(&self, d: Duration) {
         self.slept.lock().push(d);
+        self.advance(d);
+    }
+
+    fn now(&self) -> Duration {
+        *self.now.lock()
     }
 }
 

@@ -94,6 +94,26 @@ pub const SITES: &[SiteSpec] = &[
         layer: "serve",
         doc: "a fleet instance's serving lane, prefixed per replica and generation",
     },
+    SiteSpec {
+        name: "queue.append",
+        layer: "queue",
+        doc: "writing one record frame into the disk-backed admission queue",
+    },
+    SiteSpec {
+        name: "queue.fsync",
+        layer: "queue",
+        doc: "flushing a queue segment or ack journal to stable storage",
+    },
+    SiteSpec {
+        name: "queue.checkpoint",
+        layer: "queue",
+        doc: "writing the atomic reader checkpoint (tmp write + rename)",
+    },
+    SiteSpec {
+        name: "queue.segment_rotate",
+        layer: "queue",
+        doc: "closing a full queue segment and opening its successor",
+    },
 ];
 
 /// Collapses every `{...}` placeholder (named format captures included)

@@ -1,0 +1,142 @@
+//! Self-inflicted `kill -9` at precise queue operations.
+//!
+//! The crash-recovery suite needs the process to die *inside* a
+//! durability-critical window — half a record frame written, a
+//! checkpoint tmp file not yet renamed — not at a polite test
+//! boundary. A [`CrashPoint`] arms exactly one such death: the child
+//! process sets [`CRASH_POINT_ENV`] to `"<op>:<n>"` and the queue
+//! SIGKILLs itself the `n`-th (0-based) time it reaches that
+//! operation. Unarmed processes (the env var unset) pay one atomic
+//! load per operation and nothing else.
+//!
+//! The death is a real `SIGKILL` — no destructors, no flushes, no
+//! unwinding — delivered via the `kill` binary because the workspace
+//! links no libc wrapper. `abort()` backstops the unlikely case that
+//! spawning `kill` itself fails; it is equally un-catchable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable arming a crash point: `"<op>:<n>"` with `op`
+/// one of `append`, `fsync`, `checkpoint`, `rotate`.
+pub const CRASH_POINT_ENV: &str = "CONDOR_QUEUE_CRASH_POINT";
+
+/// The queue operations a crash can be scheduled inside.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Mid-append: half of a record frame reaches the segment.
+    Append,
+    /// Mid-fsync: the bytes are written but not yet flushed.
+    Fsync,
+    /// Mid-checkpoint: the tmp blob exists, the rename never runs.
+    Checkpoint,
+    /// Mid-rotation: the successor segment has half a header.
+    Rotate,
+}
+
+impl CrashOp {
+    /// Every operation, in env-spec order.
+    pub const ALL: [CrashOp; 4] = [
+        CrashOp::Append,
+        CrashOp::Fsync,
+        CrashOp::Checkpoint,
+        CrashOp::Rotate,
+    ];
+
+    /// The env-spec name of this operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashOp::Append => "append",
+            CrashOp::Fsync => "fsync",
+            CrashOp::Checkpoint => "checkpoint",
+            CrashOp::Rotate => "rotate",
+        }
+    }
+
+    /// Parses an env-spec name.
+    pub fn parse(s: &str) -> Option<Self> {
+        CrashOp::ALL.into_iter().find(|op| op.as_str() == s)
+    }
+}
+
+/// One armed crash: die the `nth` (0-based) time `op` is reached.
+#[derive(Debug)]
+pub struct CrashPoint {
+    op: CrashOp,
+    nth: u64,
+    count: AtomicU64,
+}
+
+impl CrashPoint {
+    /// Arms a crash at the `nth` occurrence of `op`.
+    pub fn new(op: CrashOp, nth: u64) -> Self {
+        CrashPoint {
+            op,
+            nth,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads [`CRASH_POINT_ENV`]; `None` when unset or unparseable.
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var(CRASH_POINT_ENV).ok()?;
+        let (op, nth) = spec.split_once(':')?;
+        Some(CrashPoint::new(
+            CrashOp::parse(op.trim())?,
+            nth.trim().parse().ok()?,
+        ))
+    }
+
+    /// True exactly once: on the armed occurrence of `op`. The caller
+    /// finishes its partial write and then calls [`die`].
+    pub fn should_crash(&self, op: CrashOp) -> bool {
+        op == self.op && self.count.fetch_add(1, Ordering::SeqCst) == self.nth
+    }
+}
+
+/// Kills the current process with `SIGKILL` — no destructors, no
+/// buffered-write flushes, exactly what a power cut looks like to the
+/// files underneath.
+pub fn die() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // The signal can land after status() returns; give it a moment,
+    // then fall back to an equally abrupt abort.
+    std::thread::sleep(std::time::Duration::from_secs(2));
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_parse_their_own_names() {
+        for op in CrashOp::ALL {
+            assert_eq!(CrashOp::parse(op.as_str()), Some(op));
+        }
+        assert_eq!(CrashOp::parse("flush"), None);
+    }
+
+    #[test]
+    fn crash_point_fires_exactly_on_the_nth_matching_op() {
+        let point = CrashPoint::new(CrashOp::Fsync, 2);
+        assert!(!point.should_crash(CrashOp::Append), "wrong op never fires");
+        assert!(!point.should_crash(CrashOp::Fsync)); // occurrence 0
+        assert!(!point.should_crash(CrashOp::Fsync)); // occurrence 1
+        assert!(point.should_crash(CrashOp::Fsync)); // occurrence 2
+        assert!(!point.should_crash(CrashOp::Fsync), "fires only once");
+    }
+
+    #[test]
+    fn env_spec_parses_and_rejects_garbage() {
+        let point = CrashPoint::new(CrashOp::Rotate, 7);
+        assert_eq!(point.op, CrashOp::Rotate);
+        assert_eq!(point.nth, 7);
+        // from_env with the var unset in this process:
+        if std::env::var(CRASH_POINT_ENV).is_err() {
+            assert!(CrashPoint::from_env().is_none());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! `condor-queue` — crash-safe disk-backed admission for the Condor
+//! serving tier.
+//!
+//! The serving stack (`condor-serve`) admits a request the moment it
+//! lands in an in-memory channel; a crash between admission and reply
+//! silently drops it. This crate makes admission *durable*: a request
+//! is accepted only after its payload is framed, appended to a
+//! segmented on-disk log and fsynced, and it is retired only by an
+//! explicit acknowledgement written after the caller has its result —
+//! so `accepted ⇒ eventually resolved-or-failed` survives `kill -9`
+//! at any instruction.
+//!
+//! Three pieces:
+//!
+//! * [`frame`] — the pure byte-level format: checksummed record
+//!   frames, the ack journal, the checkpoint blob, and the scanners
+//!   that recover the longest clean prefix of a torn file.
+//! * [`DiskQueue`] — the segmented log + ack journal + checkpoint
+//!   state machine: append/ack/checkpoint at runtime, full recovery
+//!   (torn-tail truncation, journal replay, segment reclamation) at
+//!   [`DiskQueue::open`].
+//! * [`AimdController`] — adaptive per-backend concurrency: additive
+//!   increase, multiplicative decrease over observed latency, on a
+//!   mockable clock.
+//!
+//! Fault injection reaches the queue through `condor-faults` sites
+//! (`queue.append`, `queue.fsync`, `queue.checkpoint`,
+//! `queue.segment_rotate`), and the [`crash`] module arms real
+//! self-SIGKILLs inside those windows for the crash-recovery suite.
+
+#![forbid(unsafe_code)]
+
+pub mod aimd;
+pub mod crash;
+pub mod disk;
+pub mod frame;
+
+pub use aimd::{AimdConfig, AimdController};
+pub use crash::{CrashOp, CrashPoint, CRASH_POINT_ENV};
+pub use disk::{DiskQueue, DiskQueueConfig, PendingRecord, QueueStats, RecoveryReport};
+
+/// Which admission queue a server or fleet runs on.
+#[derive(Clone, Debug, Default)]
+pub enum QueueBackend {
+    /// The original in-memory channel: fastest, loses queued requests
+    /// on crash. The default.
+    #[default]
+    InMemory,
+    /// The disk-backed queue: every accepted request is durable and
+    /// redelivered after a restart.
+    Disk(DiskQueueConfig),
+}
+
+impl QueueBackend {
+    /// True when this backend survives a process crash.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, QueueBackend::Disk(_))
+    }
+}
+
+/// Errors out of the disk queue.
+#[derive(Debug)]
+pub enum QueueError {
+    /// Filesystem failure underneath the queue.
+    Io(std::io::Error),
+    /// An injected fault fired at a queue site.
+    Fault(String),
+    /// A structurally impossible request or on-disk state (distinct
+    /// from a torn tail, which recovery repairs silently).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Io(e) => write!(f, "queue i/o error: {e}"),
+            QueueError::Fault(msg) => write!(f, "queue fault injected: {msg}"),
+            QueueError::Corrupt(msg) => write!(f, "queue corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueueError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for QueueError {
+    fn from(e: std::io::Error) -> Self {
+        QueueError::Io(e)
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests over the on-disk queue format: truncation at *every*
+//! byte offset recovers exactly the frame-complete prefix, arbitrary
+//! ack subsets partition cleanly into acked/pending on recovery, and
+//! checkpoint debris (torn tmp blobs, damaged checkpoint files) never
+//! loses an unacked record.
+
+#![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
+
+use condor_queue::{frame, DiskQueue, DiskQueueConfig};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "props-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick(dir: &PathBuf) -> DiskQueueConfig {
+    // fsync off: these properties exercise recovery logic, not the
+    // physical flush; the crash suite covers real durability.
+    DiskQueueConfig::new(dir).with_fsync(false)
+}
+
+/// Deterministic full sweep: a real queue directory whose tail segment
+/// is truncated at every byte offset in turn must recover exactly the
+/// records whose frames are complete — never a torn one, never fewer.
+#[test]
+fn truncation_at_every_byte_offset_recovers_the_clean_prefix() {
+    let dir = tmp_dir("every-offset");
+    let payloads: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 5 + i as usize * 3]).collect();
+    {
+        let (queue, _) = DiskQueue::open(quick(&dir)).unwrap();
+        for p in &payloads {
+            queue.append(p).unwrap();
+        }
+    }
+    let full = fs::read(dir.join("seg-00000000.cq")).unwrap();
+    let mut bounds = vec![frame::FILE_HEADER_LEN];
+    for p in &payloads {
+        bounds.push(bounds.last().unwrap() + frame::RECORD_HEADER_LEN + p.len());
+    }
+    assert_eq!(*bounds.last().unwrap(), full.len());
+
+    let scratch = tmp_dir("every-offset-scratch");
+    for cut in 0..=full.len() {
+        let _ = fs::remove_dir_all(&scratch);
+        fs::create_dir_all(&scratch).unwrap();
+        fs::write(scratch.join("seg-00000000.cq"), &full[..cut]).unwrap();
+        let (_, report) = DiskQueue::open(quick(&scratch)).unwrap();
+        let complete = bounds
+            .iter()
+            .filter(|b| **b <= cut)
+            .count()
+            .saturating_sub(1);
+        let ids: Vec<u64> = report.pending.iter().map(|p| p.id).collect();
+        let expected: Vec<u64> = (0..complete as u64).collect();
+        assert_eq!(ids, expected, "cut at byte {cut}");
+        for rec in &report.pending {
+            assert_eq!(
+                rec.payload, payloads[rec.id as usize],
+                "payload integrity at cut {cut}"
+            );
+        }
+        if cut < full.len() {
+            assert!(
+                report.truncated_bytes > 0
+                    || cut == bounds[complete]
+                    || cut < frame::FILE_HEADER_LEN,
+                "mid-frame cut at {cut} must be reported as truncation"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+proptest! {
+    /// The pure scanner agrees with the frame layout for arbitrary
+    /// payload batches at every truncation offset.
+    #[test]
+    fn scan_recovers_exactly_the_frame_complete_prefix(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..10)
+    ) {
+        let mut data = frame::encode_segment_header(3).to_vec();
+        let mut bounds = vec![data.len()];
+        for (i, p) in payloads.iter().enumerate() {
+            data.extend_from_slice(&frame::encode_record(i as u64, p));
+            bounds.push(data.len());
+        }
+        for cut in 0..=data.len() {
+            let scan = frame::scan_segment(&data[..cut]);
+            if cut < frame::FILE_HEADER_LEN {
+                prop_assert!(!scan.header_ok);
+                prop_assert_eq!(scan.records.len(), 0);
+            } else {
+                let complete = bounds.iter().filter(|b| **b <= cut).count() - 1;
+                prop_assert!(scan.header_ok);
+                prop_assert_eq!(scan.records.len(), complete);
+                prop_assert_eq!(scan.clean_len, bounds[complete]);
+                for (k, (id, payload)) in scan.records.iter().enumerate() {
+                    prop_assert_eq!(*id, k as u64);
+                    prop_assert_eq!(payload, &payloads[k]);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary ack subsets (through rotations and checkpoints)
+    /// partition exactly: recovery reports precisely the unacked ids,
+    /// payloads intact, with zero double acks.
+    #[test]
+    fn recovery_partitions_records_into_acked_and_pending(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..20),
+        ack_mask in prop::collection::vec(any::<bool>(), 20),
+        checkpoint_every in 1u64..6,
+    ) {
+        let dir = tmp_dir("partition");
+        let config = quick(&dir)
+            .with_segment_bytes(128)
+            .with_checkpoint_every(checkpoint_every);
+        {
+            let (queue, _) = DiskQueue::open(config.clone()).unwrap();
+            for p in &payloads {
+                queue.append(p).unwrap();
+            }
+            for (id, acked) in ack_mask.iter().enumerate().take(payloads.len()) {
+                if *acked {
+                    prop_assert!(queue.ack(id as u64).unwrap());
+                }
+            }
+        }
+        let (_, report) = DiskQueue::open(config).unwrap();
+        let pending: Vec<u64> = report.pending.iter().map(|p| p.id).collect();
+        let expected: Vec<u64> = (0..payloads.len() as u64)
+            .filter(|id| !ack_mask[*id as usize])
+            .collect();
+        prop_assert_eq!(pending, expected);
+        prop_assert_eq!(report.double_acks, 0);
+        for rec in &report.pending {
+            prop_assert_eq!(&rec.payload, &payloads[rec.id as usize]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn checkpoint tmp blob — the debris a crash between tmp
+    /// write and rename leaves behind — is discarded without touching
+    /// the recovered state, and removed from the directory.
+    #[test]
+    fn torn_checkpoint_tmp_never_corrupts_recovery(
+        n in 1usize..12,
+        ack_upto in 0usize..12,
+        garbage in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let dir = tmp_dir("ckpt-tmp");
+        let ack_upto = ack_upto.min(n);
+        let config = quick(&dir).with_checkpoint_every(3);
+        {
+            let (queue, _) = DiskQueue::open(config.clone()).unwrap();
+            for i in 0..n {
+                queue.append(&[i as u8; 9]).unwrap();
+            }
+            for id in 0..ack_upto {
+                prop_assert!(queue.ack(id as u64).unwrap());
+            }
+        }
+        fs::write(dir.join("checkpoint.tmp"), &garbage).unwrap();
+        let (_, report) = DiskQueue::open(config).unwrap();
+        prop_assert_eq!(report.acked_below, ack_upto as u64);
+        let pending: Vec<u64> = report.pending.iter().map(|p| p.id).collect();
+        let expected: Vec<u64> = (ack_upto as u64..n as u64).collect();
+        prop_assert_eq!(pending, expected);
+        prop_assert!(!dir.join("checkpoint.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Even byzantine damage to the published checkpoint (truncation at
+    /// an arbitrary offset — something a crash cannot produce, since
+    /// the rename is atomic) never loses an unacked record: already
+    /// acked ones may legally re-pend (at-least-once), unacked ones
+    /// must all survive.
+    #[test]
+    fn damaged_checkpoint_file_loses_no_unacked_record(
+        n in 1usize..16,
+        ack_upto in 0usize..16,
+        cut in 0usize..64,
+    ) {
+        let dir = tmp_dir("ckpt-damage");
+        let ack_upto = ack_upto.min(n);
+        let config = quick(&dir).with_checkpoint_every(2);
+        {
+            let (queue, _) = DiskQueue::open(config.clone()).unwrap();
+            for i in 0..n {
+                queue.append(&[i as u8; 5]).unwrap();
+            }
+            for id in 0..ack_upto {
+                prop_assert!(queue.ack(id as u64).unwrap());
+            }
+            queue.checkpoint().unwrap();
+        }
+        let ckpt = dir.join("checkpoint.cq");
+        let blob = fs::read(&ckpt).unwrap();
+        fs::write(&ckpt, &blob[..cut.min(blob.len())]).unwrap();
+        let (_, report) = DiskQueue::open(config).unwrap();
+        let pending: Vec<u64> = report.pending.iter().map(|p| p.id).collect();
+        for id in ack_upto as u64..n as u64 {
+            prop_assert!(pending.contains(&id), "unacked record {id} lost");
+        }
+        let mut dedup = pending.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), pending.len(), "no duplicate pending ids");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,97 @@
+//! Payload codec between an inference request and the disk queue.
+//!
+//! A durable record must reconstruct the request after a crash with
+//! nothing but its bytes: the NCHW shape, the remaining timeout the
+//! caller asked for, and the image data. The layout is little-endian
+//! and fixed:
+//!
+//! ```text
+//! n u32 | c u32 | h u32 | w u32 | timeout_us u64 | data f32 × (n·c·h·w)
+//! ```
+//!
+//! [`decode_request`] validates the declared element count against the
+//! byte length before touching `Tensor::from_vec` (which panics on a
+//! mismatch), so a poisoned record decodes to `None` and is failed and
+//! acked instead of crashing the redelivery thread.
+
+use condor_tensor::{Shape, Tensor};
+use std::time::Duration;
+
+const HEADER: usize = 4 * 4 + 8;
+
+/// Serializes one request payload.
+pub(crate) fn encode_request(tensor: &Tensor, timeout: Duration) -> Vec<u8> {
+    let shape = tensor.shape();
+    let data = tensor.as_slice();
+    let mut out = Vec::with_capacity(HEADER + data.len() * 4);
+    for dim in [shape.n, shape.c, shape.h, shape.w] {
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(timeout.as_micros().min(u64::MAX as u128) as u64).to_le_bytes());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes one request payload; `None` on any structural mismatch.
+pub(crate) fn decode_request(bytes: &[u8]) -> Option<(Tensor, Duration)> {
+    if bytes.len() < HEADER {
+        return None;
+    }
+    let dim = |i: usize| {
+        u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().ok()?)
+            .try_into()
+            .ok()
+    };
+    let shape = Shape::new(dim(0)?, dim(1)?, dim(2)?, dim(3)?);
+    let timeout_us = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    let body = &bytes[HEADER..];
+    let count = shape.n * shape.c * shape.h * shape.w;
+    if body.len() != count * 4 {
+        return None;
+    }
+    let data: Vec<f32> = body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Some((
+        Tensor::from_vec(shape, data),
+        Duration::from_micros(timeout_us),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_shape_timeout_and_bits() {
+        let tensor = Tensor::from_vec(
+            Shape::new(1, 2, 3, 4),
+            (0..24).map(|i| i as f32 * 0.37 - 1.5).collect(),
+        );
+        let timeout = Duration::from_micros(123_456_789);
+        let bytes = encode_request(&tensor, timeout);
+        let (back, t) = decode_request(&bytes).unwrap();
+        assert_eq!(back.shape(), tensor.shape());
+        assert_eq!(back.as_slice(), tensor.as_slice());
+        assert_eq!(t, timeout);
+    }
+
+    #[test]
+    fn poisoned_payloads_decode_to_none_not_panic() {
+        let tensor = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let bytes = encode_request(&tensor, Duration::from_secs(1));
+        // Every truncation of a valid payload is rejected cleanly.
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        // A length/shape mismatch is rejected before Tensor::from_vec.
+        let mut grown = bytes.clone();
+        grown.extend_from_slice(&[0u8; 4]);
+        assert!(decode_request(&grown).is_none());
+        assert!(decode_request(&[]).is_none());
+    }
+}

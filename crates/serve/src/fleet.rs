@@ -38,8 +38,9 @@
 //! `requests_accepted == requests_completed + requests_failed +
 //! requests_timed_out` holds on the final snapshot.
 
-use crate::{InferenceServer, PendingInference, ServeConfig, ServeError};
+use crate::{durable, queue_err, InferenceServer, PendingInference, ServeConfig, ServeError};
 use condor::{CondorError, ExecutionBackend, MetricsRegistry, MetricsSnapshot};
+use condor_queue::{AimdConfig, AimdController, DiskQueue, QueueBackend};
 use condor_tensor::Tensor;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -94,15 +95,31 @@ pub struct FleetConfig {
     /// in seconds; tests use milliseconds).
     pub reprovision_backoff: Duration,
     /// Consecutive terminal failures before an instance fails over.
+    /// Must be ≥ 1: the builder clamps, and a struct-literal
+    /// constructor is responsible for keeping it so (debug builds
+    /// assert at startup).
     pub instance_failure_threshold: usize,
     /// Router threads draining the fleet queue (each carries one
-    /// request end-to-end, migrating it on failure).
+    /// request end-to-end, migrating it on failure). Must be ≥ 1: the
+    /// builder clamps, and a struct-literal constructor is responsible
+    /// for keeping it so (debug builds assert at startup).
     pub router_threads: usize,
-    /// Bound on the fleet request queue.
+    /// Bound on the fleet request queue. Must be ≥ 1: the builder
+    /// clamps, and a struct-literal constructor is responsible for
+    /// keeping it so (debug builds assert at startup).
     pub queue_capacity: usize,
     /// Per-instance serving configuration (the fleet overrides its
-    /// `site_prefix` per instance generation).
+    /// `site_prefix` per instance generation and forces the instance
+    /// queue to in-memory — durability lives at the fleet level).
     pub serve: ServeConfig,
+    /// Which admission queue backs [`Fleet::submit`]: in-memory
+    /// (default) or a crash-safe disk queue.
+    pub queue: QueueBackend,
+    /// When set, per-instance AIMD controllers replace static trust in
+    /// `router_threads`/`queue_capacity`: each instance's concurrency
+    /// limit shrinks multiplicatively on slow or failed dispatches and
+    /// recovers additively while it stays fast.
+    pub adaptive: Option<AimdConfig>,
 }
 
 impl Default for FleetConfig {
@@ -115,6 +132,8 @@ impl Default for FleetConfig {
             router_threads: 4,
             queue_capacity: 256,
             serve: ServeConfig::default(),
+            queue: QueueBackend::InMemory,
+            adaptive: None,
         }
     }
 }
@@ -161,6 +180,18 @@ impl FleetConfig {
         self.serve = serve;
         self
     }
+
+    /// Selects the fleet admission queue (disk = durable admission).
+    pub fn with_queue(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Enables AIMD adaptive per-instance concurrency.
+    pub fn with_adaptive(mut self, config: AimdConfig) -> Self {
+        self.adaptive = Some(config);
+        self
+    }
 }
 
 /// One fleet slot: the live server (absent while re-provisioning), its
@@ -175,8 +206,36 @@ struct InstanceSlot {
 /// A request riding the fleet queue.
 struct FleetRequest {
     tensor: Tensor,
+    enqueued: Instant,
     deadline: Instant,
     reply: Sender<Result<Tensor, ServeError>>,
+    /// Present in disk-queue mode: the durable record backing this
+    /// request, acked only on resolution.
+    ticket: Option<FleetTicket>,
+}
+
+/// The durable record behind one accepted fleet request.
+struct FleetTicket {
+    queue: Arc<DiskQueue>,
+    id: u64,
+}
+
+/// Answers a fleet request and — in disk-queue mode — acks its durable
+/// record, strictly after the reply lands in the caller's channel.
+fn resolve_fleet(
+    request: FleetRequest,
+    result: Result<Tensor, ServeError>,
+    metrics: &MetricsRegistry,
+) {
+    let _ = request.reply.send(result);
+    if let Some(ticket) = request.ticket {
+        // Ok(false)/Err leave the ledger consistent: a refused double
+        // ack or a failed ack write just means a legal redelivery.
+        if let Ok(true) = ticket.queue.ack(ticket.id) {
+            metrics.observe_duration("ack_latency_us", request.enqueued.elapsed());
+            metrics.set_gauge("disk_queue_depth", ticket.queue.depth() as f64);
+        }
+    }
 }
 
 enum SupervisorMsg {
@@ -196,6 +255,8 @@ struct FleetShared {
     supervisor_tx: Sender<SupervisorMsg>,
     rr: AtomicUsize,
     threshold: usize,
+    /// One AIMD controller per replica when adaptive concurrency is on.
+    aimd: Option<Vec<AimdController>>,
 }
 
 impl FleetShared {
@@ -234,6 +295,18 @@ impl FleetShared {
                 continue;
             }
             let load = self.inflight[i].load(Ordering::SeqCst);
+            // Adaptive concurrency: an instance at its AIMD limit is
+            // saturated — demote it to a last-resort fallback so load
+            // steers to instances with headroom (liveness still beats
+            // the limit when every instance is saturated).
+            if let Some(controllers) = &self.aimd {
+                if load >= controllers[i].limit() {
+                    if fallback.is_none() {
+                        fallback = Some((i, Arc::clone(server), slot.generation));
+                    }
+                    continue;
+                }
+            }
             if best.as_ref().is_none_or(|b| load < b.3) {
                 best = Some((i, Arc::clone(server), slot.generation, load));
             }
@@ -291,6 +364,10 @@ pub struct Fleet {
     supervisor: Option<JoinHandle<()>>,
     config: FleetConfig,
     started: Instant,
+    /// Disk-queue mode: the durable admission log.
+    durable: Option<Arc<DiskQueue>>,
+    /// Disk-queue mode: the thread re-injecting recovered records.
+    redelivery: Option<JoinHandle<()>>,
 }
 
 /// The fault-site prefix of one instance generation.
@@ -306,9 +383,13 @@ fn start_instance(
     replica: usize,
     generation: u64,
 ) -> Result<Arc<InferenceServer>, ServeError> {
+    // Durability lives at the fleet level: instance servers always run
+    // in-memory (N instances sharing one disk directory would corrupt
+    // it, and per-instance logs would double-journal every request).
     let config = serve
         .clone()
-        .with_site_prefix(site_prefix(replica, generation));
+        .with_site_prefix(site_prefix(replica, generation))
+        .with_queue(QueueBackend::InMemory);
     Ok(Arc::new(InferenceServer::new(backends, config)?))
 }
 
@@ -328,6 +409,15 @@ impl Fleet {
         if config.replicas == 0 {
             return Err(ServeError::NoBackends);
         }
+        // The builders clamp these to ≥ 1; a struct-literal constructor
+        // owns the same contract, checked here once instead of being
+        // silently re-clamped at every use site.
+        debug_assert!(config.router_threads >= 1, "router_threads must be ≥ 1");
+        debug_assert!(config.queue_capacity >= 1, "queue_capacity must be ≥ 1");
+        debug_assert!(
+            config.instance_failure_threshold >= 1,
+            "instance_failure_threshold must be ≥ 1"
+        );
         let (supervisor_tx, supervisor_rx) = crossbeam_channel::unbounded::<SupervisorMsg>();
         let mut slots = Vec::with_capacity(config.replicas);
         let mut inflight = Vec::with_capacity(config.replicas);
@@ -350,13 +440,18 @@ impl Fleet {
             metrics: MetricsRegistry::new(),
             supervisor_tx: supervisor_tx.clone(),
             rr: AtomicUsize::new(0),
-            threshold: config.instance_failure_threshold.max(1),
+            threshold: config.instance_failure_threshold,
+            aimd: config.adaptive.clone().map(|aimd_config| {
+                (0..config.replicas)
+                    .map(|_| AimdController::with_system_clock(aimd_config.clone()))
+                    .collect()
+            }),
         });
 
         let accepting = Arc::new(AtomicBool::new(true));
         let running = Arc::new(AtomicBool::new(true));
-        let (submit_tx, submit_rx) = bounded::<FleetRequest>(config.queue_capacity.max(1));
-        let routers = (0..config.router_threads.max(1))
+        let (submit_tx, submit_rx) = bounded::<FleetRequest>(config.queue_capacity);
+        let routers = (0..config.router_threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let rx = submit_rx.clone();
@@ -375,6 +470,23 @@ impl Fleet {
             })
         };
 
+        // Disk-queue mode: recover the durable log and re-inject every
+        // record the previous process accepted but never resolved.
+        let (durable, redelivery) = match &config.queue {
+            QueueBackend::InMemory => (None, None),
+            QueueBackend::Disk(queue_config) => {
+                let (queue, report) = DiskQueue::open(queue_config.clone()).map_err(queue_err)?;
+                let queue = Arc::new(queue);
+                let thread = spawn_fleet_redelivery(
+                    Arc::clone(&queue),
+                    report,
+                    submit_tx.clone(),
+                    Arc::clone(&shared),
+                );
+                (Some(queue), Some(thread))
+            }
+        };
+
         Ok(Fleet {
             shared,
             accepting,
@@ -384,6 +496,8 @@ impl Fleet {
             supervisor: Some(supervisor),
             config,
             started: Instant::now(),
+            durable,
+            redelivery,
         })
     }
 
@@ -416,22 +530,44 @@ impl Fleet {
             .submit_tx
             .as_ref()
             .expect("sender lives until shutdown");
+        // Disk-queue mode: durable before admission.
+        let ticket = match &self.durable {
+            None => None,
+            Some(queue) => {
+                let payload = durable::encode_request(&tensor, timeout);
+                let id = queue.append(&payload).map_err(queue_err)?;
+                self.shared
+                    .metrics
+                    .set_gauge("disk_queue_depth", queue.depth() as f64);
+                Some(FleetTicket {
+                    queue: Arc::clone(queue),
+                    id,
+                })
+            }
+        };
         let (reply_tx, reply_rx) = bounded(1);
+        let now = Instant::now();
         let request = FleetRequest {
             tensor,
-            deadline: Instant::now() + timeout,
+            enqueued: now,
+            deadline: now + timeout,
             reply: reply_tx,
+            ticket,
         };
         match tx.try_send(request) {
             Ok(()) => {
                 self.shared.metrics.incr("requests_accepted", 1);
                 Ok(PendingInference { rx: reply_rx })
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(request)) => {
                 self.shared.metrics.incr("requests_rejected_overloaded", 1);
+                resolve_fleet(request, Err(ServeError::Overloaded), &self.shared.metrics);
                 Err(ServeError::Overloaded)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(request)) => {
+                resolve_fleet(request, Err(ServeError::ShuttingDown), &self.shared.metrics);
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -440,13 +576,26 @@ impl Fleet {
         self.submit(tensor)?.wait()
     }
 
-    /// Live fleet metrics (ledger, resilience counters, throughput).
+    /// Live fleet metrics (ledger, resilience counters, throughput,
+    /// adaptive-concurrency and durable-queue gauges).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.shared.metrics.snapshot();
         let elapsed = self.started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
             let rps = snap.counter("requests_completed") as f64 / elapsed;
             snap.set_gauge("throughput_rps", rps);
+        }
+        if let Some(controllers) = &self.shared.aimd {
+            let mut total = 0usize;
+            for (i, controller) in controllers.iter().enumerate() {
+                let limit = controller.limit();
+                total += limit;
+                snap.set_gauge(&format!("instance{i}_concurrency_limit"), limit as f64);
+            }
+            snap.set_gauge("concurrency_limit", total as f64);
+        }
+        if let Some(queue) = &self.durable {
+            snap.set_gauge("disk_queue_depth", queue.depth() as f64);
         }
         snap
     }
@@ -462,6 +611,12 @@ impl Fleet {
     fn stop(&mut self) {
         self.accepting.store(false, Ordering::SeqCst);
         self.running.store(false, Ordering::SeqCst);
+        // The redelivery thread holds a clone of the submit side: join
+        // it before dropping the sender so every recovered record is
+        // back in flight and the routers can drain it.
+        if let Some(r) = self.redelivery.take() {
+            let _ = r.join();
+        }
         drop(self.submit_tx.take());
         for r in self.routers.drain(..) {
             let _ = r.join();
@@ -475,6 +630,11 @@ impl Fleet {
             // The last Arc drop drains the instance (its Drop joins all
             // threads after answering every accepted request).
             drop(server);
+        }
+        if let Some(queue) = &self.durable {
+            // Every accepted request is resolved and acked by now; a
+            // final checkpoint makes the next open start clean.
+            let _ = queue.checkpoint();
         }
     }
 }
@@ -505,7 +665,7 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
         let now = Instant::now();
         if now >= request.deadline {
             shared.metrics.incr("requests_timed_out", 1);
-            let _ = request.reply.send(Err(ServeError::Timeout));
+            resolve_fleet(request, Err(ServeError::Timeout), &shared.metrics);
             return;
         }
         let Some((idx, server, generation)) = shared.pick(avoid) else {
@@ -515,6 +675,7 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
             continue;
         };
         shared.inflight[idx].fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
         let outcome = server
             .submit_with_timeout(request.tensor.clone(), request.deadline - now)
             .and_then(PendingInference::wait);
@@ -522,10 +683,16 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
         drop(server);
         match outcome {
             Ok(output) => {
+                // Adaptive concurrency: a fast dispatch lets the limit
+                // creep back up; a slow one (over the AIMD latency
+                // threshold) cuts it multiplicatively.
+                if let Some(controllers) = &shared.aimd {
+                    controllers[idx].observe(started.elapsed());
+                }
                 shared.record_success(idx, generation);
                 shared.metrics.incr("requests_completed", 1);
                 shared.metrics.incr(&format!("instance{idx}_completed"), 1);
-                let _ = request.reply.send(Ok(output));
+                resolve_fleet(request, Ok(output), &shared.metrics);
                 return;
             }
             Err(e) => {
@@ -533,14 +700,20 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
                     // The instance failed the request outright: score it
                     // and fail over.
                     ServeError::Backend(_) | ServeError::Disconnected => {
+                        if let Some(controllers) = &shared.aimd {
+                            controllers[idx].on_congestion();
+                        }
                         shared.record_failure(idx, generation);
                     }
-                    // Congestion or a draining server: migrate without
-                    // a health penalty.
-                    ServeError::Overloaded | ServeError::ShuttingDown => {}
-                    // The deadline expired inside the instance; the
-                    // outer loop re-checks it and answers.
-                    ServeError::Timeout => {}
+                    // Congestion: cut this instance's limit and migrate
+                    // without a health penalty.
+                    ServeError::Overloaded | ServeError::Timeout => {
+                        if let Some(controllers) = &shared.aimd {
+                            controllers[idx].on_congestion();
+                        }
+                    }
+                    // A draining server: migrate without penalty.
+                    ServeError::ShuttingDown => {}
                     ServeError::NoBackends => {}
                 }
                 if attempt + 1 < budget {
@@ -554,11 +727,11 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
     match last_err {
         ServeError::Timeout => {
             shared.metrics.incr("requests_timed_out", 1);
-            let _ = request.reply.send(Err(ServeError::Timeout));
+            resolve_fleet(request, Err(ServeError::Timeout), &shared.metrics);
         }
         other => {
             shared.metrics.incr("requests_failed", 1);
-            let _ = request.reply.send(Err(other));
+            resolve_fleet(request, Err(other), &shared.metrics);
         }
     }
 }
@@ -622,6 +795,52 @@ fn supervisor_loop(
             }
         }
     }
+}
+
+/// The fleet's redelivery thread: re-injects every record recovered as
+/// pending, fire-and-forget (the original caller died with the old
+/// process). Poisoned payloads are counted failed and acked so they
+/// cannot redeliver forever.
+fn spawn_fleet_redelivery(
+    queue: Arc<DiskQueue>,
+    report: condor_queue::RecoveryReport,
+    tx: Sender<FleetRequest>,
+    shared: Arc<FleetShared>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for record in report.pending {
+            match durable::decode_request(&record.payload) {
+                Some((tensor, timeout)) => {
+                    shared.metrics.incr("requests_redelivered", 1);
+                    let (reply_tx, _) = bounded(1);
+                    let now = Instant::now();
+                    let request = FleetRequest {
+                        tensor,
+                        enqueued: now,
+                        deadline: now + timeout,
+                        reply: reply_tx,
+                        ticket: Some(FleetTicket {
+                            queue: Arc::clone(&queue),
+                            id: record.id,
+                        }),
+                    };
+                    if tx.send(request).is_err() {
+                        // Fleet already gone; the record stays pending
+                        // for the next restart.
+                        return;
+                    }
+                }
+                None => {
+                    shared.metrics.incr("requests_redelivered", 1);
+                    shared.metrics.incr("requests_failed", 1);
+                    let _ = queue.ack(record.id);
+                }
+            }
+        }
+        shared
+            .metrics
+            .set_gauge("disk_queue_depth", queue.depth() as f64);
+    })
 }
 
 #[cfg(test)]
@@ -712,5 +931,96 @@ mod tests {
         drop(fleet);
         // The dropped fleet still answered the accepted request.
         assert!(pending.wait().is_ok());
+    }
+
+    /// Fresh scratch directory for the disk-queue tests.
+    fn tmp_queue_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "condor-fleet-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_fleet_acks_every_request_and_drains() {
+        let dir = tmp_queue_dir("ledger");
+        let net = zoo::tc1_weighted(7);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config()
+                .with_replicas(2)
+                .with_queue(QueueBackend::Disk(crate::DiskQueueConfig::new(&dir))),
+        )
+        .unwrap();
+        for s in dataset::usps_like(8, 7) {
+            let out = fleet.infer(s.image).unwrap();
+            assert_eq!(out.shape().c, 10);
+        }
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_accepted"), 8);
+        assert_eq!(snap.counter("requests_completed"), 8);
+        assert_eq!(snap.histogram("ack_latency_us").unwrap().count, 8);
+        assert_eq!(snap.gauge("disk_queue_depth"), Some(0.0));
+        let (_, report) = DiskQueue::open(crate::DiskQueueConfig::new(&dir)).unwrap();
+        assert!(report.pending.is_empty());
+        assert_eq!(report.double_acks, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aimd_limit_shrinks_under_slow_backends() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // Every dispatch to instance 0's first generation is delayed
+        // well past the AIMD latency threshold, so each completion is a
+        // congestion signal: 8 → 4 → 2 → 1 with a zero cooldown.
+        let handle = FaultPlan::new(0xA1)
+            .rule(
+                FaultRule::at("fleet0g0.serve.backend0")
+                    .always()
+                    .delay(Duration::from_millis(15)),
+            )
+            .install();
+        let net = zoo::tc1_weighted(8);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config()
+                .with_replicas(1)
+                .with_adaptive(
+                    AimdConfig::default()
+                        .with_initial_limit(8)
+                        .with_limits(1, 8)
+                        .with_latency_threshold(Duration::from_millis(5))
+                        .with_cooldown(Duration::ZERO),
+                )
+                .with_serve(
+                    ServeConfig::default()
+                        .with_batch_window(Duration::from_millis(1))
+                        .with_default_timeout(Duration::from_secs(20))
+                        .with_faults(handle.clone()),
+                ),
+        )
+        .unwrap();
+        for s in dataset::usps_like(6, 8) {
+            fleet.infer(s.image).unwrap();
+        }
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 6);
+        let limit = snap.gauge("concurrency_limit").unwrap();
+        assert!(
+            limit < 8.0,
+            "AIMD limit must shrink under sustained slow dispatches, still at {limit}"
+        );
+        assert!(
+            limit <= 2.0,
+            "three congested dispatches should multiplicatively cut 8 to ≤2, got {limit}"
+        );
+        assert_eq!(snap.gauge("instance0_concurrency_limit"), Some(limit));
+        assert!(handle.fired() >= 6);
+        handle.clear();
     }
 }

@@ -33,6 +33,13 @@
 //!   succeeds. Fault injection (`condor-faults`, sites
 //!   `serve.backend{i}`) drives the chaos suite in
 //!   `tests/chaos.rs`.
+//! * **Durable admission (opt-in)** — with
+//!   [`ServeConfig::with_queue`]`(`[`QueueBackend::Disk`]`)` every
+//!   accepted request is appended and fsynced to a crash-safe
+//!   `condor-queue` log before admission, acked only after its reply is
+//!   delivered, and redelivered on restart if the process dies in
+//!   between — `accepted ⇒ eventually resolved-or-failed` survives
+//!   `kill -9` (see `tests/crash.rs`).
 //!
 //! Every accepted request receives exactly one reply, and outputs are
 //! bit-identical to calling `infer_batch` directly on the deployment:
@@ -61,8 +68,10 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+mod durable;
 pub mod fleet;
 
+pub use condor_queue::{AimdConfig, DiskQueueConfig, QueueBackend};
 pub use cpu::CpuBackend;
 pub use fleet::{Fleet, FleetConfig, InstanceProvisioner};
 
@@ -70,6 +79,7 @@ use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
 };
 use condor_faults::{FaultHandle, FaultPlan};
+use condor_queue::DiskQueue;
 use condor_tensor::Tensor;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -110,6 +120,10 @@ pub struct ServeConfig {
     /// `fleet{replica}g{generation}.` so one plan can target a single
     /// instance generation — e.g. `fleet0g0.serve.backend1`.
     pub site_prefix: String,
+    /// Which admission queue backs `submit`: the in-memory channel
+    /// (default) or a crash-safe disk queue that redelivers accepted
+    /// requests after a restart.
+    pub queue: QueueBackend,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +139,7 @@ impl Default for ServeConfig {
             backend_backoff: Duration::from_micros(500),
             faults: FaultHandle::disabled(),
             site_prefix: String::new(),
+            queue: QueueBackend::InMemory,
         }
     }
 }
@@ -194,6 +209,12 @@ impl ServeConfig {
         self.site_prefix = prefix.into();
         self
     }
+
+    /// Selects the admission queue backend (disk = durable admission).
+    pub fn with_queue(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
 }
 
 /// Why a request did not produce an output.
@@ -253,6 +274,34 @@ struct Request {
     enqueued: Instant,
     deadline: Instant,
     reply: Sender<Result<Tensor, ServeError>>,
+    /// Present in disk-queue mode: the durable record backing this
+    /// request, acked only when the request is resolved.
+    ticket: Option<DurableTicket>,
+}
+
+/// The durable record behind one accepted request.
+struct DurableTicket {
+    queue: Arc<DiskQueue>,
+    id: u64,
+}
+
+/// Answers a request and — in disk-queue mode — acks its durable
+/// record. This is the *only* place a record is retired: the ack is
+/// written strictly after the reply is delivered to the caller's
+/// channel, so `accepted ⇒ eventually resolved-or-failed` holds across
+/// a `kill -9` anywhere (a crash between reply and ack redelivers; a
+/// crash before the reply redelivers; nothing is ever dropped).
+fn resolve(request: Request, result: Result<Tensor, ServeError>, metrics: &MetricsRegistry) {
+    let _ = request.reply.send(result);
+    if let Some(ticket) = request.ticket {
+        // A refused double ack (redelivery raced the original) or a
+        // failed ack write (the record legally redelivers after the
+        // next restart) both leave the ledger consistent.
+        if let Ok(true) = ticket.queue.ack(ticket.id) {
+            metrics.observe_duration("ack_latency_us", request.enqueued.elapsed());
+            metrics.set_gauge("disk_queue_depth", ticket.queue.depth() as f64);
+        }
+    }
 }
 
 /// A ticket for a request the server accepted.
@@ -325,6 +374,10 @@ pub struct InferenceServer {
     metrics: Arc<MetricsRegistry>,
     locations: Vec<String>,
     started: Instant,
+    /// Disk-queue mode: the durable admission log.
+    durable: Option<Arc<DiskQueue>>,
+    /// Disk-queue mode: the thread re-injecting recovered records.
+    redelivery: Option<JoinHandle<()>>,
 }
 
 impl fmt::Debug for InferenceServer {
@@ -388,6 +441,24 @@ impl InferenceServer {
             batcher_loop(submit_rx, handles, batcher_cfg, batcher_metrics);
         });
 
+        // Disk-queue mode: open (running crash recovery) and re-inject
+        // every record that was accepted but unresolved when the
+        // previous process died.
+        let (durable, redelivery) = match &config.queue {
+            QueueBackend::InMemory => (None, None),
+            QueueBackend::Disk(queue_config) => {
+                let (queue, report) = DiskQueue::open(queue_config.clone()).map_err(queue_err)?;
+                let queue = Arc::new(queue);
+                let thread = spawn_redelivery(
+                    Arc::clone(&queue),
+                    report,
+                    submit_tx.clone(),
+                    Arc::clone(&metrics),
+                );
+                (Some(queue), Some(thread))
+            }
+        };
+
         Ok(InferenceServer {
             config,
             accepting,
@@ -397,6 +468,8 @@ impl InferenceServer {
             metrics,
             locations,
             started: Instant::now(),
+            durable,
+            redelivery,
         })
     }
 
@@ -440,6 +513,21 @@ impl InferenceServer {
             .submit_tx
             .as_ref()
             .expect("sender lives until shutdown");
+        // Disk-queue mode: the request is durable *before* admission —
+        // a crash from here on redelivers it.
+        let ticket = match &self.durable {
+            None => None,
+            Some(queue) => {
+                let payload = durable::encode_request(&tensor, timeout);
+                let id = queue.append(&payload).map_err(queue_err)?;
+                self.metrics
+                    .set_gauge("disk_queue_depth", queue.depth() as f64);
+                Some(DurableTicket {
+                    queue: Arc::clone(queue),
+                    id,
+                })
+            }
+        };
         let (reply_tx, reply_rx) = bounded(1);
         let now = Instant::now();
         let request = Request {
@@ -447,6 +535,7 @@ impl InferenceServer {
             enqueued: now,
             deadline: now + timeout,
             reply: reply_tx,
+            ticket,
         };
         match tx.try_send(request) {
             Ok(()) => {
@@ -454,11 +543,17 @@ impl InferenceServer {
                 self.metrics.observe("queue_depth", tx.len() as f64);
                 Ok(PendingInference { rx: reply_rx })
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(request)) => {
                 self.metrics.incr("requests_rejected_overloaded", 1);
+                // The durable record (if any) is resolved as rejected,
+                // so it will not redeliver.
+                resolve(request, Err(ServeError::Overloaded), &self.metrics);
                 Err(ServeError::Overloaded)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(request)) => {
+                resolve(request, Err(ServeError::ShuttingDown), &self.metrics);
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -476,6 +571,9 @@ impl InferenceServer {
             let rps = snap.counter("requests_completed") as f64 / elapsed;
             snap.set_gauge("throughput_rps", rps);
         }
+        if let Some(queue) = &self.durable {
+            snap.set_gauge("disk_queue_depth", queue.depth() as f64);
+        }
         snap
     }
 
@@ -483,10 +581,20 @@ impl InferenceServer {
     /// accepted (each still gets its reply), joins all threads, and
     /// returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
         self.accepting.store(false, Ordering::SeqCst);
-        // Dropping the submit side lets the batcher drain the queue and
-        // then observe disconnection; the batcher in turn drops the
-        // worker lanes, which drain and exit.
+        // The redelivery thread holds a clone of the submit side: join
+        // it first so every recovered record is back in flight, then
+        // drop the submit side so the batcher drains the queue and
+        // observes disconnection; the batcher in turn drops the worker
+        // lanes, which drain and exit.
+        if let Some(r) = self.redelivery.take() {
+            let _ = r.join();
+        }
         drop(self.submit_tx.take());
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
@@ -494,7 +602,12 @@ impl InferenceServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.metrics()
+        if let Some(queue) = &self.durable {
+            // Everything accepted is resolved and acked; fold the acks
+            // into a final checkpoint so the next open starts clean.
+            // Best-effort: a failure only means a longer journal replay.
+            let _ = queue.checkpoint();
+        }
     }
 }
 
@@ -502,15 +615,63 @@ impl Drop for InferenceServer {
     fn drop(&mut self) {
         // A dropped server still drains: threads only exit after the
         // queue empties, and every in-flight request is answered.
-        self.accepting.store(false, Ordering::SeqCst);
-        drop(self.submit_tx.take());
-        if let Some(b) = self.batcher.take() {
-            let _ = b.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.stop();
     }
+}
+
+/// Maps a queue failure onto the serving error surface.
+fn queue_err(e: condor_queue::QueueError) -> ServeError {
+    ServeError::Backend(CondorError::new("queue", e.to_string()))
+}
+
+/// Starts the redelivery thread: every record recovered as pending is
+/// decoded and re-injected into the admission queue with a fresh
+/// deadline, fire-and-forget (the original caller died with the
+/// previous process; the record's obligation is resolution, not reply
+/// delivery). Poisoned records — payloads that no longer decode — are
+/// counted failed and acked so they cannot loop forever.
+fn spawn_redelivery(
+    queue: Arc<DiskQueue>,
+    report: condor_queue::RecoveryReport,
+    tx: Sender<Request>,
+    metrics: Arc<MetricsRegistry>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for record in report.pending {
+            match durable::decode_request(&record.payload) {
+                Some((tensor, timeout)) => {
+                    metrics.incr("requests_redelivered", 1);
+                    // The rx side is dropped: replies go nowhere, but
+                    // resolve() still acks the record.
+                    let (reply_tx, _) = bounded(1);
+                    let now = Instant::now();
+                    let request = Request {
+                        tensor,
+                        enqueued: now,
+                        deadline: now + timeout,
+                        reply: reply_tx,
+                        ticket: Some(DurableTicket {
+                            queue: Arc::clone(&queue),
+                            id: record.id,
+                        }),
+                    };
+                    // Blocking send: redelivery yields to live traffic
+                    // when the queue is full. A send failure means the
+                    // server is already gone; the record stays pending
+                    // for the next restart.
+                    if tx.send(request).is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    metrics.incr("requests_redelivered", 1);
+                    metrics.incr("requests_failed", 1);
+                    let _ = queue.ack(record.id);
+                }
+            }
+        }
+        metrics.set_gauge("disk_queue_depth", queue.depth() as f64);
+    })
 }
 
 /// Adds a request to the forming batch, or answers it with `Timeout` if
@@ -518,7 +679,7 @@ impl Drop for InferenceServer {
 fn admit(request: Request, batch: &mut Vec<Request>, metrics: &MetricsRegistry) {
     if Instant::now() >= request.deadline {
         metrics.incr("requests_timed_out", 1);
-        let _ = request.reply.send(Err(ServeError::Timeout));
+        resolve(request, Err(ServeError::Timeout), metrics);
     } else {
         batch.push(request);
     }
@@ -580,11 +741,14 @@ fn batcher_loop(
             .expect("server has at least one backend");
         lane.inflight.fetch_add(batch.len(), Ordering::SeqCst);
         metrics.observe("batch_size", batch.len() as f64);
-        if lane.tx.send(batch).is_err() {
-            // Worker died; nothing to do — its requests were consumed by
-            // the failed send and their reply channels dropped, which
-            // surfaces as Disconnected to the callers.
+        if let Err(failed) = lane.tx.send(batch) {
+            // Worker died. Resolve every request in the failed batch —
+            // callers see Disconnected, and in disk-queue mode the
+            // records are acked rather than left to redeliver forever.
             metrics.incr("requests_dropped_worker_died", 1);
+            for request in failed.0 {
+                resolve(request, Err(ServeError::Disconnected), &metrics);
+            }
         }
     }
     // Dropping `workers` here closes every lane; workers drain whatever
@@ -614,7 +778,7 @@ fn worker_loop(
             batch.into_iter().partition(|r| now < r.deadline);
         for request in expired {
             metrics.incr("requests_timed_out", 1);
-            let _ = request.reply.send(Err(ServeError::Timeout));
+            resolve(request, Err(ServeError::Timeout), &metrics);
         }
         if batch.is_empty() {
             inflight.fetch_sub(n, Ordering::SeqCst);
@@ -662,7 +826,7 @@ fn worker_loop(
                 for (request, output) in batch.into_iter().zip(outputs) {
                     metrics.incr("requests_completed", 1);
                     metrics.observe_duration("latency_us", request.enqueued.elapsed());
-                    let _ = request.reply.send(Ok(output));
+                    resolve(request, Ok(output), &metrics);
                 }
             }
             Err(e) => {
@@ -678,7 +842,7 @@ fn worker_loop(
                 }
                 for request in batch {
                     metrics.incr("requests_failed", 1);
-                    let _ = request.reply.send(Err(ServeError::Backend(e.clone())));
+                    resolve(request, Err(ServeError::Backend(e.clone())), &metrics);
                 }
             }
         }
@@ -1089,5 +1253,78 @@ mod tests {
         assert!(latency.p50 > 0.0 && latency.p99 >= latency.p50);
         assert!(snap.gauge("throughput_rps").unwrap() > 0.0);
         server.shutdown();
+    }
+
+    /// Fresh scratch directory for the disk-queue tests.
+    fn tmp_queue_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "condor-serve-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_queue_mode_serves_and_drains_durably() {
+        let dir = tmp_queue_dir("roundtrip");
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_queue(QueueBackend::Disk(DiskQueueConfig::new(&dir))),
+        )
+        .unwrap();
+        for img in images(4, 21) {
+            server.infer(img).unwrap();
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 4);
+        assert_eq!(snap.counter("requests_redelivered"), 0);
+        // Every completion acked its durable record end to end.
+        assert_eq!(snap.histogram("ack_latency_us").unwrap().count, 4);
+        assert_eq!(snap.gauge("disk_queue_depth"), Some(0.0));
+        // A fresh recovery finds nothing pending and no double acks.
+        let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+        assert!(report.pending.is_empty());
+        assert_eq!(report.double_acks, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_records_are_redelivered_and_resolved() {
+        // Simulate a crashed predecessor: durable records exist on disk
+        // with no live caller, one of them poisoned.
+        let dir = tmp_queue_dir("redeliver");
+        {
+            let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+            for img in images(4, 22) {
+                let payload = durable::encode_request(&img, Duration::from_secs(30));
+                queue.append(&payload).unwrap();
+            }
+            queue.append(b"not a request payload").unwrap();
+        }
+        // Startup must replay all five: four infer to completion (their
+        // replies go nowhere, their acks land), the poisoned one is
+        // failed and acked rather than looping or crashing the thread.
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_queue(QueueBackend::Disk(DiskQueueConfig::new(&dir))),
+        )
+        .unwrap();
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_redelivered"), 5);
+        assert_eq!(snap.counter("requests_completed"), 4);
+        assert_eq!(snap.counter("requests_failed"), 1);
+        assert_eq!(snap.counter("requests_accepted"), 0);
+        let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+        assert!(report.pending.is_empty(), "redelivered records must ack");
+        assert_eq!(report.double_acks, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,9 +20,11 @@
 
 use condor_faults::{FaultHandle, FaultPlan, FaultRule};
 use condor_nn::{dataset, zoo};
+use condor_queue::{DiskQueue, DiskQueueConfig, QueueBackend};
 use condor_serve::{CpuBackend, InferenceServer, ServeConfig, ServeError};
 use condor_tensor::Tensor;
 use proptest::prelude::*;
+use std::path::PathBuf;
 use std::time::Duration;
 
 const LANES: usize = 3;
@@ -96,11 +98,15 @@ fn chaos_plan(seed: u64) -> FaultPlan {
 }
 
 /// Runs one full chaos scenario for a seed; panics (after dumping the
-/// fault log) when an invariant breaks.
-fn chaos_scenario(test: &str, seed: u64) {
+/// fault log) when an invariant breaks. With a `queue_dir` the server
+/// admits through the disk-backed durable queue, and the scenario
+/// additionally asserts the durability ledger after shutdown: a fresh
+/// recovery of the directory finds nothing pending (every accepted
+/// request was acked end to end) and zero double acks.
+fn chaos_scenario(test: &str, seed: u64, queue_dir: Option<PathBuf>) {
     let handle = chaos_plan(seed).install();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        chaos_scenario_inner(seed, handle.clone());
+        chaos_scenario_inner(seed, handle.clone(), queue_dir);
     }));
     if let Err(panic) = result {
         dump_fault_log(test, seed, &handle);
@@ -108,10 +114,10 @@ fn chaos_scenario(test: &str, seed: u64) {
     }
 }
 
-fn chaos_scenario_inner(seed: u64, handle: FaultHandle) {
+fn chaos_scenario_inner(seed: u64, handle: FaultHandle, queue_dir: Option<PathBuf>) {
     let net = zoo::tc1_weighted(splitmix64(seed));
     let backends = CpuBackend::replicas(&net, LANES).unwrap();
-    let config = ServeConfig::default()
+    let mut config = ServeConfig::default()
         .with_max_batch(4)
         .with_batch_window(Duration::from_millis(1))
         .with_default_timeout(Duration::from_secs(20))
@@ -120,6 +126,10 @@ fn chaos_scenario_inner(seed: u64, handle: FaultHandle) {
         .with_failure_threshold(2)
         .with_quarantine(Duration::from_millis(5))
         .with_faults(handle.clone());
+    if let Some(dir) = &queue_dir {
+        let _ = std::fs::remove_dir_all(dir);
+        config = config.with_queue(QueueBackend::Disk(DiskQueueConfig::new(dir)));
+    }
     let server = InferenceServer::new(backends, config).unwrap();
 
     // Phase 1: submit under fire. Every accepted request must resolve
@@ -172,6 +182,19 @@ fn chaos_scenario_inner(seed: u64, handle: FaultHandle) {
         "seed {seed}: accepted requests not all resolved"
     );
     assert_eq!(snap.counter("requests_accepted"), accepted);
+
+    // Durable mode: the admission ledger on disk agrees with the
+    // metrics ledger — every accepted request's record was acked.
+    if let Some(dir) = &queue_dir {
+        let (_, report) = DiskQueue::open(DiskQueueConfig::new(dir)).unwrap();
+        assert!(
+            report.pending.is_empty(),
+            "seed {seed}: {} durable records unresolved after a clean shutdown",
+            report.pending.len()
+        );
+        assert_eq!(report.double_acks, 0, "seed {seed}: double ack journaled");
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 /// Dump names are unique per `(test, seed)` so two suites sweeping the
@@ -210,7 +233,21 @@ fn with_watchdog(seed: u64, f: impl FnOnce() + Send + 'static) {
 #[test]
 fn chaos_seed_matrix_resolves_every_request() {
     for seed in seed_matrix() {
-        with_watchdog(seed, move || chaos_scenario("seed-matrix", seed));
+        with_watchdog(seed, move || chaos_scenario("seed-matrix", seed, None));
+    }
+}
+
+#[test]
+fn chaos_seed_matrix_with_disk_queue_stays_durable() {
+    // The same seed matrix, admitted through the disk-backed durable
+    // queue: the resilience invariants must hold unchanged, and the
+    // on-disk ledger must drain to empty with zero double acks.
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos-durable");
+    for seed in seed_matrix() {
+        let dir = root.join(format!("queue-seed-{seed}"));
+        with_watchdog(seed, move || {
+            chaos_scenario("seed-matrix-durable", seed, Some(dir));
+        });
     }
 }
 
@@ -307,6 +344,6 @@ proptest! {
     /// proptest's own case generation).
     #[test]
     fn chaos_any_seed_resolves(seed in 0u64..(1 << 32)) {
-        with_watchdog(seed, move || chaos_scenario("any-seed", seed));
+        with_watchdog(seed, move || chaos_scenario("any-seed", seed, None));
     }
 }

@@ -41,6 +41,7 @@ pub const TRACKED: &[(&str, &str)] = &[
     ("condor-check", "crates/check/src"),
     ("condor-faults", "crates/faults/src"),
     ("condor-kernels", "crates/kernels/src"),
+    ("condor-queue", "crates/queue/src"),
 ];
 
 /// Repo root, derived from this crate's own manifest location.
