@@ -225,6 +225,42 @@ pub const METRICS: &[MetricSpec] = &[
         kind: MetricKind::Gauge,
         help: "AIMD concurrency limit of one fleet instance",
     },
+    // Overload control & graceful degradation.
+    MetricSpec {
+        name: "requests_shed",
+        kind: MetricKind::Counter,
+        help: "accepted requests shed under overload (CoDel or breaker)",
+    },
+    MetricSpec {
+        name: "requests_shed_interactive",
+        kind: MetricKind::Counter,
+        help: "Interactive-class requests shed under overload",
+    },
+    MetricSpec {
+        name: "requests_shed_standard",
+        kind: MetricKind::Counter,
+        help: "Standard-class requests shed under overload",
+    },
+    MetricSpec {
+        name: "requests_shed_batch",
+        kind: MetricKind::Counter,
+        help: "Batch-class requests shed under overload",
+    },
+    MetricSpec {
+        name: "breaker{}_state",
+        kind: MetricKind::Gauge,
+        help: "circuit-breaker state of one fleet instance (0 closed, 1 open, 2 half-open)",
+    },
+    MetricSpec {
+        name: "brownout_active",
+        kind: MetricKind::Gauge,
+        help: "1 while the INT8 brownout lane is serving, else 0",
+    },
+    MetricSpec {
+        name: "queue_sojourn_us",
+        kind: MetricKind::Histogram,
+        help: "time requests spend in the classed admission queue",
+    },
 ];
 
 #[derive(Debug, Default)]

@@ -114,6 +114,21 @@ pub const SITES: &[SiteSpec] = &[
         layer: "queue",
         doc: "closing a full queue segment and opening its successor",
     },
+    SiteSpec {
+        name: "shed.codel",
+        layer: "serve",
+        doc: "forces a CoDel shed decision on the next admission-queue dequeue",
+    },
+    SiteSpec {
+        name: "breaker.probe",
+        layer: "serve",
+        doc: "suppresses half-open breaker probes while firing (holds a breaker open)",
+    },
+    SiteSpec {
+        name: "brownout.switch",
+        layer: "serve",
+        doc: "forces brownout mode active on the next controller poll",
+    },
 ];
 
 /// Collapses every `{...}` placeholder (named format captures included)

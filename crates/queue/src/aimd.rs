@@ -224,6 +224,24 @@ impl AimdController {
         self.congest()
     }
 
+    /// Collapses the limit straight to [`AimdConfig::min_limit`],
+    /// bypassing the cooldown — the composition point with a circuit
+    /// breaker: when the instance's breaker trips open there is no
+    /// point stepping the sawtooth down a halving at a time, the
+    /// instance is sick *now*. Recovery still climbs additively, so a
+    /// reopened instance is re-trusted gradually, not all at once.
+    pub fn collapse(&self) -> usize {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        if state.limit > self.config.min_limit {
+            state.limit = self.config.min_limit;
+            state.decreases += 1;
+        }
+        state.last_decrease = Some(now);
+        state.last_change = now;
+        state.limit
+    }
+
     fn congest(&self) -> usize {
         let now = self.clock.now();
         let mut state = self.state.lock();
@@ -316,6 +334,21 @@ mod tests {
         let ctl = controller(&clock);
         assert_eq!(ctl.on_congestion(), 8);
         assert_eq!(ctl.decreases(), 1);
+    }
+
+    #[test]
+    fn collapse_drops_to_the_floor_and_recovers_additively() {
+        let clock = Arc::new(MockClock::new());
+        let ctl = controller(&clock);
+        assert_eq!(ctl.limit(), 16);
+        assert_eq!(ctl.collapse(), 1, "straight to min, no cooldown");
+        assert_eq!(ctl.decreases(), 1);
+        // A second collapse at the floor changes nothing.
+        assert_eq!(ctl.collapse(), 1);
+        assert_eq!(ctl.decreases(), 1);
+        // Recovery is the usual additive climb from the floor.
+        clock.advance(Duration::from_millis(120));
+        assert_eq!(ctl.observe(Duration::from_millis(1)), 2);
     }
 
     #[test]

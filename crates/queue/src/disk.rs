@@ -25,7 +25,7 @@
 
 use crate::crash::{die, CrashOp, CrashPoint};
 use crate::frame;
-use crate::QueueError;
+use crate::{Priority, QueueError};
 use condor_faults::FaultHandle;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -94,6 +94,8 @@ impl DiskQueueConfig {
 pub struct PendingRecord {
     /// The record id [`DiskQueue::append`] returned.
     pub id: u64,
+    /// The priority class the record was accepted at.
+    pub class: Priority,
     /// The payload exactly as appended.
     pub payload: Vec<u8>,
 }
@@ -209,19 +211,31 @@ impl DiskQueue {
 
         // Data segments, in index order, each truncated to its clean
         // prefix. A header-less file (crashed rotation) resets to a
-        // valid empty segment.
+        // valid empty segment — but a file that names a *different
+        // format version* is an old queue, not a crash artifact:
+        // refuse it as a typed error rather than wiping real records.
         let mut indices: Vec<u64> = fs::read_dir(&dir)?
             .flatten()
             .filter_map(|e| parse_seg_index(&e.file_name().to_string_lossy()))
             .collect();
         indices.sort_unstable();
         let mut truncated_bytes = 0u64;
-        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut records: Vec<(u64, u8, Vec<u8>)> = Vec::new();
         let mut segments: Vec<SegmentMeta> = Vec::new();
         for index in indices {
             let path = seg_path(&dir, index);
             let data = fs::read(&path)?;
             let scan = frame::scan_segment(&data);
+            if !scan.header_ok && scan.version != 0 {
+                return Err(QueueError::Corrupt(format!(
+                    "segment {} has on-disk format version {}; this build reads \
+                     version {} — drain it with a matching build or point the \
+                     queue at a fresh directory",
+                    path.display(),
+                    scan.version,
+                    frame::FORMAT_VERSION
+                )));
+            }
             if scan.clean_len < data.len() {
                 truncated_bytes += (data.len() - scan.clean_len) as u64;
                 let f = OpenOptions::new().write(true).open(&path)?;
@@ -234,7 +248,7 @@ impl DiskQueue {
                 f.write_all(&frame::encode_segment_header(index))?;
                 let _ = f.sync_all();
             }
-            let next_after = scan.records.last().map(|(id, _)| id + 1).unwrap_or(0);
+            let next_after = scan.records.last().map(|(id, _, _)| id + 1).unwrap_or(0);
             records.extend(scan.records);
             segments.push(SegmentMeta { index, next_after });
         }
@@ -254,6 +268,15 @@ impl DiskQueue {
         match fs::read(&ack_path) {
             Ok(data) => {
                 let scan = frame::scan_acks(&data);
+                if !scan.header_ok && scan.version != 0 {
+                    return Err(QueueError::Corrupt(format!(
+                        "ack journal {} has on-disk format version {}; this build \
+                         reads version {}",
+                        ack_path.display(),
+                        scan.version,
+                        frame::FORMAT_VERSION
+                    )));
+                }
                 if scan.clean_len < data.len() {
                     truncated_bytes += (data.len() - scan.clean_len) as u64;
                     let f = OpenOptions::new().write(true).open(&ack_path)?;
@@ -296,13 +319,17 @@ impl DiskQueue {
         }
 
         // Derive the pending set and the id horizon.
-        records.sort_by_key(|(id, _)| *id);
-        records.dedup_by_key(|(id, _)| *id);
-        let next_id = ckpt_next_id.max(records.last().map(|(id, _)| id + 1).unwrap_or(0));
+        records.sort_by_key(|(id, _, _)| *id);
+        records.dedup_by_key(|(id, _, _)| *id);
+        let next_id = ckpt_next_id.max(records.last().map(|(id, _, _)| id + 1).unwrap_or(0));
         let pending: Vec<PendingRecord> = records
             .into_iter()
-            .filter(|(id, _)| *id >= acked_below && !acked.contains(id))
-            .map(|(id, payload)| PendingRecord { id, payload })
+            .filter(|(id, _, _)| *id >= acked_below && !acked.contains(id))
+            .map(|(id, class, payload)| PendingRecord {
+                id,
+                class: Priority::from_class(class),
+                payload,
+            })
             .collect();
 
         // Reclaim segments wholly below the acked prefix (keep the
@@ -378,17 +405,17 @@ impl DiskQueue {
         Ok((queue, report))
     }
 
-    /// Appends one record durably and returns its id. Only after this
-    /// returns may the request be reported as accepted: the frame is
-    /// written and (by default) fsynced. On an fsync error the record
-    /// state is *unknown* — the caller must fail the request, and the
-    /// record may legally reappear as pending after a restart
-    /// (at-least-once).
-    pub fn append(&self, payload: &[u8]) -> Result<u64, QueueError> {
+    /// Appends one record durably at a priority class and returns its
+    /// id. Only after this returns may the request be reported as
+    /// accepted: the frame is written and (by default) fsynced. On an
+    /// fsync error the record state is *unknown* — the caller must
+    /// fail the request, and the record may legally reappear as
+    /// pending after a restart (at-least-once).
+    pub fn append(&self, payload: &[u8], class: Priority) -> Result<u64, QueueError> {
         self.config.faults.gate("queue.append").map_err(fault_err)?;
         let mut inner = self.inner.lock();
         let id = inner.next_id;
-        let frame_bytes = frame::encode_record(id, payload);
+        let frame_bytes = frame::encode_record(id, class.as_class(), payload);
         if inner.tail_len + frame_bytes.len() as u64 > self.config.segment_bytes
             && inner.tail_len > frame::FILE_HEADER_LEN as u64
         {
@@ -650,7 +677,7 @@ mod tests {
         let (queue, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
         assert!(report.pending.is_empty());
         for i in 0u8..5 {
-            let id = queue.append(&[i; 8]).unwrap();
+            let id = queue.append(&[i; 8], Priority::Standard).unwrap();
             assert_eq!(id, i as u64);
         }
         assert_eq!(queue.depth(), 5);
@@ -667,7 +694,7 @@ mod tests {
         assert_eq!(ids, vec![2, 4]);
         assert_eq!(report.pending[0].payload, vec![2u8; 8]);
         // New ids continue after the recovered horizon.
-        assert_eq!(queue.append(b"next").unwrap(), 5);
+        assert_eq!(queue.append(b"next", Priority::Standard).unwrap(), 5);
         assert!(queue.ack(2).unwrap());
         assert!(queue.ack(4).unwrap());
         assert!(queue.ack(5).unwrap());
@@ -680,7 +707,7 @@ mod tests {
     fn double_ack_is_refused_without_a_journal_write() {
         let dir = tmp_dir("double");
         let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
-        let id = queue.append(b"x").unwrap();
+        let id = queue.append(b"x", Priority::Standard).unwrap();
         assert!(queue.ack(id).unwrap());
         assert!(!queue.ack(id).unwrap());
         assert_eq!(queue.stats().double_acks, 1);
@@ -695,7 +722,9 @@ mod tests {
     fn segments_rotate_and_fully_acked_ones_are_reclaimed() {
         let dir = tmp_dir("rotate");
         let (queue, _) = DiskQueue::open(small_config(&dir)).unwrap();
-        let ids: Vec<u64> = (0..12).map(|_| queue.append(&[7u8; 40]).unwrap()).collect();
+        let ids: Vec<u64> = (0..12)
+            .map(|_| queue.append(&[7u8; 40], Priority::Batch).unwrap())
+            .collect();
         let stats = queue.stats();
         assert!(stats.rotations >= 2, "tiny segments must rotate: {stats:?}");
         for id in &ids {
@@ -725,7 +754,7 @@ mod tests {
         let dir = tmp_dir("torn");
         let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
         for i in 0u8..3 {
-            queue.append(&[i; 16]).unwrap();
+            queue.append(&[i; 16], Priority::Standard).unwrap();
         }
         drop(queue);
         // Simulate a torn final frame: garbage after the clean prefix.
@@ -739,7 +768,7 @@ mod tests {
         assert!(report.truncated_bytes > 0);
         assert!(fs::metadata(&path).unwrap().len() < before);
         // Appending after the repair keeps working and recovering.
-        queue.append(b"after-repair").unwrap();
+        queue.append(b"after-repair", Priority::Standard).unwrap();
         drop(queue);
         let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
         assert_eq!(report.pending.len(), 4);
@@ -755,9 +784,12 @@ mod tests {
             .install();
         let (queue, _) =
             DiskQueue::open(DiskQueueConfig::new(&dir).with_faults(handle.clone())).unwrap();
-        assert!(queue.append(b"ok").is_ok());
-        assert!(matches!(queue.append(b"boom"), Err(QueueError::Fault(_))));
-        assert!(queue.append(b"ok-again").is_ok());
+        assert!(queue.append(b"ok", Priority::Standard).is_ok());
+        assert!(matches!(
+            queue.append(b"boom", Priority::Standard),
+            Err(QueueError::Fault(_))
+        ));
+        assert!(queue.append(b"ok-again", Priority::Standard).is_ok());
         assert!(matches!(queue.checkpoint(), Err(QueueError::Fault(_))));
         assert_eq!(queue.stats().checkpoint_failures, 1);
         // The failed checkpoint changed nothing durable: recovery still
@@ -769,16 +801,57 @@ mod tests {
     }
 
     #[test]
+    fn priority_class_survives_recovery() {
+        let dir = tmp_dir("class");
+        let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+        queue.append(b"ui", Priority::Interactive).unwrap();
+        queue.append(b"api", Priority::Standard).unwrap();
+        queue.append(b"etl", Priority::Batch).unwrap();
+        drop(queue);
+        let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+        let classes: Vec<Priority> = report.pending.iter().map(|p| p.class).collect();
+        assert_eq!(
+            classes,
+            vec![Priority::Interactive, Priority::Standard, Priority::Batch]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_directory_is_refused_not_wiped() {
+        let dir = tmp_dir("v1");
+        fs::create_dir_all(&dir).unwrap();
+        // A CQR1-era segment: same magic, version 1, one legacy frame.
+        let mut file = frame::encode_segment_header(0).to_vec();
+        file[4..8].copy_from_slice(&1u32.to_le_bytes());
+        file.extend_from_slice(b"CQR1legacy-frame-bytes");
+        let path = seg_path(&dir, 0);
+        fs::write(&path, &file).unwrap();
+        let before = fs::read(&path).unwrap();
+        match DiskQueue::open(DiskQueueConfig::new(&dir)) {
+            Err(QueueError::Corrupt(msg)) => assert!(msg.contains("version 1"), "{msg}"),
+            Err(other) => panic!("v1 segment must refuse with Corrupt: {other}"),
+            Ok(_) => panic!("v1 segment must refuse to open"),
+        }
+        // The refusal must not have modified the old data.
+        assert_eq!(fs::read(&path).unwrap(), before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn fsync_faults_surface_on_the_append_path() {
         let dir = tmp_dir("fsync-fault");
         let handle = FaultPlan::new(0xF2)
             .rule(FaultRule::at("queue.fsync").nth_call(0).fail_transient())
             .install();
         let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir).with_faults(handle)).unwrap();
-        assert!(matches!(queue.append(b"unsure"), Err(QueueError::Fault(_))));
+        assert!(matches!(
+            queue.append(b"unsure", Priority::Standard),
+            Err(QueueError::Fault(_))
+        ));
         // The record's durability was unknown; recovery may surface it
         // (at-least-once), and the queue must keep serving new appends.
-        let id = queue.append(b"sure").unwrap();
+        let id = queue.append(b"sure", Priority::Standard).unwrap();
         assert!(queue.ack(id).unwrap());
         fs::remove_dir_all(&dir).unwrap();
     }

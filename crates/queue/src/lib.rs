@@ -31,13 +31,75 @@
 #![forbid(unsafe_code)]
 
 pub mod aimd;
+pub mod breaker;
 pub mod crash;
 pub mod disk;
 pub mod frame;
 
 pub use aimd::{AimdConfig, AimdController};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use crash::{CrashOp, CrashPoint, CRASH_POINT_ENV};
 pub use disk::{DiskQueue, DiskQueueConfig, PendingRecord, QueueStats, RecoveryReport};
+
+/// The priority class of one admitted request.
+///
+/// Classes order dispatch (`Interactive` first) and shedding
+/// (`Batch` first) — the latency-driven vs throughput-driven axis of
+/// the fpgaConvNet design space, applied at admission time. The class
+/// is durable: it rides inside the `CQR2` record frame under the
+/// checksum, so a redelivered request re-enters at the class it was
+/// accepted at.
+///
+/// The derived `Ord` ranks by *urgency*: `Interactive < Standard <
+/// Batch`, so "lowest class" (shed first) is the `Ord`-largest value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive traffic: dispatched first, shed last.
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput traffic: dispatched under aging, shed first.
+    Batch,
+}
+
+impl Priority {
+    /// Every class, most-urgent first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Number of classes (array-index bound for per-class state).
+    pub const COUNT: usize = 3;
+
+    /// The class's dense index (0 = most urgent).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The on-disk class byte of the `CQR2` record frame.
+    pub fn as_class(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes an on-disk class byte. Unknown bytes (a future class
+    /// this build does not know) degrade to `Standard` rather than
+    /// failing the record: the payload is still checksum-clean.
+    pub fn from_class(class: u8) -> Priority {
+        match class {
+            0 => Priority::Interactive,
+            2 => Priority::Batch,
+            _ => Priority::Standard,
+        }
+    }
+
+    /// Stable lower-case label (metrics and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
 
 /// Which admission queue a server or fleet runs on.
 #[derive(Clone, Debug, Default)]

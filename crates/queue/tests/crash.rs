@@ -22,7 +22,7 @@
 
 #![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
 
-use condor_queue::{CrashOp, DiskQueue, DiskQueueConfig, CRASH_POINT_ENV};
+use condor_queue::{CrashOp, DiskQueue, DiskQueueConfig, Priority, CRASH_POINT_ENV};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -41,6 +41,12 @@ fn child_config(dir: &Path) -> DiskQueueConfig {
 fn payload_for(id: u64) -> Vec<u8> {
     let len = 16 + (id % 48) as usize;
     (0..len).map(|k| (id as usize * 31 + k) as u8).collect()
+}
+
+/// Deterministic class per id, cycling all three, so recovery can also
+/// verify the CQR2 class byte survived the crash.
+fn class_for(id: u64) -> Priority {
+    Priority::ALL[(id % 3) as usize]
 }
 
 fn seeds() -> Vec<u64> {
@@ -77,7 +83,7 @@ fn crash_child() {
     }
     for _ in 0..2000 {
         let id = queue.stats().next_id;
-        let appended = queue.append(&payload_for(id)).unwrap();
+        let appended = queue.append(&payload_for(id), class_for(id)).unwrap();
         assert_eq!(appended, id);
         if id >= 3 {
             // Refused double acks of recovered ids return Ok(false);
@@ -131,6 +137,12 @@ fn kill9_matrix_recovers_cleanly() {
                 rec.payload,
                 payload_for(rec.id),
                 "seed {seed}: payload of record {} corrupted",
+                rec.id
+            );
+            assert_eq!(
+                rec.class,
+                class_for(rec.id),
+                "seed {seed}: priority class of record {} not preserved",
                 rec.id
             );
         }

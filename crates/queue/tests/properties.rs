@@ -6,7 +6,7 @@
 
 #![allow(clippy::unwrap_used)] // test code: unwrap is the assertion
 
-use condor_queue::{frame, DiskQueue, DiskQueueConfig};
+use condor_queue::{frame, DiskQueue, DiskQueueConfig, Priority};
 use proptest::prelude::*;
 use std::fs;
 use std::path::PathBuf;
@@ -38,8 +38,8 @@ fn truncation_at_every_byte_offset_recovers_the_clean_prefix() {
     let payloads: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 5 + i as usize * 3]).collect();
     {
         let (queue, _) = DiskQueue::open(quick(&dir)).unwrap();
-        for p in &payloads {
-            queue.append(p).unwrap();
+        for (i, p) in payloads.iter().enumerate() {
+            queue.append(p, Priority::ALL[i % 3]).unwrap();
         }
     }
     let full = fs::read(dir.join("seg-00000000.cq")).unwrap();
@@ -92,7 +92,7 @@ proptest! {
         let mut data = frame::encode_segment_header(3).to_vec();
         let mut bounds = vec![data.len()];
         for (i, p) in payloads.iter().enumerate() {
-            data.extend_from_slice(&frame::encode_record(i as u64, p));
+            data.extend_from_slice(&frame::encode_record(i as u64, (i % 3) as u8, p));
             bounds.push(data.len());
         }
         for cut in 0..=data.len() {
@@ -105,8 +105,9 @@ proptest! {
                 prop_assert!(scan.header_ok);
                 prop_assert_eq!(scan.records.len(), complete);
                 prop_assert_eq!(scan.clean_len, bounds[complete]);
-                for (k, (id, payload)) in scan.records.iter().enumerate() {
+                for (k, (id, class, payload)) in scan.records.iter().enumerate() {
                     prop_assert_eq!(*id, k as u64);
+                    prop_assert_eq!(*class, (k % 3) as u8);
                     prop_assert_eq!(payload, &payloads[k]);
                 }
             }
@@ -128,8 +129,8 @@ proptest! {
             .with_checkpoint_every(checkpoint_every);
         {
             let (queue, _) = DiskQueue::open(config.clone()).unwrap();
-            for p in &payloads {
-                queue.append(p).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                queue.append(p, Priority::ALL[i % 3]).unwrap();
             }
             for (id, acked) in ack_mask.iter().enumerate().take(payloads.len()) {
                 if *acked {
@@ -146,6 +147,7 @@ proptest! {
         prop_assert_eq!(report.double_acks, 0);
         for rec in &report.pending {
             prop_assert_eq!(&rec.payload, &payloads[rec.id as usize]);
+            prop_assert_eq!(rec.class, Priority::ALL[rec.id as usize % 3]);
         }
         let _ = fs::remove_dir_all(&dir);
     }
@@ -165,7 +167,7 @@ proptest! {
         {
             let (queue, _) = DiskQueue::open(config.clone()).unwrap();
             for i in 0..n {
-                queue.append(&[i as u8; 9]).unwrap();
+                queue.append(&[i as u8; 9], Priority::Standard).unwrap();
             }
             for id in 0..ack_upto {
                 prop_assert!(queue.ack(id as u64).unwrap());
@@ -198,7 +200,7 @@ proptest! {
         {
             let (queue, _) = DiskQueue::open(config.clone()).unwrap();
             for i in 0..n {
-                queue.append(&[i as u8; 5]).unwrap();
+                queue.append(&[i as u8; 5], Priority::Standard).unwrap();
             }
             for id in 0..ack_upto {
                 prop_assert!(queue.ack(id as u64).unwrap());

@@ -1,48 +1,72 @@
 //! Fleet-level resilience: N independent F1 deployments behind one
-//! submit queue, with instance-level health scoring, automatic
-//! failover of in-flight requests, and background re-provisioning of
-//! failed instances.
+//! priority-classed admission queue, with per-instance circuit
+//! breakers, automatic failover of in-flight requests, and background
+//! re-provisioning of failed instances.
 //!
 //! The paper deploys one AFI on one F1 instance; a production service
 //! runs several, because an instance can be lost whole — a crashed
 //! host, a wedged FPGA slot, a revoked spot reservation — taking every
 //! lane of its [`InferenceServer`] with it. This module promotes the
 //! health model one level: where the server quarantines a *lane*, the
-//! [`Fleet`] quarantines an *instance*, migrates the requests that were
-//! riding on it to a healthy peer, and asks its
-//! [`InstanceProvisioner`] for a fresh deployment in the background.
+//! [`Fleet`] quarantines an *instance* behind a
+//! [`CircuitBreaker`], migrates the requests that were riding on it to
+//! a healthy peer, and asks its [`InstanceProvisioner`] for a fresh
+//! deployment in the background.
 //!
 //! Lifecycle of a failure:
 //!
 //! 1. a router thread dispatches a request to instance *k* and the
 //!    reply is a terminal backend error (the server already burned its
 //!    in-worker retries);
-//! 2. the fleet records the failure against *k*'s current generation —
-//!    stale reports against an already-replaced generation are ignored
-//!    — and after [`FleetConfig::instance_failure_threshold`]
-//!    consecutive failures marks the instance unhealthy
-//!    (`instance_failed_over`);
+//! 2. the fleet reports the failure to *k*'s breaker — stale reports
+//!    against an already-replaced generation are ignored — and when
+//!    the breaker trips (consecutive failures or window failure rate),
+//!    the instance is marked unhealthy (`instance_failed_over`), its
+//!    AIMD limit collapses to the floor, and the supervisor is asked
+//!    for a replacement;
 //! 3. the request migrates to the healthiest remaining instance
-//!    (`requests_migrated`) and completes there;
-//! 4. the supervisor thread drains the dead server, waits
+//!    (`requests_migrated`) and completes there; while a breaker is
+//!    Open its instance is refused outright, and once every routable
+//!    path is refused the request is shed as
+//!    [`ShedReason::BreakerOpen`] instead of burning its deadline;
+//! 4. an Open breaker times out into HalfOpen and the routers admit a
+//!    bounded number of *probes* (suppressed by the `breaker.probe`
+//!    fault site); enough probe successes close the breaker in place —
+//!    otherwise the supervisor thread drains the dead server, waits
 //!    [`FleetConfig::reprovision_backoff`], provisions generation
-//!    *g+1* and swaps it in healthy (`instance_reprovisioned`).
+//!    *g+1*, resets the breaker and swaps the replacement in healthy
+//!    (`instance_reprovisioned`).
 //!
 //! Every instance generation gets a unique fault-site prefix,
 //! `fleet{replica}g{generation}.`, so a chaos plan can kill exactly
 //! one incarnation: a rule at `fleet0g0.serve.` fails instance 0's
 //! first generation and leaves its replacement alone.
 //!
+//! Admission is the same classed queue the single server uses:
+//! strict-priority with aging, CoDel shedding on sojourn time
+//! (`requests_shed{class}`, lowest class first), and — in disk-queue
+//! mode — priority-then-FIFO redelivery of the recovered backlog with
+//! expired records failed and acked instead of served late.
+//!
 //! The ledger invariant of the single server carries over: every
 //! accepted request is answered exactly once, and
 //! `requests_accepted == requests_completed + requests_failed +
-//! requests_timed_out` holds on the final snapshot.
+//! requests_timed_out + requests_shed` holds on the final snapshot.
 
-use crate::{durable, queue_err, InferenceServer, PendingInference, ServeConfig, ServeError};
+use crate::admission::{AdmissionQueue, PopOutcome, PushError, Shed};
+use crate::{
+    count_shed, durable, queue_err, InferenceServer, PendingInference, ServeConfig, ServeError,
+    ServeReply, ShedReason,
+};
 use condor::{CondorError, ExecutionBackend, MetricsRegistry, MetricsSnapshot};
-use condor_queue::{AimdConfig, AimdController, DiskQueue, QueueBackend};
+use condor_faults::retry::SystemClock;
+use condor_faults::FaultHandle;
+use condor_queue::{
+    AimdConfig, AimdController, BreakerConfig, BreakerState, CircuitBreaker, DiskQueue, Priority,
+    QueueBackend,
+};
 use condor_tensor::Tensor;
-use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -89,15 +113,17 @@ pub struct FleetConfig {
     /// Independent instances to provision.
     pub replicas: usize,
     /// Fewest healthy instances required to accept new requests; below
-    /// this, [`Fleet::submit`] sheds load with [`ServeError::Overloaded`].
+    /// this, [`Fleet::submit`] sheds load with
+    /// [`ShedReason::MinHealthyFloor`].
     pub min_healthy: usize,
     /// Pause before re-provisioning a failed instance (real AFIs load
     /// in seconds; tests use milliseconds).
     pub reprovision_backoff: Duration,
-    /// Consecutive terminal failures before an instance fails over.
-    /// Must be ≥ 1: the builder clamps, and a struct-literal
-    /// constructor is responsible for keeping it so (debug builds
-    /// assert at startup).
+    /// Consecutive terminal failures before an instance fails over —
+    /// the trip threshold of the default circuit breaker when
+    /// [`FleetConfig::breaker`] is unset. Must be ≥ 1: the builder
+    /// clamps, and a struct-literal constructor is responsible for
+    /// keeping it so (debug builds assert at startup).
     pub instance_failure_threshold: usize,
     /// Router threads draining the fleet queue (each carries one
     /// request end-to-end, migrating it on failure). Must be ≥ 1: the
@@ -110,7 +136,9 @@ pub struct FleetConfig {
     pub queue_capacity: usize,
     /// Per-instance serving configuration (the fleet overrides its
     /// `site_prefix` per instance generation and forces the instance
-    /// queue to in-memory — durability lives at the fleet level).
+    /// queue to in-memory — durability lives at the fleet level). Its
+    /// `codel` and `aging_limit` knobs also govern the fleet's own
+    /// admission queue.
     pub serve: ServeConfig,
     /// Which admission queue backs [`Fleet::submit`]: in-memory
     /// (default) or a crash-safe disk queue.
@@ -118,8 +146,14 @@ pub struct FleetConfig {
     /// When set, per-instance AIMD controllers replace static trust in
     /// `router_threads`/`queue_capacity`: each instance's concurrency
     /// limit shrinks multiplicatively on slow or failed dispatches and
-    /// recovers additively while it stays fast.
+    /// recovers additively while it stays fast. A tripped breaker
+    /// collapses its instance's limit to the floor.
     pub adaptive: Option<AimdConfig>,
+    /// Explicit per-instance circuit-breaker tuning. When unset, a
+    /// default breaker trips after `instance_failure_threshold`
+    /// consecutive failures (the legacy semantics, plus rate tripping
+    /// and half-open recovery).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for FleetConfig {
@@ -134,6 +168,7 @@ impl Default for FleetConfig {
             serve: ServeConfig::default(),
             queue: QueueBackend::InMemory,
             adaptive: None,
+            breaker: None,
         }
     }
 }
@@ -192,6 +227,22 @@ impl FleetConfig {
         self.adaptive = Some(config);
         self
     }
+
+    /// Sets explicit per-instance circuit-breaker tuning.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// The breaker config every instance starts with: the explicit one
+    /// when set, otherwise the legacy consecutive-failure threshold.
+    fn breaker_config(&self) -> BreakerConfig {
+        self.breaker.clone().unwrap_or_else(|| {
+            BreakerConfig::default().with_consecutive_failures(
+                u32::try_from(self.instance_failure_threshold).unwrap_or(u32::MAX),
+            )
+        })
+    }
 }
 
 /// One fleet slot: the live server (absent while re-provisioning), its
@@ -200,15 +251,15 @@ struct InstanceSlot {
     server: Option<Arc<InferenceServer>>,
     generation: u64,
     healthy: bool,
-    consecutive_failures: usize,
 }
 
 /// A request riding the fleet queue.
 struct FleetRequest {
     tensor: Tensor,
+    class: Priority,
     enqueued: Instant,
     deadline: Instant,
-    reply: Sender<Result<Tensor, ServeError>>,
+    reply: Sender<Result<ServeReply, ServeError>>,
     /// Present in disk-queue mode: the durable record backing this
     /// request, acked only on resolution.
     ticket: Option<FleetTicket>,
@@ -224,7 +275,7 @@ struct FleetTicket {
 /// record, strictly after the reply lands in the caller's channel.
 fn resolve_fleet(
     request: FleetRequest,
-    result: Result<Tensor, ServeError>,
+    result: Result<ServeReply, ServeError>,
     metrics: &MetricsRegistry,
 ) {
     let _ = request.reply.send(result);
@@ -254,7 +305,10 @@ struct FleetShared {
     metrics: MetricsRegistry,
     supervisor_tx: Sender<SupervisorMsg>,
     rr: AtomicUsize,
-    threshold: usize,
+    /// One circuit breaker per replica, surviving generations (reset
+    /// by the supervisor when a replacement swaps in).
+    breakers: Vec<CircuitBreaker>,
+    faults: FaultHandle,
     /// One AIMD controller per replica when adaptive concurrency is on.
     aimd: Option<Vec<AimdController>>,
 }
@@ -270,15 +324,29 @@ impl FleetShared {
             .count()
     }
 
+    /// Publishes one replica's breaker state as the `breaker{}_state`
+    /// gauge (0 closed, 1 open, 2 half-open).
+    fn breaker_gauge(&self, replica: usize) {
+        let state = self.breakers[replica].state();
+        self.metrics
+            .set_gauge(&format!("breaker{replica}_state"), state.as_gauge() as f64);
+    }
+
     /// Picks the healthy instance with the least in-flight work
-    /// (round-robin tie-break); falls back to *any* live instance when
-    /// none is healthy — liveness beats health when there is no healthy
-    /// choice. Returns the slot index, its server and its generation.
-    fn pick(&self, avoid: Option<usize>) -> Option<(usize, Arc<InferenceServer>, u64)> {
+    /// (round-robin tie-break). An Open breaker refuses its instance
+    /// outright — not even as a fallback; a HalfOpen breaker admits it
+    /// only as a last-resort *probe* (bounded by the breaker, and
+    /// suppressed while the `breaker.probe` fault site fires). Among
+    /// the closed-breaker instances, unhealthy or AIMD-saturated ones
+    /// are demoted to fallbacks — liveness beats health when there is
+    /// no healthy choice. Returns the slot index, its server, its
+    /// generation, and whether this dispatch is a breaker probe.
+    fn pick(&self, avoid: Option<usize>) -> Option<(usize, Arc<InferenceServer>, u64, bool)> {
         let start = self.rr.fetch_add(1, Ordering::Relaxed);
         let n = self.slots.len();
         let mut best: Option<(usize, Arc<InferenceServer>, u64, usize)> = None;
         let mut fallback: Option<(usize, Arc<InferenceServer>, u64)> = None;
+        let mut half_open: Option<(usize, Arc<InferenceServer>, u64)> = None;
         for off in 0..n {
             let i = (start + off) % n;
             let slot = self.slots[i].lock();
@@ -287,6 +355,16 @@ impl FleetShared {
             };
             if Some(i) == avoid && n > 1 {
                 continue;
+            }
+            match self.breakers[i].state() {
+                BreakerState::Open => continue,
+                BreakerState::HalfOpen => {
+                    if half_open.is_none() {
+                        half_open = Some((i, Arc::clone(server), slot.generation));
+                    }
+                    continue;
+                }
+                BreakerState::Closed => {}
             }
             if !slot.healthy {
                 if fallback.is_none() {
@@ -311,23 +389,41 @@ impl FleetShared {
                 best = Some((i, Arc::clone(server), slot.generation, load));
             }
         }
-        best.map(|(i, s, g, _)| (i, s, g)).or(fallback)
+        if let Some((i, server, generation, _)) = best {
+            return Some((i, server, generation, false));
+        }
+        if let Some((i, server, generation)) = fallback {
+            return Some((i, server, generation, false));
+        }
+        // Last resort: ask a half-open breaker for a probe slot. The
+        // admit happens only here, when the probe will actually be
+        // dispatched, so probe slots cannot leak.
+        if let Some((i, server, generation)) = half_open {
+            if self.faults.check("breaker.probe").is_none() && self.breakers[i].admit() {
+                return Some((i, server, generation, true));
+            }
+        }
+        None
     }
 
-    /// Records a terminal failure against `(replica, generation)`. A
-    /// stale generation (the instance was already replaced) is ignored.
-    /// Crossing the threshold marks the instance unhealthy and asks the
-    /// supervisor for a replacement.
+    /// Reports a terminal failure against `(replica, generation)` to
+    /// its breaker. A stale generation (the instance was already
+    /// replaced) is ignored. A trip marks the instance unhealthy,
+    /// collapses its AIMD limit to the floor, and asks the supervisor
+    /// for a replacement.
     fn record_failure(&self, replica: usize, generation: u64) {
         let mut slot = self.slots[replica].lock();
         if slot.generation != generation {
             return;
         }
-        slot.consecutive_failures += 1;
-        if slot.healthy && slot.consecutive_failures >= self.threshold {
+        if self.breakers[replica].on_failure() {
             slot.healthy = false;
             self.metrics.incr("instance_failed_over", 1);
+            if let Some(controllers) = &self.aimd {
+                controllers[replica].collapse();
+            }
             drop(slot);
+            self.breaker_gauge(replica);
             let _ = self.supervisor_tx.send(SupervisorMsg::Reprovision {
                 replica,
                 generation,
@@ -335,11 +431,18 @@ impl FleetShared {
         }
     }
 
-    /// Clears the failure streak after a success on `(replica, generation)`.
+    /// Reports a success on `(replica, generation)` to its breaker.
+    /// When a half-open probe run closes the breaker, the instance
+    /// recovered in place — mark it healthy without reprovisioning.
     fn record_success(&self, replica: usize, generation: u64) {
         let mut slot = self.slots[replica].lock();
-        if slot.generation == generation {
-            slot.consecutive_failures = 0;
+        if slot.generation != generation {
+            return;
+        }
+        if self.breakers[replica].on_success() {
+            slot.healthy = true;
+            drop(slot);
+            self.breaker_gauge(replica);
         }
     }
 }
@@ -350,16 +453,17 @@ impl FleetShared {
 /// [`Fleet::metrics`] / [`Fleet::shutdown`]):
 ///
 /// * ledger — `requests_accepted`, `requests_completed`,
-///   `requests_failed`, `requests_timed_out`,
-///   `requests_rejected_overloaded`;
+///   `requests_failed`, `requests_timed_out`, `requests_shed` (plus
+///   per-class `requests_shed_*`), `requests_rejected_overloaded`;
 /// * resilience — `instance_failed_over`, `instance_reprovisioned`,
-///   `requests_migrated`;
-/// * placement — `instance{k}_completed` per replica.
+///   `requests_migrated`, per-replica `breaker{k}_state` gauges;
+/// * placement — `instance{k}_completed` per replica,
+///   `queue_sojourn_us` admission latency.
 pub struct Fleet {
     shared: Arc<FleetShared>,
     accepting: Arc<AtomicBool>,
     running: Arc<AtomicBool>,
-    submit_tx: Option<Sender<FleetRequest>>,
+    admission: Arc<AdmissionQueue<FleetRequest>>,
     routers: Vec<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
     config: FleetConfig,
@@ -430,17 +534,20 @@ impl Fleet {
                 server: Some(server),
                 generation: 0,
                 healthy: true,
-                consecutive_failures: 0,
             }));
             inflight.push(AtomicUsize::new(0));
         }
+        let breaker_config = config.breaker_config();
         let shared = Arc::new(FleetShared {
             slots,
             inflight,
             metrics: MetricsRegistry::new(),
             supervisor_tx: supervisor_tx.clone(),
             rr: AtomicUsize::new(0),
-            threshold: config.instance_failure_threshold,
+            breakers: (0..config.replicas)
+                .map(|_| CircuitBreaker::with_system_clock(breaker_config.clone()))
+                .collect(),
+            faults: config.serve.faults.clone(),
             aimd: config.adaptive.clone().map(|aimd_config| {
                 (0..config.replicas)
                     .map(|_| AimdController::with_system_clock(aimd_config.clone()))
@@ -450,13 +557,22 @@ impl Fleet {
 
         let accepting = Arc::new(AtomicBool::new(true));
         let running = Arc::new(AtomicBool::new(true));
-        let (submit_tx, submit_rx) = bounded::<FleetRequest>(config.queue_capacity);
+        // The same classed admission queue the single server uses:
+        // strict priority with aging, plus CoDel shedding when the
+        // serve config enables it.
+        let admission = Arc::new(AdmissionQueue::new(
+            config.queue_capacity,
+            config.serve.aging_limit,
+            config.serve.codel.clone(),
+            Arc::new(SystemClock),
+            config.serve.faults.clone(),
+        ));
         let routers = (0..config.router_threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = submit_rx.clone();
+                let queue = Arc::clone(&admission);
                 let replicas = config.replicas;
-                std::thread::spawn(move || router_loop(shared, rx, replicas))
+                std::thread::spawn(move || router_loop(shared, queue, replicas))
             })
             .collect();
 
@@ -480,7 +596,7 @@ impl Fleet {
                 let thread = spawn_fleet_redelivery(
                     Arc::clone(&queue),
                     report,
-                    submit_tx.clone(),
+                    Arc::clone(&admission),
                     Arc::clone(&shared),
                 );
                 (Some(queue), Some(thread))
@@ -491,7 +607,7 @@ impl Fleet {
             shared,
             accepting,
             running,
-            submit_tx: Some(submit_tx),
+            admission,
             routers,
             supervisor: Some(supervisor),
             config,
@@ -506,36 +622,62 @@ impl Fleet {
         self.shared.healthy_instances()
     }
 
-    /// Submits one image with the default timeout.
+    /// Submits one image with the default timeout at `Standard`
+    /// priority.
     pub fn submit(&self, tensor: Tensor) -> Result<PendingInference, ServeError> {
-        self.submit_with_timeout(tensor, self.config.serve.default_timeout)
+        self.submit_with_class(
+            tensor,
+            self.config.serve.default_timeout,
+            Priority::Standard,
+        )
     }
 
-    /// Submits one image with an explicit deadline. Sheds load when the
-    /// fleet queue is full or fewer than [`FleetConfig::min_healthy`]
-    /// instances are healthy.
+    /// Submits one image with an explicit deadline at `Standard`
+    /// priority.
     pub fn submit_with_timeout(
         &self,
         tensor: Tensor,
         timeout: Duration,
+    ) -> Result<PendingInference, ServeError> {
+        self.submit_with_class(tensor, timeout, Priority::Standard)
+    }
+
+    /// Submits one image with the default timeout at an explicit
+    /// priority class.
+    pub fn submit_with_priority(
+        &self,
+        tensor: Tensor,
+        class: Priority,
+    ) -> Result<PendingInference, ServeError> {
+        self.submit_with_class(tensor, self.config.serve.default_timeout, class)
+    }
+
+    /// Submits one image with an explicit deadline and priority class.
+    /// Sheds load when the fleet queue is full
+    /// ([`ShedReason::QueueFull`]) or fewer than
+    /// [`FleetConfig::min_healthy`] instances are healthy
+    /// ([`ShedReason::MinHealthyFloor`]).
+    pub fn submit_with_class(
+        &self,
+        tensor: Tensor,
+        timeout: Duration,
+        class: Priority,
     ) -> Result<PendingInference, ServeError> {
         if !self.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         if self.shared.healthy_instances() < self.config.min_healthy {
             self.shared.metrics.incr("requests_rejected_overloaded", 1);
-            return Err(ServeError::Overloaded);
+            return Err(ServeError::Overloaded(ShedReason::MinHealthyFloor));
         }
-        let tx = self
-            .submit_tx
-            .as_ref()
-            .expect("sender lives until shutdown");
-        // Disk-queue mode: durable before admission.
+        // Disk-queue mode: durable before admission, carrying the
+        // class (CQR2 frame) and the absolute deadline (payload).
         let ticket = match &self.durable {
             None => None,
             Some(queue) => {
-                let payload = durable::encode_request(&tensor, timeout);
-                let id = queue.append(&payload).map_err(queue_err)?;
+                let payload =
+                    durable::encode_request(&tensor, timeout, durable::deadline_epoch_us(timeout));
+                let id = queue.append(&payload, class).map_err(queue_err)?;
                 self.shared
                     .metrics
                     .set_gauge("disk_queue_depth", queue.depth() as f64);
@@ -549,22 +691,27 @@ impl Fleet {
         let now = Instant::now();
         let request = FleetRequest {
             tensor,
+            class,
             enqueued: now,
             deadline: now + timeout,
             reply: reply_tx,
             ticket,
         };
-        match tx.try_send(request) {
+        match self.admission.try_push(request, class) {
             Ok(()) => {
                 self.shared.metrics.incr("requests_accepted", 1);
                 Ok(PendingInference { rx: reply_rx })
             }
-            Err(TrySendError::Full(request)) => {
+            Err(PushError::Full(request)) => {
                 self.shared.metrics.incr("requests_rejected_overloaded", 1);
-                resolve_fleet(request, Err(ServeError::Overloaded), &self.shared.metrics);
-                Err(ServeError::Overloaded)
+                resolve_fleet(
+                    request,
+                    Err(ServeError::Overloaded(ShedReason::QueueFull)),
+                    &self.shared.metrics,
+                );
+                Err(ServeError::Overloaded(ShedReason::QueueFull))
             }
-            Err(TrySendError::Disconnected(request)) => {
+            Err(PushError::Closed(request)) => {
                 resolve_fleet(request, Err(ServeError::ShuttingDown), &self.shared.metrics);
                 Err(ServeError::ShuttingDown)
             }
@@ -577,13 +724,19 @@ impl Fleet {
     }
 
     /// Live fleet metrics (ledger, resilience counters, throughput,
-    /// adaptive-concurrency and durable-queue gauges).
+    /// breaker states, adaptive-concurrency and durable-queue gauges).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.shared.metrics.snapshot();
         let elapsed = self.started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
             let rps = snap.counter("requests_completed") as f64 / elapsed;
             snap.set_gauge("throughput_rps", rps);
+        }
+        for (i, breaker) in self.shared.breakers.iter().enumerate() {
+            snap.set_gauge(
+                &format!("breaker{i}_state"),
+                breaker.state().as_gauge() as f64,
+            );
         }
         if let Some(controllers) = &self.shared.aimd {
             let mut total = 0usize;
@@ -611,13 +764,13 @@ impl Fleet {
     fn stop(&mut self) {
         self.accepting.store(false, Ordering::SeqCst);
         self.running.store(false, Ordering::SeqCst);
-        // The redelivery thread holds a clone of the submit side: join
-        // it before dropping the sender so every recovered record is
-        // back in flight and the routers can drain it.
+        // The redelivery thread pushes into the admission queue: join
+        // it before closing so every recovered record is back in
+        // flight and the routers can drain it.
         if let Some(r) = self.redelivery.take() {
             let _ = r.join();
         }
-        drop(self.submit_tx.take());
+        self.admission.close();
         for r in self.routers.drain(..) {
             let _ = r.join();
         }
@@ -648,10 +801,34 @@ impl Drop for Fleet {
 }
 
 /// One router thread: carries each fleet request end-to-end, failing
-/// over to another instance when the serving one dies under it.
-fn router_loop(shared: Arc<FleetShared>, rx: Receiver<FleetRequest>, replicas: usize) {
-    while let Ok(request) = rx.recv() {
-        route_one(&shared, request, replicas);
+/// over to another instance when the serving one dies under it, and
+/// resolving any CoDel sheds the admission queue reports.
+fn router_loop(
+    shared: Arc<FleetShared>,
+    queue: Arc<AdmissionQueue<FleetRequest>>,
+    replicas: usize,
+) {
+    let mut sheds: Vec<Shed<FleetRequest>> = Vec::new();
+    loop {
+        let outcome = queue.pop(Duration::from_millis(20), &mut sheds);
+        for shed in sheds.drain(..) {
+            count_shed(&shared.metrics, shed.class);
+            resolve_fleet(
+                shed.item,
+                Err(ServeError::Overloaded(ShedReason::CoDelShed {
+                    retry_after: shed.retry_after,
+                })),
+                &shared.metrics,
+            );
+        }
+        match outcome {
+            PopOutcome::Popped { item, sojourn, .. } => {
+                shared.metrics.observe_duration("queue_sojourn_us", sojourn);
+                route_one(&shared, item, replicas);
+            }
+            PopOutcome::TimedOut => {}
+            PopOutcome::Closed => return,
+        }
     }
 }
 
@@ -661,6 +838,7 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
     let budget = replicas + 1;
     let mut avoid: Option<usize> = None;
     let mut last_err = ServeError::Timeout;
+    let mut dispatched = false;
     for attempt in 0..budget {
         let now = Instant::now();
         if now >= request.deadline {
@@ -668,21 +846,26 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
             resolve_fleet(request, Err(ServeError::Timeout), &shared.metrics);
             return;
         }
-        let Some((idx, server, generation)) = shared.pick(avoid) else {
-            // Nothing live right now (everything mid-reprovision): wait
-            // a beat and retry until the deadline decides.
+        let Some((idx, server, generation, probing)) = shared.pick(avoid) else {
+            // Nothing routable right now (everything mid-reprovision or
+            // breaker-refused): wait a beat and retry.
             std::thread::sleep(Duration::from_millis(1));
             continue;
         };
+        dispatched = true;
         shared.inflight[idx].fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
         let outcome = server
-            .submit_with_timeout(request.tensor.clone(), request.deadline - now)
-            .and_then(PendingInference::wait);
+            .submit_with_class(
+                request.tensor.clone(),
+                request.deadline - now,
+                request.class,
+            )
+            .and_then(PendingInference::wait_reply);
         shared.inflight[idx].fetch_sub(1, Ordering::SeqCst);
         drop(server);
         match outcome {
-            Ok(output) => {
+            Ok(reply) => {
                 // Adaptive concurrency: a fast dispatch lets the limit
                 // creep back up; a slow one (over the AIMD latency
                 // threshold) cuts it multiplicatively.
@@ -692,13 +875,13 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
                 shared.record_success(idx, generation);
                 shared.metrics.incr("requests_completed", 1);
                 shared.metrics.incr(&format!("instance{idx}_completed"), 1);
-                resolve_fleet(request, Ok(output), &shared.metrics);
+                resolve_fleet(request, Ok(reply), &shared.metrics);
                 return;
             }
             Err(e) => {
                 match &e {
-                    // The instance failed the request outright: score it
-                    // and fail over.
+                    // The instance failed the request outright: feed
+                    // its breaker and fail over.
                     ServeError::Backend(_) | ServeError::Disconnected => {
                         if let Some(controllers) = &shared.aimd {
                             controllers[idx].on_congestion();
@@ -706,15 +889,23 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
                         shared.record_failure(idx, generation);
                     }
                     // Congestion: cut this instance's limit and migrate
-                    // without a health penalty.
-                    ServeError::Overloaded | ServeError::Timeout => {
+                    // without a breaker penalty — unless this dispatch
+                    // was a half-open probe, which must always report.
+                    ServeError::Overloaded(_) | ServeError::Timeout => {
                         if let Some(controllers) = &shared.aimd {
                             controllers[idx].on_congestion();
                         }
+                        if probing {
+                            shared.record_failure(idx, generation);
+                        }
                     }
-                    // A draining server: migrate without penalty.
-                    ServeError::ShuttingDown => {}
-                    ServeError::NoBackends => {}
+                    // A draining server: migrate without penalty (but a
+                    // probe still reports, releasing its probe slot).
+                    ServeError::ShuttingDown | ServeError::NoBackends => {
+                        if probing {
+                            shared.record_failure(idx, generation);
+                        }
+                    }
                 }
                 if attempt + 1 < budget {
                     shared.metrics.incr("requests_migrated", 1);
@@ -723,6 +914,23 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
                 last_err = e;
             }
         }
+    }
+    // The budget ran out without a single dispatch while a breaker was
+    // refusing traffic: this is the breaker shedding, not a timeout —
+    // answer with the typed reason so clients back off deliberately.
+    if !dispatched
+        && shared
+            .breakers
+            .iter()
+            .any(|b| b.state() != BreakerState::Closed)
+    {
+        count_shed(&shared.metrics, request.class);
+        resolve_fleet(
+            request,
+            Err(ServeError::Overloaded(ShedReason::BreakerOpen)),
+            &shared.metrics,
+        );
+        return;
     }
     match last_err {
         ServeError::Timeout => {
@@ -737,7 +945,8 @@ fn route_one(shared: &Arc<FleetShared>, request: FleetRequest, replicas: usize) 
 }
 
 /// The supervisor thread: retires failed instances and provisions
-/// their replacements.
+/// their replacements, resetting the replica's breaker when the
+/// replacement swaps in.
 fn supervisor_loop(
     shared: Arc<FleetShared>,
     rx: Receiver<SupervisorMsg>,
@@ -755,10 +964,11 @@ fn supervisor_loop(
             } => (replica, generation),
         };
         // Retire the failed generation. A stale message (the slot moved
-        // on) is dropped.
+        // on) is dropped, as is one for an instance a half-open probe
+        // already recovered in place.
         let old = {
             let mut slot = shared.slots[replica].lock();
-            if slot.generation != generation {
+            if slot.generation != generation || slot.healthy {
                 continue;
             }
             slot.server.take()
@@ -781,11 +991,17 @@ fn supervisor_loop(
                 .and_then(|b| start_instance(b, &serve, replica, next_gen))
             {
                 Ok(server) => {
-                    let mut slot = shared.slots[replica].lock();
-                    slot.server = Some(server);
-                    slot.generation = next_gen;
-                    slot.healthy = true;
-                    slot.consecutive_failures = 0;
+                    {
+                        let mut slot = shared.slots[replica].lock();
+                        slot.server = Some(server);
+                        slot.generation = next_gen;
+                        slot.healthy = true;
+                    }
+                    // The replacement starts with a clean slate: the
+                    // old generation's failure history describes
+                    // hardware that no longer exists.
+                    shared.breakers[replica].reset();
+                    shared.breaker_gauge(replica);
                     shared.metrics.incr("instance_reprovisioned", 1);
                     break;
                 }
@@ -797,34 +1013,55 @@ fn supervisor_loop(
     }
 }
 
-/// The fleet's redelivery thread: re-injects every record recovered as
-/// pending, fire-and-forget (the original caller died with the old
-/// process). Poisoned payloads are counted failed and acked so they
-/// cannot redeliver forever.
+/// The fleet's redelivery thread: re-injects the recovered backlog in
+/// priority-then-FIFO order, fire-and-forget (the original caller died
+/// with the old process). Records whose embedded deadline lapsed
+/// during the outage are failed as timed out and acked; poisoned
+/// payloads are counted failed and acked so they cannot redeliver
+/// forever.
 fn spawn_fleet_redelivery(
     queue: Arc<DiskQueue>,
     report: condor_queue::RecoveryReport,
-    tx: Sender<FleetRequest>,
+    admission: Arc<AdmissionQueue<FleetRequest>>,
     shared: Arc<FleetShared>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        for record in report.pending {
+        let mut pending = report.pending;
+        // Stable sort: classes in priority order, FIFO (append order)
+        // within each class.
+        pending.sort_by_key(|record| record.class.index());
+        for record in pending {
             match durable::decode_request(&record.payload) {
-                Some((tensor, timeout)) => {
+                Some((tensor, timeout, deadline_epoch_us)) => {
                     shared.metrics.incr("requests_redelivered", 1);
+                    let now_epoch = durable::epoch_micros_now();
+                    if deadline_epoch_us != 0 && now_epoch >= deadline_epoch_us {
+                        // The caller's deadline lapsed during the
+                        // outage: fail and ack instead of serving a
+                        // result nobody can use hours late.
+                        shared.metrics.incr("requests_timed_out", 1);
+                        let _ = queue.ack(record.id);
+                        continue;
+                    }
+                    let remaining = if deadline_epoch_us == 0 {
+                        timeout
+                    } else {
+                        Duration::from_micros(deadline_epoch_us - now_epoch).min(timeout)
+                    };
                     let (reply_tx, _) = bounded(1);
                     let now = Instant::now();
                     let request = FleetRequest {
                         tensor,
+                        class: record.class,
                         enqueued: now,
-                        deadline: now + timeout,
+                        deadline: now + remaining,
                         reply: reply_tx,
                         ticket: Some(FleetTicket {
                             queue: Arc::clone(&queue),
                             id: record.id,
                         }),
                     };
-                    if tx.send(request).is_err() {
+                    if admission.push(request, record.class).is_err() {
                         // Fleet already gone; the record stays pending
                         // for the next restart.
                         return;
@@ -876,6 +1113,33 @@ mod tests {
         assert_eq!(snap.counter("requests_completed"), 8);
         assert_eq!(snap.counter("instance_failed_over"), 0);
         assert_eq!(snap.counter("requests_migrated"), 0);
+        assert_eq!(snap.gauge("breaker0_state"), Some(0.0));
+        assert_eq!(snap.gauge("breaker1_state"), Some(0.0));
+    }
+
+    #[test]
+    fn fleet_priority_classes_round_trip() {
+        let net = zoo::tc1_weighted(9);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config(),
+        )
+        .unwrap();
+        let mut samples = dataset::usps_like(2, 9);
+        let fast = fleet
+            .submit_with_priority(samples.remove(0).image, Priority::Interactive)
+            .unwrap();
+        let slow = fleet
+            .submit_with_priority(samples.remove(0).image, Priority::Batch)
+            .unwrap();
+        let fast = fast.wait_reply().unwrap();
+        let slow = slow.wait_reply().unwrap();
+        assert!(!fast.degraded);
+        assert!(!slow.degraded);
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 2);
+        assert_eq!(snap.counter("requests_shed"), 0);
+        assert!(snap.histogram("queue_sojourn_us").is_some());
     }
 
     #[test]
@@ -888,7 +1152,10 @@ mod tests {
         .unwrap();
         // One healthy instance < floor of two: admission sheds.
         let err = fleet.submit(dataset::usps_like(1, 4).remove(0).image);
-        assert!(matches!(err, Err(ServeError::Overloaded)));
+        assert!(matches!(
+            err,
+            Err(ServeError::Overloaded(ShedReason::MinHealthyFloor))
+        ));
         let snap = fleet.shutdown();
         assert_eq!(snap.counter("requests_accepted"), 0);
         assert!(snap.counter("requests_rejected_overloaded") >= 1);
@@ -931,6 +1198,116 @@ mod tests {
         drop(fleet);
         // The dropped fleet still answered the accepted request.
         assert!(pending.wait().is_ok());
+    }
+
+    #[test]
+    fn breaker_trips_fails_over_and_reprovision_resets_it() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // Instance 0's first generation fails every dispatch
+        // terminally; its replacement (generation 1) is clean.
+        let handle = FaultPlan::new(0xB1)
+            .rule(
+                FaultRule::at("fleet0g0.serve.backend0")
+                    .always()
+                    .fail_permanent(),
+            )
+            .install();
+        let net = zoo::tc1_weighted(11);
+        let fleet = Fleet::new(
+            move |_: usize, _: u64| CpuBackend::replicas(&net, 1),
+            quick_config().with_replicas(2).with_serve(
+                ServeConfig::default()
+                    .with_batch_window(Duration::from_millis(1))
+                    .with_default_timeout(Duration::from_secs(20))
+                    .with_faults(handle.clone()),
+            ),
+        )
+        .unwrap();
+        // Every request completes: ones that land on instance 0 fail
+        // there, trip its breaker (threshold 1) and migrate.
+        for s in dataset::usps_like(8, 11) {
+            fleet.infer(s.image).unwrap();
+        }
+        // Wait for the supervisor to swap in generation 1.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fleet.healthy_instances() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fleet.healthy_instances(), 2, "replacement never arrived");
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_completed"), 8);
+        assert!(snap.counter("instance_failed_over") >= 1);
+        assert!(snap.counter("requests_migrated") >= 1);
+        assert!(snap.counter("instance_reprovisioned") >= 1);
+        // The reset breaker reads Closed on the final snapshot.
+        assert_eq!(snap.gauge("breaker0_state"), Some(0.0));
+        handle.clear();
+    }
+
+    #[test]
+    fn open_breaker_sheds_with_the_typed_reason() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // A single instance whose only generation fails terminally, a
+        // breaker that stays Open for an hour, and a provisioner that
+        // cannot build a replacement: after the trip, nothing is
+        // routable and requests shed as BreakerOpen.
+        let handle = FaultPlan::new(0xB2)
+            .rule(
+                FaultRule::at("fleet0g0.serve.backend0")
+                    .always()
+                    .fail_permanent(),
+            )
+            .install();
+        let net = zoo::tc1_weighted(12);
+        let fleet = Fleet::new(
+            move |_: usize, generation: u64| {
+                if generation == 0 {
+                    CpuBackend::replicas(&net, 1)
+                } else {
+                    Err(CondorError::new("deploy", "no capacity"))
+                }
+            },
+            quick_config()
+                .with_replicas(1)
+                .with_min_healthy(0)
+                .with_reprovision_backoff(Duration::from_secs(5))
+                .with_breaker(
+                    BreakerConfig::default()
+                        .with_consecutive_failures(1)
+                        .with_open_timeout(Duration::from_secs(3600)),
+                )
+                .with_serve(
+                    ServeConfig::default()
+                        .with_batch_window(Duration::from_millis(1))
+                        .with_default_timeout(Duration::from_secs(20))
+                        .with_faults(handle.clone()),
+                ),
+        )
+        .unwrap();
+        let mut samples = dataset::usps_like(2, 12);
+        // The first request trips the breaker and fails terminally.
+        let first = fleet.submit(samples.remove(0).image).unwrap().wait();
+        assert!(matches!(first, Err(ServeError::Backend(_))));
+        // The next request finds every path breaker-refused.
+        let second = fleet.submit(samples.remove(0).image).unwrap().wait();
+        assert!(matches!(
+            second,
+            Err(ServeError::Overloaded(ShedReason::BreakerOpen))
+        ));
+        let snap = fleet.shutdown();
+        assert_eq!(snap.counter("requests_accepted"), 2);
+        assert_eq!(snap.counter("requests_shed"), 1);
+        assert_eq!(snap.counter("requests_shed_standard"), 1);
+        assert_eq!(snap.counter("instance_failed_over"), 1);
+        assert_eq!(
+            snap.counter("requests_accepted"),
+            snap.counter("requests_completed")
+                + snap.counter("requests_failed")
+                + snap.counter("requests_timed_out")
+                + snap.counter("requests_shed")
+        );
+        assert_eq!(snap.gauge("breaker0_state"), Some(1.0));
+        handle.clear();
     }
 
     /// Fresh scratch directory for the disk-queue tests.

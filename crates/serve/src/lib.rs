@@ -17,9 +17,22 @@
 //! * **Dynamic batching** — a batch closes when it reaches
 //!   [`ServeConfig::max_batch`] or when [`ServeConfig::batch_window`]
 //!   expires after its first request, whichever comes first.
-//! * **Backpressure** — the request queue is bounded; when it is full,
-//!   [`InferenceServer::submit`] fails fast with
-//!   [`ServeError::Overloaded`] instead of queueing unboundedly.
+//! * **Priority classes** — every request carries a
+//!   [`Priority`] (`Interactive`/`Standard`/`Batch`); the admission
+//!   queue dispatches strict-priority with aging, so interactive
+//!   traffic goes first but batch work can never starve (see
+//!   [`admission`](crate::admission) internals).
+//! * **Backpressure & shedding** — the request queue is bounded; when
+//!   it is full, [`InferenceServer::submit`] fails fast with
+//!   [`ServeError::Overloaded`]`(`[`ShedReason::QueueFull`]`)`. With
+//!   [`ServeConfig::with_codel`] the queue additionally sheds under
+//!   sustained sojourn-time overload, lowest class first, attaching a
+//!   `retry_after` hint ([`ShedReason::CoDelShed`]).
+//! * **Brownout** — with [`ServeConfig::with_brownout`] (and
+//!   [`DegradableBackend`] lanes) sustained shedding switches CPU
+//!   lanes from f32 to INT8 inference (~2× throughput at bounded
+//!   accuracy cost) and back with hysteresis; affected replies carry
+//!   [`ServeReply::degraded`]` = true`.
 //! * **Timeouts** — every request carries a deadline; requests that expire
 //!   while queued are answered with [`ServeError::Timeout`].
 //! * **Graceful drain** — [`InferenceServer::shutdown`] stops accepting
@@ -67,21 +80,29 @@
 
 #![forbid(unsafe_code)]
 
+mod admission;
+pub mod brownout;
 pub mod cpu;
 mod durable;
 pub mod fleet;
 
-pub use condor_queue::{AimdConfig, DiskQueueConfig, QueueBackend};
+pub use admission::CodelConfig;
+pub use brownout::{BrownoutConfig, BrownoutController, DegradableBackend};
+pub use condor_queue::{
+    AimdConfig, BreakerConfig, BreakerState, DiskQueueConfig, Priority, QueueBackend,
+};
 pub use cpu::CpuBackend;
 pub use fleet::{Fleet, FleetConfig, InstanceProvisioner};
 
+use admission::{AdmissionQueue, PopOutcome, PushError, Shed};
 use condor::{
     CondorError, DeployedAccelerator, ExecutionBackend, MetricsRegistry, MetricsSnapshot,
 };
+use condor_faults::retry::SystemClock;
 use condor_faults::{FaultHandle, FaultPlan};
 use condor_queue::DiskQueue;
 use condor_tensor::Tensor;
-use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -124,6 +145,15 @@ pub struct ServeConfig {
     /// (default) or a crash-safe disk queue that redelivers accepted
     /// requests after a restart.
     pub queue: QueueBackend,
+    /// CoDel-style shedding law over admission-queue sojourn time
+    /// (disabled by default: only a full queue rejects).
+    pub codel: Option<CodelConfig>,
+    /// Pops a lower class may be bypassed before it jumps the strict
+    /// priority order (starvation freedom).
+    pub aging_limit: u32,
+    /// Brownout controller shared with [`DegradableBackend`] lanes;
+    /// absent by default (no degradation, replies never `degraded`).
+    pub brownout: Option<Arc<BrownoutController>>,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +170,9 @@ impl Default for ServeConfig {
             faults: FaultHandle::disabled(),
             site_prefix: String::new(),
             queue: QueueBackend::InMemory,
+            codel: None,
+            aging_limit: 16,
+            brownout: None,
         }
     }
 }
@@ -215,13 +248,70 @@ impl ServeConfig {
         self.queue = queue;
         self
     }
+
+    /// Enables CoDel-style shedding with the given law (clamped once
+    /// here: non-zero target, interval ≥ target).
+    pub fn with_codel(mut self, codel: CodelConfig) -> Self {
+        self.codel = Some(codel.normalized());
+        self
+    }
+
+    /// Sets the aging limit of the priority dispatcher (≥ 1).
+    pub fn with_aging_limit(mut self, limit: u32) -> Self {
+        self.aging_limit = limit.max(1);
+        self
+    }
+
+    /// Shares a brownout controller with this server: CoDel sheds feed
+    /// it, the batcher exports its `brownout_active` gauge, and worker
+    /// replies carry `degraded` while it is active. Pass the same
+    /// handle to [`DegradableBackend::replicas`] so lanes actually
+    /// change gears.
+    pub fn with_brownout(mut self, controller: Arc<BrownoutController>) -> Self {
+        self.brownout = Some(controller);
+        self
+    }
+}
+
+/// Why an overloaded server refused (or abandoned) a request — the
+/// typed payload of [`ServeError::Overloaded`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full at submission.
+    QueueFull,
+    /// A fleet refused admission because fewer than `min_healthy`
+    /// instances were live.
+    MinHealthyFloor,
+    /// The CoDel law shed this already-admitted request because queue
+    /// sojourn stayed above target; retrying sooner than `retry_after`
+    /// lands inside the same overload episode.
+    CoDelShed {
+        /// The law's current drop spacing.
+        retry_after: Duration,
+    },
+    /// Every routable instance sat behind an open circuit breaker.
+    BreakerOpen,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "request queue is full"),
+            ShedReason::MinHealthyFloor => write!(f, "below the minimum healthy-instance floor"),
+            ShedReason::CoDelShed { retry_after } => {
+                write!(f, "shed by CoDel; retry after {retry_after:?}")
+            }
+            ShedReason::BreakerOpen => write!(f, "all instance circuit breakers are open"),
+        }
+    }
 }
 
 /// Why a request did not produce an output.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServeError {
-    /// The bounded request queue was full; retry later or add capacity.
-    Overloaded,
+    /// The server shed the request under overload; the reason says
+    /// where in the degradation ladder it was refused.
+    Overloaded(ShedReason),
     /// The request's deadline expired before it reached the hardware.
     Timeout,
     /// The server is shutting down and no longer accepts requests.
@@ -237,7 +327,7 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded => write!(f, "server overloaded: request queue is full"),
+            ServeError::Overloaded(reason) => write!(f, "server overloaded: {reason}"),
             ServeError::Timeout => write!(f, "request timed out before execution"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Disconnected => write!(f, "server disconnected without replying"),
@@ -255,7 +345,7 @@ impl ServeError {
     /// shutdown, disconnection and misconfiguration are not.
     pub fn is_transient(&self) -> bool {
         match self {
-            ServeError::Overloaded | ServeError::Timeout => true,
+            ServeError::Overloaded(_) | ServeError::Timeout => true,
             ServeError::Backend(e) => e.transient,
             ServeError::ShuttingDown | ServeError::Disconnected | ServeError::NoBackends => false,
         }
@@ -268,12 +358,24 @@ impl condor_faults::retry::Retryable for ServeError {
     }
 }
 
-/// One queued inference request.
+/// A completed inference: the output plus how it was produced.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The network's output tensor.
+    pub output: Tensor,
+    /// True when the answer was produced while brownout mode was
+    /// active (INT8 lane, bounded accuracy cost).
+    pub degraded: bool,
+}
+
+/// One queued inference request. Its priority class lives in the
+/// admission queue's lane (and, durably, the CQR2 frame), not here —
+/// once popped, every class is served the same way.
 struct Request {
     tensor: Tensor,
     enqueued: Instant,
     deadline: Instant,
-    reply: Sender<Result<Tensor, ServeError>>,
+    reply: Sender<Result<ServeReply, ServeError>>,
     /// Present in disk-queue mode: the durable record backing this
     /// request, acked only when the request is resolved.
     ticket: Option<DurableTicket>,
@@ -291,7 +393,7 @@ struct DurableTicket {
 /// channel, so `accepted ⇒ eventually resolved-or-failed` holds across
 /// a `kill -9` anywhere (a crash between reply and ack redelivers; a
 /// crash before the reply redelivers; nothing is ever dropped).
-fn resolve(request: Request, result: Result<Tensor, ServeError>, metrics: &MetricsRegistry) {
+fn resolve(request: Request, result: Result<ServeReply, ServeError>, metrics: &MetricsRegistry) {
     let _ = request.reply.send(result);
     if let Some(ticket) = request.ticket {
         // A refused double ack (redelivery raced the original) or a
@@ -304,23 +406,47 @@ fn resolve(request: Request, result: Result<Tensor, ServeError>, metrics: &Metri
     }
 }
 
+/// Per-class shed accounting: the aggregate counter plus one counter
+/// per priority class (so dashboards can verify Batch absorbs the
+/// sheds).
+pub(crate) fn count_shed(metrics: &MetricsRegistry, class: Priority) {
+    metrics.incr("requests_shed", 1);
+    match class {
+        Priority::Interactive => metrics.incr("requests_shed_interactive", 1),
+        Priority::Standard => metrics.incr("requests_shed_standard", 1),
+        Priority::Batch => metrics.incr("requests_shed_batch", 1),
+    }
+}
+
 /// A ticket for a request the server accepted.
 #[derive(Debug)]
 pub struct PendingInference {
-    rx: Receiver<Result<Tensor, ServeError>>,
+    rx: Receiver<Result<ServeReply, ServeError>>,
 }
 
 impl PendingInference {
-    /// Blocks until the server answers. Every accepted request is
-    /// answered exactly once (output, timeout, or backend error), so
-    /// this returns as soon as the request's batch completes.
+    /// Blocks until the server answers, returning just the output
+    /// tensor. Every accepted request is answered exactly once
+    /// (output, timeout, or backend error), so this returns as soon
+    /// as the request's batch completes.
     pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.wait_reply().map(|r| r.output)
+    }
+
+    /// Blocks until the server answers, returning the full reply
+    /// (output plus the `degraded` brownout flag).
+    pub fn wait_reply(self) -> Result<ServeReply, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Disconnected)?
     }
 
     /// Like [`wait`](Self::wait) but gives up after `timeout` (the
     /// request keeps running; its eventual reply is discarded).
     pub fn wait_timeout(self, timeout: Duration) -> Result<Tensor, ServeError> {
+        self.wait_reply_timeout(timeout).map(|r| r.output)
+    }
+
+    /// Like [`wait_reply`](Self::wait_reply) with a deadline.
+    pub fn wait_reply_timeout(self, timeout: Duration) -> Result<ServeReply, ServeError> {
         match self.rx.recv_timeout(timeout) {
             Ok(reply) => reply,
             Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
@@ -368,7 +494,7 @@ struct WorkerHandle {
 pub struct InferenceServer {
     config: ServeConfig,
     accepting: Arc<AtomicBool>,
-    submit_tx: Option<Sender<Request>>,
+    admission: Arc<AdmissionQueue<Request>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<MetricsRegistry>,
@@ -401,7 +527,13 @@ impl InferenceServer {
         }
         let metrics = Arc::new(MetricsRegistry::new());
         let accepting = Arc::new(AtomicBool::new(true));
-        let (submit_tx, submit_rx) = bounded::<Request>(config.queue_capacity.max(1));
+        let admission = Arc::new(AdmissionQueue::new(
+            config.queue_capacity.max(1),
+            config.aging_limit,
+            config.codel.clone(),
+            Arc::new(SystemClock),
+            config.faults.clone(),
+        ));
 
         let mut handles = Vec::with_capacity(backends.len());
         let mut workers = Vec::with_capacity(backends.len());
@@ -437,8 +569,9 @@ impl InferenceServer {
 
         let batcher_cfg = config.clone();
         let batcher_metrics = Arc::clone(&metrics);
+        let batcher_queue = Arc::clone(&admission);
         let batcher = std::thread::spawn(move || {
-            batcher_loop(submit_rx, handles, batcher_cfg, batcher_metrics);
+            batcher_loop(batcher_queue, handles, batcher_cfg, batcher_metrics);
         });
 
         // Disk-queue mode: open (running crash recovery) and re-inject
@@ -452,7 +585,7 @@ impl InferenceServer {
                 let thread = spawn_redelivery(
                     Arc::clone(&queue),
                     report,
-                    submit_tx.clone(),
+                    Arc::clone(&admission),
                     Arc::clone(&metrics),
                 );
                 (Some(queue), Some(thread))
@@ -462,7 +595,7 @@ impl InferenceServer {
         Ok(InferenceServer {
             config,
             accepting,
-            submit_tx: Some(submit_tx),
+            admission,
             batcher: Some(batcher),
             workers,
             metrics,
@@ -493,33 +626,52 @@ impl InferenceServer {
         &self.locations
     }
 
-    /// Submits one image with the default timeout. Returns a ticket, or
-    /// fails fast when the queue is full ([`ServeError::Overloaded`]) or
-    /// the server is draining ([`ServeError::ShuttingDown`]).
+    /// Submits one image with the default timeout at [`Priority::Standard`].
+    /// Returns a ticket, or fails fast when the queue is full
+    /// ([`ServeError::Overloaded`]) or the server is draining
+    /// ([`ServeError::ShuttingDown`]).
     pub fn submit(&self, tensor: Tensor) -> Result<PendingInference, ServeError> {
-        self.submit_with_timeout(tensor, self.config.default_timeout)
+        self.submit_with_class(tensor, self.config.default_timeout, Priority::Standard)
     }
 
-    /// Submits one image with an explicit deadline.
+    /// Submits one image with an explicit deadline at [`Priority::Standard`].
     pub fn submit_with_timeout(
         &self,
         tensor: Tensor,
         timeout: Duration,
     ) -> Result<PendingInference, ServeError> {
+        self.submit_with_class(tensor, timeout, Priority::Standard)
+    }
+
+    /// Submits one image with the default timeout at an explicit
+    /// priority class.
+    pub fn submit_with_priority(
+        &self,
+        tensor: Tensor,
+        class: Priority,
+    ) -> Result<PendingInference, ServeError> {
+        self.submit_with_class(tensor, self.config.default_timeout, class)
+    }
+
+    /// Submits one image with an explicit deadline and priority class.
+    pub fn submit_with_class(
+        &self,
+        tensor: Tensor,
+        timeout: Duration,
+        class: Priority,
+    ) -> Result<PendingInference, ServeError> {
         if !self.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let tx = self
-            .submit_tx
-            .as_ref()
-            .expect("sender lives until shutdown");
         // Disk-queue mode: the request is durable *before* admission —
-        // a crash from here on redelivers it.
+        // a crash from here on redelivers it, same class, against its
+        // absolute deadline.
         let ticket = match &self.durable {
             None => None,
             Some(queue) => {
-                let payload = durable::encode_request(&tensor, timeout);
-                let id = queue.append(&payload).map_err(queue_err)?;
+                let payload =
+                    durable::encode_request(&tensor, timeout, durable::deadline_epoch_us(timeout));
+                let id = queue.append(&payload, class).map_err(queue_err)?;
                 self.metrics
                     .set_gauge("disk_queue_depth", queue.depth() as f64);
                 Some(DurableTicket {
@@ -537,20 +689,25 @@ impl InferenceServer {
             reply: reply_tx,
             ticket,
         };
-        match tx.try_send(request) {
+        match self.admission.try_push(request, class) {
             Ok(()) => {
                 self.metrics.incr("requests_accepted", 1);
-                self.metrics.observe("queue_depth", tx.len() as f64);
+                self.metrics
+                    .observe("queue_depth", self.admission.len() as f64);
                 Ok(PendingInference { rx: reply_rx })
             }
-            Err(TrySendError::Full(request)) => {
+            Err(PushError::Full(request)) => {
                 self.metrics.incr("requests_rejected_overloaded", 1);
                 // The durable record (if any) is resolved as rejected,
                 // so it will not redeliver.
-                resolve(request, Err(ServeError::Overloaded), &self.metrics);
-                Err(ServeError::Overloaded)
+                resolve(
+                    request,
+                    Err(ServeError::Overloaded(ShedReason::QueueFull)),
+                    &self.metrics,
+                );
+                Err(ServeError::Overloaded(ShedReason::QueueFull))
             }
-            Err(TrySendError::Disconnected(request)) => {
+            Err(PushError::Closed(request)) => {
                 resolve(request, Err(ServeError::ShuttingDown), &self.metrics);
                 Err(ServeError::ShuttingDown)
             }
@@ -587,15 +744,15 @@ impl InferenceServer {
 
     fn stop(&mut self) {
         self.accepting.store(false, Ordering::SeqCst);
-        // The redelivery thread holds a clone of the submit side: join
+        // The redelivery thread pushes into the admission queue: join
         // it first so every recovered record is back in flight, then
-        // drop the submit side so the batcher drains the queue and
-        // observes disconnection; the batcher in turn drops the worker
+        // close the queue so the batcher drains what is left and
+        // observes the close; the batcher in turn drops the worker
         // lanes, which drain and exit.
         if let Some(r) = self.redelivery.take() {
             let _ = r.join();
         }
-        drop(self.submit_tx.take());
+        self.admission.close();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
@@ -624,23 +781,41 @@ fn queue_err(e: condor_queue::QueueError) -> ServeError {
     ServeError::Backend(CondorError::new("queue", e.to_string()))
 }
 
-/// Starts the redelivery thread: every record recovered as pending is
-/// decoded and re-injected into the admission queue with a fresh
-/// deadline, fire-and-forget (the original caller died with the
-/// previous process; the record's obligation is resolution, not reply
-/// delivery). Poisoned records — payloads that no longer decode — are
-/// counted failed and acked so they cannot loop forever.
+/// Starts the redelivery thread: recovered records are re-injected in
+/// priority-then-FIFO order (classes come from the CQR2 frames, FIFO
+/// from the recovery scan), fire-and-forget (the original caller died
+/// with the previous process; the record's obligation is resolution,
+/// not reply delivery). Records whose embedded absolute deadline
+/// already expired are failed-and-acked as timed out instead of
+/// burning backend time; poisoned records — payloads that no longer
+/// decode — are counted failed and acked so they cannot loop forever.
 fn spawn_redelivery(
     queue: Arc<DiskQueue>,
     report: condor_queue::RecoveryReport,
-    tx: Sender<Request>,
+    admission: Arc<AdmissionQueue<Request>>,
     metrics: Arc<MetricsRegistry>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        for record in report.pending {
+        let mut pending = report.pending;
+        // Stable sort: Interactive re-enters first, FIFO within class.
+        pending.sort_by_key(|record| record.class.index());
+        for record in pending {
             match durable::decode_request(&record.payload) {
-                Some((tensor, timeout)) => {
+                Some((tensor, timeout, deadline_epoch_us)) => {
                     metrics.incr("requests_redelivered", 1);
+                    let now_epoch = durable::epoch_micros_now();
+                    if deadline_epoch_us != 0 && now_epoch >= deadline_epoch_us {
+                        // The caller's deadline passed while the record
+                        // sat on disk: fail-and-ack, never execute.
+                        metrics.incr("requests_timed_out", 1);
+                        let _ = queue.ack(record.id);
+                        continue;
+                    }
+                    let remaining = if deadline_epoch_us == 0 {
+                        timeout
+                    } else {
+                        Duration::from_micros(deadline_epoch_us - now_epoch).min(timeout)
+                    };
                     // The rx side is dropped: replies go nowhere, but
                     // resolve() still acks the record.
                     let (reply_tx, _) = bounded(1);
@@ -648,18 +823,18 @@ fn spawn_redelivery(
                     let request = Request {
                         tensor,
                         enqueued: now,
-                        deadline: now + timeout,
+                        deadline: now + remaining,
                         reply: reply_tx,
                         ticket: Some(DurableTicket {
                             queue: Arc::clone(&queue),
                             id: record.id,
                         }),
                     };
-                    // Blocking send: redelivery yields to live traffic
-                    // when the queue is full. A send failure means the
+                    // Blocking push: redelivery yields to live traffic
+                    // when the queue is full. A push failure means the
                     // server is already gone; the record stays pending
                     // for the next restart.
-                    if tx.send(request).is_err() {
+                    if admission.push(request, record.class).is_err() {
                         return;
                     }
                 }
@@ -685,20 +860,55 @@ fn admit(request: Request, batch: &mut Vec<Request>, metrics: &MetricsRegistry) 
     }
 }
 
+/// Resolves every request the admission queue shed since the last
+/// pop: shed counters tick (aggregate and per class), the brownout
+/// controller hears about the overload, and the caller gets the typed
+/// rejection with its retry hint.
+fn drain_sheds(sheds: &mut Vec<Shed<Request>>, config: &ServeConfig, metrics: &MetricsRegistry) {
+    for shed in sheds.drain(..) {
+        count_shed(metrics, shed.class);
+        if let Some(brownout) = &config.brownout {
+            brownout.on_shed();
+        }
+        resolve(
+            shed.item,
+            Err(ServeError::Overloaded(ShedReason::CoDelShed {
+                retry_after: shed.retry_after,
+            })),
+            metrics,
+        );
+    }
+}
+
 /// The batcher thread: coalesces queued requests into batches and hands
 /// each batch to the least-loaded worker lane.
 fn batcher_loop(
-    rx: Receiver<Request>,
+    queue: Arc<AdmissionQueue<Request>>,
     workers: Vec<WorkerHandle>,
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
 ) {
-    loop {
-        // Block for the first request of the next batch; disconnection
-        // here means the queue is empty and the server is shutting down.
-        let first = match rx.recv() {
-            Ok(r) => r,
-            Err(_) => break,
+    let mut sheds = Vec::new();
+    'serve: loop {
+        // Block for the first request of the next batch; a closed and
+        // drained queue means the server is shutting down.
+        let first = loop {
+            let outcome = queue.pop(Duration::from_millis(20), &mut sheds);
+            drain_sheds(&mut sheds, &config, &metrics);
+            match outcome {
+                PopOutcome::Popped { item, sojourn, .. } => {
+                    metrics.observe_duration("queue_sojourn_us", sojourn);
+                    break item;
+                }
+                PopOutcome::TimedOut => {
+                    if let Some(brownout) = &config.brownout {
+                        let active = brownout.poll();
+                        metrics.set_gauge("brownout_active", if active { 1.0 } else { 0.0 });
+                    }
+                    continue;
+                }
+                PopOutcome::Closed => break 'serve,
+            }
         };
         let window_closes = Instant::now() + config.batch_window;
         let mut batch = Vec::with_capacity(config.max_batch);
@@ -710,11 +920,20 @@ fn batcher_loop(
             if now >= window_closes {
                 break;
             }
-            match rx.recv_timeout(window_closes - now) {
-                Ok(r) => admit(r, &mut batch, &metrics),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+            let outcome = queue.pop(window_closes - now, &mut sheds);
+            drain_sheds(&mut sheds, &config, &metrics);
+            match outcome {
+                PopOutcome::Popped { item, sojourn, .. } => {
+                    metrics.observe_duration("queue_sojourn_us", sojourn);
+                    admit(item, &mut batch, &metrics);
+                }
+                PopOutcome::TimedOut => break,
+                PopOutcome::Closed => break,
             }
+        }
+        if let Some(brownout) = &config.brownout {
+            let active = brownout.poll();
+            metrics.set_gauge("brownout_active", if active { 1.0 } else { 0.0 });
         }
         if batch.is_empty() {
             continue;
@@ -823,10 +1042,14 @@ fn worker_loop(
                     lane.consecutive_failures = 0;
                     lane.unhealthy_until = None;
                 }
+                let degraded = config
+                    .brownout
+                    .as_ref()
+                    .is_some_and(|brownout| brownout.active());
                 for (request, output) in batch.into_iter().zip(outputs) {
                     metrics.incr("requests_completed", 1);
                     metrics.observe_duration("latency_us", request.enqueued.elapsed());
-                    resolve(request, Ok(output), &metrics);
+                    resolve(request, Ok(ServeReply { output, degraded }), &metrics);
                 }
             }
             Err(e) => {
@@ -1031,7 +1254,7 @@ mod tests {
         for img in images(100, 10) {
             match server.submit(img) {
                 Ok(h) => handles.push(h),
-                Err(ServeError::Overloaded) => {
+                Err(ServeError::Overloaded(ShedReason::QueueFull)) => {
                     overloaded = true;
                     break;
                 }
@@ -1302,10 +1525,16 @@ mod tests {
         {
             let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
             for img in images(4, 22) {
-                let payload = durable::encode_request(&img, Duration::from_secs(30));
-                queue.append(&payload).unwrap();
+                let payload = durable::encode_request(
+                    &img,
+                    Duration::from_secs(30),
+                    durable::deadline_epoch_us(Duration::from_secs(30)),
+                );
+                queue.append(&payload, Priority::Standard).unwrap();
             }
-            queue.append(b"not a request payload").unwrap();
+            queue
+                .append(b"not a request payload", Priority::Batch)
+                .unwrap();
         }
         // Startup must replay all five: four infer to completion (their
         // replies go nowhere, their acks land), the poisoned one is
@@ -1324,6 +1553,97 @@ mod tests {
         assert_eq!(snap.counter("requests_accepted"), 0);
         let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
         assert!(report.pending.is_empty(), "redelivered records must ack");
+        assert_eq!(report.double_acks, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interactive_class_round_trips_with_undegraded_reply() {
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default().with_default_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+        let reply = server
+            .submit_with_priority(images(1, 50).remove(0), Priority::Interactive)
+            .unwrap()
+            .wait_reply()
+            .unwrap();
+        assert!(!reply.degraded, "no brownout controller: never degraded");
+        assert_eq!(reply.output.shape().c, 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn forced_codel_sheds_reject_with_retry_hint_and_feed_brownout() {
+        use condor_faults::{FaultPlan, FaultRule};
+        // `shed.codel` forced on: every admitted request is shed before
+        // it can batch, with the typed reason and per-class counters,
+        // and the brownout controller hears every shed.
+        let controller = Arc::new(BrownoutController::with_system_clock(
+            BrownoutConfig::new()
+                .with_engage_sheds(2)
+                .with_disengage_quiet(Duration::from_secs(60)),
+        ));
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_brownout(Arc::clone(&controller))
+                .with_fault_plan(
+                    FaultPlan::new(41).rule(FaultRule::at("shed.codel").always().fail_transient()),
+                ),
+        )
+        .unwrap();
+        for img in images(3, 51) {
+            let pending = server.submit(img).unwrap();
+            match pending.wait() {
+                Err(ServeError::Overloaded(ShedReason::CoDelShed { retry_after })) => {
+                    assert!(retry_after > Duration::ZERO);
+                }
+                other => panic!("expected a CoDel shed, got {other:?}"),
+            }
+        }
+        assert!(controller.active(), "sustained sheds engage brownout");
+        assert_eq!(controller.engages(), 1);
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_shed"), 3);
+        assert_eq!(snap.counter("requests_shed_standard"), 3);
+        assert_eq!(snap.counter("requests_shed_interactive"), 0);
+        assert_eq!(snap.counter("requests_completed"), 0);
+        assert_eq!(snap.gauge("brownout_active"), Some(1.0));
+        assert!(snap.histogram("queue_sojourn_us").is_none());
+    }
+
+    #[test]
+    fn expired_recovered_records_fail_and_ack_as_timed_out() {
+        let dir = tmp_queue_dir("expired");
+        {
+            let (queue, _) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+            // Deadline already in the past: must never execute.
+            let stale = durable::encode_request(&images(1, 23)[0], Duration::from_secs(30), 1);
+            queue.append(&stale, Priority::Interactive).unwrap();
+            // Deadline far in the future: must complete normally.
+            let fresh = durable::encode_request(
+                &images(1, 24)[0],
+                Duration::from_secs(30),
+                durable::deadline_epoch_us(Duration::from_secs(30)),
+            );
+            queue.append(&fresh, Priority::Batch).unwrap();
+        }
+        let server = InferenceServer::from_deployment(
+            deployed_lenet(),
+            ServeConfig::default()
+                .with_default_timeout(Duration::from_secs(30))
+                .with_queue(QueueBackend::Disk(DiskQueueConfig::new(&dir))),
+        )
+        .unwrap();
+        let snap = server.shutdown();
+        assert_eq!(snap.counter("requests_redelivered"), 2);
+        assert_eq!(snap.counter("requests_timed_out"), 1);
+        assert_eq!(snap.counter("requests_completed"), 1);
+        let (_, report) = DiskQueue::open(DiskQueueConfig::new(&dir)).unwrap();
+        assert!(report.pending.is_empty(), "expired record must still ack");
         assert_eq!(report.double_acks, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }

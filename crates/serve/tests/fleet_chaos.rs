@@ -101,7 +101,7 @@ fn fleet_survives_a_permanent_instance_kill_mid_stream() {
                         .unwrap_or_else(|e| panic!("request {i} not failed over: {e}"));
                     assert_eq!(out.shape().c, 10);
                 }
-                Err(ServeError::Overloaded) => {} // typed shed, not a loss
+                Err(ServeError::Overloaded(_)) => {} // typed shed, not a loss
                 Err(other) => panic!("request {i} rejected with {other:?}"),
             }
         }
